@@ -1,0 +1,46 @@
+"""Hash vs sort local aggregation — the [BBDW83] related-work baseline."""
+
+from conftest import report
+
+from repro.bench.figures import SIM_NODES, SIM_QUERY, SIM_TUPLES
+from repro.bench.harness import FigureResult
+from repro.core.runner import default_parameters, run_algorithm
+from repro.workloads.generator import generate_uniform
+
+
+def _run_sort_vs_hash() -> FigureResult:
+    result = FigureResult(
+        "ablation_sort_engine",
+        "Two Phase with hash vs sort local aggregation (simulator)",
+        ["num_groups", "hash_engine", "sort_engine"],
+        notes="same cost charges; the engines differ in spill pattern "
+        "(overflow buckets vs sorted runs)",
+    )
+    for groups in (8, 1600, 20_000):
+        dist = generate_uniform(SIM_TUPLES, groups, SIM_NODES, seed=0)
+        params = default_parameters(dist)
+        times = []
+        for method in ("hash", "sort"):
+            out = run_algorithm(
+                "two_phase",
+                dist,
+                SIM_QUERY,
+                params=params,
+                local_method=method,
+            )
+            times.append(out.elapsed_seconds)
+        result.add_row(groups, *times)
+    return result
+
+
+def test_ablation_sort_vs_hash_engine(benchmark):
+    result = benchmark.pedantic(_run_sort_vs_hash, rounds=1, iterations=1)
+    report(result)
+    hash_series = result.column("hash_engine")
+    sort_series = result.column("sort_engine")
+    # Under the shared cost model the engines land close to each other;
+    # both must show the same selectivity trend.
+    for h, s in zip(hash_series, sort_series):
+        assert abs(h - s) < 0.5 * h
+    assert hash_series[-1] > hash_series[0]
+    assert sort_series[-1] > sort_series[0]

@@ -1,0 +1,81 @@
+"""Ablations of the design choices DESIGN.md calls out (simulator)."""
+
+from conftest import report
+
+from repro.bench import ablations
+
+
+def test_ablation_a2p_switch_threshold(benchmark):
+    """Switching at memory-full must beat spilling for small M, and the
+    two must coincide once M holds every local group."""
+    result = benchmark.pedantic(
+        ablations.a2p_switch_threshold, rounds=1, iterations=1
+    )
+    report(result)
+    a2p = result.column("adaptive_two_phase")
+    tp = result.column("two_phase")
+    switched = result.column("a2p_switched")
+    # Small M: the nodes switch and avoid 2P's spill I/O.
+    assert switched[0] > 0
+    assert a2p[0] < tp[0]
+    # Big M: no switch — A-2P literally runs 2P.
+    assert switched[-1] == 0
+    assert abs(a2p[-1] - tp[-1]) < 1e-9
+
+
+def test_ablation_arep_init_seg(benchmark):
+    """More observation = more raw tuples shipped before falling back."""
+    result = benchmark.pedantic(
+        ablations.arep_init_seg, rounds=1, iterations=1
+    )
+    report(result)
+    elapsed = result.column("adaptive_repartitioning")
+    switched = result.column("switched")
+    assert all(switched[:-1])  # small init_segs detect the few groups
+    # Elapsed time grows (weakly) with init_seg in the fallback regime.
+    assert elapsed[0] <= elapsed[-2] * 1.05
+
+
+def test_ablation_sampling_threshold(benchmark):
+    """The threshold flips the decision exactly where it should."""
+    result = benchmark.pedantic(
+        ablations.sampling_threshold, rounds=1, iterations=1
+    )
+    report(result)
+    rows = {
+        (g, t): (e, c)
+        for g, t, e, c in result.rows
+    }
+    # 8 groups: every threshold above 8 keeps Two Phase.
+    assert rows[(8, 80)][1] == "two_phase"
+    assert rows[(8, 6400)][1] == "two_phase"
+    # 40000 groups: every threshold picks Repartitioning.
+    assert rows[(40_000, 20)][1] == "repartitioning"
+    assert rows[(40_000, 6400)][1] == "repartitioning"
+    # 3200 groups: the decision flips with the threshold — below 3200
+    # the lower bound clears it (Repartitioning), above it it cannot.
+    assert rows[(3200, 20)][1] == "repartitioning"
+    assert rows[(3200, 320)][1] == "repartitioning"
+    assert rows[(3200, 6400)][1] == "two_phase"
+
+
+def test_ablation_optimized_two_phase(benchmark):
+    """Graefe's optimization vs A-2P: A-2P must avoid the catastrophic
+    high-selectivity end and keep spill I/O lower."""
+    result = benchmark.pedantic(
+        ablations.optimized_vs_adaptive, rounds=1, iterations=1
+    )
+    report(result)
+    opt = result.column("optimized_two_phase")
+    a2p = result.column("adaptive_two_phase")
+    tp = result.column("two_phase")
+    # Both beat plain 2P at the duplicate-elimination end.
+    assert opt[-1] < tp[-1]
+    assert a2p[-1] < tp[-1]
+    # At the top of the range A-2P is at least competitive with the
+    # optimization the paper argues it dominates.  (Measured nuance for
+    # EXPERIMENTS.md: on the slow bus optimized 2P is genuinely strong
+    # in the middle range, because resident groups keep absorbing tuples
+    # locally and cut network volume — the paper's preference for A-2P
+    # rests on the memory-holding and duplicated-work arguments.)
+    assert a2p[-1] <= 1.1 * opt[-1]

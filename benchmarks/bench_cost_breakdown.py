@@ -1,0 +1,53 @@
+"""Where the time goes: resource-family breakdowns behind Figures 1-4."""
+
+from conftest import report
+
+from repro.bench.harness import FigureResult
+from repro.costmodel.params import NetworkKind, SystemParameters
+from repro.costmodel.report import FAMILIES, breakdown_table
+
+ALGOS = ("two_phase", "repartitioning", "adaptive_two_phase")
+
+
+def _run_breakdowns() -> FigureResult:
+    result = FigureResult(
+        "cost_breakdown",
+        "Analytical cost by resource family (32 nodes)",
+        ["selectivity", "network_kind", "algorithm", *FAMILIES, "total"],
+    )
+    for kind in (NetworkKind.HIGH_BANDWIDTH,
+                 NetworkKind.LIMITED_BANDWIDTH):
+        params = SystemParameters.paper_default().with_(network=kind)
+        for selectivity in (1e-6, 0.5):
+            for row in breakdown_table(params, selectivity, ALGOS):
+                result.add_row(selectivity, kind.value, *row)
+    return result
+
+
+def test_cost_breakdown(benchmark):
+    result = benchmark.pedantic(_run_breakdowns, rounds=1, iterations=1)
+    report(result)
+    rows = {
+        (r[0], r[1], r[2]): dict(zip([*FAMILIES, "total"], r[3:]))
+        for r in result.rows
+    }
+    fast, slow = "high_bandwidth", "limited_bandwidth"
+
+    # At high selectivity, 2P's loss is overflow I/O + CPU duplication.
+    tp = rows[(0.5, fast, "two_phase")]
+    rep = rows[(0.5, fast, "repartitioning")]
+    assert tp["overflow_io"] > rep["overflow_io"]
+    assert tp["cpu"] > rep["cpu"]
+
+    # On the slow bus, Rep's network family dominates its own total.
+    rep_slow = rows[(0.5, slow, "repartitioning")]
+    assert rep_slow["network"] > 0.5 * rep_slow["total"]
+
+    # At one group everything is scan-I/O bound for the 2P family.
+    tp_low = rows[(1e-6, fast, "two_phase")]
+    assert tp_low["base_io"] > 0.4 * tp_low["total"]
+
+    # Totals are consistent with the family sums.
+    for families in rows.values():
+        total = sum(families[f] for f in FAMILIES)
+        assert abs(total - families["total"]) < 1e-9

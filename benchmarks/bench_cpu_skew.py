@@ -1,0 +1,58 @@
+"""Execution skew (heterogeneous nodes) — completing the skew trilogy.
+
+The paper covers input skew and output skew (data); this extension
+measures *execution* skew: one node at 40% speed.  The honest result the
+simulator produces: per-node algorithm adaptivity, which wins under
+output skew, buys nothing here — the slow node's own scan+aggregate is
+the critical path whatever strategy it runs.
+"""
+
+from conftest import report
+
+from repro.bench.figures import SIM_NODES, SIM_QUERY
+from repro.bench.harness import FigureResult
+from repro.core.runner import default_parameters, run_algorithm
+from repro.workloads.generator import generate_uniform
+
+NUM_TUPLES = 40_000
+CONTENDERS = ("two_phase", "repartitioning", "adaptive_two_phase",
+              "adaptive_repartitioning")
+
+
+def _run_cpu_skew() -> FigureResult:
+    result = FigureResult(
+        "cpu_skew",
+        "Execution skew: node 0 at 40% speed (simulator, 8 nodes)",
+        ["num_groups", "config", *CONTENDERS],
+    )
+    factors = [0.4] + [1.0] * (SIM_NODES - 1)
+    for groups in (8, 6400):
+        dist = generate_uniform(NUM_TUPLES, groups, SIM_NODES, seed=0)
+        params = default_parameters(dist)
+        for label, speeds in (("uniform", None), ("skewed", factors)):
+            row = [groups, label]
+            for name in CONTENDERS:
+                out = run_algorithm(
+                    name, dist, SIM_QUERY, params=params,
+                    node_speed_factors=speeds,
+                )
+                row.append(out.elapsed_seconds)
+            result.add_row(*row)
+    return result
+
+
+def test_cpu_skew(benchmark):
+    result = benchmark.pedantic(_run_cpu_skew, rounds=1, iterations=1)
+    report(result)
+    rows = {(r[0], r[1]): r[2:] for r in result.rows}
+    for groups in (8, 6400):
+        uniform = rows[(groups, "uniform")]
+        skewed = rows[(groups, "skewed")]
+        # Everyone pays for the slow node...
+        for u, s in zip(uniform, skewed):
+            assert s > 1.25 * u
+        # ...and adaptivity does NOT rescue execution skew the way it
+        # rescues output skew: A-2P's penalty matches plain 2P's.
+        a2p_penalty = skewed[2] / uniform[2]
+        tp_penalty = skewed[0] / uniform[0]
+        assert abs(a2p_penalty - tp_penalty) < 0.5

@@ -1,0 +1,32 @@
+"""Figure 1: traditional algorithms vs grouping selectivity (analytical).
+
+Expected shape: both Two Phase variants flat and cheap at low S; C-2P
+explodes as the coordinator serializes; Repartitioning pays a constant
+premium at low S (idle processors) but wins at high S; the Ethernet
+variant of Repartitioning is strictly worse than the SP-2 variant.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig1_traditional_algorithms(benchmark):
+    result = benchmark.pedantic(figures.figure1, rounds=1, iterations=1)
+    report(result)
+
+    c2p = result.column("centralized_two_phase")
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning_sp2")
+    rep_eth = result.column("repartitioning_ethernet")
+
+    # Two Phase wins the low end, Repartitioning the high end.
+    assert tp[0] < rep[0]
+    assert rep[-1] < tp[-1]
+    # The coordinator bottleneck dwarfs everything at high selectivity.
+    assert c2p[-1] > 5 * tp[-1]
+    # At one group C-2P and 2P coincide (nothing to parallelize).
+    assert abs(c2p[0] - tp[0]) / tp[0] < 0.05
+    # Ethernet strictly hurts Repartitioning everywhere.
+    assert all(e >= s for e, s in zip(rep_eth, rep))
+    assert rep_eth[-1] > 2 * rep[-1]

@@ -1,0 +1,33 @@
+"""Figure 2: traditional algorithms in an operator pipeline (no I/O).
+
+Expected shape: without scan/store I/O amortizing the CPU, Two Phase's
+duplicated aggregation work shows earlier, strengthening the case for
+including Repartitioning — the figure's purpose in the paper.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig2_operator_pipeline(benchmark):
+    result = benchmark.pedantic(figures.figure2, rounds=1, iterations=1)
+    report(result)
+
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    c2p = result.column("centralized_two_phase")
+
+    assert tp[0] < rep[0]
+    assert rep[-1] < tp[-1]
+    assert c2p[-1] > tp[-1]
+    # Pipeline costs must be below the with-I/O costs of Figure 1.
+    fig1 = figures.figure1()
+    assert tp[-1] < fig1.column("two_phase")[-1]
+    # Rep's relative advantage at high S grows without I/O (the point
+    # of the figure).
+    ratio_pipe = tp[-1] / rep[-1]
+    ratio_io = (
+        fig1.column("two_phase")[-1] / fig1.column("repartitioning_sp2")[-1]
+    )
+    assert ratio_pipe > ratio_io

@@ -1,0 +1,34 @@
+"""Figure 3: the adaptive algorithms track the per-point best algorithm
+(analytical, 32 nodes, high-bandwidth network).
+
+Expected shape: Samp = best + a small constant; A-2P within a small
+overhead of the best everywhere; A-Rep matches Rep at high S and recovers
+(with a small penalty) at low S.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig3_adaptive_tracking(benchmark):
+    result = benchmark.pedantic(figures.figure3, rounds=1, iterations=1)
+    report(result)
+
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    samp = result.column("sampling")
+    a2p = result.column("adaptive_two_phase")
+    arep = result.column("adaptive_repartitioning")
+    best = [min(a, b) for a, b in zip(tp, rep)]
+
+    # A-2P tracks the best algorithm within a modest overhead everywhere.
+    assert all(a <= 1.25 * b for a, b in zip(a2p, best))
+    # Sampling = best + near-constant overhead.
+    overheads = [s - b for s, b in zip(samp, best)]
+    assert all(o >= -1e-9 for o in overheads)
+    assert max(overheads) < 0.15 * max(best)
+    # A-Rep equals Rep at the top of the range...
+    assert abs(arep[-1] - rep[-1]) < 1e-6
+    # ...and escapes Rep's low-selectivity penalty.
+    assert arep[0] < 0.5 * rep[0]

@@ -1,0 +1,32 @@
+"""Figure 4: the same series on the 8-node, limited-bandwidth (Ethernet)
+configuration with a 2M-tuple relation (analytical).
+
+Expected shape: the slow bus makes Repartitioning expensive, so the right
+strategy is to repartition only when memory overflow would otherwise force
+intermediate I/O — A-2P does exactly that and suffers least.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig4_low_bandwidth_network(benchmark):
+    result = benchmark.pedantic(figures.figure4, rounds=1, iterations=1)
+    report(result)
+
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    a2p = result.column("adaptive_two_phase")
+    arep = result.column("adaptive_repartitioning")
+
+    # The network dominates Rep even at low selectivity on Ethernet.
+    assert rep[0] > 2 * tp[0]
+    # Rep still wins the duplicate-elimination end (spill I/O beats bus).
+    assert rep[-1] < tp[-1]
+    # A-2P never repartitions without need: it stays close to 2P at the
+    # bottom and close to Rep at the top.
+    assert a2p[0] < 1.1 * tp[0]
+    assert a2p[-1] < 1.35 * rep[-1]
+    # A-Rep recovers from its bad start once it detects few groups.
+    assert arep[0] < rep[0]

@@ -1,0 +1,23 @@
+"""Figure 5: scaleup at selectivity 2.0e-6 (analytical).
+
+Expected shape: everything that ends up running Two Phase scales almost
+ideally (flat at 1.0); Sampling is slightly below ideal because its
+sample size is a constant per processor (threshold = 100 N).
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig5_scaleup_low_selectivity(benchmark):
+    result = benchmark.pedantic(figures.figure5, rounds=1, iterations=1)
+    report(result)
+
+    for name in ("two_phase", "adaptive_two_phase",
+                 "adaptive_repartitioning"):
+        series = result.column(name)
+        assert all(su >= 0.95 for su in series), name
+    # Sampling stays good but need not be perfect.
+    assert all(su >= 0.85 for su in result.column("sampling"))
+    assert result.column("num_nodes")[0] == 2

@@ -1,0 +1,24 @@
+"""Figure 6: scaleup at selectivity 0.25 (analytical).
+
+Expected shape: Repartitioning and both adaptive algorithms scale almost
+ideally; plain Two Phase falls visibly below 1.0 (duplicated merge work
+grows with N); Sampling tracks Repartitioning minus its constant
+per-processor overhead.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig6_scaleup_high_selectivity(benchmark):
+    result = benchmark.pedantic(figures.figure6, rounds=1, iterations=1)
+    report(result)
+
+    assert all(su >= 0.99 for su in result.column("repartitioning"))
+    for name in ("adaptive_two_phase", "adaptive_repartitioning"):
+        assert all(su >= 0.95 for su in result.column(name)), name
+    tp = result.column("two_phase")
+    assert tp[-1] < 0.95
+    a2p = result.column("adaptive_two_phase")
+    assert a2p[-1] > tp[-1]

@@ -1,0 +1,36 @@
+"""Figure 7: the sample size / performance trade-off (analytical, 32
+nodes, limited-bandwidth network).
+
+Expected shape: a larger sample (larger crossover threshold) costs more up
+front but avoids running Repartitioning in the middle range, where the
+slow network makes Rep a bad call; a small sample is cheapest at the
+extremes.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig7_sample_size_tradeoff(benchmark):
+    result = benchmark.pedantic(figures.figure7, rounds=1, iterations=1)
+    report(result)
+
+    small = result.column("samp_threshold_80")
+    large = result.column("samp_threshold_5120")
+    sels = result.column("selectivity")
+
+    # At the very low end the small sample wins (less sampling I/O).
+    assert small[0] < large[0]
+    # In the middle range the small threshold misclassifies: it runs
+    # Repartitioning over the slow bus while the large threshold keeps
+    # Two Phase — the large sample must win somewhere in the middle.
+    mid = [
+        i
+        for i, s in enumerate(sels)
+        if 80 / 8e6 < s < 5120 / 8e6
+    ]
+    assert any(large[i] < small[i] for i in mid)
+    # At the top everyone correctly repartitions; costs converge to
+    # within the sampling-cost difference.
+    assert abs(large[-1] - small[-1]) < 0.25 * small[-1]

@@ -1,0 +1,43 @@
+"""Figure 8's fast-network companion: the Figure 3 vs 4 contrast, but
+measured on the event simulator instead of the analytical model.
+
+Expected shape: with SP-2-like bandwidth, Repartitioning becomes
+attractive at far lower group counts than on Ethernet — the first sweep
+point where Rep beats 2P moves left relative to fig8.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def _first_rep_win(result):
+    groups = result.column("num_groups")
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    for g, a, b in zip(groups, tp, rep):
+        if b < a:
+            return g
+    return float("inf")
+
+
+def test_fig8_fast_network(benchmark):
+    result = benchmark.pedantic(
+        figures.figure8_fast_network, rounds=1, iterations=1
+    )
+    report(result)
+    ethernet = figures.figure8()
+
+    # The same endpoints behave as in fig8...
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    assert tp[0] < rep[0]
+    assert rep[-1] < tp[-1]
+    # ...but the crossover moves left on the fast network.
+    assert _first_rep_win(result) <= _first_rep_win(ethernet)
+    # And Rep's low-selectivity penalty shrinks dramatically vs Ethernet.
+    eth_penalty = ethernet.column("repartitioning")[1] / ethernet.column(
+        "two_phase"
+    )[1]
+    fast_penalty = rep[1] / tp[1]
+    assert fast_penalty < eth_penalty

@@ -1,0 +1,40 @@
+"""Figure 9: output skew — four of the eight nodes hold a single group
+value each; the rest of the groups live on the other four nodes.
+
+Expected shape (the paper's headline skew result): the adaptive
+algorithms beat BOTH traditional algorithms, because only the group-rich
+nodes switch to repartitioning while the single-group nodes keep cheap
+local aggregation — a per-node decision no static algorithm can make.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_fig9_output_skew(benchmark):
+    result = benchmark.pedantic(figures.figure9, rounds=1, iterations=1)
+    report(result)
+
+    tp = result.column("two_phase")
+    rep = result.column("repartitioning")
+    a2p = result.column("adaptive_two_phase")
+    arep = result.column("adaptive_repartitioning")
+    groups = result.column("num_groups")
+
+    for i in range(len(tp)):
+        best_traditional = min(tp[i], rep[i])
+        # A-2P never loses to the best traditional algorithm...
+        assert a2p[i] <= best_traditional * (1 + 1e-9), f"row {i}"
+        # ...and wins outright once the group-rich nodes overflow their
+        # hash tables (groups/4 heavy nodes > M = 400) and switch.
+        if groups[i] / 4 > 400:
+            assert a2p[i] < best_traditional, (
+                f"row {i}: a2p={a2p[i]} vs best={best_traditional}"
+            )
+        # A-Rep stays below the worst traditional choice everywhere.
+        assert arep[i] < max(tp[i], rep[i])
+    # The paper's Section 6.2 ordering at the heavy end:
+    # A-2P < A-Rep < Rep < Samp/2P.
+    samp = result.column("sampling")
+    assert a2p[-1] < arep[-1] < rep[-1] < max(samp[-1], tp[-1])

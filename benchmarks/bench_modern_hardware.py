@@ -1,0 +1,86 @@
+"""Extension: the paper's trade-offs on 2025-era hardware.
+
+The novelty assessment notes adaptive/partial aggregation became standard
+practice (Spark, DuckDB, Flink).  This bench replays the crossover
+analysis with modern parameters — NVMe-class storage, a 100 Gb/s fabric,
+~250x the CPU — and shows *why* the field moved where it did: the
+network stopped being the argument against repartitioning, so shuffles
+with bounded pre-aggregation (our streaming engine, A-2P's descendant)
+became the default.
+"""
+
+from conftest import report
+
+from repro.bench.harness import FigureResult
+from repro.costmodel import model_cost
+from repro.costmodel.crossover import find_crossover
+from repro.costmodel.params import SystemParameters
+
+
+def modern_parameters() -> SystemParameters:
+    """A plausible 2025 node set in Table 1 terms (same 32-node shape).
+
+    10k MIPS-equivalents per core-ish executor, 50 µs NVMe page reads,
+    100 µs random, 100 Gb/s fabric → a 4 KB page moves in ~0.4 µs (we
+    charge 1 µs to cover framing), message protocol ~200 instructions.
+    """
+    return SystemParameters(
+        mips=10_000.0,
+        io_seconds=50e-6,
+        random_io_seconds=100e-6,
+        msg_latency_seconds=1e-6,
+        msg_protocol_instr=200.0,
+        hash_table_entries=1_000_000,
+    )
+
+
+def _run_modern_study() -> FigureResult:
+    result = FigureResult(
+        "modern_hardware",
+        "1995 vs 2025 hardware: crossover and algorithm costs "
+        "(analytical, 32 nodes, 8M tuples)",
+        ["era", "selectivity", "two_phase", "repartitioning",
+         "adaptive_two_phase", "crossover"],
+    )
+    for era, params in (
+        ("1995", SystemParameters.paper_default()),
+        ("2025", modern_parameters()),
+    ):
+        s_star = find_crossover(params)
+        for s in (1.25e-7, 1e-3, 0.5):
+            result.add_row(
+                era,
+                s,
+                model_cost("two_phase", params, s).total_seconds,
+                model_cost("repartitioning", params, s).total_seconds,
+                model_cost(
+                    "adaptive_two_phase", params, s
+                ).total_seconds,
+                -1.0 if s_star is None else s_star,
+            )
+    return result
+
+
+def test_modern_hardware(benchmark):
+    result = benchmark.pedantic(_run_modern_study, rounds=1, iterations=1)
+    report(result)
+    rows = {(r[0], r[1]): r for r in result.rows}
+
+    low = 1.25e-7  # scalar aggregation: Rep's worst case
+    # The 1995 trade-off is real: 2P wins scalar aggregation 8x.
+    assert rows[("1995", low)][2] < 0.2 * rows[("1995", low)][3]
+    # On 2025 hardware Rep's excess over 2P at low S collapses (the
+    # network argument against repartitioning is gone)...
+    def excess(era):
+        row = rows[(era, low)]
+        return (row[3] - row[2]) / row[2]
+
+    assert excess("2025") < excess("1995") / 4
+    # ...and everything is just much faster.
+    assert rows[("2025", 0.5)][3] < 0.05 * rows[("1995", 0.5)][3]
+    # A-2P still tracks the best on both eras — the adaptive rule aged
+    # well, which is the point.
+    for era in ("1995", "2025"):
+        for s in (low, 1e-3, 0.5):
+            row = rows[(era, s)]
+            assert row[4] <= 1.3 * min(row[2], row[3])

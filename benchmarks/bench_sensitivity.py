@@ -1,0 +1,61 @@
+"""Hardware sensitivity of the 2P/Rep crossover — the quantitative form
+of the paper's Figure 3 vs Figure 4 contrast and its closing remark that
+"in practice most PDBMSs will have high bandwidth interconnects"."""
+
+from conftest import report
+
+from repro.bench.harness import FigureResult
+from repro.costmodel.crossover import crossover_sensitivity, find_crossover
+from repro.costmodel.params import SystemParameters
+
+
+def _run_sensitivity() -> FigureResult:
+    params = SystemParameters.paper_default()
+    result = FigureResult(
+        "sensitivity",
+        "Crossover selectivity S* vs hardware parameters (analytical, "
+        "32 nodes)",
+        ["parameter", "value", "crossover_selectivity"],
+        notes="S* = where Repartitioning overtakes Two Phase; -1 means "
+        "Rep never wins below S=0.5",
+    )
+    sweeps = {
+        "msg_latency_seconds": [0.0002, 0.002, 0.02, 0.2],
+        "hash_table_entries": [1_000, 10_000, 100_000, 1_000_000],
+        "io_seconds": [0.0001, 0.00115, 0.01],
+        "mips": [10, 40, 400],
+    }
+    for parameter, values in sweeps.items():
+        for value, s_star in crossover_sensitivity(
+            params, parameter, values
+        ):
+            result.add_row(
+                parameter, value, -1.0 if s_star is None else s_star
+            )
+    return result
+
+
+def test_crossover_sensitivity(benchmark):
+    result = benchmark.pedantic(_run_sensitivity, rounds=1, iterations=1)
+    report(result)
+    rows = {
+        (r[0], r[1]): r[2] for r in result.rows
+    }
+
+    def star(parameter, value):
+        s = rows[(parameter, value)]
+        return float("inf") if s == -1.0 else s
+
+    # Slower network -> later crossover (Figure 4's lesson).
+    assert star("msg_latency_seconds", 0.0002) < star(
+        "msg_latency_seconds", 0.02
+    )
+    # More memory keeps Two Phase viable longer.
+    assert star("hash_table_entries", 1_000) < star(
+        "hash_table_entries", 1_000_000
+    )
+    # Faster disks shrink 2P's spill penalty -> later crossover.
+    assert star("io_seconds", 0.0001) >= star("io_seconds", 0.01)
+    # The default configuration has a real crossover inside the range.
+    baseline = find_crossover(SystemParameters.paper_default())
+    assert baseline is not None and 1e-5 < baseline < 0.5

@@ -1,0 +1,35 @@
+"""Simulator-side scaleup and speedup (extensions of Figures 5-6)."""
+
+from conftest import report
+
+from repro.bench import scaling
+
+
+def test_sim_scaleup_high_selectivity(benchmark):
+    """The Figure 6 experiment re-run on the event simulator."""
+    result = benchmark.pedantic(
+        scaling.sim_scaleup, rounds=1, iterations=1
+    )
+    report(result)
+    rep = result.column("repartitioning")
+    tp = result.column("two_phase")
+    a2p = result.column("adaptive_two_phase")
+    # Repartitioning scales better than plain Two Phase at S=0.25.
+    assert rep[-1] > tp[-1]
+    # The adaptive algorithm follows the scalable strategy.
+    assert a2p[-1] > 0.9 * rep[-1]
+    # Nothing super-scales past ideal by more than noise.
+    assert all(v <= 1.35 for v in rep + tp + a2p)
+
+
+def test_sim_speedup(benchmark):
+    """Fixed data, growing machine: everyone speeds up; the parallel-
+    merge algorithms speed up the most."""
+    result = benchmark.pedantic(scaling.sim_speedup, rounds=1, iterations=1)
+    report(result)
+    for name in ("two_phase", "repartitioning", "adaptive_two_phase"):
+        series = result.column(name)
+        # Monotone improvement with machine size.
+        assert all(b >= a * 0.95 for a, b in zip(series, series[1:])), name
+        # Real speedup by 16 nodes (ideal would be 8x from the 2-node base).
+        assert series[-1] > 2.0, name

@@ -1,0 +1,38 @@
+"""Section 6.1: input skew (one node holds 4x the tuples).
+
+Expected shape: input skew mainly inflates the skewed node's scan I/O, so
+every algorithm degrades; with many groups, Two Phase suffers most
+because the skewed node also aggregates its excess locally, while the
+repartitioning family spreads the aggregation work.
+"""
+
+from conftest import report
+
+from repro.bench import figures
+from repro.bench.figures import SIM_NODES, SIM_QUERY, SIM_TUPLES
+from repro.core.runner import default_parameters, run_algorithm
+from repro.workloads.generator import generate_uniform
+from repro.workloads.skew import generate_input_skew
+
+
+def test_input_skew_study(benchmark):
+    result = benchmark.pedantic(
+        figures.input_skew_study, rounds=1, iterations=1
+    )
+    report(result)
+
+    # Every algorithm is slower under input skew than on uniform data of
+    # the same size (the skewed node is the critical path).
+    groups = 6400
+    skewed = generate_input_skew(
+        SIM_TUPLES, groups, SIM_NODES, skew_factor=4.0, seed=0
+    )
+    uniform = generate_uniform(SIM_TUPLES, groups, SIM_NODES, seed=0)
+    for name in ("two_phase", "repartitioning", "adaptive_two_phase"):
+        t_skew = run_algorithm(
+            name, skewed, SIM_QUERY, params=default_parameters(skewed)
+        ).elapsed_seconds
+        t_uni = run_algorithm(
+            name, uniform, SIM_QUERY, params=default_parameters(uniform)
+        ).elapsed_seconds
+        assert t_skew > t_uni, name

@@ -1,0 +1,18 @@
+"""Table 1: the analytical model parameters, rendered from code."""
+
+from conftest import report
+
+from repro.bench import figures
+
+
+def test_table1_parameters(benchmark):
+    result = benchmark.pedantic(figures.table1, rounds=1, iterations=1)
+    report(result)
+    symbols = result.column("symbol")
+    assert symbols[0] == "N"
+    assert "M" in symbols
+    # Sanity of the headline values as printed in the paper.
+    values = dict(zip(symbols, result.column("value")))
+    assert values["N"] == 32
+    assert values["|R|"] == 8_000_000
+    assert values["M"] == 10_000

@@ -1,0 +1,26 @@
+"""Section 5's validation claim: the simulator agrees with the model."""
+
+from conftest import report
+
+from repro.bench import validation
+
+
+def test_model_vs_simulator_agreement(benchmark):
+    result = benchmark.pedantic(
+        validation.model_vs_simulator, rounds=1, iterations=1
+    )
+    report(result)
+    regret = result.column("regret")
+    rho = result.column("rank_correlation")
+    model_w = result.column("model_winner")
+    sim_w = result.column("sim_winner")
+    # Following the model's advice never costs much over the simulator's
+    # true best — "performed almost as expected" (Section 5).  The ~1.24
+    # worst case at tiny group counts is the per-message block minimum
+    # the model does not charge (documented in EXPERIMENTS.md).
+    assert all(r <= 1.3 for r in regret), regret
+    # At the high-selectivity end (where the algorithms diverge by 2x+)
+    # the two sides crown the same winner outright.
+    assert model_w[-1] == sim_w[-1] == "repartitioning"
+    # Orderings correlate positively across the sweep.
+    assert sum(rho) / len(rho) > 0.5

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Duplicate elimination: the selectivity extreme where result size is
+comparable to the input (S up to 0.5).
+
+SELECT DISTINCT is aggregation with a very large number of groups — the
+case the paper says motivates supporting Adaptive Repartitioning next to
+Adaptive Two Phase.  This example runs DISTINCT over relations whose
+duplication factor shrinks from 100x to 2x and shows the traditional
+Two Phase algorithm falling behind while Repartitioning, A-2P and A-Rep
+keep the work single-pass.
+
+Run:  python examples/duplicate_elimination.py
+"""
+
+from repro import AggregateQuery, AggregateSpec, generate_uniform
+from repro.core.runner import run_algorithm
+
+ALGORITHMS = (
+    "two_phase",
+    "repartitioning",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+)
+NUM_TUPLES = 40_000
+NUM_NODES = 8
+
+
+def main() -> None:
+    # DISTINCT gkey == GROUP BY gkey with a COUNT nobody reads.
+    distinct = AggregateQuery(
+        group_by=["gkey"],
+        aggregates=[AggregateSpec("count", None, alias="dups")],
+    )
+    print(f"SELECT DISTINCT over {NUM_TUPLES:,} tuples, {NUM_NODES} nodes\n")
+    print(f"{'dup factor':>10} {'groups':>8} | "
+          + " ".join(f"{n[:12]:>12}" for n in ALGORITHMS))
+    for dup_factor in (100, 20, 5, 2):
+        groups = NUM_TUPLES // dup_factor
+        dist = generate_uniform(NUM_TUPLES, groups, NUM_NODES, seed=1)
+        times = []
+        for name in ALGORITHMS:
+            out = run_algorithm(name, dist, distinct)
+            assert out.num_groups == groups
+            times.append(out.elapsed_seconds)
+        print(f"{dup_factor:>10} {groups:>8} | "
+              + " ".join(f"{t:11.3f}s" for t in times))
+    print(
+        "\nAs duplication falls (groups rise), Two Phase's local "
+        "aggregation stops helping\nand its spill I/O grows, while the "
+        "repartitioning family stays single-pass;\nthe adaptive "
+        "algorithms follow the winner automatically."
+    )
+
+
+if __name__ == "__main__":
+    main()

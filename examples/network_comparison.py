@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""High-bandwidth vs limited-bandwidth interconnects (Figures 3 vs 4).
+
+The paper models two networks: an SP-2-like latency-only interconnect and
+a 10 Mbit shared Ethernet where all transfers serialize.  This example
+runs the same workloads on both simulated networks and shows how the slow
+bus moves the 2P/Rep crossover to the right — and why the Adaptive Two
+Phase rule ("repartition only when memory would overflow") is the safe
+default on either network.
+
+Run:  python examples/network_comparison.py
+"""
+
+from repro import AggregateQuery, AggregateSpec, generate_uniform
+from repro.core.runner import default_parameters, run_algorithm
+from repro.costmodel.params import NetworkKind
+
+NUM_TUPLES = 40_000
+NUM_NODES = 8
+ALGORITHMS = ("two_phase", "repartitioning", "adaptive_two_phase")
+
+
+def main() -> None:
+    query = AggregateQuery(
+        group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+    )
+    for kind, label in (
+        (NetworkKind.HIGH_BANDWIDTH, "high-bandwidth (SP-2-like)"),
+        (NetworkKind.LIMITED_BANDWIDTH, "limited-bandwidth (Ethernet)"),
+    ):
+        print(f"=== {label} ===")
+        print(f"{'groups':>8} | " + " ".join(
+            f"{n[:12]:>12}" for n in ALGORITHMS
+        ) + "   winner")
+        for groups in (8, 400, 3200, 20_000):
+            dist = generate_uniform(NUM_TUPLES, groups, NUM_NODES, seed=2)
+            params = default_parameters(dist, network=kind)
+            times = {}
+            for name in ALGORITHMS:
+                out = run_algorithm(name, dist, query, params=params)
+                times[name] = out.elapsed_seconds
+            winner = min(times, key=times.get)
+            print(f"{groups:>8} | " + " ".join(
+                f"{times[n]:11.3f}s" for n in ALGORITHMS
+            ) + f"   {winner}")
+        print()
+    print(
+        "On the fast network repartitioning becomes attractive much "
+        "earlier; on the slow\nbus it only pays once Two Phase would "
+        "spill — which is exactly A-2P's switch rule,\nso A-2P stays "
+        "near the winner on both."
+    )
+
+
+if __name__ == "__main__":
+    main()

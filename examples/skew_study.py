@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Data skew study (Section 6): where adaptive beats the best traditional.
+
+Output skew — equal tuples per node but very unequal *group* counts — is
+the scenario where per-node adaptation wins outright: the group-rich
+nodes switch to repartitioning (avoiding spill I/O) while the
+single-group nodes keep cheap local aggregation.  No static algorithm can
+make that split decision.
+
+This example reproduces the Figure 9 configuration (4 of 8 nodes hold a
+single group value each) and prints which nodes switched.
+
+Run:  python examples/skew_study.py
+"""
+
+from repro import AggregateQuery, AggregateSpec, generate_output_skew
+from repro.core.runner import default_parameters, run_algorithm
+
+ALGORITHMS = (
+    "two_phase",
+    "repartitioning",
+    "sampling",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+)
+
+
+def main() -> None:
+    query = AggregateQuery(
+        group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+    )
+    dist = generate_output_skew(
+        num_tuples=80_000, num_groups=8_000, num_nodes=8, seed=5
+    )
+    params = default_parameters(dist)
+    per_node_groups = [
+        len({r[0] for r in frag.relation.rows}) for frag in dist.fragments
+    ]
+    print("groups per node:", per_node_groups)
+    print(f"hash table allocation M = {params.hash_table_entries} "
+          "entries/node\n")
+
+    times = {}
+    for name in ALGORITHMS:
+        out = run_algorithm(name, dist, query, params=params)
+        times[name] = out.elapsed_seconds
+        switched = sorted(
+            {
+                e.node
+                for e in out.switch_events()
+                if e.what == "switch_to_repartitioning"
+            }
+        )
+        note = f"  nodes switched to repartitioning: {switched}" \
+            if switched else ""
+        print(f"{name:<26} {out.elapsed_seconds:8.3f}s{note}")
+
+    best_traditional = min(times["two_phase"], times["repartitioning"])
+    a2p = times["adaptive_two_phase"]
+    print(
+        f"\nA-2P is {best_traditional / a2p:.2f}x faster than the best "
+        "traditional algorithm:\nonly the group-rich nodes switched, the "
+        "single-group nodes kept aggregating locally."
+    )
+
+
+if __name__ == "__main__":
+    main()

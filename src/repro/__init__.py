@@ -1,0 +1,65 @@
+"""Reproduction of "Adaptive Parallel Aggregation Algorithms" (SIGMOD 1995).
+
+This package implements, from scratch, the full system described by Shatdal
+and Naughton: a shared-nothing parallel aggregation engine with three
+traditional algorithms (Centralized Two Phase, Two Phase, Repartitioning) and
+three adaptive ones (Sampling, Adaptive Two Phase, Adaptive Repartitioning),
+together with every substrate the paper depends on — a paged storage layer, a
+bounded hash-aggregation engine with overflow-bucket spilling, a
+discrete-event cluster simulator with latency-only and shared-bus network
+models, page-oriented random sampling, the Section 2–4 analytical cost
+models, and the workload generators (uniform, Zipf, input skew, output skew,
+TPC-D-flavoured) used in the evaluation.
+
+Quickstart::
+
+    from repro import (
+        AggregateQuery, AggregateSpec, SystemParameters,
+        generate_uniform, run_algorithm,
+    )
+
+    dist = generate_uniform(num_tuples=8_000, num_groups=64, num_nodes=8,
+                            seed=7)
+    query = AggregateQuery(group_by=["gkey"],
+                           aggregates=[AggregateSpec("sum", "val")])
+    outcome = run_algorithm("adaptive_two_phase", dist, query)
+    print(outcome.elapsed_seconds, len(outcome.rows))
+"""
+
+from repro.core.aggregates import AggregateSpec, GroupState, make_state_factory
+from repro.core.query import AggregateQuery
+from repro.core.hashtable import BoundedAggregateHashTable, HashAggregator
+from repro.core.runner import ALGORITHMS, AlgorithmOutcome, run_algorithm
+from repro.costmodel.params import NetworkKind, SystemParameters
+from repro.storage.schema import Column, Schema
+from repro.storage.relation import DistributedRelation, Fragment, Relation
+from repro.sql import parse_query, run_sql
+from repro.workloads.generator import generate_uniform
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AggregateQuery",
+    "AggregateSpec",
+    "ALGORITHMS",
+    "AlgorithmOutcome",
+    "BoundedAggregateHashTable",
+    "Column",
+    "DistributedRelation",
+    "Fragment",
+    "GroupState",
+    "HashAggregator",
+    "NetworkKind",
+    "Relation",
+    "Schema",
+    "SystemParameters",
+    "generate_input_skew",
+    "generate_output_skew",
+    "generate_uniform",
+    "make_state_factory",
+    "parse_query",
+    "run_algorithm",
+    "run_sql",
+    "__version__",
+]

@@ -1,0 +1,23 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+``repro.bench.figures`` has one runner per figure; each returns a
+:class:`~repro.bench.harness.FigureResult` whose rows are the series the
+paper plots.  ``benchmarks/bench_fig*.py`` wrap these in pytest-benchmark
+targets, assert the paper's qualitative shape, and write the series to
+``results/``.
+"""
+
+from repro.bench.harness import FigureResult, format_table, write_results
+from repro.bench.plotting import render_chart
+from repro.bench import ablations, figures, scaling, validation
+
+__all__ = [
+    "FigureResult",
+    "ablations",
+    "figures",
+    "format_table",
+    "render_chart",
+    "scaling",
+    "validation",
+    "write_results",
+]

@@ -1,0 +1,331 @@
+"""One runner per paper table/figure.
+
+Figures 1–7 come from the Section 2–4 analytical models at the paper's own
+scale (Table 1).  Figures 8–9 come from the event simulator executing the
+real algorithms on a scaled-down relation (DESIGN.md documents why the
+scaling preserves every crossover).  Each runner returns a
+:class:`~repro.bench.harness.FigureResult`.
+"""
+
+from __future__ import annotations
+
+from repro.bench.harness import FigureResult
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.core.runner import default_parameters, run_algorithm
+from repro.costmodel import model_cost
+from repro.costmodel.adaptive import sampling_cost
+from repro.costmodel.params import (
+    NetworkKind,
+    SystemParameters,
+    log_selectivities,
+)
+from repro.costmodel.scaleup import scaleup_series
+from repro.sampling.estimator import paper_sample_size
+from repro.workloads.generator import generate_uniform
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+
+ADAPTIVE_SET = (
+    "two_phase",
+    "repartitioning",
+    "sampling",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+)
+
+SIM_QUERY = AggregateQuery(
+    group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+)
+
+# Figure 8/9 scale: the paper's 2M tuples shrunk 25×, hash table likewise
+# (default_parameters applies the same M/|R_i| ratio automatically).
+SIM_TUPLES = 80_000
+SIM_NODES = 8
+
+
+def table1() -> FigureResult:
+    """Table 1: the analytical model's parameters."""
+    p = SystemParameters.paper_default()
+    result = FigureResult(
+        "table1",
+        "Parameters for the analytical models",
+        ["symbol", "description", "value"],
+    )
+    result.add_row("N", "number of processors", p.num_nodes)
+    result.add_row("mips", "MIPS of the processor", p.mips)
+    result.add_row("R", "size of relation (bytes)", p.relation_bytes)
+    result.add_row("|R|", "number of tuples in R", p.num_tuples)
+    result.add_row("P", "page size (bytes)", p.page_bytes)
+    result.add_row("IO", "time to read a page, seq (s)", p.io_seconds)
+    result.add_row(
+        "rIO", "time to read a random page (s)", p.random_io_seconds
+    )
+    result.add_row("p", "projectivity of aggregation", p.projectivity)
+    result.add_row("t_r", "time to read a tuple (s)", p.t_r)
+    result.add_row("t_w", "time to write a tuple (s)", p.t_w)
+    result.add_row("t_h", "time to compute hash value (s)", p.t_h)
+    result.add_row("t_a", "time to process a tuple (s)", p.t_a)
+    result.add_row("t_d", "time to compute destination (s)", p.t_d)
+    result.add_row("m_p", "message protocol cost/page (s)", p.m_p)
+    result.add_row("m_l", "time to send a page (s)", p.m_l)
+    result.add_row("M", "max hash table size (entries)", p.hash_table_entries)
+    return result
+
+
+def _pipeline_cost(name: str, params: SystemParameters, s: float) -> float:
+    from repro.costmodel import MODEL_FUNCTIONS
+
+    return MODEL_FUNCTIONS[name](params, s, pipeline=True).total_seconds
+
+
+def figure1(points: int = 13) -> FigureResult:
+    """Traditional algorithms vs selectivity, 32 nodes, both networks."""
+    fast = SystemParameters.paper_default()
+    slow = fast.with_(network=NetworkKind.LIMITED_BANDWIDTH)
+    result = FigureResult(
+        "fig1",
+        "Performance of traditional algorithms (analytical, 32 nodes)",
+        [
+            "selectivity",
+            "centralized_two_phase",
+            "two_phase",
+            "repartitioning_sp2",
+            "repartitioning_ethernet",
+        ],
+        notes="repartitioning shown on both network models, as in the "
+        "paper's discussion of network sensitivity",
+    )
+    for s in log_selectivities(fast, points):
+        result.add_row(
+            s,
+            model_cost("centralized_two_phase", fast, s).total_seconds,
+            model_cost("two_phase", fast, s).total_seconds,
+            model_cost("repartitioning", fast, s).total_seconds,
+            model_cost("repartitioning", slow, s).total_seconds,
+        )
+    return result
+
+
+def figure2(points: int = 13) -> FigureResult:
+    """Same algorithms inside an operator pipeline (no scan/store I/O)."""
+    params = SystemParameters.paper_default()
+    algorithms = ("centralized_two_phase", "two_phase", "repartitioning")
+    result = FigureResult(
+        "fig2",
+        "Performance in an operator pipeline (analytical, no I/O)",
+        ["selectivity", *algorithms],
+    )
+    for s in log_selectivities(params, points):
+        result.add_row(
+            s,
+            *(_pipeline_cost(name, params, s) for name in algorithms),
+        )
+    return result
+
+
+def figure3(points: int = 13) -> FigureResult:
+    """Adaptive algorithms track the best (analytical, high bandwidth)."""
+    params = SystemParameters.paper_default()
+    result = FigureResult(
+        "fig3",
+        "Relative performance of the approaches (analytical, 32 nodes, "
+        "high-bandwidth network)",
+        ["selectivity", *ADAPTIVE_SET],
+    )
+    for s in log_selectivities(params, points):
+        result.add_row(
+            s,
+            *(
+                model_cost(name, params, s).total_seconds
+                for name in ADAPTIVE_SET
+            ),
+        )
+    return result
+
+
+def figure4(points: int = 13) -> FigureResult:
+    """Same series on the 8-node limited-bandwidth configuration."""
+    params = SystemParameters.implementation()
+    result = FigureResult(
+        "fig4",
+        "Performance on a low-bandwidth network (analytical, 8 nodes, "
+        "2M tuples, Ethernet)",
+        ["selectivity", *ADAPTIVE_SET],
+    )
+    for s in log_selectivities(params, points):
+        result.add_row(
+            s,
+            *(
+                model_cost(name, params, s).total_seconds
+                for name in ADAPTIVE_SET
+            ),
+        )
+    return result
+
+
+def _scaleup_figure(figure: str, selectivity: float) -> FigureResult:
+    params = SystemParameters.paper_default()
+    result = FigureResult(
+        figure,
+        f"Scaleup of algorithms, selectivity = {selectivity}",
+        ["num_nodes", *ADAPTIVE_SET],
+        notes="scaleup normalized to the 2-node configuration; 1.0 is "
+        "ideal; sampling uses the paper's 100*N crossover threshold",
+    )
+    series = {
+        name: dict(
+            (n, su) for n, _t, su in scaleup_series(name, params, selectivity)
+        )
+        for name in ADAPTIVE_SET
+    }
+    node_counts = sorted(next(iter(series.values())))
+    for n in node_counts:
+        result.add_row(n, *(series[name][n] for name in ADAPTIVE_SET))
+    return result
+
+
+def figure5() -> FigureResult:
+    """Scaleup at the low-selectivity extreme (2.0e-6)."""
+    return _scaleup_figure("fig5", 2.0e-6)
+
+
+def figure6() -> FigureResult:
+    """Scaleup at the high-selectivity extreme (0.25)."""
+    return _scaleup_figure("fig6", 0.25)
+
+
+def figure7(points: int = 13) -> FigureResult:
+    """Sample size vs performance trade-off (32 nodes, slow network).
+
+    Each column is the Sampling algorithm run with a different crossover
+    threshold (sample size = 10x threshold); small samples misclassify the
+    middle range and pay the Repartitioning network bill.
+    """
+    params = SystemParameters.paper_default().with_(
+        network=NetworkKind.LIMITED_BANDWIDTH
+    )
+    thresholds = (80, 320, 1280, 5120)
+    columns = [f"samp_threshold_{t}" for t in thresholds]
+    result = FigureResult(
+        "fig7",
+        "Sample size / performance trade-off (analytical, 32 nodes, "
+        "limited bandwidth)",
+        ["selectivity", *columns],
+        notes="sample sizes: "
+        + ", ".join(str(paper_sample_size(t)) for t in thresholds),
+    )
+    for s in log_selectivities(params, points):
+        result.add_row(
+            s,
+            *(
+                sampling_cost(params, s, threshold=t).total_seconds
+                for t in thresholds
+            ),
+        )
+    return result
+
+
+def _sim_groups_sweep(num_tuples: int) -> list[int]:
+    """Group counts spanning the figures' x-axis at simulator scale."""
+    sweep = [1, 8, 64, 400, 1600, 6400, 20_000]
+    top = num_tuples // 2
+    return [g for g in sweep if g < top] + [top]
+
+
+def figure8(
+    num_tuples: int = SIM_TUPLES, num_nodes: int = SIM_NODES, seed: int = 0
+) -> FigureResult:
+    """Implementation results: the event simulator on the 8-node
+    Ethernet configuration (relation scaled 25x, M scaled alike)."""
+    result = FigureResult(
+        "fig8",
+        "Relative performance of the approaches (simulator, 8 nodes, "
+        "Ethernet, round-robin placement, 2KB blocks)",
+        ["selectivity", "num_groups", *ADAPTIVE_SET],
+        notes=f"{num_tuples} tuples over {num_nodes} nodes; paper used "
+        "2M tuples on 8 SparcServers — scaled per DESIGN.md",
+    )
+    for groups in _sim_groups_sweep(num_tuples):
+        dist = generate_uniform(num_tuples, groups, num_nodes, seed=seed)
+        params = default_parameters(dist)
+        row = [groups / num_tuples, groups]
+        for name in ADAPTIVE_SET:
+            out = run_algorithm(name, dist, SIM_QUERY, params=params)
+            row.append(out.elapsed_seconds)
+        result.add_row(*row)
+    return result
+
+
+def figure8_fast_network(
+    num_tuples: int = SIM_TUPLES, num_nodes: int = SIM_NODES, seed: int = 0
+) -> FigureResult:
+    """The Figure 8 sweep on the high-bandwidth network — the simulator
+    counterpart of the Figure 3 vs Figure 4 contrast.  Expect the 2P/Rep
+    crossover to move left relative to the Ethernet run."""
+    result = FigureResult(
+        "fig8_fast",
+        "Relative performance of the approaches (simulator, 8 nodes, "
+        "high-bandwidth network)",
+        ["selectivity", "num_groups", *ADAPTIVE_SET],
+        notes="companion to fig8: same workloads, SP-2-like network",
+    )
+    for groups in _sim_groups_sweep(num_tuples):
+        dist = generate_uniform(num_tuples, groups, num_nodes, seed=seed)
+        params = default_parameters(
+            dist, network=NetworkKind.HIGH_BANDWIDTH
+        )
+        row = [groups / num_tuples, groups]
+        for name in ADAPTIVE_SET:
+            out = run_algorithm(name, dist, SIM_QUERY, params=params)
+            row.append(out.elapsed_seconds)
+        result.add_row(*row)
+    return result
+
+
+def figure9(
+    num_tuples: int = SIM_TUPLES, num_nodes: int = SIM_NODES, seed: int = 0
+) -> FigureResult:
+    """Output skew: 4 of 8 nodes hold one group each (simulator)."""
+    result = FigureResult(
+        "fig9",
+        "Performance under output skew (simulator, 8 nodes, 4 "
+        "single-group nodes)",
+        ["num_groups", *ADAPTIVE_SET],
+        notes="the adaptive algorithms beat the best traditional one "
+        "because each node picks its own strategy",
+    )
+    for groups in (400, 1600, 6400, 20_000):
+        groups = min(groups, num_tuples // 4)
+        dist = generate_output_skew(
+            num_tuples, groups, num_nodes=num_nodes, seed=seed
+        )
+        params = default_parameters(dist)
+        row = [groups]
+        for name in ADAPTIVE_SET:
+            out = run_algorithm(name, dist, SIM_QUERY, params=params)
+            row.append(out.elapsed_seconds)
+        result.add_row(*row)
+    return result
+
+
+def input_skew_study(
+    num_tuples: int = SIM_TUPLES, num_nodes: int = SIM_NODES, seed: int = 0
+) -> FigureResult:
+    """The Section 6.1 qualitative discussion, measured (simulator)."""
+    result = FigureResult(
+        "skew_input",
+        "Performance under input skew (simulator, one node holds 4x)",
+        ["num_groups", *ADAPTIVE_SET],
+    )
+    for groups in (8, 6400, 20_000):
+        groups = min(groups, num_tuples // 4)
+        dist = generate_input_skew(
+            num_tuples, groups, num_nodes, skew_factor=4.0, seed=seed
+        )
+        params = default_parameters(dist)
+        row = [groups]
+        for name in ADAPTIVE_SET:
+            out = run_algorithm(name, dist, SIM_QUERY, params=params)
+            row.append(out.elapsed_seconds)
+        result.add_row(*row)
+    return result

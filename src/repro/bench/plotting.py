@@ -1,0 +1,114 @@
+"""Terminal line charts for figure results.
+
+The original figures are log-x line plots; this renders a FigureResult as
+an ASCII chart so the whole reproduction — including its plots — works in
+a terminal with no plotting dependency.  One character per series, y
+scaled linearly (or log with ``log_y``), x taken from the first column
+(log-scaled automatically when it spans decades).
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.bench.harness import FigureResult
+
+_MARKERS = "ox+*#@%&"
+
+
+def _scale(value: float, lo: float, hi: float, steps: int) -> int:
+    if hi <= lo:
+        return 0
+    frac = (value - lo) / (hi - lo)
+    return min(steps - 1, max(0, round(frac * (steps - 1))))
+
+
+def _axis_values(values: list[float], log: bool) -> list[float]:
+    if not log:
+        return values
+    return [math.log10(v) for v in values]
+
+
+def _spans_decades(values: list[float]) -> bool:
+    positive = [v for v in values if v > 0]
+    if len(positive) < 2:
+        return False
+    return max(positive) / min(positive) >= 100
+
+
+def render_chart(
+    result: FigureResult,
+    width: int = 72,
+    height: int = 20,
+    series: list[str] | None = None,
+    log_y: bool = False,
+) -> str:
+    """An ASCII line chart of the result's numeric series.
+
+    The first column is the x axis; ``series`` selects y columns
+    (default: every numeric column after the first).
+    """
+    if not result.rows:
+        return f"({result.figure}: no data)"
+    x_name = result.columns[0]
+    xs = result.column(x_name)
+    if series is None:
+        series = [
+            name
+            for name in result.columns[1:]
+            if isinstance(result.rows[0][result.columns.index(name)],
+                          (int, float))
+        ]
+    if not series:
+        raise ValueError("no numeric series to plot")
+    if len(series) > len(_MARKERS):
+        raise ValueError(
+            f"at most {len(_MARKERS)} series per chart, got {len(series)}"
+        )
+
+    log_x = _spans_decades(xs)
+    x_axis = _axis_values(xs, log_x)
+    all_y = [v for name in series for v in result.column(name)]
+    if log_y:
+        if any(v <= 0 for v in all_y):
+            raise ValueError("log_y requires positive values")
+        y_for = {
+            name: _axis_values(result.column(name), True)
+            for name in series
+        }
+        y_flat = [v for vs in y_for.values() for v in vs]
+    else:
+        y_for = {name: result.column(name) for name in series}
+        y_flat = all_y
+    y_lo, y_hi = min(y_flat), max(y_flat)
+    x_lo, x_hi = min(x_axis), max(x_axis)
+
+    grid = [[" "] * width for _ in range(height)]
+    for marker, name in zip(_MARKERS, series):
+        for x, y in zip(x_axis, y_for[name]):
+            col = _scale(x, x_lo, x_hi, width)
+            row = height - 1 - _scale(y, y_lo, y_hi, height)
+            cell = grid[row][col]
+            grid[row][col] = marker if cell == " " else "?"
+
+    y_labels = [max(all_y), min(all_y)]
+    lines = [f"{result.figure}: {result.title}"]
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = f"{y_labels[0]:10.3g} |"
+        elif i == height - 1:
+            label = f"{y_labels[1]:10.3g} |"
+        else:
+            label = " " * 10 + " |"
+        lines.append(label + "".join(row))
+    lines.append(" " * 11 + "+" + "-" * width)
+    x_desc = f"{x_name} [{min(xs):.3g} .. {max(xs):.3g}]"
+    if log_x:
+        x_desc += " (log)"
+    lines.append(" " * 12 + x_desc)
+    legend = "  ".join(
+        f"{marker}={name}" for marker, name in zip(_MARKERS, series)
+    )
+    lines.append(" " * 12 + legend + ("  ?=overlap" if "?" in
+                 "".join("".join(r) for r in grid) else ""))
+    return "\n".join(lines)

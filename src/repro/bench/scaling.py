@@ -1,0 +1,92 @@
+"""Simulator-side scaling studies.
+
+The paper's Figures 5–6 are analytical; these runners repeat the same
+experiments on the event simulator (real algorithm executions), and add
+the companion *speedup* experiment (fixed total data, growing machine)
+that the paper leaves implicit.
+
+Scaleup: per-node data fixed, relation grows with N — ideal is a flat
+T(N)/T(N0) = 1.  Speedup: total data fixed — ideal is T(N0)/T(N) = N/N0.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import SIM_QUERY
+from repro.bench.harness import FigureResult
+from repro.core.runner import default_parameters, run_algorithm
+from repro.costmodel.params import NetworkKind
+from repro.workloads.generator import generate_uniform
+
+SCALE_ALGORITHMS = (
+    "two_phase",
+    "repartitioning",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+)
+NODE_COUNTS = (2, 4, 8, 16)
+
+
+def _elapsed(name, dist, table_entries):
+    # Scaling studies use the high-bandwidth network, as the paper's
+    # Figures 5-6 do: a shared Ethernet bus cannot scale by definition
+    # (its capacity is constant while traffic grows with N).
+    params = default_parameters(
+        dist,
+        network=NetworkKind.HIGH_BANDWIDTH,
+        hash_table_entries=table_entries,
+    )
+    return run_algorithm(name, dist, SIM_QUERY, params=params).elapsed_seconds
+
+
+def sim_scaleup(
+    tuples_per_node: int = 5_000,
+    selectivity: float = 0.25,
+    seed: int = 0,
+) -> FigureResult:
+    """Scaleup on the simulator: |R| = N · tuples_per_node, S fixed."""
+    result = FigureResult(
+        "sim_scaleup",
+        f"Simulator scaleup, selectivity={selectivity}, "
+        f"{tuples_per_node} tuples/node",
+        ["num_nodes", *SCALE_ALGORITHMS],
+        notes="T(2 nodes)/T(N); 1.0 is ideal",
+    )
+    baselines: dict[str, float] = {}
+    # M fixed per node, as in the paper's scaleup setup.
+    table_entries = max(16, round(tuples_per_node * 0.04))
+    for n in NODE_COUNTS:
+        num_tuples = tuples_per_node * n
+        groups = max(1, round(selectivity * num_tuples))
+        dist = generate_uniform(num_tuples, groups, n, seed=seed)
+        row = [n]
+        for name in SCALE_ALGORITHMS:
+            elapsed = _elapsed(name, dist, table_entries)
+            baselines.setdefault(name, elapsed)
+            row.append(baselines[name] / elapsed)
+        result.add_row(*row)
+    return result
+
+
+def sim_speedup(
+    num_tuples: int = 40_000,
+    num_groups: int = 10_000,
+    seed: int = 0,
+) -> FigureResult:
+    """Speedup on the simulator: fixed relation, growing machine."""
+    result = FigureResult(
+        "sim_speedup",
+        f"Simulator speedup, {num_tuples} tuples, {num_groups} groups",
+        ["num_nodes", *SCALE_ALGORITHMS],
+        notes="T(2 nodes)/T(N); ideal is N/2",
+    )
+    baselines: dict[str, float] = {}
+    for n in NODE_COUNTS:
+        dist = generate_uniform(num_tuples, num_groups, n, seed=seed)
+        table_entries = max(16, round(num_tuples / n * 0.04))
+        row = [n]
+        for name in SCALE_ALGORITHMS:
+            elapsed = _elapsed(name, dist, table_entries)
+            baselines.setdefault(name, elapsed)
+            row.append(baselines[name] / elapsed)
+        result.add_row(*row)
+    return result

@@ -1,0 +1,95 @@
+"""Build a Markdown summary of everything under results/.
+
+After a bench run, ``python -m repro.bench.summary`` (or
+``build_summary()``) collects every ``results/<figure>.csv`` into one
+report — the machine-written companion to the hand-written
+EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+import sys
+
+_ORDER = [
+    "table1",
+    "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8",
+    "fig8_fast", "fig9",
+    "skew_input", "cpu_skew", "memory", "validation",
+    "sim_scaleup", "sim_speedup", "sensitivity", "modern_hardware",
+    "cost_breakdown",
+    "ablation_a2p_m", "ablation_arep_initseg",
+    "ablation_sampling_threshold", "ablation_opt2p",
+    "ablation_sort_engine", "ablation_zipf",
+]
+
+
+def _load_csv(path: str) -> tuple[list[str], list[list[str]]]:
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, [])
+        rows = list(reader)
+    return header, rows
+
+
+def _fmt_cell(value: str) -> str:
+    try:
+        number = float(value)
+    except ValueError:
+        return value
+    if number == int(number) and abs(number) < 1e9:
+        return str(int(number))
+    if abs(number) < 1e-3 or abs(number) >= 1e6:
+        return f"{number:.3e}"
+    return f"{number:.4f}"
+
+
+def _markdown_table(header: list[str], rows: list[list[str]]) -> str:
+    lines = ["| " + " | ".join(header) + " |"]
+    lines.append("|" + "---|" * len(header))
+    for row in rows:
+        lines.append(
+            "| " + " | ".join(_fmt_cell(v) for v in row) + " |"
+        )
+    return "\n".join(lines)
+
+
+def build_summary(results_dir: str = "results") -> str:
+    """Markdown for every figure CSV present in ``results_dir``."""
+    available = {
+        name[:-4]
+        for name in os.listdir(results_dir)
+        if name.endswith(".csv")
+    }
+    ordered = [n for n in _ORDER if n in available]
+    ordered += sorted(available - set(_ORDER))
+    sections = [
+        "# Regenerated results",
+        "",
+        "Auto-generated from `results/*.csv` by `repro.bench.summary`; "
+        "see EXPERIMENTS.md for the paper-vs-measured analysis.",
+    ]
+    for name in ordered:
+        header, rows = _load_csv(os.path.join(results_dir, f"{name}.csv"))
+        sections.append(f"\n## {name}\n")
+        sections.append(_markdown_table(header, rows))
+    return "\n".join(sections) + "\n"
+
+
+def write_summary(
+    results_dir: str = "results",
+    out_path: str | None = None,
+) -> str:
+    """Write results/SUMMARY.md (or ``out_path``); returns the path."""
+    if out_path is None:
+        out_path = os.path.join(results_dir, "SUMMARY.md")
+    text = build_summary(results_dir)
+    with open(out_path, "w") as handle:
+        handle.write(text)
+    return out_path
+
+
+if __name__ == "__main__":  # pragma: no cover
+    directory = sys.argv[1] if len(sys.argv) > 1 else "results"
+    print(write_summary(directory))

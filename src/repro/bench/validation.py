@@ -1,0 +1,80 @@
+"""Model-vs-simulator validation — the purpose of the paper's Section 5.
+
+"The algorithms performed almost as expected from the analytical model."
+This runner quantifies that claim for our reproduction: at each sweep
+point it evaluates both the analytical model and the event simulator for
+every algorithm and reports (a) the winner each predicts and (b) the
+rank correlation between the two cost orderings.
+"""
+
+from __future__ import annotations
+
+from repro.bench.figures import SIM_QUERY
+from repro.bench.harness import FigureResult
+from repro.core.runner import default_parameters, run_algorithm
+from repro.costmodel import model_cost
+from repro.workloads.generator import generate_uniform
+
+VALIDATED = (
+    "centralized_two_phase",
+    "two_phase",
+    "repartitioning",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+)
+
+
+def _spearman(ranks_a: list[int], ranks_b: list[int]) -> float:
+    n = len(ranks_a)
+    if n < 2:
+        return 1.0
+    d2 = sum((a - b) ** 2 for a, b in zip(ranks_a, ranks_b))
+    return 1.0 - 6.0 * d2 / (n * (n * n - 1))
+
+
+def _ranks(costs: dict[str, float]) -> list[int]:
+    ordered = sorted(costs, key=costs.get)
+    return [ordered.index(name) for name in VALIDATED]
+
+
+def model_vs_simulator(
+    num_tuples: int = 40_000, num_nodes: int = 8, seed: int = 0
+) -> FigureResult:
+    """Winner agreement + Spearman rank correlation across the sweep."""
+    result = FigureResult(
+        "validation",
+        "Analytical model vs event simulator (winner, regret, rank "
+        "correlation per selectivity)",
+        [
+            "num_groups",
+            "model_winner",
+            "sim_winner",
+            "regret",
+            "rank_correlation",
+        ],
+        notes="regret = sim time of the model's pick / sim best — how "
+        "much following the model's advice costs; both sides use the "
+        "8-node Ethernet configuration",
+    )
+    sweep = [g for g in (1, 8, 400, 6400) if g < num_tuples // 2]
+    sweep.append(num_tuples // 2)
+    for groups in sweep:
+        dist = generate_uniform(num_tuples, groups, num_nodes, seed=seed)
+        params = default_parameters(dist)
+        selectivity = groups / num_tuples
+        model = {
+            name: model_cost(name, params, selectivity).total_seconds
+            for name in VALIDATED
+        }
+        sim = {
+            name: run_algorithm(
+                name, dist, SIM_QUERY, params=params
+            ).elapsed_seconds
+            for name in VALIDATED
+        }
+        model_winner = min(model, key=model.get)
+        sim_winner = min(sim, key=sim.get)
+        regret = sim[model_winner] / sim[sim_winner]
+        rho = _spearman(_ranks(model), _ranks(sim))
+        result.add_row(groups, model_winner, sim_winner, regret, rho)
+    return result

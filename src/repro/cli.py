@@ -1,0 +1,365 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+run      simulate one algorithm on a generated workload
+compare  simulate every algorithm on the same workload
+figure   regenerate a paper table/figure (writes results/<name>.csv)
+params   print a parameter preset (Table 1 or the Section 5 cluster)
+plan     ask the optimizer which algorithm to use
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench import figures as figure_runners
+from repro.bench.harness import format_table, write_results
+from repro.core.aggregates import FUNCTIONS, AggregateSpec
+from repro.core.optimizer import choose_plan
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, default_parameters, run_algorithm
+from repro.costmodel.params import NetworkKind, SystemParameters
+from repro.parallel import reference_aggregate
+from repro.workloads.generator import generate_uniform, generate_zipf
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+
+_NETWORKS = {
+    "fast": NetworkKind.HIGH_BANDWIDTH,
+    "ethernet": NetworkKind.LIMITED_BANDWIDTH,
+}
+
+def _lazy_extensions():
+    from repro.bench import scaling, validation
+
+    return {
+        "sim_scaleup": scaling.sim_scaleup,
+        "sim_speedup": scaling.sim_speedup,
+        "validation": validation.model_vs_simulator,
+    }
+
+
+FIGURES = {
+    "table1": figure_runners.table1,
+    "fig1": figure_runners.figure1,
+    "fig2": figure_runners.figure2,
+    "fig3": figure_runners.figure3,
+    "fig4": figure_runners.figure4,
+    "fig5": figure_runners.figure5,
+    "fig6": figure_runners.figure6,
+    "fig7": figure_runners.figure7,
+    "fig8": figure_runners.figure8,
+    "fig8_fast": figure_runners.figure8_fast_network,
+    "fig9": figure_runners.figure9,
+    "skew_input": figure_runners.input_skew_study,
+    **_lazy_extensions(),
+}
+
+
+def _parse_agg(text: str) -> AggregateSpec:
+    """"sum:val" -> AggregateSpec("sum", "val"); "count" -> COUNT(*)."""
+    func, _, column = text.partition(":")
+    if func not in FUNCTIONS:
+        raise argparse.ArgumentTypeError(
+            f"unknown aggregate {func!r}; choose from {sorted(FUNCTIONS)}"
+        )
+    return AggregateSpec(func, column or None)
+
+
+def _add_workload_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--tuples", type=int, default=40_000)
+    parser.add_argument("--groups", type=int, default=2_000)
+    parser.add_argument("--nodes", type=int, default=8)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--workload",
+        choices=["uniform", "zipf", "output-skew", "input-skew"],
+        default="uniform",
+    )
+    parser.add_argument(
+        "--network", choices=sorted(_NETWORKS), default="ethernet"
+    )
+    parser.add_argument("--table-entries", type=int, default=None)
+    parser.add_argument("--pipeline", action="store_true")
+    parser.add_argument(
+        "--agg",
+        type=_parse_agg,
+        action="append",
+        help='aggregate spec like "sum:val" or "count"; repeatable',
+    )
+
+
+def _build_workload(args):
+    if args.workload == "uniform":
+        return generate_uniform(
+            args.tuples, args.groups, args.nodes, seed=args.seed
+        )
+    if args.workload == "zipf":
+        return generate_zipf(
+            args.tuples, args.groups, args.nodes, seed=args.seed
+        )
+    if args.workload == "output-skew":
+        return generate_output_skew(
+            args.tuples, args.groups, num_nodes=args.nodes, seed=args.seed
+        )
+    return generate_input_skew(
+        args.tuples, args.groups, args.nodes, seed=args.seed
+    )
+
+
+def _build_query(args) -> AggregateQuery:
+    aggs = args.agg or [AggregateSpec("sum", "val")]
+    return AggregateQuery(group_by=["gkey"], aggregates=aggs)
+
+
+def _run_one(name, dist, query, args, out, record_timeline=False):
+    params = default_parameters(
+        dist,
+        network=_NETWORKS[args.network],
+        hash_table_entries=args.table_entries,
+    )
+    outcome = run_algorithm(
+        name,
+        dist,
+        query,
+        params=params,
+        record_timeline=record_timeline,
+        pipeline=args.pipeline,
+    )
+    switches = [
+        e for e in outcome.switch_events() if e.what.startswith("switch")
+    ]
+    print(
+        f"{name:<26} {outcome.elapsed_seconds:9.4f}s  "
+        f"groups={outcome.num_groups:<7d} "
+        f"sent={outcome.metrics.total_bytes_sent / 1e6:7.2f}MB  "
+        f"spill={outcome.metrics.total_spill_pages:7.1f}pg  "
+        f"switches={len(switches)}",
+        file=out,
+    )
+    return outcome
+
+
+def _cmd_run(args, out) -> int:
+    dist = _build_workload(args)
+    query = _build_query(args)
+    outcome = _run_one(
+        args.algorithm, dist, query, args, out,
+        record_timeline=args.timeline,
+    )
+    if args.timeline:
+        print(outcome.render_timeline(), file=out)
+    if args.verify:
+        expected = reference_aggregate(dist, query)
+        ok = len(outcome.rows) == len(expected)
+        print(f"verified against reference: {'OK' if ok else 'MISMATCH'}",
+              file=out)
+        if not ok:
+            return 1
+    if args.show_rows:
+        for row in outcome.rows[: args.show_rows]:
+            print("  ", row, file=out)
+    return 0
+
+
+def _cmd_compare(args, out) -> int:
+    dist = _build_workload(args)
+    query = _build_query(args)
+    print(
+        f"{len(dist)} tuples, {args.groups} groups, {dist.num_nodes} "
+        f"nodes, {args.network} network",
+        file=out,
+    )
+    for name in sorted(ALGORITHMS):
+        _run_one(name, dist, query, args, out)
+    return 0
+
+
+def _cmd_figure(args, out) -> int:
+    names = sorted(FIGURES) if args.name == "all" else [args.name]
+    for name in names:
+        result = FIGURES[name]()
+        print(format_table(result), file=out)
+        if args.plot and name != "table1":
+            from repro.bench.plotting import render_chart
+
+            print(render_chart(result, log_y=args.log_y), file=out)
+        if args.results_dir:
+            path = write_results(result, args.results_dir)
+            print(f"wrote {path}", file=out)
+    return 0
+
+
+def _cmd_params(args, out) -> int:
+    params = (
+        SystemParameters.implementation()
+        if args.preset == "implementation"
+        else SystemParameters.paper_default()
+    )
+    for field_name, value in vars(params).items():
+        print(f"{field_name:<22} {value}", file=out)
+    for derived in ("t_r", "t_w", "t_h", "t_a", "t_d", "m_p", "m_l"):
+        print(f"{derived:<22} {getattr(params, derived):.3e} s", file=out)
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    params = SystemParameters.paper_default().with_(num_nodes=args.nodes)
+    choice = choose_plan(
+        params,
+        estimated_groups=args.groups_estimate,
+        expect_duplicate_elimination=args.duplicate_elimination,
+    )
+    print(f"algorithm: {choice.algorithm}", file=out)
+    print(f"rationale: {choice.rationale}", file=out)
+    if choice.estimated_seconds is not None:
+        print(f"estimated: {choice.estimated_seconds:.2f} s", file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argparse parser for every subcommand."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Adaptive parallel aggregation (SIGMOD 1995) "
+        "reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_run = sub.add_parser("run", help="simulate one algorithm")
+    p_run.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), required=True
+    )
+    _add_workload_args(p_run)
+    p_run.add_argument("--verify", action="store_true")
+    p_run.add_argument("--show-rows", type=int, default=0)
+    p_run.add_argument(
+        "--timeline", action="store_true",
+        help="print a per-node activity Gantt chart",
+    )
+    p_run.set_defaults(func=_cmd_run)
+
+    p_cmp = sub.add_parser("compare", help="simulate every algorithm")
+    _add_workload_args(p_cmp)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_fig = sub.add_parser("figure", help="regenerate a paper figure")
+    p_fig.add_argument(
+        "--name", choices=[*sorted(FIGURES), "all"], required=True
+    )
+    p_fig.add_argument("--results-dir", default=None)
+    p_fig.add_argument("--plot", action="store_true",
+                       help="render an ASCII chart under the table")
+    p_fig.add_argument("--log-y", action="store_true")
+    p_fig.set_defaults(func=_cmd_figure)
+
+    p_par = sub.add_parser("params", help="print a parameter preset")
+    p_par.add_argument(
+        "--preset",
+        choices=["paper", "implementation"],
+        default="paper",
+    )
+    p_par.set_defaults(func=_cmd_params)
+
+    p_plan = sub.add_parser("plan", help="ask the optimizer for a plan")
+    p_plan.add_argument("--nodes", type=int, default=32)
+    p_plan.add_argument("--groups-estimate", type=int, default=None)
+    p_plan.add_argument(
+        "--duplicate-elimination", action="store_true"
+    )
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_scale = sub.add_parser(
+        "scale", help="simulator scaleup/speedup study"
+    )
+    p_scale.add_argument(
+        "--mode", choices=["scaleup", "speedup"], default="scaleup"
+    )
+    p_scale.add_argument("--selectivity", type=float, default=0.25)
+    p_scale.add_argument("--tuples-per-node", type=int, default=5_000)
+    p_scale.add_argument("--tuples", type=int, default=40_000)
+    p_scale.add_argument("--groups", type=int, default=10_000)
+    p_scale.add_argument("--seed", type=int, default=0)
+    p_scale.set_defaults(func=_cmd_scale)
+
+    p_sql = sub.add_parser(
+        "sql", help="run a SQL aggregate query on a generated workload"
+    )
+    p_sql.add_argument("query", help='e.g. "SELECT gkey, SUM(val) '
+                       'FROM r GROUP BY gkey"')
+    p_sql.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS),
+        default="adaptive_two_phase",
+    )
+    p_sql.add_argument("--data-dir", default=None,
+                       help="load a saved DistributedRelation instead "
+                       "of generating one")
+    _add_workload_args(p_sql)
+    p_sql.add_argument("--show-rows", type=int, default=10)
+    p_sql.set_defaults(func=_cmd_sql)
+    return parser
+
+
+def _cmd_sql(args, out) -> int:
+    from repro.sql import run_sql
+    from repro.storage.io import load_distributed
+
+    if args.data_dir:
+        dist = load_distributed(args.data_dir)
+    else:
+        dist = _build_workload(args)
+    params = default_parameters(
+        dist,
+        network=_NETWORKS[args.network],
+        hash_table_entries=args.table_entries,
+    )
+    outcome = run_sql(
+        args.query, dist, algorithm=args.algorithm, params=params
+    )
+    print(
+        f"{outcome.algorithm}: {outcome.num_groups} groups in "
+        f"{outcome.elapsed_seconds:.4f}s simulated",
+        file=out,
+    )
+    for row in outcome.rows[: args.show_rows]:
+        print("  ", row, file=out)
+    if outcome.num_groups > args.show_rows:
+        print(f"   ... {outcome.num_groups - args.show_rows} more rows",
+              file=out)
+    return 0
+
+
+def _cmd_scale(args, out) -> int:
+    from repro.bench import scaling
+
+    if args.mode == "scaleup":
+        result = scaling.sim_scaleup(
+            tuples_per_node=args.tuples_per_node,
+            selectivity=args.selectivity,
+            seed=args.seed,
+        )
+    else:
+        result = scaling.sim_speedup(
+            num_tuples=args.tuples,
+            num_groups=args.groups,
+            seed=args.seed,
+        )
+    print(format_table(result), file=out)
+    return 0
+
+
+def main(argv=None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args, out)
+    except BrokenPipeError:
+        # Piping into `head` and friends closes our stdout early; that
+        # is the consumer's prerogative, not an error.
+        return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,29 @@
+"""The paper's primary contribution: adaptive parallel aggregation.
+
+``repro.core`` holds the query model, the aggregate-function partial states,
+the bounded hash-aggregation engine (the Section 2 uniprocessor algorithm
+with overflow-bucket spilling), and the six parallel algorithms — three
+traditional baselines and the three adaptive algorithms the paper proposes —
+plus Graefe's optimized Two Phase variant discussed in Section 3.2.
+"""
+
+from repro.core.aggregates import (
+    AggregateSpec,
+    GroupState,
+    make_state_factory,
+)
+from repro.core.hashtable import BoundedAggregateHashTable, HashAggregator
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, AlgorithmOutcome, run_algorithm
+
+__all__ = [
+    "ALGORITHMS",
+    "AggregateQuery",
+    "AggregateSpec",
+    "AlgorithmOutcome",
+    "BoundedAggregateHashTable",
+    "GroupState",
+    "HashAggregator",
+    "make_state_factory",
+    "run_algorithm",
+]

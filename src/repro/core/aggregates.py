@@ -1,0 +1,358 @@
+"""Aggregate functions with mergeable partial states.
+
+The Adaptive Two Phase algorithm's merge phase receives *two kinds* of input
+for the same hash table (Section 3.2): locally pre-aggregated partial states
+and raw tuples that were repartitioned after a node switched strategies.
+Every state here therefore supports both ``update(value)`` (absorb one raw
+value) and ``merge(other)`` (absorb another partial state), and for SQL AVG
+the partial carries (sum, count) so that merging is exact.
+
+All merges are commutative and associative, which the property-based tests
+verify — that invariant is what makes the per-node, unsynchronized switching
+of the adaptive algorithms correct.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class AggregateState:
+    """Base class for one aggregate function's running state."""
+
+    __slots__ = ()
+
+    def update(self, value) -> None:
+        """Absorb one raw column value."""
+        raise NotImplementedError
+
+    def merge(self, other: "AggregateState") -> None:
+        """Absorb another partial state of the same type."""
+        raise NotImplementedError
+
+    def result(self):
+        """The final SQL value of this aggregate."""
+        raise NotImplementedError
+
+    def copy(self) -> "AggregateState":
+        raise NotImplementedError
+
+
+class CountState(AggregateState):
+    """SQL COUNT(*) / COUNT(col): number of (non-null) inputs."""
+
+    __slots__ = ("count",)
+
+    def __init__(self) -> None:
+        self.count = 0
+
+    def update(self, value) -> None:
+        if value is not None:
+            self.count += 1
+
+    def merge(self, other: "CountState") -> None:
+        self.count += other.count
+
+    def result(self) -> int:
+        return self.count
+
+    def copy(self) -> "CountState":
+        fresh = CountState()
+        fresh.count = self.count
+        return fresh
+
+
+class SumState(AggregateState):
+    """SQL SUM: None until the first non-null input, then the running sum."""
+
+    __slots__ = ("total", "seen")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.seen = False
+
+    def update(self, value) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.seen = True
+
+    def merge(self, other: "SumState") -> None:
+        if other.seen:
+            self.total += other.total
+            self.seen = True
+
+    def result(self):
+        return self.total if self.seen else None
+
+    def copy(self) -> "SumState":
+        fresh = SumState()
+        fresh.total = self.total
+        fresh.seen = self.seen
+        return fresh
+
+
+class MinState(AggregateState):
+    """SQL MIN."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = None
+
+    def update(self, value) -> None:
+        if value is None:
+            return
+        if self.value is None or value < self.value:
+            self.value = value
+
+    def merge(self, other: "MinState") -> None:
+        self.update(other.value)
+
+    def result(self):
+        return self.value
+
+    def copy(self) -> "MinState":
+        fresh = MinState()
+        fresh.value = self.value
+        return fresh
+
+
+class MaxState(AggregateState):
+    """SQL MAX."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = None
+
+    def update(self, value) -> None:
+        if value is None:
+            return
+        if self.value is None or value > self.value:
+            self.value = value
+
+    def merge(self, other: "MaxState") -> None:
+        self.update(other.value)
+
+    def result(self):
+        return self.value
+
+    def copy(self) -> "MaxState":
+        fresh = MaxState()
+        fresh.value = self.value
+        return fresh
+
+
+class AvgState(AggregateState):
+    """SQL AVG carried as (sum, count) so partials merge exactly.
+
+    This is the paper's Section 3.2 example: "for SQL average, the sum and
+    the count will have to be added to the currently accumulated value" when
+    merging a partial, while a raw tuple adds to the sum and increments the
+    count.
+    """
+
+    __slots__ = ("total", "count")
+
+    def __init__(self) -> None:
+        self.total = 0
+        self.count = 0
+
+    def update(self, value) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.count += 1
+
+    def merge(self, other: "AvgState") -> None:
+        self.total += other.total
+        self.count += other.count
+
+    def result(self):
+        if self.count == 0:
+            return None
+        return self.total / self.count
+
+    def copy(self) -> "AvgState":
+        fresh = AvgState()
+        fresh.total = self.total
+        fresh.count = self.count
+        return fresh
+
+
+class VarianceState(AggregateState):
+    """SQL VAR_SAMP / STDDEV base: (count, sum, sum of squares).
+
+    Merging partials is exact because the three moments add; the final
+    value uses the numerically standard n·Σx² − (Σx)² form, adequate for
+    the value ranges the workloads generate.
+    """
+
+    __slots__ = ("count", "total", "total_sq")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.total_sq = 0.0
+
+    def update(self, value) -> None:
+        if value is None:
+            return
+        self.count += 1
+        self.total += value
+        self.total_sq += value * value
+
+    def merge(self, other: "VarianceState") -> None:
+        self.count += other.count
+        self.total += other.total
+        self.total_sq += other.total_sq
+
+    def result(self):
+        if self.count < 2:
+            return None
+        num = self.total_sq - self.total * self.total / self.count
+        return max(0.0, num / (self.count - 1))
+
+    def copy(self) -> "VarianceState":
+        fresh = VarianceState()
+        fresh.count = self.count
+        fresh.total = self.total
+        fresh.total_sq = self.total_sq
+        return fresh
+
+
+class StddevState(VarianceState):
+    """SQL STDDEV_SAMP: the square root of the sample variance."""
+
+    __slots__ = ()
+
+    def result(self):
+        variance = super().result()
+        if variance is None:
+            return None
+        return variance**0.5
+
+    def copy(self) -> "StddevState":
+        fresh = StddevState()
+        fresh.count = self.count
+        fresh.total = self.total
+        fresh.total_sq = self.total_sq
+        return fresh
+
+
+class CountDistinctState(AggregateState):
+    """SQL COUNT(DISTINCT col), kept as an exact value set.
+
+    Exact distinct counting is what duplicate elimination needs; the set is
+    bounded by the group's distinct values, which in the paper's duplicate
+    elimination scenario is small per group.
+    """
+
+    __slots__ = ("values",)
+
+    def __init__(self) -> None:
+        self.values = set()
+
+    def update(self, value) -> None:
+        if value is not None:
+            self.values.add(value)
+
+    def merge(self, other: "CountDistinctState") -> None:
+        self.values |= other.values
+
+    def result(self) -> int:
+        return len(self.values)
+
+    def copy(self) -> "CountDistinctState":
+        fresh = CountDistinctState()
+        fresh.values = set(self.values)
+        return fresh
+
+
+_STATE_TYPES = {
+    "count": CountState,
+    "sum": SumState,
+    "min": MinState,
+    "max": MaxState,
+    "avg": AvgState,
+    "count_distinct": CountDistinctState,
+    "var": VarianceState,
+    "stddev": StddevState,
+}
+
+FUNCTIONS = frozenset(_STATE_TYPES)
+
+
+@dataclass(frozen=True)
+class AggregateSpec:
+    """One aggregate in the SELECT list, e.g. ``AggregateSpec("avg", "val")``.
+
+    ``column`` may be None only for ``count`` (COUNT(*)).
+    """
+
+    func: str
+    column: str | None = None
+    alias: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.func not in _STATE_TYPES:
+            raise ValueError(
+                f"unknown aggregate {self.func!r}; expected one of "
+                f"{sorted(_STATE_TYPES)}"
+            )
+        if self.column is None and self.func != "count":
+            raise ValueError(f"{self.func} requires a column")
+
+    @property
+    def output_name(self) -> str:
+        if self.alias:
+            return self.alias
+        col = self.column if self.column is not None else "*"
+        return f"{self.func}({col})"
+
+    def new_state(self) -> AggregateState:
+        return _STATE_TYPES[self.func]()
+
+
+class GroupState:
+    """All aggregate states for one group, updated together.
+
+    This is the hash-table entry payload.  ``update`` takes the already
+    projected value tuple (one value per spec, extracted by the query), and
+    ``merge`` absorbs another GroupState — both paths land in the same entry
+    exactly as the mixed hash table of Section 3.2 requires.
+    """
+
+    __slots__ = ("states",)
+
+    def __init__(self, specs) -> None:
+        self.states = [spec.new_state() for spec in specs]
+
+    def update(self, values) -> None:
+        for state, value in zip(self.states, values):
+            state.update(value)
+
+    def merge(self, other: "GroupState") -> None:
+        for mine, theirs in zip(self.states, other.states):
+            mine.merge(theirs)
+
+    def results(self) -> tuple:
+        return tuple(state.result() for state in self.states)
+
+    def copy(self) -> "GroupState":
+        fresh = GroupState.__new__(GroupState)
+        fresh.states = [state.copy() for state in self.states]
+        return fresh
+
+
+def make_state_factory(specs):
+    """A zero-argument callable producing fresh GroupStates for ``specs``."""
+    spec_list = list(specs)
+    if not spec_list:
+        raise ValueError("at least one aggregate spec is required")
+
+    def factory() -> GroupState:
+        return GroupState(spec_list)
+
+    return factory

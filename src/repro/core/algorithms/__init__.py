@@ -1,0 +1,49 @@
+"""The paper's six parallel aggregation algorithms, Graefe's optimized
+2P, and a modern eviction-based streaming pre-aggregation extension.
+
+Every algorithm is exposed as a *program body*: a generator function
+``body(ctx, fragment, bound_query, config) -> result rows`` that really
+executes the algorithm on the node's fragment while yielding simulator
+cost requests.  ``repro.core.runner`` assembles one body per node into a
+cluster run.
+"""
+
+from repro.core.algorithms.base import SimConfig
+from repro.core.algorithms.centralized_two_phase import (
+    centralized_two_phase_body,
+)
+from repro.core.algorithms.two_phase import two_phase_body
+from repro.core.algorithms.repartitioning import repartitioning_body
+from repro.core.algorithms.sampling import sampling_body
+from repro.core.algorithms.adaptive_two_phase import adaptive_two_phase_body
+from repro.core.algorithms.adaptive_repartitioning import (
+    adaptive_repartitioning_body,
+)
+from repro.core.algorithms.optimized_two_phase import optimized_two_phase_body
+from repro.core.algorithms.streaming_pre_aggregation import (
+    streaming_pre_aggregation_body,
+)
+
+ALGORITHM_BODIES = {
+    "centralized_two_phase": centralized_two_phase_body,
+    "two_phase": two_phase_body,
+    "repartitioning": repartitioning_body,
+    "sampling": sampling_body,
+    "adaptive_two_phase": adaptive_two_phase_body,
+    "adaptive_repartitioning": adaptive_repartitioning_body,
+    "optimized_two_phase": optimized_two_phase_body,
+    "streaming_pre_aggregation": streaming_pre_aggregation_body,
+}
+
+__all__ = [
+    "ALGORITHM_BODIES",
+    "SimConfig",
+    "adaptive_repartitioning_body",
+    "adaptive_two_phase_body",
+    "centralized_two_phase_body",
+    "optimized_two_phase_body",
+    "repartitioning_body",
+    "sampling_body",
+    "streaming_pre_aggregation_body",
+    "two_phase_body",
+]

@@ -1,0 +1,38 @@
+"""The Centralized Two Phase algorithm (Section 2.1).
+
+Identical local phase to Two Phase, but all partial aggregates are merged
+sequentially at one coordinator node — the bottleneck that motivates the
+rest of the paper the moment the group count stops being tiny.
+"""
+
+from __future__ import annotations
+
+from repro.core.algorithms.base import (
+    SimConfig,
+    broadcast_eof,
+    flush_partials,
+    merge_phase,
+)
+from repro.core.algorithms.two_phase import local_aggregation_phase
+from repro.core.query import BoundQuery
+from repro.sim.node import NodeContext
+from repro.storage.relation import Fragment
+
+COORDINATOR = 0
+
+
+def centralized_two_phase_body(
+    ctx: NodeContext, fragment: Fragment, bq: BoundQuery, cfg: SimConfig
+):
+    """One node's C-2P run; only the coordinator returns rows."""
+    partials = yield from local_aggregation_phase(ctx, fragment, bq, cfg)
+    yield from flush_partials(
+        ctx, bq, partials, dst_of=lambda _key: COORDINATOR
+    )
+    yield from broadcast_eof(ctx, dsts=[COORDINATOR])
+    if ctx.node_id != COORDINATOR:
+        return []
+    results = yield from merge_phase(
+        ctx, bq, cfg, expected_eofs=ctx.num_nodes
+    )
+    return results

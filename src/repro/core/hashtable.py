@@ -1,0 +1,194 @@
+"""Hash-based aggregation with bounded memory and overflow buckets.
+
+This is the Section 2 uniprocessor algorithm every parallel algorithm builds
+on:
+
+1. Build a hash table on the GROUP BY attributes; the first tuple of a new
+   group adds an entry, subsequent matches update the running aggregate.
+2. If the table would exceed its memory allocation, incoming tuples of
+   *new* groups are hash-partitioned into overflow buckets and spooled to
+   disk.
+3. The overflow buckets are then processed one by one, recursively, each
+   with a fresh table.
+
+:class:`BoundedAggregateHashTable` is the bare bounded table — it reports
+"full" instead of spooling, because the Adaptive Two Phase algorithm's whole
+point is to *react* to that event by switching strategy rather than
+spilling.  :class:`HashAggregator` wraps it with the spool-and-recurse
+machinery for the phases that must complete locally regardless (e.g. the
+merge phase), and exposes spill hooks so the simulator can charge the
+intermediate I/O the cost model's ``(1 - M/(S·|R|))`` terms describe.
+"""
+
+from __future__ import annotations
+
+from repro.storage.hashing import stable_hash
+
+_MAX_DEPTH = 32
+
+
+class BoundedAggregateHashTable:
+    """An aggregate hash table holding at most ``max_entries`` groups.
+
+    ``add_values``/``add_partial`` return True when absorbed and False when
+    the table is full and the key is new — the caller decides what overflow
+    means (spool, forward, or switch algorithms).
+    """
+
+    def __init__(self, max_entries: int, state_factory) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self.max_entries = max_entries
+        self._state_factory = state_factory
+        self._table: dict = {}
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def __contains__(self, key) -> bool:
+        return key in self._table
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._table) >= self.max_entries
+
+    def add_values(self, key, values) -> bool:
+        """Absorb one raw tuple's aggregate inputs for ``key``."""
+        state = self._table.get(key)
+        if state is None:
+            if self.is_full:
+                return False
+            state = self._state_factory()
+            self._table[key] = state
+        state.update(values)
+        return True
+
+    def add_partial(self, key, partial) -> bool:
+        """Merge a partial GroupState for ``key`` (Section 3.2 mixed input)."""
+        state = self._table.get(key)
+        if state is None:
+            if self.is_full:
+                return False
+            self._table[key] = partial.copy()
+            return True
+        state.merge(partial)
+        return True
+
+    def items(self):
+        return self._table.items()
+
+    def drain(self) -> dict:
+        """Remove and return all entries (used when a node flushes on switch)."""
+        table, self._table = self._table, {}
+        return table
+
+
+class HashAggregator:
+    """Bounded hash aggregation with hash-partitioned overflow buckets.
+
+    Parameters
+    ----------
+    state_factory:
+        Zero-arg callable producing a fresh GroupState.
+    max_entries:
+        Memory allocation, in hash-table entries (the model's ``M``).
+    fanout:
+        Number of overflow buckets created on each overflow pass.
+    on_spill_write / on_spill_read:
+        Optional callbacks ``(num_items) -> None`` fired when items are
+        spooled to / read back from an overflow bucket, so callers can
+        charge simulated I/O.
+    """
+
+    def __init__(
+        self,
+        state_factory,
+        max_entries: int,
+        fanout: int = 8,
+        on_spill_write=None,
+        on_spill_read=None,
+        spill_store=None,
+        _depth: int = 0,
+    ) -> None:
+        if fanout < 2:
+            raise ValueError("fanout must be at least 2")
+        self._state_factory = state_factory
+        self._fanout = fanout
+        self._on_spill_write = on_spill_write
+        self._on_spill_read = on_spill_read
+        if spill_store is None:
+            from repro.storage.spill import MemorySpillStore
+
+            spill_store = MemorySpillStore()
+        self._store = spill_store
+        self._depth = _depth
+        # Past _MAX_DEPTH the key space is pathological (hash collisions at
+        # every level); fall back to an unbounded table for correctness.
+        if _depth >= _MAX_DEPTH:
+            max_entries = 2**62
+        self._table = BoundedAggregateHashTable(max_entries, state_factory)
+        self.spilled_items = 0
+        self.overflow_passes = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._table.max_entries
+
+    @property
+    def in_memory_groups(self) -> int:
+        return len(self._table)
+
+    @property
+    def overflowed(self) -> bool:
+        return self.spilled_items > 0
+
+    def _bucket_of(self, key) -> int:
+        # Salt the hash with the recursion depth so a bucket's keys spread
+        # across all sub-buckets when it is reprocessed.
+        return stable_hash((self._depth, key)) % self._fanout
+
+    def _spill(self, item) -> None:
+        self._store.append(self._bucket_of(item[1]), item)
+        self.spilled_items += 1
+        if self._on_spill_write is not None:
+            self._on_spill_write(1)
+
+    def add_values(self, key, values) -> None:
+        if not self._table.add_values(key, values):
+            self._spill(("v", key, values))
+
+    def add_partial(self, key, partial) -> None:
+        if not self._table.add_partial(key, partial):
+            self._spill(("p", key, partial))
+
+    def finish(self):
+        """Yield every (key, GroupState), processing overflow buckets.
+
+        After this generator is exhausted the aggregator is empty and may
+        not be reused.
+        """
+        yield from self._table.drain().items()
+        for bucket in self._store.bucket_ids():
+            count = self._store.item_count(bucket)
+            if not count:
+                continue
+            self.overflow_passes += 1
+            if self._on_spill_read is not None:
+                self._on_spill_read(count)
+            sub = HashAggregator(
+                self._state_factory,
+                self._table.max_entries,
+                fanout=self._fanout,
+                on_spill_write=self._on_spill_write,
+                on_spill_read=self._on_spill_read,
+                spill_store=self._store.child(),
+                _depth=self._depth + 1,
+            )
+            for item in self._store.drain(bucket):
+                if item[0] == "v":
+                    sub.add_values(item[1], item[2])
+                else:
+                    sub.add_partial(item[1], item[2])
+            yield from sub.finish()
+            self.spilled_items += sub.spilled_items
+            self.overflow_passes += sub.overflow_passes

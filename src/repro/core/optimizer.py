@@ -1,0 +1,114 @@
+"""Algorithm selection — the optimizer's side of the paper.
+
+Section 3.1 has "the optimizer decide what is an appropriate switching
+point"; Section 7 concludes that a system supporting one algorithm should
+ship Adaptive Two Phase, and one supporting two should add Adaptive
+Repartitioning for the duplicate-elimination regime.  This module encodes
+those rules on top of the analytical cost models, so a caller with (or
+without) a group-count estimate gets a concrete plan and its rationale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.costmodel import MODEL_FUNCTIONS, model_cost
+from repro.costmodel.params import SystemParameters
+from repro.sampling.decision import crossover_threshold
+
+
+@dataclass(frozen=True)
+class PlanChoice:
+    """An optimizer decision: which algorithm, and why."""
+
+    algorithm: str
+    rationale: str
+    estimated_seconds: float | None = None
+
+
+def rank_algorithms(
+    params: SystemParameters, selectivity: float
+) -> list[tuple[str, float]]:
+    """All six modelled algorithms, cheapest first, at one selectivity."""
+    costs = [
+        (name, model_cost(name, params, selectivity).total_seconds)
+        for name in MODEL_FUNCTIONS
+    ]
+    costs.sort(key=lambda pair: pair[1])
+    return costs
+
+
+def choose_plan(
+    params: SystemParameters,
+    estimated_groups: int | None = None,
+    expect_duplicate_elimination: bool = False,
+    supported=None,
+) -> PlanChoice:
+    """Pick an algorithm the way the paper's conclusions suggest.
+
+    Parameters
+    ----------
+    estimated_groups:
+        The optimizer's group-count estimate, if it has one.  ``None``
+        means unknown — the common case the adaptive algorithms exist
+        for.
+    expect_duplicate_elimination:
+        A hint that the query is DISTINCT-like (result ≈ input), which
+        favours starting in Repartitioning (A-Rep).
+    supported:
+        Optional iterable restricting the algorithms the engine ships.
+    """
+    supported = set(MODEL_FUNCTIONS if supported is None else supported)
+    if not supported:
+        raise ValueError("no supported algorithms to choose from")
+
+    def pick(preference: list[str], why: str) -> PlanChoice:
+        for name in preference:
+            if name in supported:
+                return PlanChoice(name, why)
+        # Fall back to whatever the engine has, cheapest first if we can
+        # cost it (we need a selectivity for that; use the middle range).
+        name = sorted(supported)[0]
+        return PlanChoice(name, f"{why} (preferred unavailable)")
+
+    if estimated_groups is None:
+        if expect_duplicate_elimination:
+            return pick(
+                ["adaptive_repartitioning", "adaptive_two_phase",
+                 "repartitioning"],
+                "no group estimate, duplicate elimination expected: "
+                "start repartitioning, fall back adaptively",
+            )
+        return pick(
+            ["adaptive_two_phase", "two_phase"],
+            "no group estimate: Adaptive Two Phase performs almost as "
+            "well as the best algorithm everywhere (paper, Section 7)",
+        )
+
+    if estimated_groups < 0:
+        raise ValueError("estimated_groups must be non-negative")
+    threshold = crossover_threshold(params.num_nodes, groups_per_node=10)
+    selectivity = max(
+        estimated_groups / params.num_tuples, 1.0 / params.num_tuples
+    )
+    selectivity = min(selectivity, 1.0)
+    if estimated_groups < threshold:
+        choice = pick(
+            ["adaptive_two_phase", "two_phase"],
+            f"estimate {estimated_groups} < crossover {threshold}: "
+            "Two Phase regime, adaptive guard against under-estimates",
+        )
+    else:
+        choice = pick(
+            ["adaptive_repartitioning", "repartitioning",
+             "adaptive_two_phase"],
+            f"estimate {estimated_groups} >= crossover {threshold}: "
+            "Repartitioning regime, adaptive guard against "
+            "over-estimates",
+        )
+    if choice.algorithm in MODEL_FUNCTIONS:
+        cost = model_cost(
+            choice.algorithm, params, selectivity
+        ).total_seconds
+        return PlanChoice(choice.algorithm, choice.rationale, cost)
+    return choice

@@ -1,0 +1,160 @@
+"""The high-level entry point: run any algorithm on a distributed relation.
+
+``run_algorithm`` binds the query, derives a parameter set sized to the
+data (unless one is supplied), assembles one node program per fragment,
+runs the cluster simulation, and returns the merged result rows together
+with simulated time, metrics, and the adaptivity trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.algorithms import ALGORITHM_BODIES, SimConfig
+from repro.core.query import AggregateQuery
+from repro.costmodel.params import SystemParameters
+from repro.sim.cluster import Cluster, RunResult
+from repro.sim.events import TraceEvent
+from repro.sim.metrics import ClusterMetrics
+from repro.storage.relation import DistributedRelation
+
+ALGORITHMS = tuple(ALGORITHM_BODIES)
+
+# The paper's implementation ratio: M = 10K entries for 250K tuples/node.
+_DEFAULT_TABLE_FRACTION = 0.04
+_MIN_TABLE_ENTRIES = 16
+
+
+@dataclass
+class AlgorithmOutcome:
+    """Everything a caller wants back from one simulated run."""
+
+    algorithm: str
+    rows: list[tuple]
+    elapsed_seconds: float
+    metrics: ClusterMetrics
+    trace: list[TraceEvent] = field(default_factory=list)
+    per_node_rows: list[list] = field(default_factory=list)
+    timelines: list = field(default_factory=list)
+
+    def render_timeline(self, width: int = 72) -> str:
+        """ASCII Gantt of the run (needs record_timeline=True)."""
+        from repro.sim.timeline import render_timeline
+
+        if not any(self.timelines):
+            return "(timeline not recorded; pass record_timeline=True)"
+        return render_timeline(self.timelines, width=width)
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.rows)
+
+    def events_named(self, what: str) -> list[TraceEvent]:
+        """Trace events of one type (e.g. "switch_to_repartitioning")."""
+        return [e for e in self.trace if e.what == what]
+
+    def switch_events(self) -> list[TraceEvent]:
+        """Adaptivity events (mode switches and decisions)."""
+        interesting = {
+            "switch_to_repartitioning",
+            "switch_to_two_phase",
+            "end_of_phase_received",
+            "sampling_decision",
+            "forwarded_on_overflow",
+        }
+        return [e for e in self.trace if e.what in interesting]
+
+
+def default_parameters(
+    dist: DistributedRelation,
+    network=None,
+    hash_table_entries: int | None = None,
+) -> SystemParameters:
+    """Parameters sized to a generated relation.
+
+    The hash-table allocation defaults to the paper's implementation
+    ratio (M ≈ 4% of the tuples per node), which preserves every
+    overflow-driven crossover at reduced scale (see DESIGN.md).
+    """
+    base = SystemParameters.implementation()
+    if hash_table_entries is None:
+        per_node = max(1, len(dist) // dist.num_nodes)
+        hash_table_entries = max(
+            _MIN_TABLE_ENTRIES, round(per_node * _DEFAULT_TABLE_FRACTION)
+        )
+    overrides = dict(
+        num_nodes=dist.num_nodes,
+        num_tuples=max(1, len(dist)),
+        tuple_bytes=dist.schema.tuple_bytes,
+        hash_table_entries=hash_table_entries,
+    )
+    if network is not None:
+        overrides["network"] = network
+    return base.with_(**overrides)
+
+
+def run_algorithm(
+    algorithm: str,
+    dist: DistributedRelation,
+    query: AggregateQuery,
+    params: SystemParameters | None = None,
+    config: SimConfig | None = None,
+    record_timeline: bool = False,
+    node_speed_factors=None,
+    **config_overrides,
+) -> AlgorithmOutcome:
+    """Simulate ``algorithm`` over ``dist`` and return the outcome.
+
+    ``config_overrides`` are :class:`SimConfig` fields (``pipeline=True``,
+    ``init_seg=500``, ...) for one-off tweaks.  ``record_timeline=True``
+    captures per-node activity segments for
+    :meth:`AlgorithmOutcome.render_timeline`.  ``node_speed_factors``
+    models heterogeneous hardware: node i's CPU and disk run at
+    ``factors[i]`` times the Table 1 rates.
+    """
+    try:
+        body = ALGORITHM_BODIES[algorithm]
+    except KeyError:
+        raise KeyError(
+            f"unknown algorithm {algorithm!r}; expected one of "
+            f"{sorted(ALGORITHM_BODIES)}"
+        ) from None
+    if params is None:
+        params = default_parameters(dist)
+    elif params.num_nodes != dist.num_nodes:
+        raise ValueError(
+            f"params.num_nodes={params.num_nodes} but the relation has "
+            f"{dist.num_nodes} fragments"
+        )
+    if config is None:
+        config = SimConfig(**config_overrides)
+    elif config_overrides:
+        raise ValueError("pass either config or config overrides, not both")
+
+    bq = query.bind(dist.schema)
+    cluster = Cluster(params)
+
+    def make_factory(fragment):
+        def factory(ctx):
+            return body(ctx, fragment, bq, config)
+
+        return factory
+
+    result: RunResult = cluster.run(
+        (make_factory(frag) for frag in dist.fragments),
+        record_timeline=record_timeline,
+        node_speed_factors=node_speed_factors,
+    )
+    rows: list[tuple] = []
+    for node_rows in result.node_results:
+        rows.extend(node_rows)
+    rows.sort()
+    return AlgorithmOutcome(
+        algorithm=algorithm,
+        rows=rows,
+        elapsed_seconds=result.elapsed_seconds,
+        metrics=result.metrics,
+        trace=result.trace,
+        per_node_rows=result.node_results,
+        timelines=result.timelines,
+    )

@@ -1,0 +1,114 @@
+"""Sort-based local aggregation — the [BBDW83] baseline.
+
+The paper's related work (Bitton et al.) aggregates by sorting: sort the
+input on the GROUP BY attributes, then fold adjacent equal keys.  This
+module provides that alternative local-aggregation engine so the Two
+Phase family can be run with ``local_method="sort"`` and compared against
+the hash engine the paper (and this library) defaults to.
+
+Memory behaviour mirrors the hash engine's M-entry allocation: the sorter
+accumulates at most ``max_entries`` items in memory, then emits a sorted
+*run*; runs are spooled (charged through the same spill hooks) and merged
+at finish time.  Like the hash engine, equal keys met while a run is in
+memory are pre-aggregated immediately, so run length is bounded by
+distinct keys, not raw tuples.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+
+class SortAggregator:
+    """Sort-based aggregation with bounded memory and spooled runs.
+
+    Drop-in replacement for :class:`~repro.core.hashtable.HashAggregator`
+    — same ``add_values`` / ``add_partial`` / ``finish`` surface, same
+    spill hooks — so node programs can swap engines via configuration.
+
+    Keys must be orderable (tuples of ints/strs, as produced by
+    BoundQuery.key_of, are).
+    """
+
+    def __init__(
+        self,
+        state_factory,
+        max_entries: int,
+        on_spill_write=None,
+        on_spill_read=None,
+    ) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be at least 1")
+        self._state_factory = state_factory
+        self._max_entries = max_entries
+        self._on_spill_write = on_spill_write
+        self._on_spill_read = on_spill_read
+        self._current: dict = {}
+        self._runs: list[list] = []
+        self.spilled_items = 0
+        self.run_count = 0
+
+    @property
+    def max_entries(self) -> int:
+        return self._max_entries
+
+    @property
+    def in_memory_groups(self) -> int:
+        return len(self._current)
+
+    @property
+    def overflowed(self) -> bool:
+        return self.spilled_items > 0
+
+    def _emit_run(self) -> None:
+        if not self._current:
+            return
+        run = sorted(self._current.items())
+        self._runs.append(run)
+        self.run_count += 1
+        self.spilled_items += len(run)
+        if self._on_spill_write is not None:
+            self._on_spill_write(len(run))
+        self._current = {}
+
+    def _absorb(self, key, state_or_values, is_partial: bool) -> None:
+        state = self._current.get(key)
+        if state is None:
+            if len(self._current) >= self._max_entries:
+                self._emit_run()
+            state = self._state_factory()
+            self._current[key] = state
+        if is_partial:
+            state.merge(state_or_values)
+        else:
+            state.update(state_or_values)
+
+    def add_values(self, key, values) -> None:
+        self._absorb(key, values, is_partial=False)
+
+    def add_partial(self, key, partial) -> None:
+        self._absorb(key, partial, is_partial=True)
+
+    def finish(self):
+        """Yield (key, state) in key order, merging all spooled runs."""
+        if not self._runs:
+            # Common case: everything fit — one in-memory sort.
+            yield from sorted(self._current.items())
+            self._current = {}
+            return
+        self._emit_run()  # flush the tail as a final run
+        runs, self._runs = self._runs, []
+        for run in runs:
+            if self._on_spill_read is not None:
+                self._on_spill_read(len(run))
+        merged = heapq.merge(*runs, key=lambda item: item[0])
+        pending_key, pending_state = None, None
+        for key, state in merged:
+            if key == pending_key:
+                pending_state.merge(state)
+                continue
+            if pending_key is not None:
+                yield pending_key, pending_state
+            pending_key, pending_state = key, state
+        if pending_key is not None:
+            yield pending_key, pending_state

@@ -1,0 +1,259 @@
+"""Cost models of the three proposed algorithms (Sections 3.1–3.3, 4).
+
+The paper gives approximate models; where its sketch would double count a
+phase we decompose explicitly into the phases each node actually executes
+(documented per function).  The decision points are modelled as the
+algorithms would take them on uniform data:
+
+* Sampling decides 2P vs Rep by comparing the (assumed correct) group
+  count against the crossover threshold, and always pays the sampling
+  overhead.
+* Adaptive Two Phase switches exactly when the local hash table would
+  overflow: after |P_i| = min(M / S_l, |R_i|) tuples.
+* Adaptive Repartitioning abandons Rep (for A-2P) when the true group
+  count is below the crossover threshold, after repartitioning the first
+  ``init_seg`` tuples per node.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.base import (
+    CostBreakdown,
+    overflow_io_seconds,
+    scan_seconds,
+    send_latency_seconds,
+    store_seconds,
+)
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.traditional import repartitioning_cost, two_phase_cost
+from repro.sampling.decision import (
+    REPARTITIONING,
+    choose_algorithm,
+    crossover_threshold,
+)
+from repro.sampling.estimator import paper_sample_size
+
+
+def default_crossover(params: SystemParameters) -> int:
+    """The paper's default crossover threshold: 10 groups per processor."""
+    return crossover_threshold(params.num_nodes, groups_per_node=10)
+
+
+def sampling_cost(
+    params: SystemParameters,
+    selectivity: float,
+    pipeline: bool = False,
+    threshold: int | None = None,
+    sample_multiplier: float = 10.0,
+) -> CostBreakdown:
+    """Samp: page-sample, estimate, then run 2P or Rep (Section 3.1).
+
+    The overhead is a constant per processor (sample size ∝ threshold ∝ N),
+    which is also why the algorithm's scaleup is slightly suboptimal.
+    Sampling I/O uses the *random* page cost rIO.
+    """
+    if threshold is None:
+        threshold = default_crossover(params)
+    breakdown = CostBreakdown("sampling", selectivity)
+    s_l = params.local_selectivity(selectivity)
+    p = params.projectivity
+
+    sample_total = paper_sample_size(threshold, sample_multiplier)
+    sample_per_node = min(sample_total / params.num_nodes,
+                          params.tuples_per_node)
+    sample_bytes = sample_per_node * params.tuple_bytes
+
+    breakdown.add(
+        "sample_scan_io",
+        params.pages(sample_bytes) * params.random_io_seconds,
+    )
+    breakdown.add(
+        "sample_select_cpu", sample_per_node * (params.t_r + params.t_w)
+    )
+    breakdown.add(
+        "sample_agg_cpu",
+        sample_per_node * (params.t_r + params.t_h + params.t_a),
+    )
+    breakdown.add(
+        "sample_result_cpu", sample_per_node * s_l * params.t_w
+    )
+    partial_blocks = params.blocks(p * sample_bytes * s_l)
+    breakdown.add("sample_send_protocol_cpu", partial_blocks * params.m_p)
+    breakdown.add(
+        "sample_send_latency", send_latency_seconds(params, partial_blocks)
+    )
+    coord_tuples = sample_per_node * params.num_nodes * s_l
+    coord_bytes = p * sample_bytes * params.num_nodes * s_l
+    breakdown.add(
+        "sample_coord_recv_cpu", params.blocks(coord_bytes) * params.m_p
+    )
+    breakdown.add("sample_coord_count_cpu", coord_tuples * params.t_r)
+
+    # The decision: the sample's distinct count lower-bounds |G|; with the
+    # paper's 10× sample the decision is correct, so charge the chosen
+    # algorithm's full cost.
+    choice = choose_algorithm(params.num_groups(selectivity), threshold)
+    if choice == REPARTITIONING:
+        chosen = repartitioning_cost(params, selectivity, pipeline)
+    else:
+        chosen = two_phase_cost(params, selectivity, pipeline)
+    breakdown.extend(chosen)
+    return breakdown
+
+
+def adaptive_two_phase_cost(
+    params: SystemParameters, selectivity: float, pipeline: bool = False
+) -> CostBreakdown:
+    """A-2P: run 2P until the local table fills, then Rep (Section 3.2).
+
+    No switch (local groups fit in M): identical to 2P.  Switch: the first
+    |P_i| = M/S_l tuples are aggregated locally, the accumulated M partials
+    are flushed (hash-partitioned) to the merge phase, and the remaining
+    tuples are repartitioned raw.  The merge phase absorbs both kinds into
+    one hash table.
+    """
+    s_l = params.local_selectivity(selectivity)
+    r_i = params.tuples_per_node
+    local_groups = s_l * r_i
+    if local_groups <= params.hash_table_entries:
+        breakdown = two_phase_cost(params, selectivity, pipeline)
+        breakdown.algorithm = "adaptive_two_phase"
+        return breakdown
+
+    breakdown = CostBreakdown("adaptive_two_phase", selectivity)
+    p = params.projectivity
+    m = params.hash_table_entries
+    p_i = min(m / s_l, r_i)          # tuples before the table fills
+    rem = r_i - p_i                  # tuples repartitioned raw
+    num_groups = params.num_groups(selectivity)
+
+    # Phase A: 2P-style local aggregation of the first p_i tuples.  By
+    # construction the table never overflows, so there is no spill I/O —
+    # that is the point of switching here.
+    breakdown.add(
+        "scan_io", scan_seconds(params, r_i, pipeline)
+    )
+    breakdown.add("select_cpu", p_i * (params.t_r + params.t_w))
+    breakdown.add(
+        "local_agg_cpu", p_i * (params.t_r + params.t_h + params.t_a)
+    )
+    flushed = p_i * s_l              # = M partials flushed on switch
+    breakdown.add("flush_result_cpu", flushed * params.t_w)
+    flush_blocks = params.blocks(p * p_i * params.tuple_bytes * s_l)
+    breakdown.add("flush_protocol_cpu", flush_blocks * params.m_p)
+    breakdown.add(
+        "flush_latency", send_latency_seconds(params, flush_blocks)
+    )
+
+    # Phase B: Rep-style forwarding of the remaining tuples.
+    breakdown.add(
+        "repart_select_cpu",
+        rem * (params.t_r + params.t_w + params.t_h + params.t_d),
+    )
+    raw_blocks = params.blocks(p * rem * params.tuple_bytes)
+    breakdown.add("repart_protocol_cpu", raw_blocks * 2.0 * params.m_p)
+    breakdown.add(
+        "repart_latency", send_latency_seconds(params, raw_blocks)
+    )
+
+    # Merge phase: every node receives rem raw tuples + flushed partials
+    # (hash partitioning spreads both evenly over the busy nodes).
+    busy = min(num_groups, params.num_nodes)
+    merge_tuples = (rem + flushed) * params.num_nodes / busy
+    merge_bytes = merge_tuples * p * params.tuple_bytes
+    groups_per_busy = num_groups / busy
+    breakdown.add(
+        "merge_recv_protocol_cpu", params.blocks(merge_bytes) * params.m_p
+    )
+    breakdown.add("merge_cpu", merge_tuples * (params.t_r + params.t_a))
+    breakdown.add(
+        "merge_overflow_io",
+        overflow_io_seconds(
+            params, expected_groups=groups_per_busy, spool_bytes=merge_bytes
+        ),
+    )
+    breakdown.add("merge_result_cpu", groups_per_busy * params.t_w)
+    result_bytes = groups_per_busy * p * params.tuple_bytes
+    breakdown.add("store_io", store_seconds(params, result_bytes, pipeline))
+    return breakdown
+
+
+def adaptive_repartitioning_cost(
+    params: SystemParameters,
+    selectivity: float,
+    pipeline: bool = False,
+    init_seg: int | None = None,
+    threshold: int | None = None,
+) -> CostBreakdown:
+    """A-Rep: start with Rep; fall back to A-2P if groups look few (§3.3).
+
+    Staying with Rep costs exactly Rep (the observation is free and the
+    end-of-phase message is piggy-backed).  Switching costs the Rep-style
+    processing of the first ``init_seg`` tuples per node plus a 2P pass
+    over the remainder — with the merge phase reusing the hash table the
+    repartitioning phase already built.
+    """
+    if threshold is None:
+        threshold = default_crossover(params)
+    num_groups = params.num_groups(selectivity)
+    if num_groups >= threshold:
+        breakdown = repartitioning_cost(params, selectivity, pipeline)
+        breakdown.algorithm = "adaptive_repartitioning"
+        return breakdown
+
+    if init_seg is None:
+        init_seg = int(min(params.tuples_per_node, 10 * threshold))
+    init_seg = int(min(init_seg, params.tuples_per_node))
+
+    breakdown = CostBreakdown("adaptive_repartitioning", selectivity)
+    s_l = params.local_selectivity(selectivity)
+    s_g = params.global_selectivity(selectivity)
+    p = params.projectivity
+    r_i = params.tuples_per_node
+    rem = r_i - init_seg
+
+    # Phase R: the first init_seg tuples per node go through Rep.  With few
+    # groups the receiving side concentrates on min(|G|, N) nodes — the
+    # "beginning not all processors are used" penalty of Figure 3.
+    breakdown.add("scan_io", scan_seconds(params, r_i, pipeline))
+    breakdown.add(
+        "initseg_select_cpu",
+        init_seg * (params.t_r + params.t_w + params.t_h + params.t_d),
+    )
+    init_blocks = params.blocks(p * init_seg * params.tuple_bytes)
+    breakdown.add("initseg_protocol_cpu", init_blocks * 2.0 * params.m_p)
+    breakdown.add(
+        "initseg_latency", send_latency_seconds(params, init_blocks)
+    )
+    busy = min(num_groups, params.num_nodes)
+    recv_tuples = init_seg * params.num_nodes / busy
+    breakdown.add("initseg_agg_cpu", recv_tuples * (params.t_r + params.t_a))
+
+    # Switch: end-of-phase messages are piggy-backed; charge one protocol
+    # block per node for the broadcast.
+    breakdown.add("end_of_phase_cpu", params.num_nodes * params.m_p)
+
+    # Phase 2P on the remainder (few groups, so A-2P will not re-switch).
+    breakdown.add("select_cpu", rem * (params.t_r + params.t_w))
+    breakdown.add(
+        "local_agg_cpu", rem * (params.t_r + params.t_h + params.t_a)
+    )
+    breakdown.add("local_result_cpu", rem * s_l * params.t_w)
+    partial_blocks = params.blocks(p * rem * params.tuple_bytes * s_l)
+    breakdown.add("send_protocol_cpu", partial_blocks * params.m_p)
+    breakdown.add(
+        "send_latency", send_latency_seconds(params, partial_blocks)
+    )
+
+    # Merge: partials from the 2P pass land in the hash table Phase R
+    # already built, so only the partials' merge work is new.
+    merge_tuples = rem * s_l
+    merge_bytes = p * rem * params.tuple_bytes * s_l
+    breakdown.add(
+        "merge_recv_protocol_cpu", params.blocks(merge_bytes) * params.m_p
+    )
+    breakdown.add("merge_cpu", merge_tuples * (params.t_r + params.t_a))
+    breakdown.add("merge_result_cpu", merge_tuples * s_g * params.t_w)
+    result_bytes = merge_bytes * s_g
+    breakdown.add("store_io", store_seconds(params, result_bytes, pipeline))
+    return breakdown

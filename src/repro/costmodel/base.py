@@ -1,0 +1,113 @@
+"""Shared pieces of the analytical cost models.
+
+Conventions (following Section 2):
+
+* All nodes are perfectly parallel and CPU, I/O and messages do not
+  overlap, so elapsed time = the per-node sum of phase components (plus the
+  coordinator's sequential phase for Centralized Two Phase).
+* The network contributes latency per message block.  Under
+  ``NetworkKind.HIGH_BANDWIDTH`` transfers from different nodes proceed in
+  parallel (per-node latency counts once); under
+  ``NetworkKind.LIMITED_BANDWIDTH`` the network is a sequential shared
+  resource, so the elapsed contribution is the *total* blocks sent by all
+  nodes times m_l — "sending a fixed amount of data will take a fixed
+  amount of time independent of the number of processors involved".
+* Overflow terms follow the typo-corrected reading
+  ``max(0, 1 − M/(expected groups fed to the table))`` — the fraction of
+  groups (and hence, under uniformity, of tuples) that miss the in-memory
+  table and need one extra write+read of their projected bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.params import NetworkKind, SystemParameters
+
+
+@dataclass
+class CostBreakdown:
+    """Per-component cost of one algorithm at one selectivity (seconds)."""
+
+    algorithm: str
+    selectivity: float
+    components: dict[str, float] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError(
+                f"negative cost component {name}={seconds} "
+                f"in {self.algorithm}"
+            )
+        self.components[name] = self.components.get(name, 0.0) + seconds
+
+    def extend(self, other: "CostBreakdown", prefix: str = "") -> None:
+        for name, seconds in other.components.items():
+            self.add(prefix + name, seconds)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(self.components.values())
+
+    def component(self, name: str) -> float:
+        return self.components.get(name, 0.0)
+
+
+def overflow_fraction(expected_groups: float, max_entries: int) -> float:
+    """Fraction of input that misses an M-entry table, in [0, 1]."""
+    if expected_groups <= 0:
+        return 0.0
+    return max(0.0, 1.0 - max_entries / expected_groups)
+
+
+def overflow_io_seconds(
+    params: SystemParameters,
+    expected_groups: float,
+    spool_bytes: float,
+    pipeline: bool = False,
+) -> float:
+    """The '(1 − M/S)·…·2·IO' term: spool out + read back the overflow.
+
+    Intermediate spill I/O happens regardless of whether the operator sits
+    in a pipeline, so ``pipeline`` is accepted only for symmetry and
+    ignored.
+    """
+    frac = overflow_fraction(expected_groups, params.hash_table_entries)
+    return frac * params.pages(spool_bytes) * 2.0 * params.io_seconds
+
+
+def scan_seconds(
+    params: SystemParameters, num_tuples: float, pipeline: bool
+) -> float:
+    """Sequential scan I/O for ``num_tuples`` local tuples (0 in a pipeline)."""
+    if pipeline:
+        return 0.0
+    return params.pages(num_tuples * params.tuple_bytes) * params.io_seconds
+
+
+def store_seconds(
+    params: SystemParameters, result_bytes: float, pipeline: bool
+) -> float:
+    """Result store I/O (0 when the parent operator consumes the stream)."""
+    if pipeline:
+        return 0.0
+    return params.pages(result_bytes) * params.io_seconds
+
+
+def send_latency_seconds(
+    params: SystemParameters,
+    blocks_per_node: float,
+    num_senders: int | None = None,
+) -> float:
+    """Elapsed network latency for each of N nodes sending ``blocks_per_node``.
+
+    High bandwidth: transfers overlap across nodes, contribute
+    ``blocks_per_node · m_l``.  Limited bandwidth: the bus serializes, so
+    every node's elapsed time includes the *total* traffic.
+    """
+    if blocks_per_node < 0:
+        raise ValueError("blocks_per_node must be non-negative")
+    senders = params.num_nodes if num_senders is None else num_senders
+    if params.network is NetworkKind.LIMITED_BANDWIDTH:
+        return blocks_per_node * senders * params.m_l
+    return blocks_per_node * params.m_l

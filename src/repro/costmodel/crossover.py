@@ -1,0 +1,72 @@
+"""Locating the 2P/Rep crossover, and its sensitivity to hardware.
+
+The whole paper turns on one quantity: the grouping selectivity S* where
+Repartitioning overtakes Two Phase.  The adaptive algorithms exist
+because S* moves with the hardware — the slow bus of Figure 4 pushes it
+far right of the fast network of Figure 3.  This module finds S* by
+bisection over the analytical models and sweeps it against hardware
+parameters (network speed, memory, CPU, disk), quantifying the paper's
+qualitative claims.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.traditional import repartitioning_cost, two_phase_cost
+
+
+def cost_gap(params: SystemParameters, selectivity: float) -> float:
+    """two_phase − repartitioning at one selectivity (positive = Rep wins)."""
+    return (
+        two_phase_cost(params, selectivity).total_seconds
+        - repartitioning_cost(params, selectivity).total_seconds
+    )
+
+
+def find_crossover(
+    params: SystemParameters,
+    low: float | None = None,
+    high: float = 0.5,
+    iterations: int = 60,
+) -> float | None:
+    """The selectivity where Rep starts beating 2P, by log-bisection.
+
+    Returns None when one algorithm dominates the whole range (e.g. on a
+    very slow network Rep may never win below ``high``).
+    """
+    if low is None:
+        low = 1.0 / params.num_tuples
+    gap_low = cost_gap(params, low)
+    gap_high = cost_gap(params, high)
+    if gap_low > 0:          # Rep already wins at the bottom
+        return low
+    if gap_high < 0:         # 2P still wins at the top
+        return None
+    lo, hi = math.log10(low), math.log10(high)
+    for _ in range(iterations):
+        mid = (lo + hi) / 2.0
+        if cost_gap(params, 10**mid) < 0:
+            lo = mid
+        else:
+            hi = mid
+    return 10 ** ((lo + hi) / 2.0)
+
+
+def crossover_sensitivity(
+    params: SystemParameters,
+    parameter: str,
+    values,
+) -> list[tuple[float, float | None]]:
+    """S* as a function of one SystemParameters field.
+
+    Returns (value, crossover_selectivity) pairs; None means Rep never
+    wins in range.  Use e.g. ``parameter="msg_latency_seconds"`` for the
+    network-speed sweep behind the Figure 3 vs Figure 4 contrast.
+    """
+    out = []
+    for value in values:
+        variant = params.with_(**{parameter: value})
+        out.append((value, find_crossover(variant)))
+    return out

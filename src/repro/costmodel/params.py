@@ -1,0 +1,237 @@
+"""Table 1: parameters for the analytical models and the simulator.
+
+Instruction-count parameters (t_r, t_w, …) are stored as instruction counts
+and exposed as *seconds* via properties (count / mips / 1e6), matching the
+paper's convention that 300/mips with mips = 40 means 7.5 microseconds.
+
+Two presets are provided:
+
+* :meth:`SystemParameters.paper_default` — the Table 1 column: 32 nodes,
+  8M × 100-byte tuples, high-speed network available;
+* :meth:`SystemParameters.implementation` — the Section 5 cluster: 8 nodes,
+  2M × 100-byte tuples, 10 Mbit/s shared Ethernet, 2 KB message blocks.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass, replace
+
+
+class NetworkKind(enum.Enum):
+    """The paper's two interconnect models.
+
+    HIGH_BANDWIDTH: latency-only (IBM SP-2-like) — sending a page costs the
+    sender m_l but any number of transfers proceed in parallel.
+    LIMITED_BANDWIDTH: a sequential shared resource (10 Mbit Ethernet-like)
+    — total transfer time is proportional to total bytes, independent of
+    how many processors send.
+    """
+
+    HIGH_BANDWIDTH = "high_bandwidth"
+    LIMITED_BANDWIDTH = "limited_bandwidth"
+
+
+@dataclass(frozen=True)
+class SystemParameters:
+    """The Table 1 parameter set (times derived from instruction counts)."""
+
+    num_nodes: int = 32                      # N
+    mips: float = 40.0                       # processor speed
+    num_tuples: int = 8_000_000              # |R|
+    tuple_bytes: int = 100                   # => R = 800 MB
+    page_bytes: int = 4096                   # P
+    io_seconds: float = 1.15e-3              # IO, sequential page read
+    random_io_seconds: float = 15.0e-3       # rIO
+    projectivity: float = 0.16               # p
+    read_instr: float = 300.0                # t_r
+    write_instr: float = 100.0               # t_w
+    hash_instr: float = 400.0                # t_h
+    agg_instr: float = 300.0                 # t_a
+    dest_instr: float = 10.0                 # t_d
+    msg_protocol_instr: float = 1000.0       # m_p, per page
+    msg_latency_seconds: float = 2.0e-3      # m_l, per page
+    hash_table_entries: int = 10_000         # M
+    network: NetworkKind = NetworkKind.HIGH_BANDWIDTH
+    message_block_bytes: int | None = None   # defaults to page_bytes
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        if self.num_tuples < 1:
+            raise ValueError("num_tuples must be at least 1")
+        if not 0 < self.projectivity <= 1:
+            raise ValueError("projectivity must be in (0, 1]")
+        if self.page_bytes < self.tuple_bytes:
+            raise ValueError("a page must hold at least one tuple")
+        if self.hash_table_entries < 1:
+            raise ValueError("hash_table_entries must be at least 1")
+
+    # --- derived time parameters (seconds) -------------------------------
+
+    def _instr_seconds(self, count: float) -> float:
+        return count / self.mips / 1e6
+
+    @property
+    def t_r(self) -> float:
+        """Time to read a tuple (seconds)."""
+        return self._instr_seconds(self.read_instr)
+
+    @property
+    def t_w(self) -> float:
+        """Time to write a tuple (seconds)."""
+        return self._instr_seconds(self.write_instr)
+
+    @property
+    def t_h(self) -> float:
+        """Time to compute a hash value (seconds)."""
+        return self._instr_seconds(self.hash_instr)
+
+    @property
+    def t_a(self) -> float:
+        """Time to process (aggregate) a tuple (seconds)."""
+        return self._instr_seconds(self.agg_instr)
+
+    @property
+    def t_d(self) -> float:
+        """Time to compute a tuple's destination node (seconds)."""
+        return self._instr_seconds(self.dest_instr)
+
+    @property
+    def m_p(self) -> float:
+        """Message protocol CPU cost per page (seconds)."""
+        return self._instr_seconds(self.msg_protocol_instr)
+
+    @property
+    def m_l(self) -> float:
+        """Time to move one page across the network (seconds)."""
+        return self.msg_latency_seconds
+
+    # --- derived sizes ----------------------------------------------------
+
+    @property
+    def relation_bytes(self) -> int:
+        return self.num_tuples * self.tuple_bytes
+
+    @property
+    def tuples_per_node(self) -> float:
+        """|R_i| = |R| / N."""
+        return self.num_tuples / self.num_nodes
+
+    @property
+    def node_bytes(self) -> float:
+        """R_i = R / N."""
+        return self.relation_bytes / self.num_nodes
+
+    @property
+    def block_bytes(self) -> int:
+        """Network message block size (the implementation uses 2 KB)."""
+        return self.message_block_bytes or self.page_bytes
+
+    def pages(self, nbytes: float) -> float:
+        """Fractional page count for ``nbytes`` of data."""
+        return nbytes / self.page_bytes
+
+    def blocks(self, nbytes: float) -> float:
+        """Fractional message-block count for ``nbytes`` of data."""
+        return nbytes / self.block_bytes
+
+    def tuples_per_page(self) -> int:
+        return max(1, self.page_bytes // self.tuple_bytes)
+
+    # --- selectivity helpers (Table 1's S_l / S_g, typo-corrected) --------
+
+    def local_selectivity(self, selectivity: float) -> float:
+        """S_l: distinct fraction seen by phase 1 of Two Phase.
+
+        Table 1 prints max(S·N, 1); the Section 2.2 derivation requires
+        min(S·N, 1): a node holding |R|/N tuples of a relation with S·|R|
+        uniformly spread groups sees min(S·|R|, |R|/N) distinct groups.
+        """
+        self._check_selectivity(selectivity)
+        return min(selectivity * self.num_nodes, 1.0)
+
+    def global_selectivity(self, selectivity: float) -> float:
+        """S_g = max(1/N, S): phase 2 selectivity of Two Phase."""
+        self._check_selectivity(selectivity)
+        return max(1.0 / self.num_nodes, selectivity)
+
+    def _check_selectivity(self, selectivity: float) -> None:
+        # Selectivities below 1/|R| are allowed (the scaleup experiments
+        # hold S fixed while |R| shrinks with N); num_groups() clamps the
+        # induced group count to at least one.
+        if not (0 < selectivity <= 1.0):
+            raise ValueError(
+                f"selectivity {selectivity} outside (0, 1]"
+            )
+
+    def num_groups(self, selectivity: float) -> int:
+        return max(1, round(selectivity * self.num_tuples))
+
+    # --- presets and variation --------------------------------------------
+
+    @classmethod
+    def paper_default(cls) -> "SystemParameters":
+        """The Table 1 column as printed."""
+        return cls()
+
+    @classmethod
+    def implementation(cls) -> "SystemParameters":
+        """The Section 5 cluster: 8 SparcServers on 10 Mbit Ethernet.
+
+        2M × 100-byte tuples (25 MB/node), messages blocked into 2 KB
+        pages; a 2 KB block on a 10 Mbit/s bus takes ~1.64 ms.
+        """
+        return cls(
+            num_nodes=8,
+            num_tuples=2_000_000,
+            network=NetworkKind.LIMITED_BANDWIDTH,
+            message_block_bytes=2048,
+            msg_latency_seconds=2048 * 8 / 10e6,
+        )
+
+    def with_(self, **overrides) -> "SystemParameters":
+        """A copy with the given fields replaced."""
+        return replace(self, **overrides)
+
+    def scaled(self, factor: float) -> "SystemParameters":
+        """Shrink the relation and hash table together by ``factor``.
+
+        Every adaptive decision in the algorithms depends on ratios of M,
+        |R_i| and the group count, so scaling both preserves all
+        crossovers while letting the simulator run laptop-sized data.
+        """
+        if factor <= 0:
+            raise ValueError("scale factor must be positive")
+        return self.with_(
+            num_tuples=max(1, round(self.num_tuples * factor)),
+            hash_table_entries=max(
+                1, round(self.hash_table_entries * factor)
+            ),
+        )
+
+    def scaleup_instance(self, num_nodes: int) -> "SystemParameters":
+        """The scaleup experiment's rule: |R| grows with N (fixed |R_i|)."""
+        if num_nodes < 1:
+            raise ValueError("num_nodes must be at least 1")
+        per_node = self.num_tuples / self.num_nodes
+        return self.with_(
+            num_nodes=num_nodes,
+            num_tuples=max(1, round(per_node * num_nodes)),
+        )
+
+
+def tuples_for_pages(params: SystemParameters, num_pages: float) -> float:
+    """Inverse of page arithmetic: tuples contained in ``num_pages``."""
+    return num_pages * params.tuples_per_page()
+
+
+def log_selectivities(
+    params: SystemParameters, points: int = 15
+) -> list[float]:
+    """The figures' x-axis: log-spaced S from 1/|R| to 0.5."""
+    lo = math.log10(1.0 / params.num_tuples)
+    hi = math.log10(0.5)
+    step = (hi - lo) / (points - 1)
+    return [10 ** (lo + i * step) for i in range(points)]

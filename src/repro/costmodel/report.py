@@ -1,0 +1,59 @@
+"""Component-level cost reporting: where does the time go?
+
+The models return per-component breakdowns; this module groups them into
+the four resource families (scan/store I/O, CPU, network, overflow I/O)
+so "why does algorithm X lose here" has a quantitative answer — the
+breakdown behind every crossover in Figures 1–4.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel import MODEL_FUNCTIONS, model_cost
+from repro.costmodel.base import CostBreakdown
+from repro.costmodel.params import SystemParameters
+
+FAMILIES = ("base_io", "cpu", "network", "overflow_io")
+
+_FAMILY_RULES = (
+    ("overflow_io", ("overflow",)),
+    ("base_io", ("scan_io", "store_io", "sample_scan_io")),
+    ("network", ("latency",)),
+    ("cpu", ("cpu",)),
+)
+
+
+def classify_component(name: str) -> str:
+    """Map a component name to its resource family."""
+    for family, needles in _FAMILY_RULES:
+        if any(needle in name for needle in needles):
+            return family
+    return "cpu"
+
+
+def family_breakdown(breakdown: CostBreakdown) -> dict[str, float]:
+    """Collapse a cost breakdown into the four resource families."""
+    families = dict.fromkeys(FAMILIES, 0.0)
+    for name, seconds in breakdown.components.items():
+        families[classify_component(name)] += seconds
+    return families
+
+
+def breakdown_table(
+    params: SystemParameters,
+    selectivity: float,
+    algorithms=None,
+) -> list[tuple]:
+    """Rows of (algorithm, base_io, cpu, network, overflow_io, total)."""
+    names = list(MODEL_FUNCTIONS if algorithms is None else algorithms)
+    rows = []
+    for name in names:
+        breakdown = model_cost(name, params, selectivity)
+        families = family_breakdown(breakdown)
+        rows.append(
+            (
+                name,
+                *(families[f] for f in FAMILIES),
+                breakdown.total_seconds,
+            )
+        )
+    return rows

@@ -1,0 +1,78 @@
+"""Scaleup analysis (Figures 5 and 6).
+
+Scaleup holds the per-node data constant while growing the machine: at N
+nodes the relation has N × |R_1| tuples.  The reported metric is
+``T(baseline) / T(N)`` — 1.0 everywhere is ideal scaleup (the bigger
+machine chews the proportionally bigger problem in the same time).
+
+The paper fixes the *selectivity* (2.0e-6 and 0.25), so the group count
+grows with the relation, and uses a crossover threshold of 100·N for the
+Sampling algorithm — which is why Sampling's overhead is a constant per
+processor and its scaleup slightly suboptimal.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.adaptive import (
+    adaptive_repartitioning_cost,
+    adaptive_two_phase_cost,
+    sampling_cost,
+)
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.traditional import (
+    centralized_two_phase_cost,
+    repartitioning_cost,
+    two_phase_cost,
+)
+
+DEFAULT_NODE_COUNTS = (2, 4, 8, 16, 32, 64)
+
+
+def _cost_fn(name: str):
+    plain = {
+        "centralized_two_phase": centralized_two_phase_cost,
+        "two_phase": two_phase_cost,
+        "repartitioning": repartitioning_cost,
+        "adaptive_two_phase": adaptive_two_phase_cost,
+        "adaptive_repartitioning": adaptive_repartitioning_cost,
+    }
+    if name in plain:
+        return plain[name]
+    if name == "sampling":
+        # The scaleup experiments use the paper's 100·N crossover.
+        def fn(params: SystemParameters, selectivity: float):
+            return sampling_cost(
+                params, selectivity, threshold=100 * params.num_nodes
+            )
+
+        return fn
+    raise KeyError(f"unknown algorithm {name!r} for scaleup")
+
+
+def scaleup_series(
+    algorithm: str,
+    params: SystemParameters,
+    selectivity: float,
+    node_counts=DEFAULT_NODE_COUNTS,
+) -> list[tuple[int, float, float]]:
+    """(N, elapsed_seconds, scaleup) for each node count.
+
+    ``params`` fixes the per-node data volume (its num_tuples / num_nodes
+    ratio); each point re-instantiates the system at N nodes with N × that
+    volume.  Scaleup is normalized to the first node count in the list.
+    """
+    counts = list(node_counts)
+    if not counts:
+        raise ValueError("node_counts must be non-empty")
+    if counts != sorted(counts):
+        raise ValueError("node_counts must be ascending")
+    fn = _cost_fn(algorithm)
+    times = [
+        fn(params.scaleup_instance(n), selectivity).total_seconds
+        for n in counts
+    ]
+    baseline = times[0]
+    return [
+        (n, t, baseline / t if t > 0 else float("inf"))
+        for n, t in zip(counts, times)
+    ]

@@ -1,0 +1,54 @@
+"""Analytical speedup: fixed problem, growing machine.
+
+The paper reports scaleup (Figures 5–6); speedup is the companion
+experiment its successors usually report instead.  Here the relation is
+fixed while N grows, so per-node data shrinks — the regime where
+per-processor overheads (the sampling cost, message protocol per block)
+eventually bite, bounding speedup below ideal.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.scaleup import DEFAULT_NODE_COUNTS, _cost_fn
+from repro.costmodel.params import SystemParameters
+
+
+def speedup_series(
+    algorithm: str,
+    params: SystemParameters,
+    selectivity: float,
+    node_counts=DEFAULT_NODE_COUNTS,
+) -> list[tuple[int, float, float]]:
+    """(N, elapsed_seconds, speedup) with the relation held fixed.
+
+    Speedup is normalized to the first node count; ideal at N is
+    N / node_counts[0].
+    """
+    counts = list(node_counts)
+    if not counts:
+        raise ValueError("node_counts must be non-empty")
+    if counts != sorted(counts):
+        raise ValueError("node_counts must be ascending")
+    fn = _cost_fn(algorithm)
+    times = [
+        fn(params.with_(num_nodes=n), selectivity).total_seconds
+        for n in counts
+    ]
+    baseline = times[0]
+    return [
+        (n, t, baseline / t if t > 0 else float("inf"))
+        for n, t in zip(counts, times)
+    ]
+
+
+def parallel_efficiency(
+    algorithm: str,
+    params: SystemParameters,
+    selectivity: float,
+    node_counts=DEFAULT_NODE_COUNTS,
+) -> list[tuple[int, float]]:
+    """(N, speedup / ideal) — 1.0 is perfect parallel efficiency."""
+    counts = list(node_counts)
+    series = speedup_series(algorithm, params, selectivity, counts)
+    base = counts[0]
+    return [(n, su / (n / base)) for n, _t, su in series]

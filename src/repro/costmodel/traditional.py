@@ -1,0 +1,165 @@
+"""Cost models of the three traditional algorithms (Sections 2.1–2.3).
+
+Each function returns the modelled elapsed time for the whole query at one
+grouping selectivity, broken into the paper's phase components.  Set
+``pipeline=True`` to drop base-relation scan and result-store I/O, which is
+the Figure 2 scenario (aggregation fed by / feeding other operators).
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.base import (
+    CostBreakdown,
+    overflow_io_seconds,
+    scan_seconds,
+    send_latency_seconds,
+    store_seconds,
+)
+from repro.costmodel.params import SystemParameters
+
+
+def _local_aggregation_phase(
+    breakdown: CostBreakdown,
+    params: SystemParameters,
+    selectivity: float,
+    pipeline: bool,
+) -> float:
+    """Phase 1 shared by C-2P and 2P; returns bytes of partials sent/node."""
+    s_l = params.local_selectivity(selectivity)
+    r_i_tuples = params.tuples_per_node
+    r_i_bytes = params.node_bytes
+    p = params.projectivity
+
+    breakdown.add("scan_io", scan_seconds(params, r_i_tuples, pipeline))
+    breakdown.add("select_cpu", r_i_tuples * (params.t_r + params.t_w))
+    breakdown.add(
+        "local_agg_cpu",
+        r_i_tuples * (params.t_r + params.t_h + params.t_a),
+    )
+    breakdown.add(
+        "local_overflow_io",
+        overflow_io_seconds(
+            params,
+            expected_groups=s_l * r_i_tuples,
+            spool_bytes=p * r_i_bytes,
+        ),
+    )
+    breakdown.add("local_result_cpu", r_i_tuples * s_l * params.t_w)
+
+    partial_bytes = p * r_i_bytes * s_l
+    blocks = params.blocks(partial_bytes)
+    breakdown.add("send_protocol_cpu", blocks * params.m_p)
+    breakdown.add("send_latency", send_latency_seconds(params, blocks))
+    return partial_bytes
+
+
+def centralized_two_phase_cost(
+    params: SystemParameters, selectivity: float, pipeline: bool = False
+) -> CostBreakdown:
+    """C-2P: parallel local aggregation, sequential merge at a coordinator.
+
+    The merge phase receives |G| = |R|·S_l partials at one node, which is
+    the bottleneck the moment the group count stops being tiny.
+    """
+    breakdown = CostBreakdown("centralized_two_phase", selectivity)
+    s_l = params.local_selectivity(selectivity)
+    s_g = params.global_selectivity(selectivity)
+    _local_aggregation_phase(breakdown, params, selectivity, pipeline)
+
+    merge_tuples = params.num_tuples * s_l          # |G|
+    merge_bytes = params.projectivity * params.relation_bytes * s_l  # G
+    breakdown.add(
+        "coord_recv_protocol_cpu", params.blocks(merge_bytes) * params.m_p
+    )
+    breakdown.add("coord_merge_cpu", merge_tuples * (params.t_r + params.t_a))
+    breakdown.add(
+        "coord_overflow_io",
+        overflow_io_seconds(
+            params,
+            expected_groups=s_g * merge_tuples,
+            spool_bytes=merge_bytes,
+        ),
+    )
+    breakdown.add("coord_result_cpu", merge_tuples * s_g * params.t_w)
+    breakdown.add(
+        "store_io", store_seconds(params, merge_bytes * s_g, pipeline)
+    )
+    return breakdown
+
+
+def two_phase_cost(
+    params: SystemParameters, selectivity: float, pipeline: bool = False
+) -> CostBreakdown:
+    """2P: local aggregation, then hash-partitioned *parallel* merge.
+
+    Works well while the group count is small; at large group counts it
+    duplicates aggregation work across the two phases and its total memory
+    demand grows with N copies of each group.
+    """
+    breakdown = CostBreakdown("two_phase", selectivity)
+    s_l = params.local_selectivity(selectivity)
+    s_g = params.global_selectivity(selectivity)
+    _local_aggregation_phase(breakdown, params, selectivity, pipeline)
+
+    merge_tuples = params.tuples_per_node * s_l     # |G_i|
+    merge_bytes = params.projectivity * params.node_bytes * s_l  # G_i
+    breakdown.add(
+        "merge_recv_protocol_cpu", params.blocks(merge_bytes) * params.m_p
+    )
+    breakdown.add("merge_cpu", merge_tuples * (params.t_r + params.t_a))
+    breakdown.add(
+        "merge_overflow_io",
+        overflow_io_seconds(
+            params,
+            expected_groups=s_g * merge_tuples,
+            spool_bytes=merge_bytes,
+        ),
+    )
+    breakdown.add("merge_result_cpu", merge_tuples * s_g * params.t_w)
+    breakdown.add(
+        "store_io", store_seconds(params, merge_bytes * s_g, pipeline)
+    )
+    return breakdown
+
+
+def repartitioning_cost(
+    params: SystemParameters, selectivity: float, pipeline: bool = False
+) -> CostBreakdown:
+    """Rep: hash-partition raw (projected) tuples, aggregate once.
+
+    Each group is aggregated in exactly one place, so there is no duplicated
+    work and the memory footprint is |G| entries total.  The costs are the
+    network (every projected tuple crosses it) and, when |G| < N, idle
+    processors: the busy nodes each aggregate |R| / min(|G|, N) tuples.
+    """
+    breakdown = CostBreakdown("repartitioning", selectivity)
+    r_i_tuples = params.tuples_per_node
+    r_i_bytes = params.node_bytes
+    p = params.projectivity
+    num_groups = params.num_groups(selectivity)
+
+    breakdown.add("scan_io", scan_seconds(params, r_i_tuples, pipeline))
+    breakdown.add(
+        "select_cpu",
+        r_i_tuples * (params.t_r + params.t_w + params.t_h + params.t_d),
+    )
+    blocks = params.blocks(p * r_i_bytes)
+    breakdown.add("repartition_protocol_cpu", blocks * 2.0 * params.m_p)
+    breakdown.add("send_latency", send_latency_seconds(params, blocks))
+
+    # Aggregation phase: only min(|G|, N) nodes receive any tuples.
+    busy = min(num_groups, params.num_nodes)
+    agg_tuples = params.num_tuples / busy
+    agg_bytes = p * params.relation_bytes / busy
+    groups_per_busy = num_groups / busy
+    breakdown.add("agg_cpu", agg_tuples * (params.t_r + params.t_a))
+    breakdown.add(
+        "agg_overflow_io",
+        overflow_io_seconds(
+            params, expected_groups=groups_per_busy, spool_bytes=agg_bytes
+        ),
+    )
+    breakdown.add("result_cpu", groups_per_busy * params.t_w)
+    result_bytes = agg_bytes * (groups_per_busy / agg_tuples)
+    breakdown.add("store_io", store_seconds(params, result_bytes, pipeline))
+    return breakdown

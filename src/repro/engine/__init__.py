@@ -1,0 +1,42 @@
+"""A Volcano-style local operator engine.
+
+Section 2 assumes a Gamma-like system where "each relational operation is
+represented by operators" and data flows through them in a pipeline —
+select feeding aggregation feeding a store.  This subpackage provides
+that substrate for a single node: iterator-model operators that compose
+into plans, so the library can execute the paper's canonical query shape
+(scan → select → aggregate → having → project) outside the cluster
+simulator too.
+"""
+
+from repro.engine.operators import (
+    HashAggregateOp,
+    HashJoinOp,
+    HavingOp,
+    LimitOp,
+    Operator,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+    SortAggregateOp,
+    SortOp,
+    execute,
+)
+from repro.engine.planner import build_aggregate_plan, explain, run_query
+
+__all__ = [
+    "HashAggregateOp",
+    "HashJoinOp",
+    "HavingOp",
+    "LimitOp",
+    "Operator",
+    "ProjectOp",
+    "ScanOp",
+    "SelectOp",
+    "SortAggregateOp",
+    "SortOp",
+    "build_aggregate_plan",
+    "execute",
+    "explain",
+    "run_query",
+]

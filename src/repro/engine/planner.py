@@ -1,0 +1,69 @@
+"""Plan construction and EXPLAIN for the local operator engine."""
+
+from __future__ import annotations
+
+from repro.core.query import AggregateQuery
+from repro.engine.operators import (
+    HashAggregateOp,
+    HavingOp,
+    Operator,
+    ScanOp,
+    SelectOp,
+    SortAggregateOp,
+    SortOp,
+    execute,
+)
+from repro.storage.relation import Relation
+
+
+def build_aggregate_plan(
+    relation: Relation,
+    query: AggregateQuery,
+    method: str = "hash",
+    max_entries: int = 2**62,
+    order_results: bool = False,
+) -> Operator:
+    """The paper's canonical tree: scan → select → aggregate → having.
+
+    ``method`` picks the hash or sort aggregation engine; with "sort"
+    the output is already in key order, so ``order_results`` adds a
+    SortOp only for the hash engine.
+    """
+    plan: Operator = ScanOp(relation)
+    if query.where is not None:
+        plan = SelectOp(plan, query.where)
+    if method == "hash":
+        plan = HashAggregateOp(plan, query, max_entries)
+    elif method == "sort":
+        plan = SortAggregateOp(plan, query, max_entries)
+    else:
+        raise ValueError(
+            f"method must be 'hash' or 'sort', got {method!r}"
+        )
+    if query.having is not None:
+        plan = HavingOp(plan, query.having)
+    if order_results and method == "hash" and query.group_by:
+        plan = SortOp(plan, list(query.group_by))
+    return plan
+
+
+def run_query(
+    relation: Relation,
+    query: AggregateQuery,
+    method: str = "hash",
+    max_entries: int = 2**62,
+) -> Relation:
+    """Build and execute the canonical aggregate plan."""
+    plan = build_aggregate_plan(
+        relation, query, method=method, max_entries=max_entries,
+        order_results=True,
+    )
+    return execute(plan)
+
+
+def explain(plan: Operator, indent: int = 0) -> str:
+    """An EXPLAIN-style rendering of the operator tree."""
+    lines = [" " * indent + "-> " + plan.describe()]
+    for child in plan.children:
+        lines.append(explain(child, indent + 3))
+    return "\n".join(lines)

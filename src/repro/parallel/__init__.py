@@ -1,0 +1,22 @@
+"""Executors that run queries for real (outside the simulator).
+
+``local`` is the sequential reference executor every test compares
+against; ``mp_executor`` is a genuine multiprocessing two-phase executor
+(correctness-oriented — the repro notes explain that GIL/1-core hosts make
+Python wall-clock speedups meaningless, so timing claims come from the
+simulator).
+"""
+
+from repro.parallel.file_executor import (
+    file_backed_aggregate,
+    materialize_fragments,
+)
+from repro.parallel.local import reference_aggregate
+from repro.parallel.mp_executor import multiprocessing_aggregate
+
+__all__ = [
+    "file_backed_aggregate",
+    "materialize_fragments",
+    "multiprocessing_aggregate",
+    "reference_aggregate",
+]

@@ -1,0 +1,91 @@
+"""An out-of-core, file-backed Two Phase executor.
+
+The fully "real" execution path: each node's fragment lives in a binary
+page file (``repro.storage.pagefile``), the local phase streams it page
+by page through a bounded :class:`HashAggregator` whose overflow buckets
+spool to actual disk files (:class:`FileSpillStore`), and the merge
+phase combines the partials.  Nothing is simulated — this is the
+Section 2 algorithm running against the operating system's file system,
+exactly as the paper's implementation did (minus PVM).
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.aggregates import GroupState, make_state_factory
+from repro.core.hashtable import HashAggregator
+from repro.core.query import AggregateQuery
+from repro.storage.pagefile import PageFile, write_relation_file
+from repro.storage.relation import DistributedRelation
+from repro.storage.spill import FileSpillStore
+
+
+def materialize_fragments(
+    dist: DistributedRelation, directory: str, page_bytes: int = 4096
+) -> list[str]:
+    """Write each fragment as ``node_<i>.pages``; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths = []
+    for frag in dist.fragments:
+        path = os.path.join(directory, f"node_{frag.node_id}.pages")
+        write_relation_file(frag.relation, path, page_bytes)
+        paths.append(path)
+    return paths
+
+
+def file_backed_aggregate(
+    dist: DistributedRelation,
+    query: AggregateQuery,
+    directory: str,
+    max_entries: int = 10_000,
+    page_bytes: int = 4096,
+) -> tuple[list[tuple], dict]:
+    """Run Two Phase out-of-core over page files.
+
+    Returns (sorted result rows, stats) where stats reports pages read,
+    spill bytes, and overflow passes — the observable I/O of the run.
+    """
+    paths = materialize_fragments(dist, directory, page_bytes)
+    bq = query.bind(dist.schema)
+    factory = make_state_factory(query.aggregates)
+    stats = {
+        "pages_read": 0,
+        "spill_bytes": 0,
+        "overflow_passes": 0,
+        "partials": 0,
+    }
+
+    # Phase 1: per-fragment bounded aggregation, spilling to real files.
+    partial_lists: list[list] = []
+    for node_id, path in enumerate(paths):
+        pagefile = PageFile(path, dist.schema, page_bytes)
+        store = FileSpillStore(
+            os.path.join(directory, f"spill_{node_id}")
+        )
+        agg = HashAggregator(factory, max_entries, spill_store=store)
+        for page_no in range(pagefile.num_pages()):
+            stats["pages_read"] += 1
+            for row in pagefile.read_page(page_no):
+                if bq.matches(row):
+                    agg.add_values(bq.key_of(row), bq.values_of(row))
+        partials = list(agg.finish())
+        stats["spill_bytes"] += store.bytes_written
+        stats["overflow_passes"] += agg.overflow_passes
+        stats["partials"] += len(partials)
+        store.close()
+        partial_lists.append(partials)
+
+    # Phase 2: merge the partials (in memory — the result fits by the
+    # time it is one state per group).
+    merged: dict[tuple, GroupState] = {}
+    for partials in partial_lists:
+        for key, state in partials:
+            mine = merged.get(key)
+            if mine is None:
+                merged[key] = state.copy()
+            else:
+                mine.merge(state)
+    rows = (bq.result_row(key, state) for key, state in merged.items())
+    results = sorted(row for row in rows if bq.passes_having(row))
+    return results, stats

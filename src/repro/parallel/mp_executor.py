@@ -1,0 +1,69 @@
+"""A real multiprocessing Two Phase executor.
+
+Each worker process aggregates one node's fragment (phase 1); the parent
+merges the partial states (phase 2).  This demonstrates the library's
+partial-aggregate states compose across *real* process boundaries — the
+states are picklable by construction — while the simulator remains the
+source of timing results (see DESIGN.md on the GIL/1-core substitution).
+
+``processes=0`` (the default) sizes the pool to the fragment count but
+falls back to in-process execution when the host has a single CPU, so the
+test suite stays fast everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+
+from repro.core.aggregates import GroupState
+from repro.core.query import AggregateQuery
+from repro.storage.relation import DistributedRelation
+
+
+def _local_phase(args) -> list[tuple[tuple, GroupState]]:
+    """Phase 1 for one fragment: (rows, query, schema) -> partials."""
+    rows, query, schema = args
+    bq = query.bind(schema)
+    table: dict[tuple, GroupState] = {}
+    for row in rows:
+        if not bq.matches(row):
+            continue
+        key = bq.key_of(row)
+        state = table.get(key)
+        if state is None:
+            state = GroupState(query.aggregates)
+            table[key] = state
+        state.update(bq.values_of(row))
+    return list(table.items())
+
+
+def multiprocessing_aggregate(
+    dist: DistributedRelation,
+    query: AggregateQuery,
+    processes: int = 0,
+) -> list[tuple]:
+    """Two Phase over real processes; returns sorted result rows."""
+    jobs = [
+        (frag.relation.rows, query, dist.schema) for frag in dist.fragments
+    ]
+    cpu_count = os.cpu_count() or 1
+    if processes == 0:
+        processes = min(len(jobs), cpu_count)
+    if processes <= 1:
+        partial_lists = [_local_phase(job) for job in jobs]
+    else:
+        with multiprocessing.Pool(processes) as pool:
+            partial_lists = pool.map(_local_phase, jobs)
+
+    bq = query.bind(dist.schema)
+    merged: dict[tuple, GroupState] = {}
+    for partials in partial_lists:
+        for key, state in partials:
+            mine = merged.get(key)
+            if mine is None:
+                merged[key] = state.copy()
+            else:
+                mine.merge(state)
+    rows = (bq.result_row(key, state) for key, state in merged.items())
+    return sorted(row for row in rows if bq.passes_having(row))

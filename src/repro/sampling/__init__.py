@@ -1,0 +1,28 @@
+"""Page-oriented random sampling and group-count estimation (Section 3.1).
+
+The Sampling algorithm needs only a coarse answer — "is the number of groups
+small or large relative to a crossover threshold?" — which is far easier
+than the general distinct-value estimation problem.  Each node samples pages
+of its local fragment; the distinct groups observed in the pooled sample are
+a lower bound on the relation's group count, and the Erdős–Rényi
+coupon-collector bound says a sample of roughly ten times the threshold
+suffices to decide.
+"""
+
+from repro.sampling.decision import choose_algorithm, crossover_threshold
+from repro.sampling.estimator import (
+    distinct_lower_bound,
+    erdos_renyi_sample_size,
+    paper_sample_size,
+)
+from repro.sampling.page_sampler import sample_fragment_pages, sample_rows
+
+__all__ = [
+    "choose_algorithm",
+    "crossover_threshold",
+    "distinct_lower_bound",
+    "erdos_renyi_sample_size",
+    "paper_sample_size",
+    "sample_fragment_pages",
+    "sample_rows",
+]

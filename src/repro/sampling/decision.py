@@ -1,0 +1,31 @@
+"""The Sampling algorithm's crossover decision (Section 3.1).
+
+The optimizer picks a crossover threshold — a group count "likely to lie in
+the middle range where both algorithms perform well"; the paper suggests
+about 10 times the number of processors, and uses 100×N in the scaleup
+study.  The decision itself is then a one-line comparison of the sampled
+lower bound against the threshold.
+"""
+
+from __future__ import annotations
+
+TWO_PHASE = "two_phase"
+REPARTITIONING = "repartitioning"
+
+
+def crossover_threshold(num_nodes: int, groups_per_node: int = 10) -> int:
+    """The switching group count: ``groups_per_node`` × processors."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be at least 1")
+    if groups_per_node < 1:
+        raise ValueError("groups_per_node must be at least 1")
+    return num_nodes * groups_per_node
+
+
+def choose_algorithm(estimated_groups: int, threshold: int) -> str:
+    """Pick Two Phase when groups look few, Repartitioning otherwise."""
+    if estimated_groups < 0:
+        raise ValueError("estimated_groups must be non-negative")
+    if estimated_groups < threshold:
+        return TWO_PHASE
+    return REPARTITIONING

@@ -1,0 +1,75 @@
+"""Cluster assembly: programs in, results + metrics out."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.costmodel.params import SystemParameters
+from repro.sim.engine import Engine
+from repro.sim.events import TraceEvent
+from repro.sim.metrics import ClusterMetrics
+from repro.sim.network import make_network
+from repro.sim.node import NodeContext
+
+
+@dataclass
+class RunResult:
+    """The outcome of one simulated run."""
+
+    elapsed_seconds: float
+    node_results: list
+    metrics: ClusterMetrics
+    trace: list[TraceEvent] = field(default_factory=list)
+    timelines: list = field(default_factory=list)
+
+    def events(self, what: str) -> list[TraceEvent]:
+        """Trace events of one type (e.g. "switch_to_repartitioning")."""
+        return [e for e in self.trace if e.what == what]
+
+
+class Cluster:
+    """A simulated shared-nothing machine of ``params.num_nodes`` nodes.
+
+    ``run`` takes one *program factory* per node: a callable
+    ``factory(ctx) -> generator`` where ``ctx`` is that node's
+    :class:`~repro.sim.node.NodeContext`.  The generator's return value
+    becomes the node's entry in ``RunResult.node_results``.
+    """
+
+    def __init__(self, params: SystemParameters) -> None:
+        self.params = params
+
+    def run(
+        self,
+        program_factories,
+        record_timeline: bool = False,
+        node_speed_factors=None,
+    ) -> RunResult:
+        factories = list(program_factories)
+        if len(factories) != self.params.num_nodes:
+            raise ValueError(
+                f"got {len(factories)} programs for "
+                f"{self.params.num_nodes} nodes"
+            )
+        network = make_network(self.params)
+        engine = Engine(
+            self.params,
+            network,
+            record_timeline=record_timeline,
+            node_speed_factors=node_speed_factors,
+        )
+        contexts = [
+            NodeContext(i, self.params.num_nodes, self.params, engine)
+            for i in range(self.params.num_nodes)
+        ]
+        generators = [
+            factory(ctx) for factory, ctx in zip(factories, contexts)
+        ]
+        results, metrics = engine.run(generators)
+        return RunResult(
+            elapsed_seconds=metrics.makespan,
+            node_results=results,
+            metrics=metrics,
+            trace=engine.trace,
+            timelines=engine.timelines,
+        )

@@ -1,0 +1,69 @@
+"""The two Section 2 interconnect models.
+
+* :class:`LatencyNetwork` — "high speed, high bandwidth network as in
+  commercial multiprocessors like IBM SP-2 ... modeled only by the latency
+  to send a message i.e. it has unlimited bandwidth".  Any number of
+  transfers proceed in parallel; each takes m_l per block.
+
+* :class:`SharedBusNetwork` — "slow speed, limited bandwidth network like
+  the Ethernet ... modeled as a sequential resource where sending a fixed
+  amount of data will take a fixed amount of time independent of the number
+  of processors involved".  One transfer at a time; a transfer occupies the
+  bus for m_l per block.
+
+Both report their cumulative busy time so benchmarks can show network
+utilization.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.params import NetworkKind, SystemParameters
+
+
+class LatencyNetwork:
+    """Unlimited-bandwidth network: per-block latency, full parallelism."""
+
+    def __init__(self, seconds_per_block: float) -> None:
+        if seconds_per_block < 0:
+            raise ValueError("seconds_per_block must be non-negative")
+        self.seconds_per_block = seconds_per_block
+        self.busy_seconds = 0.0
+        self.blocks_carried = 0
+
+    def transfer(self, ready_time: float, blocks: int) -> float:
+        """Delivery time of ``blocks`` handed to the NIC at ``ready_time``."""
+        if blocks <= 0:
+            return ready_time
+        duration = blocks * self.seconds_per_block
+        self.busy_seconds += duration
+        self.blocks_carried += blocks
+        return ready_time + duration
+
+
+class SharedBusNetwork:
+    """Ethernet-like bus: transfers serialize globally in FIFO order."""
+
+    def __init__(self, seconds_per_block: float) -> None:
+        if seconds_per_block < 0:
+            raise ValueError("seconds_per_block must be non-negative")
+        self.seconds_per_block = seconds_per_block
+        self.busy_seconds = 0.0
+        self.blocks_carried = 0
+        self._free_at = 0.0
+
+    def transfer(self, ready_time: float, blocks: int) -> float:
+        if blocks <= 0:
+            return ready_time
+        start = max(self._free_at, ready_time)
+        duration = blocks * self.seconds_per_block
+        self._free_at = start + duration
+        self.busy_seconds += duration
+        self.blocks_carried += blocks
+        return self._free_at
+
+
+def make_network(params: SystemParameters):
+    """Build the network model the parameter set asks for."""
+    if params.network is NetworkKind.LIMITED_BANDWIDTH:
+        return SharedBusNetwork(params.m_l)
+    return LatencyNetwork(params.m_l)

@@ -1,0 +1,66 @@
+"""ASCII Gantt rendering of a recorded run timeline.
+
+Each node's activity segments (CPU, scan I/O, spill I/O, merge, network
+protocol, ...) become one labelled lane; gaps are idle/waiting time —
+which is how you *see* the C-2P coordinator bottleneck, the A-Rep
+end-of-phase synchronization, or the bus-bound tail of Repartitioning.
+"""
+
+from __future__ import annotations
+
+_TAG_CHARS = {
+    "scan_io": "S",
+    "io_read": "r",
+    "io_write": "w",
+    "spill_io": "!",
+    "store_io": "s",
+    "sample_io": "$",
+    "select_cpu": "c",
+    "agg_cpu": "a",
+    "merge_cpu": "m",
+    "result_cpu": "R",
+    "send_protocol": ">",
+    "recv_protocol": "<",
+    "cpu": "#",
+}
+_DEFAULT_CHAR = "#"
+
+
+def tag_char(tag: str) -> str:
+    """The single-character lane marker for an activity tag."""
+    return _TAG_CHARS.get(tag, _DEFAULT_CHAR)
+
+
+def render_timeline(
+    timelines: list[list[tuple[float, float, str]]],
+    width: int = 72,
+    end_time: float | None = None,
+) -> str:
+    """Render per-node activity lanes; '.' marks idle/waiting time."""
+    if not timelines:
+        return "(no timeline recorded)"
+    if end_time is None:
+        end_time = max(
+            (seg[1] for lane in timelines for seg in lane), default=0.0
+        )
+    if end_time <= 0:
+        return "(empty timeline)"
+    scale = width / end_time
+
+    lines = []
+    for node_id, lane in enumerate(timelines):
+        chars = ["."] * width
+        for start, end, tag in lane:
+            lo = min(width - 1, int(start * scale))
+            hi = min(width, max(lo + 1, int(end * scale + 0.9999)))
+            marker = tag_char(tag)
+            for i in range(lo, hi):
+                chars[i] = marker
+        lines.append(f"node {node_id:>2} |" + "".join(chars) + "|")
+    lines.append(f"         0s{' ' * (width - 12)}{end_time:.3f}s")
+    used_tags = {seg[2] for lane in timelines for seg in lane}
+    legend = "  ".join(
+        f"{tag_char(tag)}={tag}" for tag in sorted(used_tags)
+    )
+    lines.append("         " + legend + "  .=idle/wait")
+    return "\n".join(lines)

@@ -1,0 +1,94 @@
+"""Tokenizer for the aggregate-query SQL subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "FROM",
+        "WHERE",
+        "GROUP",
+        "BY",
+        "HAVING",
+        "AS",
+        "AND",
+        "OR",
+        "NOT",
+        "DISTINCT",
+        "IN",
+        "BETWEEN",
+    }
+)
+
+_SYMBOLS = ("<=", ">=", "<>", "!=", "=", "<", ">", "(", ")", ",", "*")
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str       # KEYWORD | IDENT | NUMBER | STRING | SYMBOL | END
+    value: str
+    position: int
+
+
+class LexError(ValueError):
+    """Bad character or unterminated literal in the query text."""
+
+
+def tokenize(text: str) -> list[Token]:
+    """Split the query text into tokens (END-terminated)."""
+    tokens: list[Token] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch.isspace():
+            i += 1
+            continue
+        if ch == "'":
+            end = text.find("'", i + 1)
+            if end < 0:
+                raise LexError(f"unterminated string at position {i}")
+            tokens.append(Token("STRING", text[i + 1 : end], i))
+            i = end + 1
+            continue
+        if ch.isdigit() or (
+            ch in "+-" and i + 1 < n and text[i + 1].isdigit()
+        ):
+            j = i + 1
+            seen_dot = False
+            while j < n and (
+                text[j].isdigit()
+                or (text[j] == "." and not seen_dot)
+                or text[j] in "eE"
+                or (text[j] in "+-" and text[j - 1] in "eE")
+            ):
+                if text[j] == ".":
+                    seen_dot = True
+                j += 1
+            tokens.append(Token("NUMBER", text[i:j], i))
+            i = j
+            continue
+        if ch.isalpha() or ch == "_":
+            j = i + 1
+            while j < n and (text[j].isalnum() or text[j] == "_"):
+                j += 1
+            word = text[i:j]
+            if word.upper() in KEYWORDS:
+                tokens.append(Token("KEYWORD", word.upper(), i))
+            else:
+                tokens.append(Token("IDENT", word, i))
+            i = j
+            continue
+        for symbol in _SYMBOLS:
+            if text.startswith(symbol, i):
+                tokens.append(Token("SYMBOL", symbol, i))
+                i += len(symbol)
+                break
+        else:
+            raise LexError(
+                f"unexpected character {ch!r} at position {i}"
+            )
+    tokens.append(Token("END", "", n))
+    return tokens

@@ -1,0 +1,39 @@
+"""Execute parsed SQL against a relation or a simulated cluster."""
+
+from __future__ import annotations
+
+from repro.core.runner import AlgorithmOutcome, run_algorithm
+from repro.engine.planner import run_query
+from repro.sql.parser import parse_query
+from repro.storage.relation import DistributedRelation, Relation
+
+
+def run_sql(
+    sql: str,
+    data,
+    algorithm: str = "adaptive_two_phase",
+    **run_kwargs,
+):
+    """Parse and execute ``sql`` over ``data``.
+
+    * ``data`` a :class:`Relation` → the local operator engine executes
+      the plan; returns a Relation.
+    * ``data`` a :class:`DistributedRelation` → the named algorithm runs
+      on the simulated cluster (``run_kwargs`` forwarded to
+      ``run_algorithm``); returns the :class:`AlgorithmOutcome`.
+
+    The FROM name is informational (there is one input); it is validated
+    only for non-emptiness by the parser.
+    """
+    _table, query = parse_query(sql)
+    if isinstance(data, DistributedRelation):
+        outcome: AlgorithmOutcome = run_algorithm(
+            algorithm, data, query, **run_kwargs
+        )
+        return outcome
+    if isinstance(data, Relation):
+        return run_query(data, query)
+    raise TypeError(
+        "expected Relation or DistributedRelation, got "
+        f"{type(data).__name__}"
+    )

@@ -1,0 +1,112 @@
+"""Loading and saving relations — CSV for people, one file per node.
+
+A downstream user reproducing the experiments on their own data needs a
+way in and out of the storage model.  The on-disk layout mirrors the
+shared-nothing placement: a directory with ``schema.csv`` plus
+``node_<i>.csv`` per fragment, so a saved DistributedRelation round-trips
+with its partitioning intact.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+
+from repro.storage.relation import DistributedRelation, Relation
+from repro.storage.schema import Column, Schema
+
+_CASTS = {"int": int, "float": float, "str": str}
+
+
+def _write_rows(path: str, schema: Schema, rows) -> None:
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(schema.names())
+        writer.writerows(rows)
+
+
+def _read_rows(path: str, schema: Schema) -> list[tuple]:
+    casts = [_CASTS[c.kind] for c in schema.columns]
+    rows: list[tuple] = []
+    with open(path, newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != schema.names():
+            raise ValueError(
+                f"{path}: header {header} does not match schema "
+                f"{schema.names()}"
+            )
+        for record in reader:
+            if len(record) != len(casts):
+                raise ValueError(
+                    f"{path}: row arity {len(record)} != schema arity "
+                    f"{len(casts)}"
+                )
+            rows.append(
+                tuple(cast(value) for cast, value in zip(casts, record))
+            )
+    return rows
+
+
+def _schema_path(directory: str) -> str:
+    return os.path.join(directory, "schema.csv")
+
+
+def save_schema(schema: Schema, directory: str) -> None:
+    """Write schema.csv describing the columns."""
+    with open(_schema_path(directory), "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["name", "kind", "size_bytes"])
+        for column in schema.columns:
+            writer.writerow([column.name, column.kind, column.size_bytes])
+
+
+def load_schema(directory: str) -> Schema:
+    """Read the schema.csv written by save_schema."""
+    with open(_schema_path(directory), newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header != ["name", "kind", "size_bytes"]:
+            raise ValueError(f"bad schema file in {directory}: {header}")
+        columns = [
+            Column(name, kind, int(size)) for name, kind, size in reader
+        ]
+    return Schema(columns)
+
+
+def save_distributed(dist: DistributedRelation, directory: str) -> None:
+    """Write schema.csv plus node_<i>.csv per fragment."""
+    os.makedirs(directory, exist_ok=True)
+    save_schema(dist.schema, directory)
+    for frag in dist.fragments:
+        _write_rows(
+            os.path.join(directory, f"node_{frag.node_id}.csv"),
+            dist.schema,
+            frag.relation.rows,
+        )
+
+
+def load_distributed(directory: str) -> DistributedRelation:
+    """Inverse of :func:`save_distributed` (placement preserved)."""
+    schema = load_schema(directory)
+    parts = []
+    node = 0
+    while True:
+        path = os.path.join(directory, f"node_{node}.csv")
+        if not os.path.exists(path):
+            break
+        parts.append(_read_rows(path, schema))
+        node += 1
+    if not parts:
+        raise FileNotFoundError(f"no node_*.csv fragments in {directory}")
+    return DistributedRelation(schema, parts)
+
+
+def save_relation(relation: Relation, path: str) -> None:
+    """One plain CSV with a header row."""
+    _write_rows(path, relation.schema, relation.rows)
+
+
+def load_relation(path: str, schema: Schema) -> Relation:
+    """Read one CSV written by save_relation."""
+    return Relation(schema, _read_rows(path, schema))

@@ -1,0 +1,111 @@
+"""Relation schemas.
+
+A schema is a sequence of typed, sized columns.  Column sizes matter because
+the paper's cost models charge I/O and network by bytes (tuple size × tuple
+count / page size), so the storage layer must know how wide a tuple is even
+though rows are held as plain Python tuples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+_DEFAULT_SIZES = {"int": 8, "float": 8, "str": 16}
+_VALID_KINDS = frozenset(_DEFAULT_SIZES)
+
+
+@dataclass(frozen=True)
+class Column:
+    """A named, typed column with an on-disk width in bytes."""
+
+    name: str
+    kind: str = "int"
+    size_bytes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _VALID_KINDS:
+            raise ValueError(
+                f"unknown column kind {self.kind!r}; expected one of "
+                f"{sorted(_VALID_KINDS)}"
+            )
+        if self.size_bytes < 0:
+            raise ValueError("column size_bytes must be non-negative")
+        if self.size_bytes == 0:
+            object.__setattr__(
+                self, "size_bytes", _DEFAULT_SIZES[self.kind]
+            )
+
+
+@dataclass(frozen=True)
+class Schema:
+    """An ordered set of columns with O(1) name lookup."""
+
+    columns: tuple[Column, ...]
+    _index: dict[str, int] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __init__(self, columns) -> None:
+        cols = tuple(columns)
+        if not cols:
+            raise ValueError("a schema needs at least one column")
+        names = [c.name for c in cols]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate column names in schema: {names}")
+        object.__setattr__(self, "columns", cols)
+        object.__setattr__(
+            self, "_index", {c.name: i for i, c in enumerate(cols)}
+        )
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._index
+
+    def index_of(self, name: str) -> int:
+        """Position of column ``name``; raises KeyError if absent."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise KeyError(
+                f"no column {name!r}; schema has {self.names()}"
+            ) from None
+
+    def indexes_of(self, names) -> tuple[int, ...]:
+        return tuple(self.index_of(n) for n in names)
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def names(self) -> list[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def tuple_bytes(self) -> int:
+        """On-disk width of one tuple under this schema."""
+        return sum(c.size_bytes for c in self.columns)
+
+    def project(self, names) -> "Schema":
+        """A new schema containing only ``names``, in the given order."""
+        return Schema(self.column(n) for n in names)
+
+    def projected_bytes(self, names) -> int:
+        """Width of a tuple projected to ``names`` (for projectivity p)."""
+        return sum(self.column(n).size_bytes for n in names)
+
+
+def default_schema(payload_bytes: int = 84) -> Schema:
+    """The evaluation schema: an int group key, a float value, padding.
+
+    The paper uses 100-byte tuples; with an 8-byte key and an 8-byte value
+    the default payload pad of 84 bytes reproduces that width.
+    """
+    return Schema(
+        [
+            Column("gkey", "int"),
+            Column("val", "float"),
+            Column("pad", "str", size_bytes=payload_bytes),
+        ]
+    )

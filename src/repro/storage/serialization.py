@@ -1,0 +1,63 @@
+"""Binary tuple serialization for the on-disk page format.
+
+Fixed-width encoding derived from the schema: int columns are 8-byte
+signed little-endian, floats are IEEE-754 doubles, str columns occupy
+exactly their declared ``size_bytes`` (UTF-8, NUL-padded, truncation
+rejected).  Fixed width keeps tuples-per-page arithmetic exact — the
+same arithmetic the cost models charge I/O with.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.storage.schema import Schema
+
+
+class RowCodec:
+    """Encode/decode rows of one schema to fixed-width bytes."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+        parts = []
+        self._str_sizes: list[int | None] = []
+        for column in schema.columns:
+            if column.kind == "int":
+                parts.append("q")
+                self._str_sizes.append(None)
+            elif column.kind == "float":
+                parts.append("d")
+                self._str_sizes.append(None)
+            else:
+                parts.append(f"{column.size_bytes}s")
+                self._str_sizes.append(column.size_bytes)
+        self._struct = struct.Struct("<" + "".join(parts))
+
+    @property
+    def row_bytes(self) -> int:
+        return self._struct.size
+
+    def encode(self, row: tuple) -> bytes:
+        values = []
+        for value, str_size in zip(row, self._str_sizes):
+            if str_size is None:
+                values.append(value)
+                continue
+            raw = value.encode("utf-8")
+            if len(raw) > str_size:
+                raise ValueError(
+                    f"string {value!r} exceeds its column width "
+                    f"({len(raw)} > {str_size} bytes)"
+                )
+            values.append(raw)
+        return self._struct.pack(*values)
+
+    def decode(self, data: bytes) -> tuple:
+        values = self._struct.unpack(data)
+        out = []
+        for value, str_size in zip(values, self._str_sizes):
+            if str_size is None:
+                out.append(value)
+            else:
+                out.append(value.rstrip(b"\x00").decode("utf-8"))
+        return tuple(out)

@@ -1,0 +1,34 @@
+"""Workload and data generators for the paper's evaluation.
+
+Uniform relations (the default assumption of Sections 2–5), the two skew
+families of Section 6 (input skew: unequal tuples per node; output skew:
+unequal groups per node, including the exact 4-of-8-nodes scheme of
+Figure 9), Zipf-distributed group frequencies, grouping-selectivity sweep
+helpers, and a TPC-D-flavoured lineitem workload matching the queries the
+introduction motivates.
+"""
+
+from repro.workloads.generator import (
+    generate_uniform,
+    generate_zipf,
+    selectivity_to_groups,
+)
+from repro.workloads.selectivity import selectivity_sweep
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+from repro.workloads.tpcd import (
+    TPCD_QUERIES,
+    generate_lineitem,
+    tpcd_query,
+)
+
+__all__ = [
+    "TPCD_QUERIES",
+    "generate_input_skew",
+    "generate_lineitem",
+    "generate_output_skew",
+    "generate_uniform",
+    "generate_zipf",
+    "selectivity_sweep",
+    "selectivity_to_groups",
+    "tpcd_query",
+]

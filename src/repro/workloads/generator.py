@@ -1,0 +1,110 @@
+"""Uniform and Zipf relation generators.
+
+The generated schema is the paper's evaluation tuple: a group key, one
+aggregable value, and padding bringing the tuple to 100 bytes.  Group keys
+are dealt so the relation contains *exactly* the requested number of
+distinct groups (the experiments sweep grouping selectivity, so the group
+count must be exact, not expected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.partition import hash_partition, round_robin_partition
+from repro.storage.relation import DistributedRelation
+from repro.storage.schema import default_schema
+
+_PLACEMENTS = ("round_robin", "hash", "random")
+
+
+def selectivity_to_groups(selectivity: float, num_tuples: int) -> int:
+    """Number of groups for a grouping selectivity S = |result|/|input|."""
+    if not 0 < selectivity <= 1:
+        raise ValueError("selectivity must be in (0, 1]")
+    return max(1, round(selectivity * num_tuples))
+
+
+def _place(rows, num_nodes: int, placement: str, rng) -> list[list]:
+    if placement == "round_robin":
+        return round_robin_partition(rows, num_nodes)
+    if placement == "hash":
+        return hash_partition(rows, num_nodes, key_func=lambda r: r[0])
+    if placement == "random":
+        parts: list[list] = [[] for _ in range(num_nodes)]
+        for row, dest in zip(rows, rng.integers(0, num_nodes, len(rows))):
+            parts[dest].append(row)
+        return parts
+    raise ValueError(
+        f"unknown placement {placement!r}; expected one of {_PLACEMENTS}"
+    )
+
+
+def generate_uniform(
+    num_tuples: int,
+    num_groups: int,
+    num_nodes: int,
+    seed: int = 0,
+    placement: str = "round_robin",
+    payload_bytes: int = 84,
+    shuffle: bool = True,
+) -> DistributedRelation:
+    """A uniform relation: every group has (nearly) the same frequency.
+
+    With ``shuffle=False`` group keys are dealt round-robin over tuples,
+    which combined with round-robin placement gives each node an identical
+    group mix — the paper's idealized uniform case.  With ``shuffle=True``
+    (default) tuple order is randomized first, the realistic variant.
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be at least 1")
+    if num_groups > num_tuples:
+        raise ValueError(
+            f"cannot have {num_groups} groups in {num_tuples} tuples"
+        )
+    rng = np.random.default_rng(seed)
+    keys = np.arange(num_tuples, dtype=np.int64) % num_groups
+    if shuffle:
+        rng.shuffle(keys)
+    vals = rng.uniform(0.0, 100.0, num_tuples)
+    rows = [
+        (int(k), float(v), "") for k, v in zip(keys, vals)
+    ]
+    schema = default_schema(payload_bytes)
+    return DistributedRelation(schema, _place(rows, num_nodes, placement, rng))
+
+
+def generate_zipf(
+    num_tuples: int,
+    num_groups: int,
+    num_nodes: int,
+    alpha: float = 1.2,
+    seed: int = 0,
+    placement: str = "round_robin",
+    payload_bytes: int = 84,
+) -> DistributedRelation:
+    """A relation whose group frequencies follow a (truncated) Zipf law.
+
+    Every group in ``range(num_groups)`` appears at least once so the true
+    group count stays exact; the remaining tuples are drawn Zipf(alpha).
+    """
+    if num_groups < 1:
+        raise ValueError("num_groups must be at least 1")
+    if num_groups > num_tuples:
+        raise ValueError(
+            f"cannot have {num_groups} groups in {num_tuples} tuples"
+        )
+    if alpha <= 0:
+        raise ValueError("alpha must be positive")
+    rng = np.random.default_rng(seed)
+    ranks = np.arange(1, num_groups + 1, dtype=np.float64)
+    probs = ranks**-alpha
+    probs /= probs.sum()
+    extra = num_tuples - num_groups
+    drawn = rng.choice(num_groups, size=extra, p=probs)
+    keys = np.concatenate([np.arange(num_groups, dtype=np.int64), drawn])
+    rng.shuffle(keys)
+    vals = rng.uniform(0.0, 100.0, num_tuples)
+    rows = [(int(k), float(v), "") for k, v in zip(keys, vals)]
+    schema = default_schema(payload_bytes)
+    return DistributedRelation(schema, _place(rows, num_nodes, placement, rng))

@@ -1,0 +1,52 @@
+"""Grouping-selectivity sweeps.
+
+The paper's figures sweep S logarithmically from 1/|R| (scalar aggregation)
+to 0.5 (duplicate elimination where every group has two tuples).  These
+helpers produce the sweep points and the exact group counts they induce for
+a given relation size.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.workloads.generator import selectivity_to_groups
+
+
+def selectivity_sweep(
+    num_tuples: int,
+    points: int = 13,
+    low: float | None = None,
+    high: float = 0.5,
+) -> list[tuple[float, int]]:
+    """Log-spaced (selectivity, num_groups) pairs over the paper's range.
+
+    ``low`` defaults to 1/num_tuples (a single group — scalar aggregation).
+    Group counts are deduplicated, so fewer than ``points`` pairs may be
+    returned for tiny relations.
+    """
+    if num_tuples < 2:
+        raise ValueError("need at least two tuples to sweep selectivity")
+    if points < 2:
+        raise ValueError("need at least two sweep points")
+    if low is None:
+        low = 1.0 / num_tuples
+    if not 0 < low < high <= 1:
+        raise ValueError("need 0 < low < high <= 1")
+    log_low, log_high = math.log10(low), math.log10(high)
+    step = (log_high - log_low) / (points - 1)
+    out: list[tuple[float, int]] = []
+    seen: set[int] = set()
+    for i in range(points):
+        s = 10 ** (log_low + i * step)
+        groups = selectivity_to_groups(min(s, high), num_tuples)
+        if groups in seen:
+            continue
+        seen.add(groups)
+        out.append((groups / num_tuples, groups))
+    return out
+
+
+def groups_sweep(num_tuples: int, points: int = 13) -> list[int]:
+    """Just the group counts of :func:`selectivity_sweep`."""
+    return [g for _, g in selectivity_sweep(num_tuples, points)]

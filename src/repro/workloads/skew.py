@@ -1,0 +1,123 @@
+"""The Section 6 skew generators.
+
+The paper distinguishes two skew families for aggregation:
+
+* **input skew** — same groups per node, different tuple counts per node
+  (analogous to placement skew in parallel joins);
+* **output skew** — same tuple count per node, different *group* counts per
+  node (analogous to join product skew).
+
+``generate_output_skew`` defaults to the exact Figure 9 configuration:
+eight nodes, four of which hold a single group value each, with all the
+remaining groups confined to the other four nodes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.storage.relation import DistributedRelation
+from repro.storage.schema import default_schema
+
+
+def generate_input_skew(
+    num_tuples: int,
+    num_groups: int,
+    num_nodes: int,
+    skew_factor: float = 4.0,
+    num_skewed: int = 1,
+    seed: int = 0,
+    payload_bytes: int = 84,
+) -> DistributedRelation:
+    """Unequal tuples per node; every node sees the full group mix.
+
+    The ``num_skewed`` nodes each receive ``skew_factor`` times the tuple
+    count of a normal node, with the total fixed at ``num_tuples``.
+    """
+    if not 1 <= num_skewed <= num_nodes:
+        raise ValueError("num_skewed must be in [1, num_nodes]")
+    if skew_factor < 1:
+        raise ValueError("skew_factor must be >= 1")
+    if num_groups > num_tuples:
+        raise ValueError("cannot have more groups than tuples")
+    rng = np.random.default_rng(seed)
+    # Solve: num_skewed * f * x + (num_nodes - num_skewed) * x = num_tuples.
+    denom = num_skewed * skew_factor + (num_nodes - num_skewed)
+    base = num_tuples / denom
+    counts = [
+        round(base * skew_factor) if i < num_skewed else round(base)
+        for i in range(num_nodes)
+    ]
+    counts[-1] += num_tuples - sum(counts)  # absorb rounding drift
+    if min(counts) < 0:
+        raise ValueError("skew parameters produce a negative node size")
+
+    keys = np.arange(num_tuples, dtype=np.int64) % num_groups
+    rng.shuffle(keys)
+    vals = rng.uniform(0.0, 100.0, num_tuples)
+    rows = [(int(k), float(v), "") for k, v in zip(keys, vals)]
+    parts, start = [], 0
+    for count in counts:
+        parts.append(rows[start : start + count])
+        start += count
+    return DistributedRelation(default_schema(payload_bytes), parts)
+
+
+def generate_output_skew(
+    num_tuples: int,
+    num_groups: int,
+    num_nodes: int = 8,
+    num_single_group_nodes: int = 4,
+    seed: int = 0,
+    payload_bytes: int = 84,
+) -> DistributedRelation:
+    """Equal tuples per node; groups concentrated on a subset of nodes.
+
+    The Figure 9 scheme: ``num_single_group_nodes`` nodes hold exactly one
+    group value each, and the remaining ``num_groups - num_single_group_nodes``
+    groups are spread round-robin over the other nodes.  Tuple counts per
+    node stay equal (that is the definition of output skew).
+    """
+    if not 1 <= num_single_group_nodes < num_nodes:
+        raise ValueError(
+            "num_single_group_nodes must be in [1, num_nodes - 1]"
+        )
+    if num_groups <= num_single_group_nodes:
+        raise ValueError(
+            "need more groups than single-group nodes so the skewed nodes "
+            "have something to hold"
+        )
+    if num_groups > num_tuples:
+        raise ValueError("cannot have more groups than tuples")
+    rng = np.random.default_rng(seed)
+    per_node = num_tuples // num_nodes
+    remainder = num_tuples - per_node * num_nodes
+
+    parts: list[list] = []
+    heavy_groups = num_groups - num_single_group_nodes
+    heavy_nodes = num_nodes - num_single_group_nodes
+    for node in range(num_nodes):
+        count = per_node + (1 if node < remainder else 0)
+        vals = rng.uniform(0.0, 100.0, count)
+        if node < num_single_group_nodes:
+            # This node's whole fragment is a single group value.
+            keys = np.full(count, node, dtype=np.int64)
+        else:
+            # Spread this node's slice of the heavy groups round-robin so
+            # each heavy node carries ~heavy_groups / heavy_nodes groups.
+            slot = node - num_single_group_nodes
+            local = np.arange(count, dtype=np.int64)
+            node_groups = (
+                np.arange(slot, heavy_groups, heavy_nodes, dtype=np.int64)
+                + num_single_group_nodes
+            )
+            if len(node_groups) == 0:
+                raise ValueError(
+                    "not enough heavy groups to cover every heavy node"
+                )
+            keys = node_groups[local % len(node_groups)]
+            rng.shuffle(keys)
+        parts.append(
+            [(int(k), float(v), "") for k, v in zip(keys, vals)]
+        )
+    return DistributedRelation(default_schema(payload_bytes), parts)

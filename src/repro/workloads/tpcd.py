@@ -1,0 +1,138 @@
+"""A TPC-D-flavoured workload.
+
+The paper motivates the work with TPC-D: 15 of 17 queries aggregate, and
+result sizes range from 2 tuples to over a million.  This module generates a
+lineitem-like table and three canned queries spanning that range:
+
+* ``q1_pricing_summary`` — GROUP BY (returnflag, linestatus): ~6 groups,
+  the Two Phase sweet spot;
+* ``q_partkey_volume``   — GROUP BY partkey: high cardinality, the
+  Repartitioning sweet spot;
+* ``q_distinct_orders``  — duplicate elimination over orderkey: result size
+  comparable to the input.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.storage.partition import round_robin_partition
+from repro.storage.relation import DistributedRelation
+from repro.storage.schema import Column, Schema
+
+LINEITEM_SCHEMA = Schema(
+    [
+        Column("orderkey", "int"),
+        Column("partkey", "int"),
+        Column("suppkey", "int"),
+        Column("quantity", "float"),
+        Column("extendedprice", "float"),
+        Column("discount", "float"),
+        Column("returnflag", "str", size_bytes=1),
+        Column("linestatus", "str", size_bytes=1),
+        Column("pad", "str", size_bytes=42),  # bring the tuple to ~100 B
+    ]
+)
+
+_RETURN_FLAGS = ("A", "N", "R")
+_LINE_STATUSES = ("O", "F")
+
+
+def generate_lineitem(
+    num_tuples: int,
+    num_nodes: int,
+    seed: int = 0,
+    parts_per_order: float = 4.0,
+    num_parts: int | None = None,
+) -> DistributedRelation:
+    """A lineitem-like distributed relation, round-robin placed.
+
+    ``parts_per_order`` controls orderkey multiplicity (how many lineitems
+    share an order); ``num_parts`` the partkey domain (defaults to
+    num_tuples // 2, giving a high-cardinality GROUP BY partkey).
+    """
+    if num_tuples < 1:
+        raise ValueError("num_tuples must be positive")
+    rng = np.random.default_rng(seed)
+    num_orders = max(1, int(num_tuples / parts_per_order))
+    if num_parts is None:
+        num_parts = max(1, num_tuples // 2)
+    orderkeys = rng.integers(0, num_orders, num_tuples)
+    partkeys = rng.integers(0, num_parts, num_tuples)
+    suppkeys = rng.integers(0, max(1, num_parts // 4), num_tuples)
+    quantities = rng.uniform(1, 50, num_tuples)
+    prices = rng.uniform(900, 105_000, num_tuples)
+    discounts = rng.uniform(0.0, 0.1, num_tuples)
+    flags = rng.integers(0, len(_RETURN_FLAGS), num_tuples)
+    statuses = rng.integers(0, len(_LINE_STATUSES), num_tuples)
+    rows = [
+        (
+            int(orderkeys[i]),
+            int(partkeys[i]),
+            int(suppkeys[i]),
+            float(quantities[i]),
+            float(prices[i]),
+            float(discounts[i]),
+            _RETURN_FLAGS[flags[i]],
+            _LINE_STATUSES[statuses[i]],
+            "",
+        )
+        for i in range(num_tuples)
+    ]
+    return DistributedRelation(
+        LINEITEM_SCHEMA, round_robin_partition(rows, num_nodes)
+    )
+
+
+def q1_pricing_summary() -> AggregateQuery:
+    """TPC-D Q1-like pricing summary: ~6 groups."""
+    return AggregateQuery(
+        group_by=["returnflag", "linestatus"],
+        aggregates=[
+            AggregateSpec("sum", "quantity", alias="sum_qty"),
+            AggregateSpec("sum", "extendedprice", alias="sum_base_price"),
+            AggregateSpec("avg", "quantity", alias="avg_qty"),
+            AggregateSpec("avg", "extendedprice", alias="avg_price"),
+            AggregateSpec("avg", "discount", alias="avg_disc"),
+            AggregateSpec("count", None, alias="count_order"),
+        ],
+    )
+
+
+def q_partkey_volume() -> AggregateQuery:
+    """High-cardinality aggregation: per-part shipped volume."""
+    return AggregateQuery(
+        group_by=["partkey"],
+        aggregates=[
+            AggregateSpec("sum", "quantity", alias="volume"),
+            AggregateSpec("max", "extendedprice", alias="max_price"),
+        ],
+    )
+
+
+def q_distinct_orders() -> AggregateQuery:
+    """Duplicate elimination: SELECT DISTINCT orderkey (as GROUP BY+COUNT)."""
+    return AggregateQuery(
+        group_by=["orderkey"],
+        aggregates=[AggregateSpec("count", None, alias="lines")],
+    )
+
+
+TPCD_QUERIES = {
+    "q1_pricing_summary": q1_pricing_summary,
+    "q_partkey_volume": q_partkey_volume,
+    "q_distinct_orders": q_distinct_orders,
+}
+
+
+def tpcd_query(name: str) -> AggregateQuery:
+    """Look up one of the canned TPC-D-flavoured queries by name."""
+    try:
+        return TPCD_QUERIES[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown TPC-D query {name!r}; expected one of "
+            f"{sorted(TPCD_QUERIES)}"
+        ) from None

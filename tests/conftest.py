@@ -1,0 +1,74 @@
+"""Shared fixtures and comparison helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.workloads.generator import generate_uniform
+
+
+def rows_close(actual, expected, tol: float = 1e-9) -> bool:
+    """Row-set equality with relative float tolerance.
+
+    Parallel algorithms sum floats in a different order than the
+    sequential reference, so exact equality is too strict for SUM/AVG.
+    """
+    if len(actual) != len(expected):
+        return False
+    for row_a, row_e in zip(actual, expected):
+        if len(row_a) != len(row_e):
+            return False
+        for a, e in zip(row_a, row_e):
+            if isinstance(a, float) or isinstance(e, float):
+                if abs(a - e) > tol * max(1.0, abs(e)):
+                    return False
+            elif a != e:
+                return False
+    return True
+
+
+def assert_rows_close(actual, expected, tol: float = 1e-9) -> None:
+    assert len(actual) == len(expected), (
+        f"row count {len(actual)} != {len(expected)}"
+    )
+    for i, (row_a, row_e) in enumerate(zip(actual, expected)):
+        for a, e in zip(row_a, row_e):
+            if isinstance(a, float) or isinstance(e, float):
+                assert abs(a - e) <= tol * max(1.0, abs(e)), (
+                    f"row {i}: {row_a} != {row_e}"
+                )
+            else:
+                assert a == e, f"row {i}: {row_a} != {row_e}"
+
+
+@pytest.fixture
+def sum_query() -> AggregateQuery:
+    return AggregateQuery(
+        group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+    )
+
+
+@pytest.fixture
+def full_query() -> AggregateQuery:
+    """One of every aggregate function over the standard schema."""
+    return AggregateQuery(
+        group_by=["gkey"],
+        aggregates=[
+            AggregateSpec("sum", "val"),
+            AggregateSpec("avg", "val"),
+            AggregateSpec("min", "val"),
+            AggregateSpec("max", "val"),
+            AggregateSpec("count", None),
+            AggregateSpec("count_distinct", "val"),
+        ],
+    )
+
+
+@pytest.fixture
+def small_dist():
+    """4 nodes × 500 tuples, 16 groups: quick but non-trivial."""
+    return generate_uniform(
+        num_tuples=2000, num_groups=16, num_nodes=4, seed=11
+    )

@@ -1,0 +1,232 @@
+"""Unit tests for the aggregate partial states."""
+
+import pytest
+
+from repro.core.aggregates import (
+    AggregateSpec,
+    AvgState,
+    CountDistinctState,
+    CountState,
+    GroupState,
+    MaxState,
+    MinState,
+    SumState,
+    make_state_factory,
+)
+
+
+class TestCount:
+    def test_counts_values(self):
+        s = CountState()
+        for v in (1, 2, 3):
+            s.update(v)
+        assert s.result() == 3
+
+    def test_ignores_none(self):
+        s = CountState()
+        s.update(None)
+        s.update(1)
+        assert s.result() == 1
+
+    def test_merge(self):
+        a, b = CountState(), CountState()
+        a.update(1)
+        b.update(2)
+        b.update(3)
+        a.merge(b)
+        assert a.result() == 3
+
+    def test_copy_independent(self):
+        a = CountState()
+        a.update(1)
+        b = a.copy()
+        b.update(2)
+        assert a.result() == 1
+        assert b.result() == 2
+
+
+class TestSum:
+    def test_sum(self):
+        s = SumState()
+        for v in (1.5, 2.5):
+            s.update(v)
+        assert s.result() == 4.0
+
+    def test_empty_is_none(self):
+        assert SumState().result() is None
+
+    def test_all_none_is_none(self):
+        s = SumState()
+        s.update(None)
+        assert s.result() is None
+
+    def test_merge_empty_keeps_none(self):
+        a, b = SumState(), SumState()
+        a.merge(b)
+        assert a.result() is None
+
+    def test_merge_into_empty(self):
+        a, b = SumState(), SumState()
+        b.update(5)
+        a.merge(b)
+        assert a.result() == 5
+
+    def test_sum_of_zeros_is_zero_not_none(self):
+        s = SumState()
+        s.update(0)
+        assert s.result() == 0
+
+
+class TestMinMax:
+    def test_min(self):
+        s = MinState()
+        for v in (3, 1, 2):
+            s.update(v)
+        assert s.result() == 1
+
+    def test_max(self):
+        s = MaxState()
+        for v in (3, 7, 2):
+            s.update(v)
+        assert s.result() == 7
+
+    def test_empty_is_none(self):
+        assert MinState().result() is None
+        assert MaxState().result() is None
+
+    def test_merge_min(self):
+        a, b = MinState(), MinState()
+        a.update(5)
+        b.update(2)
+        a.merge(b)
+        assert a.result() == 2
+
+    def test_merge_with_empty(self):
+        a, b = MaxState(), MaxState()
+        a.update(5)
+        a.merge(b)
+        assert a.result() == 5
+
+    def test_strings(self):
+        s = MinState()
+        for v in ("pear", "apple"):
+            s.update(v)
+        assert s.result() == "apple"
+
+
+class TestAvg:
+    def test_avg(self):
+        s = AvgState()
+        for v in (2.0, 4.0):
+            s.update(v)
+        assert s.result() == 3.0
+
+    def test_empty_is_none(self):
+        assert AvgState().result() is None
+
+    def test_merge_is_exact(self):
+        """The Section 3.2 example: partials carry (sum, count)."""
+        a, b = AvgState(), AvgState()
+        a.update(1.0)          # avg 1.0 over 1 value
+        for v in (10.0, 20.0, 30.0):
+            b.update(v)        # avg 20.0 over 3 values
+        a.merge(b)
+        assert a.result() == pytest.approx(61.0 / 4)
+
+    def test_mixed_raw_and_partial(self):
+        """A raw tuple and a merged partial land in the same state."""
+        s = AvgState()
+        s.update(10.0)
+        partial = AvgState()
+        partial.update(20.0)
+        partial.update(30.0)
+        s.merge(partial)
+        s.update(40.0)
+        assert s.result() == pytest.approx(25.0)
+
+
+class TestCountDistinct:
+    def test_distinct(self):
+        s = CountDistinctState()
+        for v in (1, 1, 2, 2, 3):
+            s.update(v)
+        assert s.result() == 3
+
+    def test_merge_unions(self):
+        a, b = CountDistinctState(), CountDistinctState()
+        a.update(1)
+        b.update(1)
+        b.update(2)
+        a.merge(b)
+        assert a.result() == 2
+
+    def test_copy_independent(self):
+        a = CountDistinctState()
+        a.update(1)
+        b = a.copy()
+        b.update(2)
+        assert a.result() == 1
+
+
+class TestAggregateSpec:
+    def test_unknown_function_rejected(self):
+        with pytest.raises(ValueError, match="unknown aggregate"):
+            AggregateSpec("median", "val")
+
+    def test_count_star_allows_no_column(self):
+        assert AggregateSpec("count", None).output_name == "count(*)"
+
+    def test_non_count_requires_column(self):
+        with pytest.raises(ValueError, match="requires a column"):
+            AggregateSpec("sum", None)
+
+    def test_alias_wins(self):
+        spec = AggregateSpec("sum", "val", alias="total")
+        assert spec.output_name == "total"
+
+    def test_default_output_name(self):
+        assert AggregateSpec("avg", "val").output_name == "avg(val)"
+
+    def test_new_state_types(self):
+        assert isinstance(AggregateSpec("sum", "v").new_state(), SumState)
+        assert isinstance(AggregateSpec("avg", "v").new_state(), AvgState)
+
+
+class TestGroupState:
+    SPECS = [
+        AggregateSpec("sum", "v"),
+        AggregateSpec("count", None),
+        AggregateSpec("avg", "v"),
+    ]
+
+    def test_update_all_states(self):
+        g = GroupState(self.SPECS)
+        g.update((2.0, 1, 2.0))
+        g.update((4.0, 1, 4.0))
+        assert g.results() == (6.0, 2, 3.0)
+
+    def test_merge(self):
+        a = GroupState(self.SPECS)
+        b = GroupState(self.SPECS)
+        a.update((2.0, 1, 2.0))
+        b.update((4.0, 1, 4.0))
+        a.merge(b)
+        assert a.results() == (6.0, 2, 3.0)
+
+    def test_copy_independent(self):
+        a = GroupState(self.SPECS)
+        a.update((1.0, 1, 1.0))
+        b = a.copy()
+        b.update((1.0, 1, 1.0))
+        assert a.results()[1] == 1
+        assert b.results()[1] == 2
+
+    def test_factory_requires_specs(self):
+        with pytest.raises(ValueError):
+            make_state_factory([])
+
+    def test_factory_produces_fresh_states(self):
+        factory = make_state_factory(self.SPECS)
+        g1, g2 = factory(), factory()
+        g1.update((1.0, 1, 1.0))
+        assert g2.results() == (None, 0, None)

@@ -1,0 +1,126 @@
+"""Tests for the variance/stddev states and their merge exactness."""
+
+import math
+import statistics
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import (
+    AggregateSpec,
+    StddevState,
+    VarianceState,
+)
+from repro.core.query import AggregateQuery
+from repro.core.runner import run_algorithm
+from repro.parallel import reference_aggregate
+from repro.workloads.generator import generate_uniform
+
+from tests.conftest import assert_rows_close
+
+
+class TestVariance:
+    def test_matches_statistics_module(self):
+        data = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+        s = VarianceState()
+        for v in data:
+            s.update(v)
+        assert s.result() == pytest.approx(statistics.variance(data))
+
+    def test_fewer_than_two_is_none(self):
+        s = VarianceState()
+        assert s.result() is None
+        s.update(1.0)
+        assert s.result() is None
+
+    def test_ignores_none(self):
+        s = VarianceState()
+        for v in (1.0, None, 3.0):
+            s.update(v)
+        assert s.result() == pytest.approx(2.0)
+
+    def test_constant_data_zero_variance(self):
+        s = VarianceState()
+        for _ in range(10):
+            s.update(5.0)
+        assert s.result() == pytest.approx(0.0)
+
+    def test_merge_exact(self):
+        data = [1.0, 5.0, 2.0, 8.0, 3.0, 9.0]
+        a, b = VarianceState(), VarianceState()
+        for v in data[:3]:
+            a.update(v)
+        for v in data[3:]:
+            b.update(v)
+        a.merge(b)
+        assert a.result() == pytest.approx(statistics.variance(data))
+
+    def test_copy(self):
+        a = VarianceState()
+        a.update(1.0)
+        a.update(3.0)
+        b = a.copy()
+        b.update(100.0)
+        assert a.result() == pytest.approx(2.0)
+
+
+class TestStddev:
+    def test_sqrt_of_variance(self):
+        data = [1.0, 2.0, 3.0, 4.0]
+        s = StddevState()
+        for v in data:
+            s.update(v)
+        assert s.result() == pytest.approx(statistics.stdev(data))
+
+    def test_copy_preserves_type(self):
+        s = StddevState()
+        s.update(1.0)
+        s.update(2.0)
+        assert isinstance(s.copy(), StddevState)
+        assert s.copy().result() == s.result()
+
+    def test_spec_lookup(self):
+        assert isinstance(
+            AggregateSpec("stddev", "v").new_state(), StddevState
+        )
+        assert isinstance(
+            AggregateSpec("var", "v").new_state(), VarianceState
+        )
+
+
+values = st.lists(
+    st.integers(min_value=-1000, max_value=1000), min_size=4, max_size=60
+)
+
+
+@given(values, st.integers(min_value=1, max_value=59))
+@settings(max_examples=60)
+def test_variance_merge_split_anywhere(data, cut):
+    cut = min(cut, len(data) - 2)
+    cut = max(cut, 2)
+    a, b = VarianceState(), VarianceState()
+    for v in data[:cut]:
+        a.update(float(v))
+    for v in data[cut:]:
+        b.update(float(v))
+    a.merge(b)
+    whole = statistics.variance([float(v) for v in data])
+    assert math.isclose(a.result(), whole, rel_tol=1e-9, abs_tol=1e-9)
+
+
+class TestVarianceInAlgorithms:
+    def test_parallel_variance_matches_reference(self):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[
+                AggregateSpec("var", "val"),
+                AggregateSpec("stddev", "val"),
+            ],
+        )
+        dist = generate_uniform(2000, 40, 4, seed=0)
+        for algorithm in ("two_phase", "adaptive_two_phase",
+                          "streaming_pre_aggregation"):
+            out = run_algorithm(algorithm, dist, query)
+            assert_rows_close(
+                out.rows, reference_aggregate(dist, query), tol=1e-6
+            )

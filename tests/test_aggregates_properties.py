@@ -1,0 +1,113 @@
+"""Property-based tests: merge must commute/associate with update.
+
+These invariants are what make unsynchronized per-node adaptation correct:
+whatever order nodes process tuples in, and however partials and raw
+tuples interleave at the merge phase, the result must equal sequential
+aggregation.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.core.aggregates import (
+    AvgState,
+    CountDistinctState,
+    CountState,
+    MaxState,
+    MinState,
+    SumState,
+)
+
+STATE_TYPES = [
+    CountState,
+    SumState,
+    MinState,
+    MaxState,
+    AvgState,
+    CountDistinctState,
+]
+
+values = st.lists(
+    st.one_of(
+        st.integers(min_value=-10**6, max_value=10**6),
+        st.none(),
+    ),
+    max_size=40,
+)
+
+
+def build(state_type, vals):
+    state = state_type()
+    for v in vals:
+        state.update(v)
+    return state
+
+
+def results_equal(a, b) -> bool:
+    if isinstance(a, float) and isinstance(b, float):
+        return math.isclose(a, b, rel_tol=1e-12, abs_tol=1e-12)
+    return a == b
+
+
+@given(values, values)
+def test_merge_equals_concatenation(left, right):
+    """state(A) merged with state(B) == state(A + B) for every function."""
+    for state_type in STATE_TYPES:
+        merged = build(state_type, left)
+        merged.merge(build(state_type, right))
+        whole = build(state_type, left + right)
+        assert results_equal(merged.result(), whole.result()), state_type
+
+
+@given(values, values)
+def test_merge_commutes(left, right):
+    for state_type in STATE_TYPES:
+        ab = build(state_type, left)
+        ab.merge(build(state_type, right))
+        ba = build(state_type, right)
+        ba.merge(build(state_type, left))
+        assert results_equal(ab.result(), ba.result()), state_type
+
+
+@given(values, values, values)
+def test_merge_associates(a, b, c):
+    for state_type in STATE_TYPES:
+        left = build(state_type, a)
+        bc = build(state_type, b)
+        bc.merge(build(state_type, c))
+        left.merge(bc)
+
+        right = build(state_type, a)
+        right.merge(build(state_type, b))
+        right.merge(build(state_type, c))
+        assert results_equal(left.result(), right.result()), state_type
+
+
+@given(values)
+def test_copy_equals_original(vals):
+    for state_type in STATE_TYPES:
+        original = build(state_type, vals)
+        assert results_equal(original.copy().result(), original.result())
+
+
+@given(values)
+def test_merge_with_empty_is_identity(vals):
+    for state_type in STATE_TYPES:
+        state = build(state_type, vals)
+        before = state.copy().result()
+        state.merge(state_type())
+        assert results_equal(state.result(), before), state_type
+
+
+@given(values)
+def test_split_anywhere_matches_whole(vals):
+    """Splitting the stream at every point gives the same answer."""
+    for state_type in (SumState, AvgState, CountState):
+        whole = build(state_type, vals).result()
+        for cut in range(len(vals) + 1):
+            merged = build(state_type, vals[:cut])
+            merged.merge(build(state_type, vals[cut:]))
+            assert results_equal(merged.result(), whole)

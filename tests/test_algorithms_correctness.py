@@ -1,0 +1,135 @@
+"""Every algorithm must compute exactly what the reference executor does,
+on every workload shape the paper exercises."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, run_algorithm
+from repro.parallel import reference_aggregate
+from repro.workloads.generator import generate_uniform, generate_zipf
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+from repro.workloads.tpcd import generate_lineitem, tpcd_query
+
+from tests.conftest import assert_rows_close
+
+pytestmark = pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+
+
+class TestUniformWorkloads:
+    def test_few_groups(self, algorithm, sum_query):
+        dist = generate_uniform(2000, 4, 4, seed=1)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_many_groups(self, algorithm, sum_query):
+        dist = generate_uniform(2000, 900, 4, seed=2)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_duplicate_elimination_range(self, algorithm, sum_query):
+        """S = 0.5: every group has exactly two tuples."""
+        dist = generate_uniform(2000, 1000, 4, seed=3)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert out.num_groups == 1000
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_scalar_aggregation(self, algorithm):
+        query = AggregateQuery(
+            group_by=[],
+            aggregates=[
+                AggregateSpec("count", None),
+                AggregateSpec("sum", "val"),
+            ],
+        )
+        dist = generate_uniform(1000, 10, 4, seed=4)
+        out = run_algorithm(algorithm, dist, query)
+        assert out.num_groups == 1
+        assert_rows_close(out.rows, reference_aggregate(dist, query))
+
+    def test_all_aggregate_functions(self, algorithm, full_query):
+        dist = generate_uniform(1500, 64, 4, seed=5)
+        out = run_algorithm(algorithm, dist, full_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, full_query))
+
+    def test_single_node_cluster(self, algorithm, sum_query):
+        dist = generate_uniform(500, 20, 1, seed=6)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_where_predicate(self, algorithm):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("count", None)],
+            where=lambda row: row["val"] > 50.0,
+        )
+        dist = generate_uniform(2000, 16, 4, seed=7)
+        out = run_algorithm(algorithm, dist, query)
+        assert_rows_close(out.rows, reference_aggregate(dist, query))
+
+    def test_tiny_hash_table_forces_overflow(self, algorithm, sum_query):
+        """With M=16 entries every phase overflows or switches; results
+        must still be exact."""
+        from repro.core.runner import default_parameters
+
+        dist = generate_uniform(2000, 400, 4, seed=8)
+        params = default_parameters(dist, hash_table_entries=16)
+        out = run_algorithm(algorithm, dist, sum_query, params=params)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+
+class TestSkewWorkloads:
+    def test_input_skew(self, algorithm, sum_query):
+        dist = generate_input_skew(3000, 50, 4, skew_factor=5.0, seed=9)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_output_skew(self, algorithm, sum_query):
+        dist = generate_output_skew(4000, 200, num_nodes=8, seed=10)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_zipf(self, algorithm, sum_query):
+        dist = generate_zipf(3000, 100, 4, alpha=1.3, seed=11)
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+
+class TestTpcdWorkloads:
+    @pytest.mark.parametrize(
+        "query_name",
+        ["q1_pricing_summary", "q_partkey_volume", "q_distinct_orders"],
+    )
+    def test_query(self, algorithm, query_name):
+        dist = generate_lineitem(1200, 4, seed=12)
+        query = tpcd_query(query_name)
+        out = run_algorithm(algorithm, dist, query)
+        assert_rows_close(
+            out.rows, reference_aggregate(dist, query), tol=1e-9
+        )
+
+
+class TestOutcomeShape:
+    def test_elapsed_positive(self, algorithm, sum_query, small_dist):
+        out = run_algorithm(algorithm, small_dist, sum_query)
+        assert out.elapsed_seconds > 0
+
+    def test_rows_sorted(self, algorithm, sum_query, small_dist):
+        out = run_algorithm(algorithm, small_dist, sum_query)
+        assert out.rows == sorted(out.rows)
+
+    def test_deterministic(self, algorithm, sum_query, small_dist):
+        a = run_algorithm(algorithm, small_dist, sum_query)
+        b = run_algorithm(algorithm, small_dist, sum_query)
+        assert a.rows == b.rows
+        assert a.elapsed_seconds == b.elapsed_seconds
+
+    def test_per_node_rows_disjoint_unless_centralized(
+        self, algorithm, sum_query, small_dist
+    ):
+        out = run_algorithm(algorithm, small_dist, sum_query)
+        seen = set()
+        for node_rows in out.per_node_rows:
+            keys = {row[0] for row in node_rows}
+            assert not keys & seen
+            seen |= keys

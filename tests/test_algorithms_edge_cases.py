@@ -1,0 +1,116 @@
+"""Edge cases every algorithm must survive: empty fragments, empty
+results, single tuples, all-filtered inputs, lopsided placements."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, default_parameters, run_algorithm
+from repro.parallel import reference_aggregate
+from repro.storage.relation import DistributedRelation
+from repro.storage.schema import default_schema
+
+from tests.conftest import assert_rows_close
+
+pytestmark = pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+
+
+def dist_of(*fragments):
+    return DistributedRelation(default_schema(), list(fragments))
+
+
+def row(key, val=1.0):
+    return (key, val, "")
+
+
+class TestEmptiness:
+    def test_some_nodes_empty(self, algorithm, sum_query):
+        dist = dist_of(
+            [row(1), row(2)],
+            [],
+            [row(1), row(3)],
+            [],
+        )
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_single_tuple_relation(self, algorithm, sum_query):
+        dist = dist_of([row(7, 3.5)], [], [])
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert out.rows == [(7, 3.5)]
+
+    def test_where_filters_everything(self, algorithm):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("sum", "val")],
+            where=lambda r: False,
+        )
+        dist = dist_of([row(1), row(2)], [row(3)])
+        out = run_algorithm(algorithm, dist, query)
+        assert out.rows == []
+
+    def test_having_filters_everything(self, algorithm):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("sum", "val")],
+            having=lambda r: False,
+        )
+        dist = dist_of([row(1), row(2)], [row(3)])
+        out = run_algorithm(algorithm, dist, query)
+        assert out.rows == []
+        assert out.elapsed_seconds > 0  # the work still happened
+
+
+class TestExtremePlacements:
+    def test_everything_on_one_node(self, algorithm, sum_query):
+        dist = dist_of([row(i % 5) for i in range(200)], [], [], [])
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_each_node_disjoint_groups(self, algorithm, sum_query):
+        dist = dist_of(
+            [row(1)] * 10, [row(2)] * 10, [row(3)] * 10, [row(4)] * 10
+        )
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert out.num_groups == 4
+
+    def test_every_tuple_its_own_group(self, algorithm, sum_query):
+        """S = 1: pure duplicate elimination with zero duplicates."""
+        dist = dist_of(
+            [row(i) for i in range(0, 40)],
+            [row(i) for i in range(40, 80)],
+        )
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert out.num_groups == 80
+
+
+class TestMinimalMemory:
+    def test_one_entry_tables(self, algorithm, sum_query):
+        dist = dist_of(
+            [row(i % 7) for i in range(50)],
+            [row(i % 7) for i in range(50)],
+        )
+        params = default_parameters(dist, hash_table_entries=1)
+        out = run_algorithm(algorithm, dist, sum_query, params=params)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+
+class TestStringKeys:
+    def test_string_group_keys(self, algorithm):
+        from repro.storage.schema import Column, Schema
+
+        schema = Schema(
+            [Column("name", "str"), Column("v", "float")]
+        )
+        dist = DistributedRelation(
+            schema,
+            [
+                [("apple", 1.0), ("pear", 2.0)],
+                [("apple", 3.0), ("plum", 4.0)],
+            ],
+        )
+        query = AggregateQuery(
+            group_by=["name"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        out = run_algorithm(algorithm, dist, query)
+        assert out.rows == [("apple", 4.0), ("pear", 2.0), ("plum", 4.0)]

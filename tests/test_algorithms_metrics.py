@@ -1,0 +1,76 @@
+"""Cross-algorithm metric invariants on real runs."""
+
+import pytest
+
+from repro.core.runner import ALGORITHMS, run_algorithm
+from repro.workloads.generator import generate_uniform
+
+pytestmark = pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+
+
+@pytest.fixture(scope="module")
+def dist():
+    return generate_uniform(4000, 300, 4, seed=0)
+
+
+class TestMetricInvariants:
+    def test_messages_conserved(self, algorithm, dist, sum_query):
+        """Every algorithm drains its mail: sent == received."""
+        out = run_algorithm(algorithm, dist, sum_query)
+        sent = sum(n.messages_sent for n in out.metrics.nodes)
+        received = sum(n.messages_received for n in out.metrics.nodes)
+        assert sent == received
+
+    def test_every_node_finishes(self, algorithm, dist, sum_query):
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert all(n.finish_time > 0 for n in out.metrics.nodes)
+
+    def test_makespan_bounds_busy_time(self, algorithm, dist, sum_query):
+        out = run_algorithm(algorithm, dist, sum_query)
+        for n in out.metrics.nodes:
+            assert n.busy_seconds <= out.elapsed_seconds + 1e-9
+
+    def test_scan_io_matches_fragment_pages(
+        self, algorithm, dist, sum_query
+    ):
+        """Base-relation scan I/O = exactly the fragments' page counts
+        (+ any random sampling I/O for the sampling algorithm)."""
+        out = run_algorithm(algorithm, dist, sum_query)
+        from repro.core.runner import default_parameters
+
+        params = default_parameters(dist)
+        for node_id, frag in enumerate(dist.fragments):
+            tagged = out.metrics.node(node_id).tagged_seconds
+            scan = tagged.get("scan_io", 0.0)
+            expected = frag.num_pages(params.page_bytes) * params.io_seconds
+            assert scan == pytest.approx(expected)
+
+    def test_bytes_sent_positive_multinode(
+        self, algorithm, dist, sum_query
+    ):
+        out = run_algorithm(algorithm, dist, sum_query)
+        assert out.metrics.total_bytes_sent > 0
+
+    def test_network_blocks_match_node_counters(
+        self, algorithm, dist, sum_query
+    ):
+        """Blocks the network carried = blocks nodes sent to peers."""
+        out = run_algorithm(algorithm, dist, sum_query)
+        # Self-sends bypass the network; in these algorithms a node's
+        # channel to itself is also counted in blocks_sent, so the
+        # network total is at most the node total.
+        node_blocks = sum(n.blocks_sent for n in out.metrics.nodes)
+        assert 0 < out.metrics.network_blocks <= node_blocks
+
+    def test_pipeline_removes_scan_and_store_only(
+        self, algorithm, dist, sum_query
+    ):
+        full = run_algorithm(algorithm, dist, sum_query)
+        pipe = run_algorithm(algorithm, dist, sum_query, pipeline=True)
+        for node in pipe.metrics.nodes:
+            assert node.tagged_seconds.get("scan_io", 0.0) == 0.0
+            assert node.tagged_seconds.get("store_io", 0.0) == 0.0
+        # CPU work is unchanged by the pipeline flag.
+        assert pipe.metrics.total_cpu_seconds == pytest.approx(
+            full.metrics.total_cpu_seconds, rel=1e-6
+        )

@@ -1,0 +1,81 @@
+"""Documentation gates: every public item carries a real docstring.
+
+A reproduction meant for adoption lives or dies on its docs; this module
+makes the docstring coverage a tested invariant rather than a hope.
+"""
+
+from __future__ import annotations
+
+import importlib
+import inspect
+import pkgutil
+
+import pytest
+
+import repro
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.core.algorithms",
+    "repro.costmodel",
+    "repro.sim",
+    "repro.storage",
+    "repro.workloads",
+    "repro.sampling",
+    "repro.parallel",
+    "repro.bench",
+    "repro.engine",
+    "repro.sql",
+]
+
+
+def _all_modules():
+    names = []
+    for package_name in PACKAGES:
+        package = importlib.import_module(package_name)
+        names.append(package_name)
+        for info in pkgutil.iter_modules(package.__path__):
+            if info.ispkg or info.name == "__main__":
+                continue  # __main__ calls sys.exit on import by design
+            names.append(f"{package_name}.{info.name}")
+    return sorted(set(names))
+
+
+MODULES = _all_modules()
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_module_has_docstring(module_name):
+    module = importlib.import_module(module_name)
+    assert module.__doc__ and len(module.__doc__.strip()) > 20, (
+        f"{module_name} needs a real module docstring"
+    )
+
+
+@pytest.mark.parametrize("module_name", MODULES)
+def test_public_callables_documented(module_name):
+    module = importlib.import_module(module_name)
+    undocumented = []
+    for name, obj in vars(module).items():
+        if name.startswith("_"):
+            continue
+        if not (inspect.isfunction(obj) or inspect.isclass(obj)):
+            continue
+        if getattr(obj, "__module__", None) != module_name:
+            continue  # re-exports are documented at home
+        if not (obj.__doc__ and obj.__doc__.strip()):
+            undocumented.append(name)
+    assert not undocumented, (
+        f"{module_name}: undocumented public items {undocumented}"
+    )
+
+
+def test_package_all_resolves():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+def test_package_count_sanity():
+    """The inventory in DESIGN.md corresponds to real subpackages."""
+    assert len(MODULES) >= 40

@@ -1,0 +1,109 @@
+"""Tests for the figure-result container, writers and figure runners."""
+
+import csv
+
+import pytest
+
+from repro.bench import figures
+from repro.bench.harness import FigureResult, format_table, write_results
+
+
+@pytest.fixture
+def result():
+    r = FigureResult("figX", "a title", ["x", "y"])
+    r.add_row(1.0, 2.0)
+    r.add_row(3.0, 4.0)
+    return r
+
+
+class TestFigureResult:
+    def test_column(self, result):
+        assert result.column("y") == [2.0, 4.0]
+
+    def test_series(self, result):
+        assert result.series() == {"x": [1.0, 3.0], "y": [2.0, 4.0]}
+
+    def test_arity_checked(self, result):
+        with pytest.raises(ValueError, match="arity"):
+            result.add_row(1.0)
+
+    def test_unknown_column(self, result):
+        with pytest.raises(ValueError):
+            result.column("z")
+
+
+class TestFormatting:
+    def test_format_contains_title_and_rows(self, result):
+        text = format_table(result)
+        assert "figX: a title" in text
+        assert "1.0000" in text and "4.0000" in text
+
+    def test_scientific_for_tiny_values(self):
+        r = FigureResult("f", "t", ["v"])
+        r.add_row(1.25e-7)
+        assert "1.250e-07" in format_table(r)
+
+    def test_notes_rendered(self):
+        r = FigureResult("f", "t", ["v"], notes="hello world")
+        r.add_row(1)
+        assert "note: hello world" in format_table(r)
+
+    def test_empty_result_formats(self):
+        r = FigureResult("f", "t", ["a", "b"])
+        assert "f: t" in format_table(r)
+
+
+class TestWriters:
+    def test_write_results_files(self, result, tmp_path):
+        path = write_results(result, str(tmp_path))
+        assert path.endswith("figX.csv")
+        with open(path) as handle:
+            rows = list(csv.reader(handle))
+        assert rows[0] == ["x", "y"]
+        assert rows[1] == ["1.0", "2.0"]
+        assert (tmp_path / "figX.txt").exists()
+
+
+class TestFigureRunners:
+    """Smoke tests at reduced scale (full scale runs in benchmarks/)."""
+
+    def test_table1_rows(self):
+        result = figures.table1()
+        assert len(result.rows) == 16
+
+    def test_analytical_figures_have_full_sweeps(self):
+        for runner in (
+            figures.figure1,
+            figures.figure2,
+            figures.figure3,
+            figures.figure4,
+        ):
+            result = runner(points=5)
+            assert len(result.rows) == 5
+            assert all(
+                v > 0 for row in result.rows for v in row[1:]
+            ), result.figure
+
+    def test_scaleup_figures(self):
+        for runner in (figures.figure5, figures.figure6):
+            result = runner()
+            assert result.column("num_nodes") == [2, 4, 8, 16, 32, 64]
+
+    def test_figure7_columns(self):
+        result = figures.figure7(points=4)
+        assert len(result.columns) == 5
+
+    def test_figure8_small_scale(self):
+        result = figures.figure8(num_tuples=4000, num_nodes=4)
+        assert len(result.rows) >= 6
+        tp = result.column("two_phase")
+        rep = result.column("repartitioning")
+        assert tp[0] < rep[0]  # the crossover shape survives downscaling
+
+    def test_figure9_small_scale(self):
+        result = figures.figure9(num_tuples=8000, num_nodes=8)
+        assert len(result.rows) == 4
+
+    def test_input_skew_small_scale(self):
+        result = figures.input_skew_study(num_tuples=4000, num_nodes=4)
+        assert len(result.rows) == 3

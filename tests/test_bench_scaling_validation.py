@@ -1,0 +1,98 @@
+"""Small-scale unit tests of the scaling and validation runners."""
+
+import pytest
+
+from repro.bench import scaling, validation
+
+
+class TestSimScaleup:
+    def test_columns_and_nodes(self):
+        result = scaling.sim_scaleup(tuples_per_node=800,
+                                     selectivity=0.25)
+        assert result.column("num_nodes") == list(scaling.NODE_COUNTS)
+        assert "adaptive_two_phase" in result.columns
+
+    def test_baseline_normalized(self):
+        result = scaling.sim_scaleup(tuples_per_node=800,
+                                     selectivity=0.25)
+        for name in scaling.SCALE_ALGORITHMS:
+            assert result.column(name)[0] == pytest.approx(1.0)
+
+    def test_scaleup_values_bounded(self):
+        result = scaling.sim_scaleup(tuples_per_node=800,
+                                     selectivity=0.1)
+        for name in scaling.SCALE_ALGORITHMS:
+            for value in result.column(name):
+                assert 0 < value <= 1.6  # nothing super-scales wildly
+
+
+class TestSimSpeedup:
+    def test_speedup_monotone_for_rep(self):
+        result = scaling.sim_speedup(num_tuples=8000, num_groups=2000)
+        series = result.column("repartitioning")
+        assert series[0] == pytest.approx(1.0)
+        assert series[-1] > series[0]
+
+    def test_speedup_below_ideal(self):
+        result = scaling.sim_speedup(num_tuples=8000, num_groups=2000)
+        node_counts = result.column("num_nodes")
+        for name in scaling.SCALE_ALGORITHMS:
+            for n, value in zip(node_counts, result.column(name)):
+                ideal = n / node_counts[0]
+                assert value <= ideal * 1.1, (name, n)
+
+
+class TestValidation:
+    def test_spearman_bounds(self):
+        assert validation._spearman([0, 1, 2], [0, 1, 2]) == 1.0
+        assert validation._spearman([0, 1, 2], [2, 1, 0]) == -1.0
+        assert validation._spearman([0], [0]) == 1.0
+
+    def test_small_scale_table(self):
+        result = validation.model_vs_simulator(
+            num_tuples=4000, num_nodes=4
+        )
+        assert len(result.rows) == 4  # 6400-group point exceeds 4000/2
+        for regret in result.column("regret"):
+            assert regret >= 1.0  # by definition
+        for rho in result.column("rank_correlation"):
+            assert -1.0 <= rho <= 1.0
+
+    def test_high_selectivity_low_regret(self):
+        """At toy scale the top contenders are near-ties (Rep vs A-2P,
+        which wraps Rep there), so assert low regret rather than exact
+        winner-name agreement; the full-scale bench_validation.py pins
+        the exact winner."""
+        result = validation.model_vs_simulator(
+            num_tuples=4000, num_nodes=4
+        )
+        assert result.rows[-1][3] <= 1.1
+
+
+class TestScaleCli:
+    def test_scaleup_command(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["scale", "--mode", "scaleup", "--tuples-per-node", "600"],
+            out=out,
+        )
+        assert code == 0
+        assert "sim_scaleup" in out.getvalue()
+
+    def test_speedup_command(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(
+            ["scale", "--mode", "speedup", "--tuples", "4000",
+             "--groups", "1000"],
+            out=out,
+        )
+        assert code == 0
+        assert "sim_speedup" in out.getvalue()

@@ -1,0 +1,56 @@
+"""Tests for the results-summary generator."""
+
+import os
+
+import pytest
+
+from repro.bench.harness import FigureResult, write_results
+from repro.bench.summary import build_summary, write_summary
+
+
+@pytest.fixture
+def results_dir(tmp_path):
+    fig = FigureResult("fig1", "t", ["selectivity", "cost"])
+    fig.add_row(1e-6, 15.77)
+    fig.add_row(0.5, 27.24)
+    write_results(fig, str(tmp_path))
+    extra = FigureResult("zz_custom", "t", ["x", "winner"])
+    extra.add_row(1, "two_phase")
+    write_results(extra, str(tmp_path))
+    return str(tmp_path)
+
+
+class TestBuildSummary:
+    def test_contains_every_figure(self, results_dir):
+        text = build_summary(results_dir)
+        assert "## fig1" in text
+        assert "## zz_custom" in text
+
+    def test_tables_rendered(self, results_dir):
+        text = build_summary(results_dir)
+        assert "| selectivity | cost |" in text
+        assert "| 1.000e-06 | 15.7700 |" in text
+
+    def test_non_numeric_cells_pass_through(self, results_dir):
+        assert "two_phase" in build_summary(results_dir)
+
+    def test_known_figures_ordered_first(self, results_dir):
+        text = build_summary(results_dir)
+        assert text.index("## fig1") < text.index("## zz_custom")
+
+    def test_integers_render_without_decimals(self, results_dir):
+        assert "| 1 | two_phase |" in build_summary(results_dir)
+
+
+class TestWriteSummary:
+    def test_writes_summary_md(self, results_dir):
+        path = write_summary(results_dir)
+        assert os.path.exists(path)
+        assert path.endswith("SUMMARY.md")
+        with open(path) as handle:
+            assert "# Regenerated results" in handle.read()
+
+    def test_custom_out_path(self, results_dir, tmp_path):
+        out = str(tmp_path / "report.md")
+        assert write_summary(results_dir, out) == out
+        assert os.path.exists(out)

@@ -1,0 +1,229 @@
+"""Tests for the command-line interface (driven in-process)."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestRun:
+    def test_run_with_verify(self):
+        code, text = run_cli(
+            "run",
+            "--algorithm", "two_phase",
+            "--tuples", "2000",
+            "--groups", "50",
+            "--nodes", "4",
+            "--verify",
+        )
+        assert code == 0
+        assert "two_phase" in text
+        assert "verified against reference: OK" in text
+
+    def test_show_rows(self):
+        code, text = run_cli(
+            "run",
+            "--algorithm", "repartitioning",
+            "--tuples", "1000",
+            "--groups", "5",
+            "--nodes", "2",
+            "--show-rows", "3",
+        )
+        assert code == 0
+        assert text.count("(") >= 3
+
+    def test_custom_aggregates(self):
+        code, text = run_cli(
+            "run",
+            "--algorithm", "two_phase",
+            "--tuples", "1000",
+            "--groups", "5",
+            "--nodes", "2",
+            "--agg", "avg:val",
+            "--agg", "count",
+            "--verify",
+        )
+        assert code == 0
+        assert "OK" in text
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli(
+                "run", "--algorithm", "two_phase", "--agg", "median:val"
+            )
+
+    def test_bad_algorithm_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("run", "--algorithm", "quantum")
+
+    def test_workload_variants(self):
+        for workload in ("zipf", "output-skew", "input-skew"):
+            code, _ = run_cli(
+                "run",
+                "--algorithm", "adaptive_two_phase",
+                "--tuples", "2000",
+                "--groups", "100",
+                "--nodes", "8",
+                "--workload", workload,
+            )
+            assert code == 0, workload
+
+    def test_timeline_flag(self):
+        code, text = run_cli(
+            "run",
+            "--algorithm", "two_phase",
+            "--tuples", "1000",
+            "--groups", "10",
+            "--nodes", "2",
+            "--timeline",
+        )
+        assert code == 0
+        assert "node  0 |" in text
+        assert ".=idle/wait" in text
+
+    def test_pipeline_and_network_flags(self):
+        code, _ = run_cli(
+            "run",
+            "--algorithm", "two_phase",
+            "--tuples", "1000",
+            "--groups", "10",
+            "--nodes", "2",
+            "--network", "fast",
+            "--pipeline",
+        )
+        assert code == 0
+
+
+class TestSql:
+    def test_sql_on_generated_workload(self):
+        code, text = run_cli(
+            "sql",
+            "SELECT gkey, SUM(val) AS total FROM r GROUP BY gkey",
+            "--tuples", "1000",
+            "--groups", "5",
+            "--nodes", "2",
+        )
+        assert code == 0
+        assert "5 groups" in text
+
+    def test_sql_algorithm_choice(self):
+        code, text = run_cli(
+            "sql",
+            "SELECT COUNT(*) FROM r",
+            "--algorithm", "repartitioning",
+            "--tuples", "500",
+            "--groups", "5",
+            "--nodes", "2",
+        )
+        assert code == 0
+        assert "repartitioning: 1 groups" in text
+
+    def test_sql_row_preview_truncated(self):
+        code, text = run_cli(
+            "sql",
+            "SELECT gkey, COUNT(*) FROM r GROUP BY gkey",
+            "--tuples", "1000",
+            "--groups", "50",
+            "--nodes", "2",
+            "--show-rows", "3",
+        )
+        assert code == 0
+        assert "... 47 more rows" in text
+
+    def test_sql_from_saved_data(self, tmp_path):
+        from repro.storage.io import save_distributed
+        from repro.workloads.generator import generate_uniform
+
+        dist = generate_uniform(600, 6, 3, seed=1)
+        save_distributed(dist, str(tmp_path / "d"))
+        code, text = run_cli(
+            "sql",
+            "SELECT gkey, MAX(val) FROM r GROUP BY gkey",
+            "--data-dir", str(tmp_path / "d"),
+        )
+        assert code == 0
+        assert "6 groups" in text
+
+
+class TestCompare:
+    def test_lists_all_algorithms(self):
+        code, text = run_cli(
+            "compare",
+            "--tuples", "1500",
+            "--groups", "30",
+            "--nodes", "3",
+        )
+        assert code == 0
+        for name in (
+            "two_phase",
+            "repartitioning",
+            "sampling",
+            "adaptive_two_phase",
+            "adaptive_repartitioning",
+            "centralized_two_phase",
+            "optimized_two_phase",
+            "streaming_pre_aggregation",
+        ):
+            assert name in text
+
+
+class TestFigure:
+    def test_table1(self):
+        code, text = run_cli("figure", "--name", "table1")
+        assert code == 0
+        assert "mips" in text
+
+    def test_fig3_prints_series(self):
+        code, text = run_cli("figure", "--name", "fig3")
+        assert code == 0
+        assert "adaptive_two_phase" in text
+        assert "selectivity" in text
+
+    def test_writes_results(self, tmp_path):
+        code, text = run_cli(
+            "figure", "--name", "fig1", "--results-dir", str(tmp_path)
+        )
+        assert code == 0
+        assert (tmp_path / "fig1.csv").exists()
+        assert (tmp_path / "fig1.txt").exists()
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(SystemExit):
+            run_cli("figure", "--name", "fig99")
+
+
+class TestParams:
+    def test_paper_preset(self):
+        code, text = run_cli("params")
+        assert code == 0
+        assert "num_nodes" in text and "32" in text
+
+    def test_implementation_preset(self):
+        code, text = run_cli("params", "--preset", "implementation")
+        assert code == 0
+        assert "2000000" in text
+
+
+class TestPlan:
+    def test_no_estimate(self):
+        code, text = run_cli("plan")
+        assert code == 0
+        assert "adaptive_two_phase" in text
+
+    def test_estimate(self):
+        code, text = run_cli("plan", "--groups-estimate", "999999")
+        assert code == 0
+        assert "adaptive_repartitioning" in text
+        assert "estimated:" in text
+
+    def test_duplicate_elimination_flag(self):
+        code, text = run_cli("plan", "--duplicate-elimination")
+        assert code == 0
+        assert "adaptive_repartitioning" in text

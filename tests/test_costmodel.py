@@ -1,0 +1,257 @@
+"""Tests of the analytical cost models against the paper's claims.
+
+The models' job is *relative* prediction, so these tests assert the
+qualitative facts the paper states: who wins at each end of the
+selectivity range, that a crossover exists, that adaptive algorithms
+track the per-point best with bounded overhead, and that the sampling
+overhead is a near-constant additive term.
+"""
+
+import pytest
+
+from repro.costmodel import (
+    MODEL_FUNCTIONS,
+    adaptive_repartitioning_cost,
+    adaptive_two_phase_cost,
+    centralized_two_phase_cost,
+    model_cost,
+    repartitioning_cost,
+    sampling_cost,
+    two_phase_cost,
+)
+from repro.costmodel.base import (
+    CostBreakdown,
+    overflow_fraction,
+    send_latency_seconds,
+)
+from repro.costmodel.params import NetworkKind, SystemParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SystemParameters.paper_default()
+
+
+LOW_S = 1e-6     # a handful of groups
+MID_S = 1e-3     # thousands of groups
+HIGH_S = 0.5     # duplicate-elimination territory
+
+
+class TestCostBreakdown:
+    def test_total_sums_components(self):
+        b = CostBreakdown("x", 0.1)
+        b.add("a", 1.0)
+        b.add("b", 2.0)
+        b.add("a", 0.5)
+        assert b.total_seconds == 3.5
+        assert b.component("a") == 1.5
+
+    def test_negative_rejected(self):
+        b = CostBreakdown("x", 0.1)
+        with pytest.raises(ValueError):
+            b.add("a", -1.0)
+
+    def test_extend_with_prefix(self):
+        a = CostBreakdown("a", 0.1)
+        a.add("x", 1.0)
+        b = CostBreakdown("b", 0.1)
+        b.add("x", 2.0)
+        a.extend(b, prefix="sub_")
+        assert a.component("sub_x") == 2.0
+        assert a.total_seconds == 3.0
+
+
+class TestOverflowFraction:
+    def test_fits_in_memory(self):
+        assert overflow_fraction(5_000, 10_000) == 0.0
+
+    def test_partial_overflow(self):
+        assert overflow_fraction(20_000, 10_000) == 0.5
+
+    def test_zero_groups(self):
+        assert overflow_fraction(0, 10_000) == 0.0
+
+
+class TestSendLatency:
+    def test_high_bandwidth_parallel(self, params):
+        assert send_latency_seconds(params, 10) == pytest.approx(
+            10 * params.m_l
+        )
+
+    def test_limited_bandwidth_serializes(self):
+        p = SystemParameters.paper_default().with_(
+            network=NetworkKind.LIMITED_BANDWIDTH
+        )
+        assert send_latency_seconds(p, 10) == pytest.approx(
+            10 * p.num_nodes * p.m_l
+        )
+
+    def test_negative_rejected(self, params):
+        with pytest.raises(ValueError):
+            send_latency_seconds(params, -1)
+
+
+class TestPaperClaims:
+    def test_two_phase_wins_at_low_selectivity(self, params):
+        assert (
+            two_phase_cost(params, LOW_S).total_seconds
+            < repartitioning_cost(params, LOW_S).total_seconds
+        )
+
+    def test_repartitioning_wins_at_high_selectivity(self, params):
+        assert (
+            repartitioning_cost(params, HIGH_S).total_seconds
+            < two_phase_cost(params, HIGH_S).total_seconds
+        )
+
+    def test_crossover_exists(self, params):
+        """Somewhere in the middle the winner flips exactly once-ish."""
+        from repro.costmodel.params import log_selectivities
+
+        winners = []
+        for s in log_selectivities(params, points=25):
+            tp = two_phase_cost(params, s).total_seconds
+            rep = repartitioning_cost(params, s).total_seconds
+            winners.append("2p" if tp <= rep else "rep")
+        assert winners[0] == "2p"
+        assert winners[-1] == "rep"
+
+    def test_centralized_explodes_at_high_selectivity(self, params):
+        c2p = centralized_two_phase_cost(params, HIGH_S).total_seconds
+        assert c2p > 5 * two_phase_cost(params, HIGH_S).total_seconds
+
+    def test_centralized_fine_for_scalar_aggregate(self, params):
+        s = 1.0 / params.num_tuples
+        c2p = centralized_two_phase_cost(params, s).total_seconds
+        tp = two_phase_cost(params, s).total_seconds
+        assert c2p == pytest.approx(tp, rel=0.05)
+
+    def test_adaptive_two_phase_tracks_best(self, params):
+        """A-2P within a modest factor of min(2P, Rep) everywhere."""
+        from repro.costmodel.params import log_selectivities
+
+        for s in log_selectivities(params, points=15):
+            best = min(
+                two_phase_cost(params, s).total_seconds,
+                repartitioning_cost(params, s).total_seconds,
+            )
+            a2p = adaptive_two_phase_cost(params, s).total_seconds
+            assert a2p <= 1.25 * best, f"selectivity {s}"
+
+    def test_adaptive_two_phase_equals_two_phase_without_switch(
+        self, params
+    ):
+        """Below the memory limit A-2P literally is 2P."""
+        a2p = adaptive_two_phase_cost(params, LOW_S)
+        tp = two_phase_cost(params, LOW_S)
+        assert a2p.total_seconds == pytest.approx(tp.total_seconds)
+
+    def test_adaptive_rep_equals_rep_at_high_selectivity(self, params):
+        arep = adaptive_repartitioning_cost(params, HIGH_S)
+        rep = repartitioning_cost(params, HIGH_S)
+        assert arep.total_seconds == pytest.approx(rep.total_seconds)
+
+    def test_adaptive_rep_recovers_at_low_selectivity(self, params):
+        """After falling back it lands near 2P, far below Rep."""
+        arep = adaptive_repartitioning_cost(params, LOW_S).total_seconds
+        tp = two_phase_cost(params, LOW_S).total_seconds
+        rep = repartitioning_cost(params, LOW_S).total_seconds
+        assert arep < rep
+        assert arep <= 1.25 * tp
+
+    def test_sampling_overhead_is_constant(self, params):
+        """Samp − chosen algorithm ≈ the same at far-apart selectivities."""
+        over_low = (
+            sampling_cost(params, LOW_S).total_seconds
+            - two_phase_cost(params, LOW_S).total_seconds
+        )
+        over_high = (
+            sampling_cost(params, HIGH_S).total_seconds
+            - repartitioning_cost(params, HIGH_S).total_seconds
+        )
+        assert over_low > 0 and over_high > 0
+        assert over_low == pytest.approx(over_high, rel=0.5)
+
+    def test_sampling_picks_repartitioning_above_threshold(self, params):
+        """8000 groups > the 320 crossover: Samp = Rep + small overhead."""
+        samp = sampling_cost(params, MID_S)
+        rep = repartitioning_cost(params, MID_S)
+        overhead = samp.total_seconds - rep.total_seconds
+        assert 0 < overhead < 0.05 * rep.total_seconds
+
+    def test_sampling_threshold_controls_choice(self, params):
+        """With a huge threshold the same selectivity picks Two Phase."""
+        samp = sampling_cost(params, MID_S, threshold=100_000)
+        tp = two_phase_cost(params, MID_S)
+        overhead = samp.total_seconds - tp.total_seconds
+        assert overhead > 0
+
+    def test_pipeline_strips_scan_and_store(self, params):
+        full = two_phase_cost(params, MID_S)
+        pipe = two_phase_cost(params, MID_S, pipeline=True)
+        assert pipe.component("scan_io") == 0.0
+        assert pipe.component("store_io") == 0.0
+        assert pipe.total_seconds < full.total_seconds
+
+    def test_pipeline_favors_repartitioning(self, params):
+        """Figure 2's point: with no scan I/O amortizing it, 2P's CPU
+        duplication makes Rep relatively stronger at high selectivity."""
+        ratio_full = (
+            two_phase_cost(params, HIGH_S).total_seconds
+            / repartitioning_cost(params, HIGH_S).total_seconds
+        )
+        ratio_pipe = (
+            two_phase_cost(params, HIGH_S, pipeline=True).total_seconds
+            / repartitioning_cost(
+                params, HIGH_S, pipeline=True
+            ).total_seconds
+        )
+        assert ratio_pipe > ratio_full
+
+    def test_limited_bandwidth_hurts_repartitioning_most(self):
+        fast = SystemParameters.implementation().with_(
+            network=NetworkKind.HIGH_BANDWIDTH
+        )
+        slow = SystemParameters.implementation()
+        rep_penalty = (
+            repartitioning_cost(slow, MID_S).total_seconds
+            - repartitioning_cost(fast, MID_S).total_seconds
+        )
+        tp_penalty = (
+            two_phase_cost(slow, MID_S).total_seconds
+            - two_phase_cost(fast, MID_S).total_seconds
+        )
+        assert rep_penalty > 5 * tp_penalty
+
+    def test_wasted_processors_when_groups_below_n(self, params):
+        """Rep's aggregation phase concentrates on min(|G|, N) nodes."""
+        one_group = 1.0 / params.num_tuples
+        many = 1e-4
+        rep_one = repartitioning_cost(params, one_group)
+        rep_many = repartitioning_cost(params, many)
+        assert rep_one.component("agg_cpu") > 10 * rep_many.component(
+            "agg_cpu"
+        )
+
+
+class TestModelRegistry:
+    def test_all_models_evaluate(self, params):
+        for name in MODEL_FUNCTIONS:
+            b = model_cost(name, params, MID_S)
+            assert b.total_seconds > 0
+            assert b.algorithm == name
+
+    def test_unknown_model(self, params):
+        with pytest.raises(KeyError, match="unknown cost model"):
+            model_cost("quantum", params, MID_S)
+
+    def test_components_all_nonnegative(self, params):
+        from repro.costmodel.params import log_selectivities
+
+        for name in MODEL_FUNCTIONS:
+            for s in log_selectivities(params, points=8):
+                b = model_cost(name, params, s)
+                assert all(v >= 0 for v in b.components.values()), (
+                    name,
+                    s,
+                )

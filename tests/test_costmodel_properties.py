@@ -1,0 +1,108 @@
+"""Property tests over the analytical models' parameter space."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.costmodel import MODEL_FUNCTIONS, model_cost
+from repro.costmodel.params import NetworkKind, SystemParameters
+
+selectivities = st.floats(min_value=1e-7, max_value=0.5)
+node_counts = st.integers(min_value=1, max_value=128)
+networks = st.sampled_from(list(NetworkKind))
+
+
+@given(selectivities, node_counts, networks)
+@settings(max_examples=80, deadline=None)
+def test_all_models_positive_everywhere(selectivity, nodes, network):
+    params = SystemParameters.paper_default().with_(
+        num_nodes=nodes, network=network
+    )
+    for name in MODEL_FUNCTIONS:
+        breakdown = model_cost(name, params, selectivity)
+        assert breakdown.total_seconds > 0, (name, selectivity, nodes)
+        assert all(v >= 0 for v in breakdown.components.values())
+
+
+@given(selectivities, networks)
+@settings(max_examples=50, deadline=None)
+def test_costs_monotone_in_relation_size(selectivity, network):
+    """Doubling the relation never makes any algorithm faster."""
+    small = SystemParameters.paper_default().with_(network=network)
+    big = small.with_(num_tuples=small.num_tuples * 2)
+    for name in MODEL_FUNCTIONS:
+        assert (
+            model_cost(name, big, selectivity).total_seconds
+            >= model_cost(name, small, selectivity).total_seconds - 1e-9
+        ), name
+
+
+@given(selectivities)
+@settings(max_examples=50, deadline=None)
+def test_slow_network_never_cheaper(selectivity):
+    fast = SystemParameters.paper_default()
+    slow = fast.with_(network=NetworkKind.LIMITED_BANDWIDTH)
+    for name in MODEL_FUNCTIONS:
+        assert (
+            model_cost(name, slow, selectivity).total_seconds
+            >= model_cost(name, fast, selectivity).total_seconds - 1e-9
+        ), name
+
+
+@given(selectivities)
+@settings(max_examples=50, deadline=None)
+def test_pipeline_never_costlier(selectivity):
+    """Removing scan/store I/O cannot increase any model's cost."""
+    params = SystemParameters.paper_default()
+    for name in ("centralized_two_phase", "two_phase", "repartitioning"):
+        with_io = MODEL_FUNCTIONS[name](params, selectivity)
+        pipeline = MODEL_FUNCTIONS[name](params, selectivity,
+                                         pipeline=True)
+        assert pipeline.total_seconds <= with_io.total_seconds + 1e-9
+
+
+@given(st.floats(min_value=1e-7, max_value=0.5),
+       st.floats(min_value=1.01, max_value=4.0))
+@settings(max_examples=50, deadline=None)
+def test_more_memory_never_hurts_static_algorithms(selectivity, factor):
+    """For the non-adaptive algorithms more memory only reduces spill."""
+    params = SystemParameters.paper_default()
+    bigger = params.with_(
+        hash_table_entries=round(params.hash_table_entries * factor)
+    )
+    for name in ("centralized_two_phase", "two_phase", "repartitioning",
+                 "sampling"):
+        assert (
+            model_cost(name, bigger, selectivity).total_seconds
+            <= model_cost(name, params, selectivity).total_seconds + 1e-9
+        ), name
+
+
+def test_more_memory_can_hurt_adaptive_two_phase():
+    """Pinned insight: when S_l ≈ 1 every 'partial' stands for a single
+    tuple, so the longer A-2P stays in 2P mode (bigger M), the more
+    wasted local work it does before switching — more memory makes it
+    *slower* in the mid-range.  (With small M it switches early and
+    behaves like Repartitioning, the per-tuple winner there.)"""
+    params = SystemParameters.paper_default()
+    s = 0.03125  # S·N = 1: local aggregation accomplishes nothing
+    small = model_cost("adaptive_two_phase", params, s).total_seconds
+    big = model_cost(
+        "adaptive_two_phase",
+        params.with_(hash_table_entries=params.hash_table_entries * 2),
+        s,
+    ).total_seconds
+    assert big > small
+
+
+def test_adaptive_two_phase_continuous_at_switch_boundary():
+    """A-2P's cost must not jump at the exact overflow point."""
+    params = SystemParameters.paper_default()
+    # The switch kicks in when S_l·|R_i| > M: S·N·(|R|/N) = S·|R| > M·N
+    # ... locally: S_l·|R_i| = min(S·N,1)·|R|/N. Solve for the boundary.
+    boundary = params.hash_table_entries / params.num_tuples
+    below = model_cost(
+        "adaptive_two_phase", params, boundary * 0.999
+    ).total_seconds
+    above = model_cost(
+        "adaptive_two_phase", params, boundary * 1.001
+    ).total_seconds
+    assert abs(above - below) < 0.05 * below

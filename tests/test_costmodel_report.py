@@ -1,0 +1,72 @@
+"""Tests for the resource-family cost reporting."""
+
+import pytest
+
+from repro.costmodel import model_cost
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.report import (
+    FAMILIES,
+    breakdown_table,
+    classify_component,
+    family_breakdown,
+)
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SystemParameters.paper_default()
+
+
+class TestClassification:
+    def test_io_components(self):
+        assert classify_component("scan_io") == "base_io"
+        assert classify_component("store_io") == "base_io"
+        assert classify_component("sample_scan_io") == "base_io"
+
+    def test_overflow(self):
+        assert classify_component("local_overflow_io") == "overflow_io"
+        assert classify_component("merge_overflow_io") == "overflow_io"
+
+    def test_network(self):
+        assert classify_component("send_latency") == "network"
+        assert classify_component("flush_latency") == "network"
+
+    def test_cpu_is_default(self):
+        assert classify_component("select_cpu") == "cpu"
+        assert classify_component("something_new") == "cpu"
+
+
+class TestFamilyBreakdown:
+    def test_sums_to_total(self, params):
+        breakdown = model_cost("two_phase", params, 0.01)
+        families = family_breakdown(breakdown)
+        assert sum(families.values()) == pytest.approx(
+            breakdown.total_seconds
+        )
+
+    def test_all_families_present(self, params):
+        families = family_breakdown(model_cost("two_phase", params, 0.5))
+        assert set(families) == set(FAMILIES)
+
+    def test_no_overflow_when_memory_fits(self, params):
+        families = family_breakdown(
+            model_cost("two_phase", params, 1e-6)
+        )
+        assert families["overflow_io"] == 0.0
+
+    def test_overflow_appears_at_high_selectivity(self, params):
+        families = family_breakdown(model_cost("two_phase", params, 0.5))
+        assert families["overflow_io"] > 0.0
+
+
+class TestBreakdownTable:
+    def test_default_covers_all_models(self, params):
+        rows = breakdown_table(params, 0.01)
+        assert len(rows) == 6
+
+    def test_row_shape(self, params):
+        rows = breakdown_table(params, 0.01, ["two_phase"])
+        (row,) = rows
+        assert row[0] == "two_phase"
+        assert len(row) == 2 + len(FAMILIES)
+        assert row[-1] == pytest.approx(sum(row[1:-1]))

@@ -1,0 +1,79 @@
+"""Tests for the scaleup analysis (Figures 5 and 6)."""
+
+import pytest
+
+from repro.costmodel.scaleup import DEFAULT_NODE_COUNTS, scaleup_series
+from repro.costmodel.params import SystemParameters
+
+LOW_S = 2.0e-6
+HIGH_S = 0.25
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SystemParameters.paper_default()
+
+
+class TestScaleupMechanics:
+    def test_series_shape(self, params):
+        pts = scaleup_series("two_phase", params, LOW_S)
+        assert [n for n, _, _ in pts] == list(DEFAULT_NODE_COUNTS)
+
+    def test_baseline_is_one(self, params):
+        pts = scaleup_series("repartitioning", params, HIGH_S)
+        assert pts[0][2] == pytest.approx(1.0)
+
+    def test_unknown_algorithm(self, params):
+        with pytest.raises(KeyError):
+            scaleup_series("nope", params, LOW_S)
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            scaleup_series("two_phase", params, LOW_S, node_counts=[])
+        with pytest.raises(ValueError):
+            scaleup_series("two_phase", params, LOW_S, node_counts=[8, 4])
+
+
+class TestFigure5LowSelectivity:
+    """At S = 2e-6 everything that ends up doing 2P scales ~ideally."""
+
+    @pytest.mark.parametrize(
+        "algorithm",
+        ["two_phase", "adaptive_two_phase", "adaptive_repartitioning"],
+    )
+    def test_near_ideal(self, params, algorithm):
+        pts = scaleup_series(algorithm, params, LOW_S)
+        for _n, _t, su in pts:
+            assert su >= 0.95
+
+    def test_sampling_slightly_suboptimal_but_good(self, params):
+        pts = scaleup_series("sampling", params, LOW_S)
+        assert all(su >= 0.85 for _n, _t, su in pts)
+
+
+class TestFigure6HighSelectivity:
+    def test_repartitioning_ideal(self, params):
+        pts = scaleup_series("repartitioning", params, HIGH_S)
+        assert all(su >= 0.99 for _n, _t, su in pts)
+
+    def test_adaptives_near_ideal(self, params):
+        for algorithm in (
+            "adaptive_two_phase",
+            "adaptive_repartitioning",
+        ):
+            pts = scaleup_series(algorithm, params, HIGH_S)
+            assert all(su >= 0.95 for _n, _t, su in pts), algorithm
+
+    def test_centralized_collapses(self, params):
+        pts = scaleup_series("centralized_two_phase", params, HIGH_S)
+        assert pts[-1][2] < 0.2
+
+    def test_plain_two_phase_suboptimal(self, params):
+        """Duplicated merge work keeps 2P visibly below ideal."""
+        pts = scaleup_series("two_phase", params, HIGH_S)
+        assert pts[-1][2] < 0.95
+
+    def test_adaptive_beats_plain_two_phase(self, params):
+        a2p = scaleup_series("adaptive_two_phase", params, HIGH_S)
+        tp = scaleup_series("two_phase", params, HIGH_S)
+        assert a2p[-1][2] > tp[-1][2]

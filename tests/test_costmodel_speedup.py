@@ -1,0 +1,80 @@
+"""Tests for the analytical speedup companion to Figures 5-6."""
+
+import pytest
+
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.speedup import parallel_efficiency, speedup_series
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SystemParameters.paper_default()
+
+
+class TestSpeedupSeries:
+    def test_baseline_is_one(self, params):
+        pts = speedup_series("repartitioning", params, 0.25)
+        assert pts[0][2] == pytest.approx(1.0)
+
+    def test_speedup_monotone_for_repartitioning(self, params):
+        pts = speedup_series("repartitioning", params, 0.25)
+        speedups = [su for _n, _t, su in pts]
+        assert speedups == sorted(speedups)
+
+    def test_superlinear_speedup_from_aggregate_memory(self, params):
+        """The classic memory effect: growing the machine also grows the
+        total hash-table allocation (M per node), so per-node groups
+        eventually fit and the overflow I/O disappears — Repartitioning
+        goes *super-linear* at S=0.25."""
+        pts = speedup_series("repartitioning", params, 0.25)
+        base = pts[0][0]
+        n, _t, su = pts[-1]
+        assert su > n / base  # 33.1x on 64 nodes vs ideal 32x
+
+    def test_two_phase_sublinear_at_high_selectivity(self, params):
+        """2P's duplicated merge work keeps it below ideal AND below
+        Repartitioning at S=0.25."""
+        pts = speedup_series("two_phase", params, 0.25)
+        base = pts[0][0]
+        n, _t, tp = pts[-1]
+        assert tp < n / base
+        rep = speedup_series("repartitioning", params, 0.25)[-1][2]
+        assert rep > 1.15 * tp
+
+    def test_centralized_flatlines(self, params):
+        """The sequential coordinator bounds C-2P's speedup."""
+        pts = speedup_series("centralized_two_phase", params, 0.25)
+        assert pts[-1][2] < 2.0
+
+    def test_validation(self, params):
+        with pytest.raises(ValueError):
+            speedup_series("two_phase", params, 0.25, node_counts=[])
+        with pytest.raises(ValueError):
+            speedup_series("two_phase", params, 0.25,
+                           node_counts=[8, 2])
+        with pytest.raises(KeyError):
+            speedup_series("bogus", params, 0.25)
+
+
+class TestParallelEfficiency:
+    def test_starts_at_one(self, params):
+        eff = parallel_efficiency("repartitioning", params, 0.25)
+        assert eff[0][1] == pytest.approx(1.0)
+
+    def test_two_phase_efficiency_below_one(self, params):
+        for _n, e in parallel_efficiency("two_phase", params, 0.25):
+            assert e <= 1.0 + 1e-9
+
+    def test_efficiency_values_sane(self, params):
+        """Even with the super-linear memory effect, efficiency stays
+        within a sane band (no runaway artifacts)."""
+        for name in ("repartitioning", "adaptive_repartitioning"):
+            for _n, e in parallel_efficiency(name, params, 0.25):
+                assert 0.5 <= e <= 1.2, name
+
+    def test_repartitioning_efficiency_dominates_two_phase(
+        self, params
+    ):
+        rep = dict(parallel_efficiency("repartitioning", params, 0.25))
+        tp = dict(parallel_efficiency("two_phase", params, 0.25))
+        assert rep[64] > tp[64]

@@ -1,0 +1,86 @@
+"""Tests for the crossover finder and hardware sensitivity sweeps."""
+
+import pytest
+
+from repro.costmodel.crossover import (
+    cost_gap,
+    crossover_sensitivity,
+    find_crossover,
+)
+from repro.costmodel.params import NetworkKind, SystemParameters
+
+
+@pytest.fixture(scope="module")
+def params():
+    return SystemParameters.paper_default()
+
+
+class TestFindCrossover:
+    def test_crossover_exists_on_fast_network(self, params):
+        s_star = find_crossover(params)
+        assert s_star is not None
+        assert 1e-6 < s_star < 0.5
+
+    def test_gap_signs_bracket_the_crossover(self, params):
+        s_star = find_crossover(params)
+        assert cost_gap(params, s_star * 0.5) < 0   # 2P wins below
+        assert cost_gap(params, min(0.5, s_star * 2)) > 0
+
+    def test_crossover_near_memory_overflow_point(self, params):
+        """The paper's A-2P rationale: the crossover sits near where the
+        local table would overflow, S ≈ M/|R| (S_l·|R_i| = M)."""
+        s_star = find_crossover(params)
+        overflow_s = params.hash_table_entries / params.num_tuples
+        assert overflow_s / 10 < s_star < overflow_s * 10
+
+    def test_slow_network_moves_crossover_right(self, params):
+        slow = params.with_(network=NetworkKind.LIMITED_BANDWIDTH)
+        fast_star = find_crossover(params)
+        slow_star = find_crossover(slow)
+        assert slow_star is None or slow_star > 3 * fast_star
+
+    def test_free_network_tiny_memory_early_crossover(self, params):
+        """With an instant network and a one-entry table, Rep wins as
+        soon as there are enough groups to feed most processors — but
+        never below that: at one group Rep idles N−1 nodes while 2P
+        still aggregates in parallel, so 2P always owns the scalar end."""
+        extreme = params.with_(
+            msg_latency_seconds=0.0,
+            msg_protocol_instr=0.0,
+            hash_table_entries=1,
+        )
+        s_star = find_crossover(extreme)
+        assert s_star is not None
+        # ~20 groups on 32 nodes: just past the utilization knee.
+        assert s_star < 1e-5
+        assert cost_gap(extreme, 1.0 / params.num_tuples) < 0
+
+
+class TestSensitivity:
+    def test_network_latency_sweep_monotone(self, params):
+        sweep = crossover_sensitivity(
+            params,
+            "msg_latency_seconds",
+            [0.0005, 0.002, 0.008, 0.032],
+        )
+        stars = [s for _v, s in sweep]
+        numeric = [s for s in stars if s is not None]
+        # Crossover moves right (or disappears) as the network slows.
+        assert numeric == sorted(numeric)
+        assert stars[0] is not None
+
+    def test_memory_sweep_moves_crossover(self, params):
+        sweep = crossover_sensitivity(
+            params, "hash_table_entries", [1000, 10_000, 100_000]
+        )
+        stars = [s for _v, s in sweep if s is not None]
+        # More memory keeps 2P viable longer: S* grows with M.
+        assert stars == sorted(stars)
+        assert stars[-1] > stars[0]
+
+    def test_pairs_preserve_input_values(self, params):
+        values = [0.001, 0.002]
+        sweep = crossover_sensitivity(
+            params, "msg_latency_seconds", values
+        )
+        assert [v for v, _s in sweep] == values

@@ -1,0 +1,93 @@
+"""Tests for the hash join operator and the join→aggregate pipeline."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.engine import (
+    HashAggregateOp,
+    HashJoinOp,
+    ScanOp,
+    SelectOp,
+    execute,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+
+
+@pytest.fixture
+def orders():
+    schema = Schema([Column("okey", "int"), Column("cust", "str")])
+    return Relation(
+        schema, [(1, "ann"), (2, "bob"), (3, "ann"), (4, "eve")]
+    )
+
+
+@pytest.fixture
+def lines():
+    schema = Schema(
+        [Column("okey", "int"), Column("price", "float")]
+    )
+    return Relation(
+        schema,
+        [(1, 10.0), (1, 20.0), (2, 5.0), (3, 7.0), (9, 99.0)],
+    )
+
+
+class TestHashJoin:
+    def test_inner_join_semantics(self, orders, lines):
+        join = HashJoinOp(ScanOp(lines), ScanOp(orders), "okey", "okey")
+        rows = sorted(join.rows())
+        # orderkey 9 has no order; order 4 has no lines.
+        assert len(rows) == 4
+        assert rows[0] == (1, 10.0, 1, "ann")
+
+    def test_duplicate_matches_multiply(self):
+        left_schema = Schema([Column("k", "int")])
+        right_schema = Schema([Column("k", "int"), Column("tag", "str")])
+        left = Relation(left_schema, [(1,), (1,)])
+        right = Relation(right_schema, [(1, "a"), (1, "b")])
+        join = HashJoinOp(ScanOp(left), ScanOp(right), "k", "k")
+        assert len(list(join.rows())) == 4
+
+    def test_schema_collision_suffixed(self, orders, lines):
+        join = HashJoinOp(ScanOp(lines), ScanOp(orders), "okey", "okey")
+        assert join.schema.names() == ["okey", "price", "okey_r", "cust"]
+
+    def test_empty_build_side(self, lines):
+        empty = Relation(Schema([Column("okey", "int")]), [])
+        join = HashJoinOp(ScanOp(lines), ScanOp(empty), "okey", "okey")
+        assert list(join.rows()) == []
+
+    def test_unknown_key_rejected(self, orders, lines):
+        with pytest.raises(KeyError):
+            HashJoinOp(ScanOp(lines), ScanOp(orders), "nope", "okey")
+
+
+class TestJoinAggregatePipeline:
+    def test_paper_pipeline_shape(self, orders, lines):
+        """select → select → join → aggregate, Section 2's example tree."""
+        left = SelectOp(ScanOp(lines), lambda r: r["price"] > 1.0)
+        right = SelectOp(ScanOp(orders), lambda r: r["cust"] != "zzz")
+        join = HashJoinOp(left, right, "okey", "okey")
+        query = AggregateQuery(
+            group_by=["cust"],
+            aggregates=[AggregateSpec("sum", "price", alias="spend")],
+        )
+        agg = HashAggregateOp(join, query)
+        result = execute(agg)
+        rows = dict(sorted(result.rows))
+        assert rows == {"ann": 37.0, "bob": 5.0}
+
+    def test_aggregate_over_join_respects_memory_bound(
+        self, orders, lines
+    ):
+        join = HashJoinOp(ScanOp(lines), ScanOp(orders), "okey", "okey")
+        query = AggregateQuery(
+            group_by=["cust"],
+            aggregates=[AggregateSpec("count", None)],
+        )
+        agg = HashAggregateOp(join, query, max_entries=1)
+        rows = sorted(agg.rows())
+        assert [r[0] for r in rows] == ["ann", "bob"]
+        assert agg.spilled_items > 0

@@ -1,0 +1,178 @@
+"""Tests for the Volcano-style local operator engine."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.engine import (
+    HashAggregateOp,
+    HavingOp,
+    LimitOp,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+    SortAggregateOp,
+    SortOp,
+    build_aggregate_plan,
+    execute,
+    explain,
+    run_query,
+)
+from repro.parallel import reference_aggregate
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+from repro.workloads.generator import generate_uniform
+
+from tests.conftest import assert_rows_close
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [Column("k", "int"), Column("v", "float"), Column("tag", "str")]
+    )
+    rows = [
+        (1, 10.0, "a"),
+        (2, 20.0, "b"),
+        (1, 30.0, "a"),
+        (3, 40.0, "c"),
+        (2, 50.0, "b"),
+    ]
+    return Relation(schema, rows)
+
+
+class TestLeafAndFilters:
+    def test_scan_streams_all(self, relation):
+        assert list(ScanOp(relation).rows()) == relation.rows
+
+    def test_select(self, relation):
+        op = SelectOp(ScanOp(relation), lambda r: r["v"] > 25.0)
+        assert len(list(op.rows())) == 3
+
+    def test_select_schema_passthrough(self, relation):
+        op = SelectOp(ScanOp(relation), lambda r: True)
+        assert op.schema == relation.schema
+
+    def test_project(self, relation):
+        op = ProjectOp(ScanOp(relation), ["v", "k"])
+        assert op.schema.names() == ["v", "k"]
+        assert next(iter(op.rows())) == (10.0, 1)
+
+    def test_limit(self, relation):
+        op = LimitOp(ScanOp(relation), 2)
+        assert len(list(op.rows())) == 2
+
+    def test_limit_zero(self, relation):
+        assert list(LimitOp(ScanOp(relation), 0).rows()) == []
+
+    def test_limit_negative_rejected(self, relation):
+        with pytest.raises(ValueError):
+            LimitOp(ScanOp(relation), -1)
+
+    def test_sort(self, relation):
+        op = SortOp(ScanOp(relation), ["v"], descending=True)
+        vals = [row[1] for row in op.rows()]
+        assert vals == sorted(vals, reverse=True)
+
+
+class TestAggregateOps:
+    QUERY = AggregateQuery(
+        group_by=["k"],
+        aggregates=[
+            AggregateSpec("sum", "v", alias="total"),
+            AggregateSpec("count", None, alias="n"),
+        ],
+    )
+
+    def test_hash_aggregate(self, relation):
+        op = HashAggregateOp(ScanOp(relation), self.QUERY)
+        rows = sorted(op.rows())
+        assert rows == [(1, 40.0, 2), (2, 70.0, 2), (3, 40.0, 1)]
+
+    def test_sort_aggregate_ordered_output(self, relation):
+        op = SortAggregateOp(ScanOp(relation), self.QUERY)
+        keys = [row[0] for row in op.rows()]
+        assert keys == sorted(keys)
+
+    def test_output_schema(self, relation):
+        op = HashAggregateOp(ScanOp(relation), self.QUERY)
+        assert op.schema.names() == ["k", "total", "n"]
+
+    def test_bounded_memory_spills(self, relation):
+        op = HashAggregateOp(ScanOp(relation), self.QUERY, max_entries=1)
+        rows = sorted(op.rows())
+        assert len(rows) == 3
+        assert op.spilled_items > 0
+
+    def test_having(self, relation):
+        agg = HashAggregateOp(ScanOp(relation), self.QUERY)
+        op = HavingOp(agg, lambda r: r["n"] >= 2)
+        assert len(list(op.rows())) == 2
+
+    def test_scalar_aggregate(self, relation):
+        query = AggregateQuery(
+            group_by=[], aggregates=[AggregateSpec("count", None)]
+        )
+        op = HashAggregateOp(ScanOp(relation), query)
+        assert list(op.rows()) == [(5,)]
+
+
+class TestPlanner:
+    def test_plan_matches_reference(self):
+        dist = generate_uniform(1500, 40, 1, seed=0)
+        relation = dist.as_relation()
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("avg", "val")],
+            where=lambda r: r["val"] > 10.0,
+            having=lambda r: r["gkey"] % 3 == 0,
+        )
+        got = run_query(relation, query)
+        assert_rows_close(
+            sorted(got.rows), reference_aggregate(relation, query)
+        )
+
+    def test_sort_method_matches_hash(self):
+        dist = generate_uniform(1000, 30, 1, seed=1)
+        relation = dist.as_relation()
+        query = AggregateQuery(
+            group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+        )
+        hash_rows = sorted(run_query(relation, query, method="hash").rows)
+        sort_rows = list(
+            run_query(relation, query, method="sort").rows
+        )
+        assert_rows_close(hash_rows, sort_rows)
+
+    def test_bad_method(self, relation):
+        query = AggregateQuery(
+            group_by=["k"], aggregates=[AggregateSpec("count", None)]
+        )
+        with pytest.raises(ValueError, match="method"):
+            build_aggregate_plan(relation, query, method="nested-loop")
+
+    def test_execute_materializes(self, relation):
+        query = AggregateQuery(
+            group_by=["k"], aggregates=[AggregateSpec("count", None)]
+        )
+        result = execute(build_aggregate_plan(relation, query))
+        assert isinstance(result, Relation)
+        assert len(result) == 3
+
+    def test_explain_shows_tree(self, relation):
+        query = AggregateQuery(
+            group_by=["k"],
+            aggregates=[AggregateSpec("sum", "v")],
+            where=lambda r: True,
+            having=lambda r: True,
+        )
+        plan = build_aggregate_plan(relation, query, max_entries=100)
+        text = explain(plan)
+        assert "having" in text
+        assert "hash_aggregate" in text
+        assert "M=100" in text
+        assert "scan(5 rows)" in text
+        # Deeper operators are indented further.
+        lines = text.splitlines()
+        assert lines[0].startswith("-> ")
+        assert lines[-1].startswith("   " * (len(lines) - 1))

@@ -1,0 +1,127 @@
+"""Property tests: operator pipelines vs plain-Python oracles."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.engine import (
+    HashAggregateOp,
+    LimitOp,
+    ProjectOp,
+    ScanOp,
+    SelectOp,
+    SortAggregateOp,
+    SortOp,
+    execute,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+
+SCHEMA = Schema([Column("k", "int"), Column("v", "int")])
+
+rows = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=15),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=80,
+)
+
+
+def relation_of(data):
+    return Relation(SCHEMA, data)
+
+
+@given(rows, st.integers(min_value=-100, max_value=100))
+@settings(max_examples=60)
+def test_select_matches_comprehension(data, threshold):
+    plan = SelectOp(
+        ScanOp(relation_of(data)), lambda r: r["v"] > threshold
+    )
+    assert list(plan.rows()) == [r for r in data if r[1] > threshold]
+
+
+@given(rows)
+@settings(max_examples=60)
+def test_project_swaps_columns(data):
+    plan = ProjectOp(ScanOp(relation_of(data)), ["v", "k"])
+    assert list(plan.rows()) == [(v, k) for k, v in data]
+
+
+@given(rows, st.integers(min_value=0, max_value=100))
+@settings(max_examples=60)
+def test_limit_prefix(data, n):
+    plan = LimitOp(ScanOp(relation_of(data)), n)
+    assert list(plan.rows()) == data[:n]
+
+
+@given(rows)
+@settings(max_examples=60)
+def test_sort_matches_sorted(data):
+    plan = SortOp(ScanOp(relation_of(data)), ["v"])
+    got = [r[1] for r in plan.rows()]
+    assert got == sorted(r[1] for r in data)
+
+
+@given(rows, st.integers(min_value=1, max_value=8))
+@settings(max_examples=60)
+def test_hash_and_sort_aggregate_agree(data, max_entries):
+    query = AggregateQuery(
+        group_by=["k"],
+        aggregates=[
+            AggregateSpec("sum", "v"),
+            AggregateSpec("count", None),
+        ],
+    )
+    hash_rows = sorted(
+        HashAggregateOp(
+            ScanOp(relation_of(data)), query, max_entries
+        ).rows()
+    )
+    sort_rows = list(
+        SortAggregateOp(
+            ScanOp(relation_of(data)), query, max_entries
+        ).rows()
+    )
+    assert hash_rows == sort_rows
+    # Oracle: plain dict group-by.
+    oracle: dict = {}
+    for k, v in data:
+        total, count = oracle.get(k, (0, 0))
+        oracle[k] = (total + v, count + 1)
+    assert hash_rows == sorted(
+        (k, t, c) for k, (t, c) in oracle.items()
+    )
+
+
+@given(rows, st.integers(min_value=-100, max_value=100),
+       st.integers(min_value=1, max_value=10))
+@settings(max_examples=60)
+def test_full_pipeline_composition(data, threshold, limit):
+    """select → aggregate → sort → limit equals the same done by hand."""
+    query = AggregateQuery(
+        group_by=["k"], aggregates=[AggregateSpec("count", None)]
+    )
+    plan = LimitOp(
+        SortOp(
+            HashAggregateOp(
+                SelectOp(
+                    ScanOp(relation_of(data)),
+                    lambda r: r["v"] >= threshold,
+                ),
+                query,
+            ),
+            ["k"],
+        ),
+        limit,
+    )
+    got = execute(plan).rows
+
+    counts: dict = {}
+    for k, v in data:
+        if v >= threshold:
+            counts[k] = counts.get(k, 0) + 1
+    expected = sorted(counts.items())[:limit]
+    assert got == expected

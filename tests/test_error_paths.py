@@ -1,0 +1,115 @@
+"""Error paths and guards that the happy-path suites never touch."""
+
+import pytest
+
+from repro.costmodel.params import SystemParameters
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.node import NodeContext
+
+
+@pytest.fixture
+def params():
+    return SystemParameters.paper_default().with_(num_nodes=2)
+
+
+class TestEngineGuards:
+    def test_max_events_backstop(self, params):
+        """A send/recv ping-pong loop trips the runaway guard instead of
+        hanging forever."""
+        engine = Engine(params, max_events=200)
+        ctxs = [NodeContext(i, 2, params, engine) for i in range(2)]
+
+        def ping(ctx, peer):
+            def program():
+                yield ctx.send(peer, "ball")
+                while True:
+                    yield ctx.recv("ball")
+                    yield ctx.send(peer, "ball")
+
+            return program()
+
+        with pytest.raises(SimulationError, match="max_events"):
+            engine.run([ping(ctxs[0], 1), ping(ctxs[1], 0)])
+
+    def test_merge_phase_rejects_unknown_kind(self, params):
+        """The merge protocol is closed: stray kinds are a bug, loudly."""
+        from repro.core.algorithms.base import SimConfig, merge_phase
+        from repro.core.aggregates import AggregateSpec
+        from repro.core.query import AggregateQuery
+        from repro.storage.schema import default_schema
+
+        query = AggregateQuery(
+            group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+        )
+        bq = query.bind(default_schema())
+        engine = Engine(params)
+        ctxs = [NodeContext(i, 2, params, engine) for i in range(2)]
+
+        def sender():
+            yield ctxs[0].send(1, "mystery", payload=[1], nbytes=16)
+            yield ctxs[0].send(1, "eof")
+
+        def merger():
+            rows = yield from merge_phase(
+                ctxs[1], bq, SimConfig(), expected_eofs=1
+            )
+            return rows
+
+        with pytest.raises(RuntimeError, match="unexpected message kind"):
+            engine.run([sender(), merger()])
+
+    def test_stale_recv_wakeups_are_harmless(self, params):
+        """Multiple senders waking one parked receiver must deliver each
+        message exactly once (the epoch guard)."""
+        engine = Engine(params.with_(num_nodes=3))
+        ctxs = [
+            NodeContext(i, 3, params, engine) for i in range(3)
+        ]
+
+        def sender(ctx):
+            def program():
+                yield ctx.compute(0.001)
+                yield ctx.send(2, "m", payload=ctx.node_id, nbytes=8)
+
+            return program()
+
+        def receiver():
+            got = []
+            for _ in range(2):
+                msg = yield ctxs[2].recv("m")
+                got.append(msg.payload)
+            return sorted(got)
+
+        results, _ = engine.run(
+            [sender(ctxs[0]), sender(ctxs[1]), receiver()]
+        )
+        assert results[2] == [0, 1]
+
+
+class TestPublicValidation:
+    def test_message_negative_bytes(self):
+        from repro.sim.events import Message
+
+        with pytest.raises(ValueError):
+            Message(0, 1, "x", nbytes=-1)
+
+    def test_read_pages_negative(self):
+        from repro.sim.events import ReadPages
+
+        with pytest.raises(ValueError):
+            ReadPages(-1)
+
+    def test_lru_table_validation(self):
+        from repro.core.algorithms.streaming_pre_aggregation import (
+            LruAggregationTable,
+        )
+
+        with pytest.raises(ValueError):
+            LruAggregationTable(0, lambda: None)
+
+    def test_figure_result_column_missing(self):
+        from repro.bench.harness import FigureResult
+
+        result = FigureResult("f", "t", ["a"])
+        with pytest.raises(ValueError):
+            result.column("b")

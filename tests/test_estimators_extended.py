@@ -1,0 +1,123 @@
+"""Tests for the species estimators and the Flajolet–Martin sketch."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.estimator import (
+    ESTIMATORS,
+    FlajoletMartinSketch,
+    chao1_estimate,
+    distinct_lower_bound,
+    estimate_groups,
+    jackknife_estimate,
+)
+
+
+def sample_from(num_groups, sample_size, seed=0):
+    rng = np.random.default_rng(seed)
+    return [int(k) for k in rng.integers(0, num_groups, sample_size)]
+
+
+class TestChao1:
+    def test_empty(self):
+        assert chao1_estimate([]) == 0.0
+
+    def test_saturated_sample_equals_distinct(self):
+        """Every group seen many times: no singletons, no correction."""
+        keys = [i for i in range(10) for _ in range(20)]
+        assert chao1_estimate(keys) == 10
+
+    def test_at_least_lower_bound(self):
+        keys = sample_from(500, 300)
+        assert chao1_estimate(keys) >= distinct_lower_bound(keys)
+
+    def test_improves_on_lower_bound_for_undersampled(self):
+        """With a sample far smaller than the population, Chao1 must
+        recover more of the truth than the plain distinct count."""
+        true = 2000
+        keys = sample_from(true, 1000, seed=1)
+        lower = distinct_lower_bound(keys)
+        chao = chao1_estimate(keys)
+        assert lower < true
+        assert abs(chao - true) < abs(lower - true)
+
+    def test_all_singletons_bias_corrected(self):
+        keys = list(range(50))  # f2 = 0
+        est = chao1_estimate(keys)
+        assert est == 50 + 50 * 49 / 2
+
+
+class TestJackknife:
+    def test_empty(self):
+        assert jackknife_estimate([]) == 0.0
+
+    def test_at_least_lower_bound(self):
+        keys = sample_from(500, 300, seed=2)
+        assert jackknife_estimate(keys) >= distinct_lower_bound(keys)
+
+    def test_no_singletons_equals_distinct(self):
+        keys = [i for i in range(10) for _ in range(5)]
+        assert jackknife_estimate(keys) == 10
+
+    def test_bounded_by_double_distinct(self):
+        keys = sample_from(1000, 500, seed=3)
+        assert jackknife_estimate(keys) <= 2 * distinct_lower_bound(keys)
+
+
+class TestDispatch:
+    def test_all_estimators_run(self):
+        keys = sample_from(100, 200)
+        for name in ESTIMATORS:
+            assert estimate_groups(keys, name) > 0
+
+    def test_unknown_estimator(self):
+        with pytest.raises(KeyError, match="unknown estimator"):
+            estimate_groups([1], "psychic")
+
+    def test_default_is_lower_bound(self):
+        keys = [1, 1, 2]
+        assert estimate_groups(keys) == 2.0
+
+
+class TestFlajoletMartin:
+    @pytest.mark.parametrize("true", [200, 2000, 20_000])
+    def test_estimate_within_factor_two(self, true):
+        sketch = FlajoletMartinSketch(64)
+        for i in range(true):
+            sketch.add(("key", i))
+        estimate = sketch.estimate()
+        assert true / 2 <= estimate <= true * 2
+
+    def test_duplicates_do_not_inflate(self):
+        sketch = FlajoletMartinSketch(64)
+        for _ in range(50):
+            for i in range(100):
+                sketch.add(i)
+        assert sketch.estimate() < 400
+
+    def test_merge_is_union(self):
+        a, b = FlajoletMartinSketch(64), FlajoletMartinSketch(64)
+        for i in range(4000):
+            a.add(i)
+        for i in range(2000, 6000):
+            b.add(i)
+        a.merge(b)
+        assert 6000 / 2.5 <= a.estimate() <= 6000 * 2.5
+
+    def test_merge_width_mismatch(self):
+        with pytest.raises(ValueError, match="widths"):
+            FlajoletMartinSketch(8).merge(FlajoletMartinSketch(16))
+
+    def test_empty_estimate_zero(self):
+        assert FlajoletMartinSketch(16).estimate() == 0.0
+
+    def test_deterministic(self):
+        a, b = FlajoletMartinSketch(32), FlajoletMartinSketch(32)
+        for i in range(1000):
+            a.add(i)
+            b.add(i)
+        assert a.estimate() == b.estimate()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlajoletMartinSketch(0)

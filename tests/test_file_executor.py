@@ -1,0 +1,90 @@
+"""The out-of-core file-backed executor must match the reference exactly
+while really touching the disk."""
+
+import os
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.parallel import (
+    file_backed_aggregate,
+    materialize_fragments,
+    reference_aggregate,
+)
+from repro.workloads.generator import generate_uniform, generate_zipf
+
+from tests.conftest import assert_rows_close
+
+
+class TestMaterialize:
+    def test_writes_one_file_per_node(self, tmp_path, small_dist):
+        paths = materialize_fragments(small_dist, str(tmp_path))
+        assert len(paths) == small_dist.num_nodes
+        assert all(os.path.exists(p) for p in paths)
+        assert all(os.path.getsize(p) % 4096 == 0 for p in paths)
+
+
+class TestFileBackedAggregate:
+    def test_matches_reference(self, tmp_path, sum_query):
+        dist = generate_uniform(3000, 80, 4, seed=0)
+        rows, stats = file_backed_aggregate(
+            dist, sum_query, str(tmp_path)
+        )
+        assert_rows_close(rows, reference_aggregate(dist, sum_query))
+        assert stats["pages_read"] > 0
+        assert stats["spill_bytes"] == 0  # 80 groups fit the table
+
+    def test_out_of_core_spills_really_happen(self, tmp_path, sum_query):
+        dist = generate_uniform(3000, 900, 4, seed=1)
+        rows, stats = file_backed_aggregate(
+            dist, sum_query, str(tmp_path), max_entries=20
+        )
+        assert_rows_close(rows, reference_aggregate(dist, sum_query))
+        assert stats["spill_bytes"] > 0
+        assert stats["overflow_passes"] > 0
+
+    def test_spill_files_cleaned_up(self, tmp_path, sum_query):
+        dist = generate_uniform(1000, 300, 2, seed=2)
+        file_backed_aggregate(
+            dist, sum_query, str(tmp_path), max_entries=8
+        )
+        leftovers = [
+            name
+            for _root, _dirs, files in os.walk(tmp_path)
+            for name in files
+            if name.endswith(".spill")
+        ]
+        assert leftovers == []
+
+    def test_where_and_having(self, tmp_path):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("count", None, alias="n")],
+            where=lambda r: r["val"] > 50.0,
+            having=lambda r: r["n"] >= 10,
+        )
+        dist = generate_uniform(2000, 30, 2, seed=3)
+        rows, _stats = file_backed_aggregate(dist, query, str(tmp_path))
+        assert_rows_close(rows, reference_aggregate(dist, query))
+
+    def test_zipf_with_all_functions(self, tmp_path, full_query):
+        dist = generate_zipf(2000, 150, 3, seed=4)
+        rows, _stats = file_backed_aggregate(
+            dist, full_query, str(tmp_path), max_entries=32
+        )
+        assert_rows_close(
+            rows, reference_aggregate(dist, full_query), tol=1e-9
+        )
+
+    def test_pages_read_matches_file_sizes(self, tmp_path, sum_query):
+        dist = generate_uniform(1000, 10, 2, seed=5)
+        _rows, stats = file_backed_aggregate(
+            dist, sum_query, str(tmp_path)
+        )
+        expected_pages = sum(
+            os.path.getsize(os.path.join(tmp_path, f"node_{i}.pages"))
+            // 4096
+            for i in range(2)
+        )
+        assert stats["pages_read"] == expected_pages

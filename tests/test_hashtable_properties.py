@@ -1,0 +1,99 @@
+"""Property tests: the spilling aggregator equals a plain dict GROUP BY."""
+
+from __future__ import annotations
+
+from collections import defaultdict
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import AggregateSpec, make_state_factory
+from repro.core.hashtable import HashAggregator
+
+SPECS = [
+    AggregateSpec("sum", "v"),
+    AggregateSpec("count", None),
+    AggregateSpec("min", "v"),
+]
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),   # key
+        st.integers(min_value=-1000, max_value=1000),  # value
+    ),
+    max_size=200,
+)
+
+
+def reference(stream):
+    sums = defaultdict(int)
+    counts = defaultdict(int)
+    mins: dict = {}
+    for key, value in stream:
+        sums[key] += value
+        counts[key] += 1
+        if key not in mins or value < mins[key]:
+            mins[key] = value
+    return {
+        k: (sums[k], counts[k], mins[k]) for k in sums
+    }
+
+
+@given(streams, st.integers(min_value=1, max_value=8),
+       st.integers(min_value=2, max_value=5))
+@settings(max_examples=60)
+def test_aggregator_matches_dict_groupby(stream, max_entries, fanout):
+    agg = HashAggregator(
+        make_state_factory(SPECS), max_entries=max_entries, fanout=fanout
+    )
+    for key, value in stream:
+        agg.add_values(key, (value, 1, value))
+    out = {k: s.results() for k, s in agg.finish()}
+    assert out == reference(stream)
+
+
+@given(streams, st.integers(min_value=1, max_value=4))
+@settings(max_examples=40)
+def test_each_key_emitted_exactly_once(stream, max_entries):
+    agg = HashAggregator(make_state_factory(SPECS), max_entries=max_entries)
+    for key, value in stream:
+        agg.add_values(key, (value, 1, value))
+    keys = [k for k, _ in agg.finish()]
+    assert len(keys) == len(set(keys))
+    assert set(keys) == {k for k, _ in stream}
+
+
+@given(streams, streams, st.integers(min_value=1, max_value=4))
+@settings(max_examples=40)
+def test_partials_path_matches_raw_path(stream_a, stream_b, max_entries):
+    """Feeding pre-aggregated partials gives the same totals as raw."""
+    # Pre-aggregate stream_a per key into partial states.
+    partials: dict = {}
+    factory = make_state_factory(SPECS)
+    for key, value in stream_a:
+        state = partials.setdefault(key, factory())
+        state.update((value, 1, value))
+
+    agg = HashAggregator(factory, max_entries=max_entries)
+    for key, state in partials.items():
+        agg.add_partial(key, state)
+    for key, value in stream_b:
+        agg.add_values(key, (value, 1, value))
+    out = {k: s.results() for k, s in agg.finish()}
+    assert out == reference(stream_a + stream_b)
+
+
+@given(streams)
+@settings(max_examples=30)
+def test_spill_write_read_counts_balance(stream):
+    """Everything spooled out is read back exactly once."""
+    writes, reads = [], []
+    agg = HashAggregator(
+        make_state_factory(SPECS),
+        max_entries=2,
+        on_spill_write=writes.append,
+        on_spill_read=reads.append,
+    )
+    for key, value in stream:
+        agg.add_values(key, (value, 1, value))
+    list(agg.finish())
+    assert sum(writes) == sum(reads)

@@ -1,0 +1,83 @@
+"""HAVING clause: evaluated after grouping, at every merge site."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, run_algorithm
+from repro.parallel import multiprocessing_aggregate, reference_aggregate
+from repro.workloads.generator import generate_uniform
+
+from tests.conftest import assert_rows_close
+
+
+@pytest.fixture
+def having_query():
+    """Groups with at least 100 tuples (half the groups qualify)."""
+    return AggregateQuery(
+        group_by=["gkey"],
+        aggregates=[
+            AggregateSpec("count", None, alias="n"),
+            AggregateSpec("sum", "val", alias="total"),
+        ],
+        having=lambda row: row["gkey"] % 2 == 0,
+    )
+
+
+class TestHavingReference:
+    def test_filters_result_rows(self, having_query):
+        dist = generate_uniform(2000, 16, 4, seed=0)
+        rows = reference_aggregate(dist, having_query)
+        assert len(rows) == 8
+        assert all(row[0] % 2 == 0 for row in rows)
+
+    def test_having_on_aggregate_value(self):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("count", None, alias="n")],
+            having=lambda row: row["n"] >= 100,
+        )
+        dist = generate_uniform(2000, 16, 4, seed=0)
+        rows = reference_aggregate(dist, query)
+        # 2000/16 = 125 tuples/group: every group passes.
+        assert len(rows) == 16
+        strict = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("count", None, alias="n")],
+            having=lambda row: row["n"] >= 1000,
+        )
+        assert reference_aggregate(dist, strict) == []
+
+    def test_no_having_keeps_everything(self, sum_query):
+        dist = generate_uniform(500, 10, 2, seed=0)
+        assert len(reference_aggregate(dist, sum_query)) == 10
+
+
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+class TestHavingInAlgorithms:
+    def test_matches_reference(self, algorithm, having_query):
+        dist = generate_uniform(2000, 16, 4, seed=1)
+        out = run_algorithm(algorithm, dist, having_query)
+        assert_rows_close(
+            out.rows, reference_aggregate(dist, having_query)
+        )
+
+    def test_having_with_tiny_memory(self, algorithm, having_query):
+        from repro.core.runner import default_parameters
+
+        dist = generate_uniform(2000, 300, 4, seed=2)
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("sum", "val", alias="total")],
+            having=lambda row: row["total"] > 300.0,
+        )
+        params = default_parameters(dist, hash_table_entries=16)
+        out = run_algorithm(algorithm, dist, query, params=params)
+        assert_rows_close(out.rows, reference_aggregate(dist, query))
+
+
+class TestHavingMultiprocessing:
+    def test_mp_executor_applies_having(self, having_query):
+        dist = generate_uniform(1000, 16, 2, seed=3)
+        got = multiprocessing_aggregate(dist, having_query, processes=1)
+        assert_rows_close(got, reference_aggregate(dist, having_query))

@@ -1,0 +1,82 @@
+"""Tests for the reference executor and the multiprocessing executor."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.parallel import multiprocessing_aggregate, reference_aggregate
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+from repro.workloads.generator import generate_uniform
+
+from tests.conftest import assert_rows_close
+
+
+class TestReferenceAggregate:
+    def test_simple_groupby(self):
+        schema = Schema([Column("k", "int"), Column("v", "float")])
+        rel = Relation(
+            schema, [(1, 1.0), (1, 2.0), (2, 5.0)]
+        )
+        query = AggregateQuery(
+            group_by=["k"],
+            aggregates=[
+                AggregateSpec("sum", "v"),
+                AggregateSpec("count", None),
+            ],
+        )
+        assert reference_aggregate(rel, query) == [
+            (1, 3.0, 2),
+            (2, 5.0, 1),
+        ]
+
+    def test_accepts_distributed(self, small_dist, sum_query):
+        rows = reference_aggregate(small_dist, sum_query)
+        assert len(rows) == 16
+
+    def test_where(self):
+        schema = Schema([Column("k", "int"), Column("v", "float")])
+        rel = Relation(schema, [(1, 1.0), (1, 100.0)])
+        query = AggregateQuery(
+            group_by=["k"],
+            aggregates=[AggregateSpec("count", None)],
+            where=lambda r: r["v"] < 10,
+        )
+        assert reference_aggregate(rel, query) == [(1, 1)]
+
+    def test_rejects_other_types(self, sum_query):
+        with pytest.raises(TypeError):
+            reference_aggregate([(1, 2)], sum_query)
+
+    def test_sorted_output(self, small_dist, sum_query):
+        rows = reference_aggregate(small_dist, sum_query)
+        assert rows == sorted(rows)
+
+    def test_empty_relation(self):
+        schema = Schema([Column("k", "int"), Column("v", "float")])
+        query = AggregateQuery(
+            group_by=["k"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        assert reference_aggregate(Relation(schema, []), query) == []
+
+
+class TestMultiprocessingAggregate:
+    def test_matches_reference_inprocess(self, full_query):
+        dist = generate_uniform(3000, 50, 4, seed=0)
+        got = multiprocessing_aggregate(dist, full_query, processes=1)
+        assert_rows_close(got, reference_aggregate(dist, full_query))
+
+    def test_matches_reference_with_pool(self, sum_query):
+        dist = generate_uniform(2000, 30, 4, seed=1)
+        got = multiprocessing_aggregate(dist, sum_query, processes=2)
+        assert_rows_close(got, reference_aggregate(dist, sum_query))
+
+    def test_default_sizing_runs(self, sum_query, small_dist):
+        got = multiprocessing_aggregate(small_dist, sum_query)
+        assert len(got) == 16
+
+    def test_states_pickle_across_processes(self, full_query):
+        """All six aggregate states must survive the pool boundary."""
+        dist = generate_uniform(800, 10, 2, seed=2)
+        got = multiprocessing_aggregate(dist, full_query, processes=2)
+        assert_rows_close(got, reference_aggregate(dist, full_query))

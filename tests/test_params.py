@@ -1,0 +1,132 @@
+"""Unit tests for the Table 1 parameter set."""
+
+import pytest
+
+from repro.costmodel.params import (
+    NetworkKind,
+    SystemParameters,
+    log_selectivities,
+)
+
+
+class TestDerivedTimes:
+    def test_t_r_matches_table(self):
+        p = SystemParameters.paper_default()
+        assert p.t_r == pytest.approx(300 / 40 / 1e6)
+
+    def test_all_instruction_times(self):
+        p = SystemParameters.paper_default()
+        assert p.t_w == pytest.approx(2.5e-6)
+        assert p.t_h == pytest.approx(10e-6)
+        assert p.t_a == pytest.approx(7.5e-6)
+        assert p.t_d == pytest.approx(0.25e-6)
+        assert p.m_p == pytest.approx(25e-6)
+
+    def test_m_l(self):
+        assert SystemParameters.paper_default().m_l == 2.0e-3
+
+    def test_relation_size_800mb(self):
+        p = SystemParameters.paper_default()
+        assert p.relation_bytes == 800_000_000
+
+    def test_tuples_per_node(self):
+        p = SystemParameters.paper_default()
+        assert p.tuples_per_node == 250_000
+
+    def test_pages(self):
+        p = SystemParameters.paper_default()
+        assert p.pages(4096 * 3) == 3
+
+    def test_tuples_per_page(self):
+        assert SystemParameters.paper_default().tuples_per_page() == 40
+
+
+class TestSelectivities:
+    def test_local_selectivity_low(self):
+        p = SystemParameters.paper_default()
+        assert p.local_selectivity(1e-6) == pytest.approx(32e-6)
+
+    def test_local_selectivity_caps_at_one(self):
+        p = SystemParameters.paper_default()
+        assert p.local_selectivity(0.5) == 1.0
+
+    def test_global_selectivity_floor(self):
+        p = SystemParameters.paper_default()
+        assert p.global_selectivity(1e-6) == 1 / 32
+
+    def test_global_selectivity_high(self):
+        p = SystemParameters.paper_default()
+        assert p.global_selectivity(0.25) == 0.25
+
+    def test_num_groups_clamped(self):
+        p = SystemParameters.paper_default()
+        assert p.num_groups(1e-12) == 1
+
+    def test_selectivity_bounds(self):
+        p = SystemParameters.paper_default()
+        with pytest.raises(ValueError):
+            p.local_selectivity(0.0)
+        with pytest.raises(ValueError):
+            p.global_selectivity(1.5)
+
+
+class TestPresets:
+    def test_implementation_preset(self):
+        p = SystemParameters.implementation()
+        assert p.num_nodes == 8
+        assert p.num_tuples == 2_000_000
+        assert p.network is NetworkKind.LIMITED_BANDWIDTH
+        assert p.block_bytes == 2048
+        # 2 KB over 10 Mbit/s
+        assert p.m_l == pytest.approx(2048 * 8 / 10e6)
+
+    def test_default_block_is_page(self):
+        p = SystemParameters.paper_default()
+        assert p.block_bytes == p.page_bytes
+
+    def test_with_overrides(self):
+        p = SystemParameters.paper_default().with_(num_nodes=8)
+        assert p.num_nodes == 8
+        assert p.num_tuples == 8_000_000
+
+    def test_scaled_preserves_ratio(self):
+        p = SystemParameters.paper_default()
+        s = p.scaled(0.01)
+        assert s.num_tuples == 80_000
+        assert (
+            s.hash_table_entries / s.num_tuples
+            == pytest.approx(p.hash_table_entries / p.num_tuples)
+        )
+
+    def test_scaleup_instance_fixed_per_node(self):
+        p = SystemParameters.paper_default()
+        for n in (2, 8, 64):
+            inst = p.scaleup_instance(n)
+            assert inst.tuples_per_node == p.tuples_per_node
+            assert inst.num_nodes == n
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemParameters(num_nodes=0)
+        with pytest.raises(ValueError):
+            SystemParameters(projectivity=0.0)
+        with pytest.raises(ValueError):
+            SystemParameters(page_bytes=10, tuple_bytes=100)
+        with pytest.raises(ValueError):
+            SystemParameters.paper_default().scaled(0)
+        with pytest.raises(ValueError):
+            SystemParameters.paper_default().scaleup_instance(0)
+
+
+class TestLogSelectivities:
+    def test_range(self):
+        p = SystemParameters.paper_default()
+        sels = log_selectivities(p, points=15)
+        assert len(sels) == 15
+        assert sels[0] == pytest.approx(1 / p.num_tuples)
+        assert sels[-1] == pytest.approx(0.5)
+
+    def test_monotone(self):
+        p = SystemParameters.paper_default()
+        sels = log_selectivities(p)
+        assert sels == sorted(sels)

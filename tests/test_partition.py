@@ -1,0 +1,74 @@
+"""Unit tests for the partitioners."""
+
+import pytest
+
+from repro.storage.partition import (
+    hash_partition,
+    range_partition,
+    round_robin_partition,
+)
+
+
+class TestRoundRobin:
+    def test_deals_in_order(self):
+        parts = round_robin_partition([0, 1, 2, 3, 4], 2)
+        assert parts == [[0, 2, 4], [1, 3]]
+
+    def test_balance(self):
+        parts = round_robin_partition(list(range(103)), 4)
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_empty_input(self):
+        assert round_robin_partition([], 3) == [[], [], []]
+
+    def test_preserves_all_rows(self):
+        rows = list(range(50))
+        parts = round_robin_partition(rows, 7)
+        assert sorted(r for p in parts for r in p) == rows
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            round_robin_partition([1], 0)
+
+
+class TestHashPartition:
+    def test_same_key_same_partition(self):
+        rows = [(1, "a"), (1, "b"), (2, "c"), (1, "d")]
+        parts = hash_partition(rows, 4, key_func=lambda r: r[0])
+        homes = [i for i, p in enumerate(parts) if any(r[0] == 1 for r in p)]
+        assert len(homes) == 1
+
+    def test_preserves_all_rows(self):
+        rows = [(i,) for i in range(100)]
+        parts = hash_partition(rows, 5, key_func=lambda r: r[0])
+        assert sorted(r for p in parts for r in p) == rows
+
+    def test_deterministic(self):
+        rows = [(i,) for i in range(30)]
+        a = hash_partition(rows, 3, key_func=lambda r: r[0])
+        b = hash_partition(rows, 3, key_func=lambda r: r[0])
+        assert a == b
+
+    def test_invalid_parts(self):
+        with pytest.raises(ValueError):
+            hash_partition([], -1, key_func=lambda r: r)
+
+
+class TestRangePartition:
+    def test_basic_ranges(self):
+        rows = [(i,) for i in (1, 5, 10, 15)]
+        parts = range_partition(rows, [4, 12], key_func=lambda r: r[0])
+        assert parts == [[(1,)], [(5,), (10,)], [(15,)]]
+
+    def test_boundary_goes_left(self):
+        parts = range_partition([(4,)], [4], key_func=lambda r: r[0])
+        assert parts == [[(4,)], []]
+
+    def test_unsorted_boundaries_rejected(self):
+        with pytest.raises(ValueError, match="sorted"):
+            range_partition([], [5, 2], key_func=lambda r: r)
+
+    def test_no_boundaries_single_partition(self):
+        parts = range_partition([(1,), (9,)], [], key_func=lambda r: r[0])
+        assert parts == [[(1,), (9,)]]

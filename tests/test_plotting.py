@@ -1,0 +1,95 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.harness import FigureResult
+from repro.bench.plotting import render_chart
+
+
+@pytest.fixture
+def result():
+    r = FigureResult("figT", "test figure", ["x", "a", "b"])
+    for i in range(1, 9):
+        r.add_row(float(i), float(i), float(10 - i))
+    return r
+
+
+class TestRenderChart:
+    def test_contains_title_and_legend(self, result):
+        chart = render_chart(result)
+        assert "figT: test figure" in chart
+        assert "o=a" in chart and "x=b" in chart
+
+    def test_dimensions(self, result):
+        chart = render_chart(result, width=40, height=10)
+        lines = chart.splitlines()
+        plot_lines = [line for line in lines if "|" in line]
+        assert len(plot_lines) == 10
+        assert all(len(line) <= 12 + 40 + 1 for line in plot_lines)
+
+    def test_markers_present(self, result):
+        chart = render_chart(result)
+        assert "o" in chart and "x" in chart
+
+    def test_series_selection(self, result):
+        chart = render_chart(result, series=["b"])
+        assert "o=b" in chart
+        assert "=a" not in chart
+
+    def test_y_extremes_labeled(self, result):
+        chart = render_chart(result)
+        assert "9" in chart  # max of series a at x=8 is 8; b max 9
+        assert "1" in chart
+
+    def test_log_x_detected(self):
+        r = FigureResult("f", "t", ["s", "y"])
+        for s in (1e-6, 1e-4, 1e-2, 1.0):
+            r.add_row(s, 1.0)
+        assert "(log)" in render_chart(r)
+
+    def test_linear_x_not_marked_log(self, result):
+        assert "(log)" not in render_chart(result)
+
+    def test_log_y_rejects_nonpositive(self):
+        r = FigureResult("f", "t", ["x", "y"])
+        r.add_row(1.0, 0.0)
+        r.add_row(2.0, 1.0)
+        with pytest.raises(ValueError, match="positive"):
+            render_chart(r, log_y=True)
+
+    def test_empty_result(self):
+        r = FigureResult("f", "t", ["x", "y"])
+        assert "no data" in render_chart(r)
+
+    def test_too_many_series_rejected(self):
+        columns = ["x"] + [f"s{i}" for i in range(10)]
+        r = FigureResult("f", "t", columns)
+        r.add_row(*range(11))
+        with pytest.raises(ValueError, match="at most"):
+            render_chart(r)
+
+    def test_non_numeric_series_skipped(self):
+        r = FigureResult("f", "t", ["x", "label", "y"])
+        r.add_row(1.0, "hello", 2.0)
+        r.add_row(2.0, "world", 3.0)
+        chart = render_chart(r)
+        assert "o=y" in chart
+        assert "label" not in chart.splitlines()[-1]
+
+    def test_overlap_marker(self):
+        r = FigureResult("f", "t", ["x", "a", "b"])
+        r.add_row(1.0, 5.0, 5.0)
+        r.add_row(2.0, 6.0, 6.0)
+        chart = render_chart(r)
+        assert "?" in chart
+        assert "?=overlap" in chart
+
+    def test_cli_plot_flag(self):
+        import io
+
+        from repro.cli import main
+
+        out = io.StringIO()
+        code = main(["figure", "--name", "fig5", "--plot"], out=out)
+        assert code == 0
+        assert "+--" in out.getvalue()

@@ -1,0 +1,78 @@
+"""End-to-end property test: every algorithm equals the reference on
+arbitrary small relations — arbitrary group counts, value ranges, node
+counts and memory budgets."""
+
+from __future__ import annotations
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.core.runner import ALGORITHMS, default_parameters, run_algorithm
+from repro.parallel import reference_aggregate
+from repro.storage.partition import round_robin_partition
+from repro.storage.relation import DistributedRelation
+from repro.storage.schema import default_schema
+
+from tests.conftest import rows_close
+
+QUERY = AggregateQuery(
+    group_by=["gkey"],
+    aggregates=[
+        AggregateSpec("sum", "val"),
+        AggregateSpec("count", None),
+        AggregateSpec("min", "val"),
+        AggregateSpec("max", "val"),
+    ],
+)
+
+relations = st.builds(
+    lambda rows, nodes: DistributedRelation(
+        default_schema(),
+        round_robin_partition(
+            [(k, float(v), "") for k, v in rows], nodes
+        ),
+    ),
+    rows=st.lists(
+        st.tuples(
+            st.integers(min_value=0, max_value=40),
+            st.integers(min_value=-1000, max_value=1000),
+        ),
+        min_size=1,
+        max_size=120,
+    ),
+    nodes=st.integers(min_value=1, max_value=5),
+)
+
+
+@given(
+    dist=relations,
+    algorithm=st.sampled_from(sorted(ALGORITHMS)),
+    table_entries=st.integers(min_value=1, max_value=64),
+)
+@settings(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_any_algorithm_matches_reference(dist, algorithm, table_entries):
+    params = default_parameters(dist, hash_table_entries=table_entries)
+    out = run_algorithm(algorithm, dist, QUERY, params=params)
+    expected = reference_aggregate(dist, QUERY)
+    assert rows_close(out.rows, expected, tol=1e-9), (
+        f"{algorithm} with M={table_entries} on "
+        f"{len(dist)} tuples/{dist.num_nodes} nodes"
+    )
+
+
+@given(
+    dist=relations,
+    table_entries=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_adaptive_two_phase_tiny_memory(dist, table_entries):
+    """The stress case: single-digit hash tables force constant switching
+    and deep merge-side overflow; results must stay exact."""
+    params = default_parameters(dist, hash_table_entries=table_entries)
+    out = run_algorithm("adaptive_two_phase", dist, QUERY, params=params)
+    assert rows_close(out.rows, reference_aggregate(dist, QUERY))

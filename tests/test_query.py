@@ -1,0 +1,149 @@
+"""Unit tests for the query model and its schema binding."""
+
+import pytest
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.storage.schema import Column, Schema, default_schema
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Column("k1", "int"),
+            Column("k2", "str", size_bytes=4),
+            Column("v", "float"),
+            Column("pad", "str", size_bytes=80),
+        ]
+    )
+
+
+class TestAggregateQuery:
+    def test_requires_aggregates(self):
+        with pytest.raises(ValueError, match="at least one aggregate"):
+            AggregateQuery(group_by=["k1"], aggregates=[])
+
+    def test_scalar(self):
+        q = AggregateQuery(
+            group_by=[], aggregates=[AggregateSpec("count", None)]
+        )
+        assert q.is_scalar
+
+    def test_output_names(self):
+        q = AggregateQuery(
+            group_by=["k1"],
+            aggregates=[
+                AggregateSpec("sum", "v"),
+                AggregateSpec("count", None, alias="n"),
+            ],
+        )
+        assert q.output_names() == ["k1", "sum(v)", "n"]
+
+    def test_group_by_tuple_normalized(self):
+        q = AggregateQuery(
+            group_by=("k1",), aggregates=[AggregateSpec("sum", "v")]
+        )
+        assert q.group_by == ("k1",)
+
+
+class TestBoundQuery:
+    def test_key_of(self, schema):
+        q = AggregateQuery(
+            group_by=["k2", "k1"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        bq = q.bind(schema)
+        assert bq.key_of((7, "x", 1.0, "")) == ("x", 7)
+
+    def test_scalar_key_is_empty_tuple(self, schema):
+        q = AggregateQuery(
+            group_by=[], aggregates=[AggregateSpec("sum", "v")]
+        )
+        bq = q.bind(schema)
+        assert bq.key_of((7, "x", 1.0, "")) == ()
+
+    def test_values_of(self, schema):
+        q = AggregateQuery(
+            group_by=["k1"],
+            aggregates=[
+                AggregateSpec("sum", "v"),
+                AggregateSpec("count", None),
+            ],
+        )
+        bq = q.bind(schema)
+        assert bq.values_of((7, "x", 2.5, "")) == (2.5, 1)
+
+    def test_matches_without_where(self, schema):
+        q = AggregateQuery(
+            group_by=["k1"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        assert q.bind(schema).matches((1, "a", 0.0, ""))
+
+    def test_where_predicate_sees_column_names(self, schema):
+        q = AggregateQuery(
+            group_by=["k1"],
+            aggregates=[AggregateSpec("sum", "v")],
+            where=lambda row: row["v"] > 1.0,
+        )
+        bq = q.bind(schema)
+        assert bq.matches((1, "a", 2.0, ""))
+        assert not bq.matches((1, "a", 0.5, ""))
+
+    def test_projected_row_roundtrip(self, schema):
+        q = AggregateQuery(
+            group_by=["k1", "k2"],
+            aggregates=[
+                AggregateSpec("sum", "v"),
+                AggregateSpec("count", None),
+            ],
+        )
+        bq = q.bind(schema)
+        projected = bq.projected_row((7, "x", 2.5, ""))
+        key, values = bq.split_projected(projected)
+        assert key == (7, "x")
+        assert values == (2.5, 1)
+
+    def test_projected_bytes_excludes_padding(self, schema):
+        q = AggregateQuery(
+            group_by=["k1"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        bq = q.bind(schema)
+        assert bq.projected_bytes == 16  # k1 (8) + v (8), no pad
+
+    def test_projectivity_matches_paper_default(self):
+        """gkey + val over a 100-byte tuple: p = 16%, the Table 1 value."""
+        schema = default_schema()
+        q = AggregateQuery(
+            group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+        )
+        assert q.bind(schema).projectivity == pytest.approx(0.16)
+
+    def test_projected_bytes_counts_shared_column_once(self, schema):
+        q = AggregateQuery(
+            group_by=["v"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        assert q.bind(schema).projected_bytes == 8
+
+    def test_count_star_only_ships_counter(self, schema):
+        q = AggregateQuery(
+            group_by=[], aggregates=[AggregateSpec("count", None)]
+        )
+        assert q.bind(schema).projected_bytes == 8
+
+    def test_result_row(self, schema):
+        q = AggregateQuery(
+            group_by=["k1"], aggregates=[AggregateSpec("count", None)]
+        )
+        bq = q.bind(schema)
+        from repro.core.aggregates import GroupState
+
+        state = GroupState(q.aggregates)
+        state.update((1,))
+        assert bq.result_row((7,), state) == (7, 1)
+
+    def test_unknown_column_raises(self, schema):
+        q = AggregateQuery(
+            group_by=["missing"], aggregates=[AggregateSpec("sum", "v")]
+        )
+        with pytest.raises(KeyError):
+            q.bind(schema)

@@ -1,0 +1,108 @@
+"""Unit tests for repro.storage.relation."""
+
+import pytest
+
+from repro.storage.relation import (
+    DistributedRelation,
+    Relation,
+    pages_for,
+    tuples_per_page,
+)
+from repro.storage.schema import Column, Schema
+
+
+@pytest.fixture
+def schema():
+    return Schema([Column("k", "int"), Column("v", "float")])
+
+
+class TestPageArithmetic:
+    def test_pages_for_exact_fit(self):
+        # 16-byte tuples, 64-byte pages: 4 per page.
+        assert pages_for(8, 16, 64) == 2
+
+    def test_pages_for_rounds_up(self):
+        assert pages_for(9, 16, 64) == 3
+
+    def test_pages_for_zero(self):
+        assert pages_for(0, 16, 64) == 0
+
+    def test_pages_for_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pages_for(-1, 16, 64)
+
+    def test_oversized_tuple_one_per_page(self):
+        assert tuples_per_page(100, 64) == 1
+        assert pages_for(5, 100, 64) == 5
+
+    def test_tuples_per_page(self):
+        assert tuples_per_page(16, 64) == 4
+
+
+class TestRelation:
+    def test_len_and_iter(self, schema):
+        r = Relation(schema, [(1, 1.0), (2, 2.0)])
+        assert len(r) == 2
+        assert list(r) == [(1, 1.0), (2, 2.0)]
+
+    def test_arity_checked(self, schema):
+        with pytest.raises(ValueError, match="arity"):
+            Relation(schema, [(1, 2.0, 3)])
+
+    def test_size_bytes(self, schema):
+        r = Relation(schema, [(1, 1.0)] * 10)
+        assert r.size_bytes == 160
+
+    def test_num_pages(self, schema):
+        r = Relation(schema, [(1, 1.0)] * 10)
+        assert r.num_pages(page_size=64) == 3  # 4 tuples/page
+
+    def test_pages_iteration_covers_all_rows(self, schema):
+        rows = [(i, float(i)) for i in range(10)]
+        r = Relation(schema, rows)
+        paged = [row for page in r.pages(64) for row in page]
+        assert paged == rows
+
+    def test_pages_sizes(self, schema):
+        r = Relation(schema, [(i, 0.0) for i in range(10)])
+        sizes = [len(p) for p in r.pages(64)]
+        assert sizes == [4, 4, 2]
+
+    def test_column_values(self, schema):
+        r = Relation(schema, [(1, 5.0), (2, 6.0)])
+        assert r.column_values("v") == [5.0, 6.0]
+
+    def test_repr_mentions_counts(self, schema):
+        assert "rows=2" in repr(Relation(schema, [(1, 1.0), (2, 2.0)]))
+
+
+class TestDistributedRelation:
+    def test_total_len(self, schema):
+        d = DistributedRelation(schema, [[(1, 1.0)], [(2, 2.0)], []])
+        assert len(d) == 2
+        assert d.num_nodes == 3
+
+    def test_fragment_node_ids(self, schema):
+        d = DistributedRelation(schema, [[(1, 1.0)], [(2, 2.0)]])
+        assert [f.node_id for f in d.fragments] == [0, 1]
+        assert d.fragment(1).relation.rows == [(2, 2.0)]
+
+    def test_all_rows_in_node_order(self, schema):
+        d = DistributedRelation(schema, [[(2, 2.0)], [(1, 1.0)]])
+        assert d.all_rows() == [(2, 2.0), (1, 1.0)]
+
+    def test_as_relation(self, schema):
+        d = DistributedRelation(schema, [[(1, 1.0)], [(2, 2.0)]])
+        assert len(d.as_relation()) == 2
+
+    def test_tuples_per_node(self, schema):
+        d = DistributedRelation(schema, [[(1, 1.0)] * 3, [(2, 2.0)]])
+        assert d.tuples_per_node() == [3, 1]
+
+    def test_empty_rejected(self, schema):
+        with pytest.raises(ValueError, match="at least one node"):
+            DistributedRelation(schema, [])
+
+    def test_fragment_num_pages(self, schema):
+        d = DistributedRelation(schema, [[(i, 0.0) for i in range(10)]])
+        assert d.fragment(0).num_pages(64) == 3

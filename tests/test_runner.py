@@ -1,0 +1,127 @@
+"""Unit tests for the high-level runner and outcome object."""
+
+import pytest
+
+from repro.core.algorithms import SimConfig
+from repro.core.runner import (
+    ALGORITHMS,
+    default_parameters,
+    run_algorithm,
+)
+from repro.costmodel.params import NetworkKind
+from repro.workloads.generator import generate_uniform
+
+
+class TestDefaultParameters:
+    def test_sized_to_relation(self, small_dist):
+        p = default_parameters(small_dist)
+        assert p.num_nodes == small_dist.num_nodes
+        assert p.num_tuples == len(small_dist)
+        assert p.tuple_bytes == 100
+
+    def test_table_fraction(self):
+        dist = generate_uniform(80_000, 10, 8, seed=0)
+        p = default_parameters(dist)
+        # 4% of 10_000 tuples/node, the paper's implementation ratio.
+        assert p.hash_table_entries == 400
+
+    def test_minimum_table_size(self):
+        dist = generate_uniform(100, 10, 4, seed=0)
+        assert default_parameters(dist).hash_table_entries == 16
+
+    def test_network_override(self, small_dist):
+        p = default_parameters(
+            small_dist, network=NetworkKind.HIGH_BANDWIDTH
+        )
+        assert p.network is NetworkKind.HIGH_BANDWIDTH
+
+    def test_default_is_ethernet_like(self, small_dist):
+        p = default_parameters(small_dist)
+        assert p.network is NetworkKind.LIMITED_BANDWIDTH
+        assert p.block_bytes == 2048
+
+
+class TestRunAlgorithm:
+    def test_unknown_algorithm(self, small_dist, sum_query):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            run_algorithm("bogus", small_dist, sum_query)
+
+    def test_registry_lists_all_eight(self):
+        assert len(ALGORITHMS) == 8
+        assert "streaming_pre_aggregation" in ALGORITHMS
+
+    def test_mismatched_params_rejected(self, small_dist, sum_query):
+        p = default_parameters(small_dist).with_(num_nodes=99)
+        with pytest.raises(ValueError, match="num_nodes"):
+            run_algorithm("two_phase", small_dist, sum_query, params=p)
+
+    def test_config_object(self, small_dist, sum_query):
+        cfg = SimConfig(pipeline=True)
+        out = run_algorithm(
+            "two_phase", small_dist, sum_query, config=cfg
+        )
+        assert out.metrics.node(0).tagged_seconds.get("scan_io", 0.0) == 0
+
+    def test_config_and_overrides_conflict(self, small_dist, sum_query):
+        with pytest.raises(ValueError, match="not both"):
+            run_algorithm(
+                "two_phase",
+                small_dist,
+                sum_query,
+                config=SimConfig(),
+                pipeline=True,
+            )
+
+    def test_pipeline_override_drops_io(self, small_dist, sum_query):
+        full = run_algorithm("two_phase", small_dist, sum_query)
+        pipe = run_algorithm(
+            "two_phase", small_dist, sum_query, pipeline=True
+        )
+        assert (
+            pipe.metrics.total_io_seconds < full.metrics.total_io_seconds
+        )
+
+    def test_outcome_fields(self, small_dist, sum_query):
+        out = run_algorithm("two_phase", small_dist, sum_query)
+        assert out.algorithm == "two_phase"
+        assert out.num_groups == 16
+        assert len(out.per_node_rows) == 4
+        assert out.metrics.num_nodes == 4
+
+    def test_metrics_account_tuples(self, small_dist, sum_query):
+        out = run_algorithm("repartitioning", small_dist, sum_query)
+        assert out.metrics.total_messages > 0
+        assert out.metrics.total_bytes_sent > 0
+
+    def test_makespan_equals_elapsed(self, small_dist, sum_query):
+        out = run_algorithm("two_phase", small_dist, sum_query)
+        assert out.elapsed_seconds == out.metrics.makespan
+
+
+class TestMetricsShape:
+    def test_repartitioning_ships_more_bytes_than_two_phase_low_s(
+        self, sum_query
+    ):
+        """At low selectivity 2P ships tiny partials, Rep ships everything."""
+        dist = generate_uniform(8000, 8, 4, seed=0)
+        rep = run_algorithm("repartitioning", dist, sum_query)
+        tp = run_algorithm("two_phase", dist, sum_query)
+        assert rep.metrics.total_bytes_sent > 10 * tp.metrics.total_bytes_sent
+
+    def test_two_phase_ships_more_at_high_s(self, sum_query):
+        """At S=0.5 2P ships ~input-sized partials twice-processed; Rep
+        ships the input once: bytes comparable, 2P CPU higher."""
+        dist = generate_uniform(8000, 4000, 4, seed=0)
+        rep = run_algorithm("repartitioning", dist, sum_query)
+        tp = run_algorithm("two_phase", dist, sum_query)
+        assert tp.metrics.total_cpu_seconds > rep.metrics.total_cpu_seconds
+
+    def test_skew_ratio_balanced_uniform(self, sum_query):
+        dist = generate_uniform(8000, 64, 4, seed=0)
+        out = run_algorithm("two_phase", dist, sum_query)
+        assert out.metrics.skew_ratio() < 1.2
+
+    def test_network_busy_only_with_traffic(self, sum_query):
+        dist = generate_uniform(1000, 4, 1, seed=0)
+        out = run_algorithm("two_phase", dist, sum_query)
+        assert out.metrics.network_busy_seconds == 0.0

@@ -1,0 +1,128 @@
+"""Unit tests for the sampling substrate (Section 3.1)."""
+
+import numpy as np
+import pytest
+
+from repro.sampling.decision import (
+    REPARTITIONING,
+    TWO_PHASE,
+    choose_algorithm,
+    crossover_threshold,
+)
+from repro.sampling.estimator import (
+    distinct_lower_bound,
+    erdos_renyi_sample_size,
+    paper_sample_size,
+)
+from repro.sampling.page_sampler import sample_fragment_pages, sample_rows
+from repro.storage.relation import Relation
+from repro.storage.schema import default_schema
+
+
+@pytest.fixture
+def relation():
+    schema = default_schema()
+    rows = [(i % 50, float(i), "") for i in range(2000)]
+    return Relation(schema, rows)
+
+
+class TestPageSampler:
+    def test_samples_whole_pages(self, relation):
+        rng = np.random.default_rng(0)
+        rows, pages = sample_fragment_pages(relation, 3, 4096, rng)
+        per_page = 4096 // 100
+        assert pages == 3
+        assert len(rows) == 3 * per_page
+
+    def test_oversample_returns_everything(self, relation):
+        rng = np.random.default_rng(0)
+        rows, pages = sample_fragment_pages(relation, 10_000, 4096, rng)
+        assert len(rows) == 2000
+        assert pages == relation.num_pages(4096)
+
+    def test_pages_are_distinct(self, relation):
+        rng = np.random.default_rng(0)
+        rows, _pages = sample_fragment_pages(relation, 20, 4096, rng)
+        assert len(rows) == len(set(r[1] for r in rows))  # vals unique
+
+    def test_sample_rows_rounds_to_pages(self, relation):
+        rng = np.random.default_rng(0)
+        rows, pages = sample_rows(relation, 50, 4096, rng)
+        assert pages == 2  # 40 tuples/page
+        assert len(rows) == 80
+
+    def test_sample_rows_zero(self, relation):
+        rng = np.random.default_rng(0)
+        assert sample_rows(relation, 0, 4096, rng) == ([], 0)
+
+    def test_negative_rejected(self, relation):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            sample_fragment_pages(relation, -1, 4096, rng)
+
+    def test_deterministic_by_rng(self, relation):
+        a, _ = sample_fragment_pages(
+            relation, 5, 4096, np.random.default_rng(3)
+        )
+        b, _ = sample_fragment_pages(
+            relation, 5, 4096, np.random.default_rng(3)
+        )
+        assert a == b
+
+
+class TestEstimator:
+    def test_distinct_lower_bound(self):
+        assert distinct_lower_bound([1, 1, 2, 3, 3]) == 3
+
+    def test_lower_bound_never_exceeds_truth(self):
+        rng = np.random.default_rng(0)
+        population = rng.integers(0, 100, 10_000)
+        sample = rng.choice(population, 500)
+        assert distinct_lower_bound(sample) <= 100
+
+    def test_erdos_renyi_grows_superlinearly(self):
+        assert erdos_renyi_sample_size(1000) > 2 * erdos_renyi_sample_size(
+            400
+        )
+
+    def test_erdos_renyi_threshold_one(self):
+        assert erdos_renyi_sample_size(1) == 1
+
+    def test_erdos_renyi_suffices_in_practice(self):
+        """Drawing that many samples really does reveal ~all k groups."""
+        k = 64
+        n = erdos_renyi_sample_size(k, safety=2.0)
+        rng = np.random.default_rng(1)
+        seen = len(set(rng.integers(0, k, n)))
+        assert seen == k
+
+    def test_paper_sample_size_example(self):
+        """The paper: threshold 320 needs ≈ 2563 ≈ 10× samples."""
+        assert paper_sample_size(320) == 3200
+        assert paper_sample_size(320, 8.01) == pytest.approx(2564, abs=2)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_sample_size(0)
+        with pytest.raises(ValueError):
+            paper_sample_size(0)
+
+
+class TestDecision:
+    def test_crossover_default(self):
+        assert crossover_threshold(32) == 320
+
+    def test_crossover_custom(self):
+        assert crossover_threshold(8, groups_per_node=100) == 800
+
+    def test_choose_two_phase_below(self):
+        assert choose_algorithm(10, 320) == TWO_PHASE
+
+    def test_choose_repartitioning_at_threshold(self):
+        assert choose_algorithm(320, 320) == REPARTITIONING
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            crossover_threshold(0)
+        with pytest.raises(ValueError):
+            choose_algorithm(-1, 10)

@@ -1,0 +1,92 @@
+"""Unit tests for repro.storage.schema."""
+
+import pytest
+
+from repro.storage.schema import Column, Schema, default_schema
+
+
+class TestColumn:
+    def test_default_size_int(self):
+        assert Column("a", "int").size_bytes == 8
+
+    def test_default_size_float(self):
+        assert Column("a", "float").size_bytes == 8
+
+    def test_default_size_str(self):
+        assert Column("a", "str").size_bytes == 16
+
+    def test_explicit_size(self):
+        assert Column("a", "str", size_bytes=42).size_bytes == 42
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown column kind"):
+            Column("a", "blob")
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Column("a", "int", size_bytes=-1)
+
+
+class TestSchema:
+    def test_len(self):
+        s = Schema([Column("a"), Column("b")])
+        assert len(s) == 2
+
+    def test_contains(self):
+        s = Schema([Column("a")])
+        assert "a" in s
+        assert "z" not in s
+
+    def test_index_of(self):
+        s = Schema([Column("a"), Column("b"), Column("c")])
+        assert s.index_of("b") == 1
+
+    def test_index_of_missing_raises_with_names(self):
+        s = Schema([Column("a")])
+        with pytest.raises(KeyError, match="no column 'z'"):
+            s.index_of("z")
+
+    def test_indexes_of(self):
+        s = Schema([Column("a"), Column("b"), Column("c")])
+        assert s.indexes_of(["c", "a"]) == (2, 0)
+
+    def test_names(self):
+        s = Schema([Column("x"), Column("y")])
+        assert s.names() == ["x", "y"]
+
+    def test_tuple_bytes(self):
+        s = Schema([Column("a", "int"), Column("b", "str", size_bytes=10)])
+        assert s.tuple_bytes == 18
+
+    def test_project(self):
+        s = Schema([Column("a"), Column("b"), Column("c")])
+        assert s.project(["c", "a"]).names() == ["c", "a"]
+
+    def test_projected_bytes(self):
+        s = Schema([Column("a", "int"), Column("b", "str", size_bytes=10)])
+        assert s.projected_bytes(["a"]) == 8
+        assert s.projected_bytes(["a", "b"]) == 18
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="at least one column"):
+            Schema([])
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Schema([Column("a"), Column("a")])
+
+    def test_column_lookup(self):
+        c = Column("b", "float")
+        s = Schema([Column("a"), c])
+        assert s.column("b") is c
+
+
+class TestDefaultSchema:
+    def test_hundred_byte_tuples(self):
+        assert default_schema().tuple_bytes == 100
+
+    def test_custom_payload(self):
+        assert default_schema(payload_bytes=10).tuple_bytes == 26
+
+    def test_columns(self):
+        assert default_schema().names() == ["gkey", "val", "pad"]

@@ -1,0 +1,41 @@
+"""Unit tests for selectivity sweep helpers."""
+
+import pytest
+
+from repro.workloads.selectivity import groups_sweep, selectivity_sweep
+
+
+class TestSelectivitySweep:
+    def test_spans_full_range(self):
+        sweep = selectivity_sweep(10_000, points=10)
+        groups = [g for _, g in sweep]
+        assert groups[0] == 1
+        assert groups[-1] == 5000
+
+    def test_monotone_increasing(self):
+        groups = groups_sweep(100_000, points=13)
+        assert groups == sorted(groups)
+        assert len(groups) == len(set(groups))
+
+    def test_selectivity_matches_groups(self):
+        for s, g in selectivity_sweep(10_000, points=8):
+            assert s == pytest.approx(g / 10_000)
+
+    def test_small_relation_dedupes(self):
+        sweep = selectivity_sweep(16, points=20)
+        assert len(sweep) <= 20
+        groups = [g for _, g in sweep]
+        assert len(groups) == len(set(groups))
+
+    def test_custom_bounds(self):
+        sweep = selectivity_sweep(10_000, points=5, low=0.01, high=0.1)
+        assert sweep[0][1] == 100
+        assert sweep[-1][1] == 1000
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            selectivity_sweep(1)
+        with pytest.raises(ValueError):
+            selectivity_sweep(100, points=1)
+        with pytest.raises(ValueError):
+            selectivity_sweep(100, low=0.5, high=0.1)

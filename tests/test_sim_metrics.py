@@ -1,0 +1,92 @@
+"""Tests for the metrics containers."""
+
+import pytest
+
+from repro.sim.metrics import ClusterMetrics, NodeMetrics
+
+
+def node(i, cpu=0.0, io_r=0.0, io_w=0.0, finish=0.0, peak=0):
+    m = NodeMetrics(i)
+    m.cpu_seconds = cpu
+    m.io_read_seconds = io_r
+    m.io_write_seconds = io_w
+    m.finish_time = finish
+    m.peak_table_entries = peak
+    return m
+
+
+class TestNodeMetrics:
+    def test_busy_seconds(self):
+        m = node(0, cpu=1.0, io_r=2.0, io_w=3.0)
+        assert m.busy_seconds == 6.0
+
+    def test_tagged_accumulates(self):
+        m = NodeMetrics(0)
+        m.add_tagged("scan_io", 1.0)
+        m.add_tagged("scan_io", 0.5)
+        assert m.tagged_seconds["scan_io"] == 1.5
+
+
+class TestClusterMetrics:
+    def test_totals(self):
+        c = ClusterMetrics(
+            nodes=[node(0, cpu=1.0, finish=5.0), node(1, cpu=2.0,
+                                                      finish=3.0)]
+        )
+        assert c.total_cpu_seconds == 3.0
+        assert c.makespan == 5.0
+        assert c.num_nodes == 2
+
+    def test_makespan_empty(self):
+        assert ClusterMetrics(nodes=[]).makespan == 0.0
+
+    def test_skew_ratio_balanced(self):
+        c = ClusterMetrics(nodes=[node(0, cpu=1.0), node(1, cpu=1.0)])
+        assert c.skew_ratio() == pytest.approx(1.0)
+
+    def test_skew_ratio_imbalanced(self):
+        c = ClusterMetrics(nodes=[node(0, cpu=3.0), node(1, cpu=1.0)])
+        assert c.skew_ratio() == pytest.approx(1.5)
+
+    def test_skew_ratio_all_idle(self):
+        c = ClusterMetrics(nodes=[node(0), node(1)])
+        assert c.skew_ratio() == 1.0
+
+    def test_total_peak_table_entries(self):
+        c = ClusterMetrics(nodes=[node(0, peak=10), node(1, peak=30)])
+        assert c.total_peak_table_entries == 40
+
+    def test_node_lookup(self):
+        a, b = node(0), node(1)
+        c = ClusterMetrics(nodes=[a, b])
+        assert c.node(1) is b
+
+
+class TestToDict:
+    def test_json_serializable(self, sum_query):
+        import json
+
+        from repro.core.runner import run_algorithm
+        from repro.workloads.generator import generate_uniform
+
+        dist = generate_uniform(500, 10, 2, seed=0)
+        out = run_algorithm("two_phase", dist, sum_query)
+        snapshot = out.metrics.to_dict()
+        text = json.dumps(snapshot)
+        restored = json.loads(text)
+        assert restored["makespan"] == out.elapsed_seconds
+        assert len(restored["nodes"]) == 2
+        assert restored["nodes"][0]["node_id"] == 0
+
+    def test_contains_all_totals(self):
+        c = ClusterMetrics(nodes=[node(0, cpu=1.0, peak=5)])
+        snapshot = c.to_dict()
+        for key in (
+            "makespan",
+            "total_cpu_seconds",
+            "total_peak_table_entries",
+            "skew_ratio",
+            "nodes",
+        ):
+            assert key in snapshot
+        assert snapshot["total_peak_table_entries"] == 5

@@ -1,0 +1,89 @@
+"""Unit tests for the two network models."""
+
+import pytest
+
+from repro.costmodel.params import NetworkKind, SystemParameters
+from repro.sim.network import LatencyNetwork, SharedBusNetwork, make_network
+
+
+class TestLatencyNetwork:
+    def test_delivery_time(self):
+        net = LatencyNetwork(0.002)
+        assert net.transfer(1.0, 3) == pytest.approx(1.006)
+
+    def test_transfers_do_not_interfere(self):
+        """Unlimited bandwidth: simultaneous transfers overlap fully."""
+        net = LatencyNetwork(0.002)
+        a = net.transfer(1.0, 5)
+        b = net.transfer(1.0, 5)
+        assert a == b == pytest.approx(1.010)
+
+    def test_zero_blocks_instant(self):
+        net = LatencyNetwork(0.002)
+        assert net.transfer(7.0, 0) == 7.0
+        assert net.busy_seconds == 0.0
+
+    def test_busy_accounting(self):
+        net = LatencyNetwork(0.002)
+        net.transfer(0.0, 4)
+        net.transfer(0.0, 6)
+        assert net.busy_seconds == pytest.approx(0.020)
+        assert net.blocks_carried == 10
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyNetwork(-1.0)
+
+
+class TestSharedBusNetwork:
+    def test_serializes(self):
+        """The second transfer waits for the bus."""
+        net = SharedBusNetwork(0.002)
+        a = net.transfer(1.0, 5)    # 1.000 → 1.010
+        b = net.transfer(1.0, 5)    # waits → 1.020
+        assert a == pytest.approx(1.010)
+        assert b == pytest.approx(1.020)
+
+    def test_idle_bus_no_wait(self):
+        net = SharedBusNetwork(0.002)
+        net.transfer(0.0, 1)        # bus free at 0.002
+        late = net.transfer(10.0, 1)
+        assert late == pytest.approx(10.002)
+
+    def test_total_time_independent_of_sender_count(self):
+        """The Section 2 definition: fixed data volume, fixed time."""
+        one_sender = SharedBusNetwork(0.002)
+        end_one = 0.0
+        for _ in range(8):
+            end_one = one_sender.transfer(0.0, 10)
+        many = SharedBusNetwork(0.002)
+        end_many = 0.0
+        for sender in range(8):
+            end_many = max(end_many, many.transfer(0.0, 10))
+        assert end_one == pytest.approx(end_many)
+
+    def test_zero_blocks_bypass_bus(self):
+        net = SharedBusNetwork(0.002)
+        net.transfer(0.0, 100)
+        assert net.transfer(0.0, 0) == 0.0  # control msg skips the queue
+
+    def test_busy_accounting(self):
+        net = SharedBusNetwork(0.002)
+        net.transfer(0.0, 3)
+        assert net.busy_seconds == pytest.approx(0.006)
+
+
+class TestMakeNetwork:
+    def test_high_bandwidth(self):
+        p = SystemParameters.paper_default()
+        assert isinstance(make_network(p), LatencyNetwork)
+
+    def test_limited_bandwidth(self):
+        p = SystemParameters.paper_default().with_(
+            network=NetworkKind.LIMITED_BANDWIDTH
+        )
+        assert isinstance(make_network(p), SharedBusNetwork)
+
+    def test_rate_comes_from_params(self):
+        p = SystemParameters.implementation()
+        assert make_network(p).seconds_per_block == p.m_l

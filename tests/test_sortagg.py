@@ -1,0 +1,143 @@
+"""Unit + property tests for the sort-based aggregation engine."""
+
+from collections import defaultdict
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.aggregates import AggregateSpec, make_state_factory
+from repro.core.runner import default_parameters, run_algorithm
+from repro.core.sortagg import SortAggregator
+from repro.parallel import reference_aggregate
+from repro.workloads.generator import generate_uniform
+
+from tests.conftest import assert_rows_close
+
+SPECS = [AggregateSpec("sum", "v"), AggregateSpec("count", None)]
+
+
+def make(max_entries, **kw):
+    return SortAggregator(make_state_factory(SPECS), max_entries, **kw)
+
+
+class TestSortAggregator:
+    def test_in_memory_path(self):
+        agg = make(100)
+        for i in (3, 1, 2, 1):
+            agg.add_values(i, (float(i), 1))
+        out = list(agg.finish())
+        assert [k for k, _ in out] == [1, 2, 3]  # sorted order
+        assert dict((k, s.results()) for k, s in out)[1] == (2.0, 2)
+        assert not agg.overflowed
+
+    def test_runs_spill_and_merge(self):
+        agg = make(4)
+        for i in range(40):
+            agg.add_values(i % 10, (1.0, 1))
+        out = {k: s.results() for k, s in agg.finish()}
+        assert len(out) == 10
+        assert all(v == (4.0, 4) for v in out.values())
+        assert agg.run_count >= 2
+
+    def test_output_sorted_even_with_runs(self):
+        agg = make(3)
+        for i in (9, 1, 8, 2, 7, 3, 6, 4, 5, 0):
+            agg.add_values(i, (1.0, 1))
+        keys = [k for k, _ in agg.finish()]
+        assert keys == sorted(keys)
+        assert len(keys) == 10
+
+    def test_duplicate_keys_across_runs_merge(self):
+        agg = make(2)
+        for _ in range(3):
+            for key in ("a", "b", "c"):
+                agg.add_values(key, (1.0, 1))
+        out = {k: s.results() for k, s in agg.finish()}
+        assert out == {"a": (3.0, 3), "b": (3.0, 3), "c": (3.0, 3)}
+
+    def test_spill_hooks(self):
+        writes, reads = [], []
+        agg = make(2, on_spill_write=writes.append, on_spill_read=reads.append)
+        for i in range(10):
+            agg.add_values(i, (1.0, 1))
+        list(agg.finish())
+        assert sum(writes) == sum(reads) == 10  # all runs spooled+read
+
+    def test_partials(self):
+        agg = make(2)
+        factory = make_state_factory(SPECS)
+        for i in range(6):
+            state = factory()
+            state.update((float(i), 1))
+            agg.add_partial(i, state)
+        out = {k: s.results() for k, s in agg.finish()}
+        assert out[5] == (5.0, 1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make(0)
+
+
+streams = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=25),
+        st.integers(min_value=-100, max_value=100),
+    ),
+    max_size=150,
+)
+
+
+@given(streams, st.integers(min_value=1, max_value=6))
+@settings(max_examples=60)
+def test_sort_matches_dict_groupby(stream, max_entries):
+    agg = make(max_entries)
+    for key, value in stream:
+        agg.add_values(key, (value, 1))
+    out = {k: s.results() for k, s in agg.finish()}
+    sums, counts = defaultdict(int), defaultdict(int)
+    for key, value in stream:
+        sums[key] += value
+        counts[key] += 1
+    assert out == {k: (sums[k], counts[k]) for k in sums}
+
+
+@given(streams, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40)
+def test_sort_output_is_key_ordered(stream, max_entries):
+    agg = make(max_entries)
+    for key, value in stream:
+        agg.add_values(key, (value, 1))
+    keys = [k for k, _ in agg.finish()]
+    assert keys == sorted(keys)
+
+
+class TestSortEngineInAlgorithms:
+    @pytest.mark.parametrize(
+        "algorithm", ["two_phase", "centralized_two_phase",
+                      "repartitioning"]
+    )
+    def test_sort_local_method_matches_reference(
+        self, algorithm, sum_query
+    ):
+        dist = generate_uniform(2000, 300, 4, seed=5)
+        params = default_parameters(dist, hash_table_entries=32)
+        out = run_algorithm(
+            algorithm, dist, sum_query, params=params, local_method="sort"
+        )
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))
+
+    def test_invalid_method_rejected(self, sum_query, small_dist):
+        with pytest.raises(ValueError, match="local_method"):
+            run_algorithm(
+                "two_phase", small_dist, sum_query, local_method="merge"
+            )
+
+    def test_sort_vs_hash_same_rows(self, sum_query):
+        dist = generate_uniform(1500, 100, 4, seed=6)
+        a = run_algorithm("two_phase", dist, sum_query,
+                          local_method="sort")
+        b = run_algorithm("two_phase", dist, sum_query,
+                          local_method="hash")
+        # Summation order differs between engines: compare with float
+        # tolerance, not bit-for-bit.
+        assert_rows_close(a.rows, b.rows)

@@ -1,0 +1,179 @@
+"""End-to-end SQL execution, on the local engine and the cluster."""
+
+import pytest
+
+from repro.parallel import reference_aggregate
+from repro.sql import parse_query, run_sql
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+from repro.workloads.generator import generate_uniform
+from repro.workloads.tpcd import (
+    generate_lineitem,
+    q1_pricing_summary,
+    q_distinct_orders,
+)
+
+from tests.conftest import assert_rows_close
+
+
+@pytest.fixture
+def relation():
+    schema = Schema(
+        [Column("k", "int"), Column("v", "float"), Column("tag", "str")]
+    )
+    rows = [
+        (1, 10.0, "a"),
+        (2, 20.0, "b"),
+        (1, 30.0, "a"),
+        (2, 5.0, "b"),
+        (3, 7.0, "c"),
+    ]
+    return Relation(schema, rows)
+
+
+class TestLocalExecution:
+    def test_group_by_sum(self, relation):
+        result = run_sql(
+            "SELECT k, SUM(v) AS total FROM r GROUP BY k", relation
+        )
+        assert sorted(result.rows) == [
+            (1, 40.0), (2, 25.0), (3, 7.0),
+        ]
+
+    def test_where_clause(self, relation):
+        result = run_sql(
+            "SELECT k, COUNT(*) AS n FROM r WHERE v >= 10 GROUP BY k",
+            relation,
+        )
+        assert sorted(result.rows) == [(1, 2), (2, 1)]
+
+    def test_having_clause(self, relation):
+        result = run_sql(
+            "SELECT k, COUNT(*) AS n FROM r GROUP BY k HAVING n >= 2",
+            relation,
+        )
+        assert sorted(result.rows) == [(1, 2), (2, 2)]
+
+    def test_string_predicate(self, relation):
+        result = run_sql(
+            "SELECT COUNT(*) FROM r WHERE tag = 'a'", relation
+        )
+        assert result.rows == [(2,)]
+
+    def test_select_distinct(self, relation):
+        result = run_sql("SELECT DISTINCT tag FROM r", relation)
+        assert sorted(r[0] for r in result.rows) == ["a", "b", "c"]
+
+    def test_output_schema_names(self, relation):
+        result = run_sql(
+            "SELECT k, AVG(v) AS mean FROM r GROUP BY k", relation
+        )
+        assert result.schema.names() == ["k", "mean"]
+
+    def test_type_error_for_bad_data(self):
+        with pytest.raises(TypeError):
+            run_sql("SELECT COUNT(*) FROM r", [1, 2, 3])
+
+
+class TestClusterExecution:
+    def test_runs_on_simulated_cluster(self, sum_query):
+        dist = generate_uniform(2000, 30, 4, seed=0)
+        outcome = run_sql(
+            "SELECT gkey, SUM(val) FROM r GROUP BY gkey",
+            dist,
+            algorithm="two_phase",
+        )
+        assert outcome.algorithm == "two_phase"
+        assert_rows_close(
+            outcome.rows, reference_aggregate(dist, sum_query)
+        )
+
+    def test_default_algorithm_is_adaptive(self):
+        dist = generate_uniform(1000, 10, 2, seed=1)
+        outcome = run_sql(
+            "SELECT gkey, COUNT(*) FROM r GROUP BY gkey", dist
+        )
+        assert outcome.algorithm == "adaptive_two_phase"
+
+    def test_kwargs_forwarded(self):
+        dist = generate_uniform(1000, 10, 2, seed=2)
+        outcome = run_sql(
+            "SELECT gkey, COUNT(*) FROM r GROUP BY gkey",
+            dist,
+            pipeline=True,
+        )
+        assert outcome.metrics.node(0).tagged_seconds.get(
+            "scan_io", 0.0
+        ) == 0
+
+
+class TestStatisticalAggregates:
+    def test_var_and_stddev_via_sql(self):
+        dist = generate_uniform(2000, 20, 4, seed=5)
+        outcome = run_sql(
+            "SELECT gkey, VAR(val) AS v, STDDEV(val) AS s "
+            "FROM r GROUP BY gkey",
+            dist,
+        )
+        _t, query = parse_query(
+            "SELECT gkey, VAR(val) AS v, STDDEV(val) AS s "
+            "FROM r GROUP BY gkey"
+        )
+        assert_rows_close(
+            outcome.rows, reference_aggregate(dist, query), tol=1e-6
+        )
+        for row in outcome.rows:
+            assert row[2] == pytest.approx(row[1] ** 0.5)
+
+    def test_count_distinct_via_sql(self):
+        dist = generate_uniform(1000, 10, 2, seed=6)
+        outcome = run_sql(
+            "SELECT gkey, COUNT(DISTINCT val) FROM r GROUP BY gkey",
+            dist,
+        )
+        assert outcome.num_groups == 10
+
+
+class TestTpcdEquivalence:
+    """The canned TPC-D queries expressed as SQL give identical plans."""
+
+    def test_q1_pricing_summary(self):
+        dist = generate_lineitem(1500, 4, seed=0)
+        sql = (
+            "SELECT returnflag, linestatus, "
+            "SUM(quantity) AS sum_qty, "
+            "SUM(extendedprice) AS sum_base_price, "
+            "AVG(quantity) AS avg_qty, "
+            "AVG(extendedprice) AS avg_price, "
+            "AVG(discount) AS avg_disc, "
+            "COUNT(*) AS count_order "
+            "FROM lineitem GROUP BY returnflag, linestatus"
+        )
+        _t, query = parse_query(sql)
+        assert_rows_close(
+            reference_aggregate(dist, query),
+            reference_aggregate(dist, q1_pricing_summary()),
+        )
+
+    def test_distinct_orders(self):
+        dist = generate_lineitem(1500, 4, seed=0)
+        _t, query = parse_query(
+            "SELECT orderkey, COUNT(*) AS lines FROM lineitem "
+            "GROUP BY orderkey"
+        )
+        assert_rows_close(
+            reference_aggregate(dist, query),
+            reference_aggregate(dist, q_distinct_orders()),
+        )
+
+    def test_q1_with_predicate_runs_everywhere(self):
+        dist = generate_lineitem(1500, 4, seed=1)
+        sql = (
+            "SELECT returnflag, COUNT(*) AS n FROM lineitem "
+            "WHERE quantity > 25 AND discount < 0.05 "
+            "GROUP BY returnflag HAVING n > 10"
+        )
+        _t, query = parse_query(sql)
+        expected = reference_aggregate(dist, query)
+        outcome = run_sql(sql, dist, algorithm="repartitioning")
+        assert_rows_close(outcome.rows, expected)

@@ -1,0 +1,227 @@
+"""Tests for the SQL front-end: lexer, parser, predicate compilation."""
+
+import pytest
+
+from repro.sql.lexer import LexError, tokenize
+from repro.sql.parser import ParseError, parse_query
+
+
+class TestLexer:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select From WHERE")
+        assert [t.value for t in tokens[:-1]] == [
+            "SELECT", "FROM", "WHERE",
+        ]
+
+    def test_identifiers_keep_case(self):
+        (tok, _end) = tokenize("myCol")
+        assert tok.kind == "IDENT"
+        assert tok.value == "myCol"
+
+    def test_numbers(self):
+        kinds = [(t.kind, t.value) for t in tokenize("42 3.5 1e6")[:-1]]
+        assert kinds == [
+            ("NUMBER", "42"), ("NUMBER", "3.5"), ("NUMBER", "1e6"),
+        ]
+
+    def test_strings(self):
+        (tok, _end) = tokenize("'hello world'")
+        assert tok.kind == "STRING"
+        assert tok.value == "hello world"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexError, match="unterminated"):
+            tokenize("'oops")
+
+    def test_two_char_operators(self):
+        values = [t.value for t in tokenize("<= >= <> !=")[:-1]]
+        assert values == ["<=", ">=", "<>", "!="]
+
+    def test_bad_character(self):
+        with pytest.raises(LexError, match="unexpected character"):
+            tokenize("a ; b")
+
+
+class TestParserStructure:
+    def test_minimal_query(self):
+        table, query = parse_query(
+            "SELECT gkey, SUM(val) FROM r GROUP BY gkey"
+        )
+        assert table == "r"
+        assert query.group_by == ("gkey",)
+        assert query.aggregates[0].func == "sum"
+        assert query.aggregates[0].column == "val"
+
+    def test_scalar_aggregate(self):
+        _t, query = parse_query("SELECT COUNT(*) FROM r")
+        assert query.is_scalar
+        assert query.aggregates[0].func == "count"
+        assert query.aggregates[0].column is None
+
+    def test_aliases(self):
+        _t, query = parse_query(
+            "SELECT gkey, AVG(val) AS mean FROM r GROUP BY gkey"
+        )
+        assert query.aggregates[0].output_name == "mean"
+
+    def test_count_distinct(self):
+        _t, query = parse_query("SELECT COUNT(DISTINCT val) FROM r")
+        assert query.aggregates[0].func == "count_distinct"
+
+    def test_multiple_group_by(self):
+        _t, query = parse_query(
+            "SELECT a, b, MIN(v) FROM r GROUP BY a, b"
+        )
+        assert query.group_by == ("a", "b")
+
+    def test_every_function(self):
+        _t, query = parse_query(
+            "SELECT SUM(v), AVG(v), MIN(v), MAX(v), COUNT(v), "
+            "VAR(v), STDDEV(v) FROM r"
+        )
+        funcs = [s.func for s in query.aggregates]
+        assert funcs == [
+            "sum", "avg", "min", "max", "count", "var", "stddev",
+        ]
+
+    def test_select_distinct(self):
+        _t, query = parse_query("SELECT DISTINCT a, b FROM r")
+        assert query.group_by == ("a", "b")
+        assert query.aggregates[0].output_name == "_dup_count"
+
+    def test_bare_column_without_group_by_rejected(self):
+        with pytest.raises(ParseError, match="GROUP BY"):
+            parse_query("SELECT a, SUM(v) FROM r")
+
+    def test_column_not_in_group_by_rejected(self):
+        with pytest.raises(ParseError, match="not in GROUP BY"):
+            parse_query("SELECT a, b, SUM(v) FROM r GROUP BY a")
+
+    def test_no_aggregate_rejected(self):
+        with pytest.raises(ParseError, match="at least one aggregate"):
+            parse_query("SELECT a FROM r GROUP BY a")
+
+    def test_star_only_for_count(self):
+        with pytest.raises(ParseError, match="only valid for COUNT"):
+            parse_query("SELECT SUM(*) FROM r")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_query("SELECT COUNT(*) FROM r LIMIT 5")
+
+    def test_missing_from(self):
+        with pytest.raises(ParseError, match="FROM"):
+            parse_query("SELECT COUNT(*)")
+
+
+class TestPredicates:
+    def _where(self, sql):
+        _t, query = parse_query(sql)
+        return query.where
+
+    def test_simple_comparison(self):
+        where = self._where("SELECT COUNT(*) FROM r WHERE v > 5")
+        assert where({"v": 6})
+        assert not where({"v": 5})
+
+    def test_string_equality(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE flag = 'A'"
+        )
+        assert where({"flag": "A"})
+        assert not where({"flag": "B"})
+
+    def test_and_or_precedence(self):
+        """AND binds tighter than OR."""
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE a = 1 OR a = 2 AND b = 3"
+        )
+        assert where({"a": 1, "b": 0})          # left OR arm
+        assert where({"a": 2, "b": 3})          # right AND arm
+        assert not where({"a": 2, "b": 0})
+
+    def test_parentheses_override(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE (a = 1 OR a = 2) AND b = 3"
+        )
+        assert not where({"a": 1, "b": 0})
+        assert where({"a": 1, "b": 3})
+
+    def test_not(self):
+        where = self._where("SELECT COUNT(*) FROM r WHERE NOT v >= 10")
+        assert where({"v": 9})
+        assert not where({"v": 10})
+
+    def test_column_to_column(self):
+        where = self._where("SELECT COUNT(*) FROM r WHERE a < b")
+        assert where({"a": 1, "b": 2})
+
+    def test_unknown_column_raises_at_eval(self):
+        where = self._where("SELECT COUNT(*) FROM r WHERE ghost = 1")
+        with pytest.raises(ParseError, match="unknown column"):
+            where({"v": 1})
+
+    def test_having_references_alias(self):
+        _t, query = parse_query(
+            "SELECT gkey, COUNT(*) AS n FROM r GROUP BY gkey "
+            "HAVING n >= 2"
+        )
+        assert query.having({"gkey": 1, "n": 2})
+        assert not query.having({"gkey": 1, "n": 1})
+
+    def test_having_references_aggregate_expression(self):
+        _t, query = parse_query(
+            "SELECT gkey, SUM(val) AS total FROM r GROUP BY gkey "
+            "HAVING SUM(val) > 10"
+        )
+        assert query.having({"gkey": 1, "total": 11})
+
+    def test_having_unknown_aggregate_rejected(self):
+        with pytest.raises(ParseError, match="not in the SELECT list"):
+            parse_query(
+                "SELECT gkey, SUM(val) FROM r GROUP BY gkey "
+                "HAVING AVG(val) > 1"
+            )
+
+    def test_bad_operator(self):
+        with pytest.raises(ParseError, match="comparison operator"):
+            parse_query("SELECT COUNT(*) FROM r WHERE a (b)")
+
+    def test_in_list(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE tag IN ('a', 'b')"
+        )
+        assert where({"tag": "a"})
+        assert where({"tag": "b"})
+        assert not where({"tag": "c"})
+
+    def test_in_list_numbers(self):
+        where = self._where("SELECT COUNT(*) FROM r WHERE k IN (1, 3, 5)")
+        assert where({"k": 3})
+        assert not where({"k": 2})
+
+    def test_not_in(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE NOT k IN (1, 2)"
+        )
+        assert where({"k": 3})
+        assert not where({"k": 1})
+
+    def test_in_requires_literals(self):
+        with pytest.raises(ParseError, match="only contain literals"):
+            parse_query("SELECT COUNT(*) FROM r WHERE a IN (b, c)")
+
+    def test_between(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE v BETWEEN 10 AND 20"
+        )
+        assert where({"v": 10})
+        assert where({"v": 20})
+        assert not where({"v": 21})
+
+    def test_between_binds_tighter_than_and(self):
+        where = self._where(
+            "SELECT COUNT(*) FROM r WHERE v BETWEEN 1 AND 5 AND k = 2"
+        )
+        assert where({"v": 3, "k": 2})
+        assert not where({"v": 3, "k": 9})

@@ -1,0 +1,92 @@
+"""Round-trip tests for the CSV relation I/O."""
+
+import pytest
+
+from repro.storage.io import (
+    load_distributed,
+    load_relation,
+    load_schema,
+    save_distributed,
+    save_relation,
+    save_schema,
+)
+from repro.storage.relation import Relation
+from repro.storage.schema import Column, Schema
+from repro.workloads.generator import generate_uniform
+
+
+@pytest.fixture
+def schema():
+    return Schema(
+        [
+            Column("k", "int"),
+            Column("v", "float"),
+            Column("tag", "str", size_bytes=4),
+        ]
+    )
+
+
+class TestSchemaRoundTrip:
+    def test_roundtrip(self, schema, tmp_path):
+        save_schema(schema, str(tmp_path))
+        loaded = load_schema(str(tmp_path))
+        assert loaded == schema
+
+    def test_bad_header_rejected(self, tmp_path):
+        (tmp_path / "schema.csv").write_text("a,b\n1,2\n")
+        with pytest.raises(ValueError, match="bad schema file"):
+            load_schema(str(tmp_path))
+
+
+class TestRelationRoundTrip:
+    def test_roundtrip_preserves_types(self, schema, tmp_path):
+        rel = Relation(schema, [(1, 2.5, "x"), (-3, 0.0, "y")])
+        path = str(tmp_path / "rel.csv")
+        save_relation(rel, path)
+        loaded = load_relation(path, schema)
+        assert loaded.rows == rel.rows
+        assert isinstance(loaded.rows[0][0], int)
+        assert isinstance(loaded.rows[0][1], float)
+
+    def test_header_mismatch_rejected(self, schema, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("wrong,header,here\n1,2,3\n")
+        with pytest.raises(ValueError, match="header"):
+            load_relation(str(path), schema)
+
+    def test_arity_mismatch_rejected(self, schema, tmp_path):
+        path = tmp_path / "rel.csv"
+        path.write_text("k,v,tag\n1,2\n")
+        with pytest.raises(ValueError, match="arity"):
+            load_relation(str(path), schema)
+
+
+class TestDistributedRoundTrip:
+    def test_roundtrip_preserves_placement(self, tmp_path):
+        dist = generate_uniform(500, 20, 4, seed=3)
+        save_distributed(dist, str(tmp_path / "data"))
+        loaded = load_distributed(str(tmp_path / "data"))
+        assert loaded.num_nodes == 4
+        assert loaded.tuples_per_node() == dist.tuples_per_node()
+        for a, b in zip(loaded.fragments, dist.fragments):
+            assert a.relation.rows == b.relation.rows
+
+    def test_missing_directory(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_distributed(str(tmp_path / "nope"))
+
+    def test_empty_directory_rejected(self, tmp_path, schema):
+        save_schema(schema, str(tmp_path))
+        with pytest.raises(FileNotFoundError, match="fragments"):
+            load_distributed(str(tmp_path))
+
+    def test_loaded_relation_runs_queries(self, tmp_path, sum_query):
+        from repro.core.runner import run_algorithm
+        from repro.parallel import reference_aggregate
+        from tests.conftest import assert_rows_close
+
+        dist = generate_uniform(800, 10, 2, seed=4)
+        save_distributed(dist, str(tmp_path / "d"))
+        loaded = load_distributed(str(tmp_path / "d"))
+        out = run_algorithm("two_phase", loaded, sum_query)
+        assert_rows_close(out.rows, reference_aggregate(dist, sum_query))

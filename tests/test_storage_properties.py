@@ -1,0 +1,106 @@
+"""Property tests on the storage layer: partitioners, pages, CSV I/O."""
+
+from __future__ import annotations
+
+import tempfile
+
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.hashing import stable_hash
+from repro.storage.io import load_distributed, save_distributed
+from repro.storage.partition import (
+    hash_partition,
+    round_robin_partition,
+)
+from repro.storage.relation import (
+    DistributedRelation,
+    Relation,
+    pages_for,
+    tuples_per_page,
+)
+from repro.storage.schema import Column, Schema
+
+rows = st.lists(
+    st.tuples(
+        st.integers(min_value=-10**9, max_value=10**9),
+        st.floats(
+            min_value=-1e6, max_value=1e6, allow_nan=False,
+            allow_infinity=False,
+        ),
+        st.text(
+            alphabet=st.characters(
+                codec="ascii", exclude_characters='",\r\n'
+            ),
+            max_size=8,
+        ),
+    ),
+    max_size=60,
+)
+
+SCHEMA = Schema(
+    [Column("k", "int"), Column("v", "float"), Column("t", "str")]
+)
+
+
+@given(rows, st.integers(min_value=1, max_value=9))
+@settings(max_examples=60)
+def test_partitioners_conserve_rows(data, parts):
+    for partitioner in (
+        lambda: round_robin_partition(data, parts),
+        lambda: hash_partition(data, parts, key_func=lambda r: r[0]),
+    ):
+        out = partitioner()
+        assert len(out) == parts
+        assert sorted(r for p in out for r in p) == sorted(data)
+
+
+@given(rows, st.integers(min_value=2, max_value=9))
+@settings(max_examples=60)
+def test_hash_partition_key_locality(data, parts):
+    out = hash_partition(data, parts, key_func=lambda r: r[0])
+    for key in {r[0] for r in data}:
+        homes = [
+            i for i, p in enumerate(out) if any(r[0] == key for r in p)
+        ]
+        assert len(homes) == 1
+        assert homes[0] == stable_hash(key) % parts
+
+
+@given(
+    st.integers(min_value=0, max_value=10**6),
+    st.integers(min_value=1, max_value=500),
+    st.integers(min_value=1, max_value=65536),
+)
+@settings(max_examples=100)
+def test_page_arithmetic_consistent(n, tuple_bytes, page_size):
+    pages = pages_for(n, tuple_bytes, page_size)
+    per_page = tuples_per_page(tuple_bytes, page_size)
+    assert pages * per_page >= n
+    if pages > 0:
+        assert (pages - 1) * per_page < n
+
+
+@given(rows, st.integers(min_value=1, max_value=4))
+@settings(max_examples=30, deadline=None)
+def test_distributed_csv_roundtrip(data, nodes):
+    dist = DistributedRelation(
+        SCHEMA, round_robin_partition(data, nodes)
+    )
+    with tempfile.TemporaryDirectory() as directory:
+        save_distributed(dist, directory)
+        loaded = load_distributed(directory)
+    assert loaded.num_nodes == nodes
+    for original, restored in zip(dist.fragments, loaded.fragments):
+        assert restored.relation.rows == original.relation.rows
+
+
+@given(rows)
+@settings(max_examples=50)
+def test_relation_pages_partition_rows(data):
+    relation = Relation(SCHEMA, data)
+    pages = list(relation.pages(page_size=128))
+    assert [r for page in pages for r in page] == data
+    if pages:
+        per_page = tuples_per_page(SCHEMA.tuple_bytes, 128)
+        assert all(len(p) == per_page for p in pages[:-1])
+        assert 1 <= len(pages[-1]) <= per_page

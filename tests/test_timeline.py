@@ -1,0 +1,123 @@
+"""Tests for run-timeline recording and the Gantt renderer."""
+
+import pytest
+
+from repro.core.runner import run_algorithm
+from repro.costmodel.params import SystemParameters
+from repro.sim.engine import Engine
+from repro.sim.node import NodeContext
+from repro.sim.timeline import render_timeline, tag_char
+from repro.workloads.generator import generate_uniform
+
+
+def run_recorded(*program_fns):
+    params = SystemParameters.paper_default().with_(
+        num_nodes=len(program_fns)
+    )
+    engine = Engine(params, record_timeline=True)
+    ctxs = [
+        NodeContext(i, len(program_fns), params, engine)
+        for i in range(len(program_fns))
+    ]
+    engine.run([fn(ctx) for fn, ctx in zip(program_fns, ctxs)])
+    return engine.timelines
+
+
+class TestRecording:
+    def test_segments_recorded(self):
+        def prog(ctx):
+            yield ctx.compute(1.0, tag="agg_cpu")
+            yield ctx.read_pages(2, tag="scan_io")
+
+        (lane,) = run_recorded(prog)
+        assert len(lane) == 2
+        assert lane[0][2] == "agg_cpu"
+        assert lane[1][2] == "scan_io"
+
+    def test_contiguous_same_tag_merged(self):
+        def prog(ctx):
+            yield ctx.compute(0.5, tag="agg_cpu")
+            yield ctx.compute(0.5, tag="agg_cpu")
+
+        (lane,) = run_recorded(prog)
+        assert len(lane) == 1
+        assert lane[0] == (0.0, 1.0, "agg_cpu")
+
+    def test_segments_are_ordered_and_disjoint(self):
+        def prog(ctx):
+            for i in range(5):
+                yield ctx.compute(0.1, tag=f"t{i}")
+                yield ctx.read_pages(1)
+
+        (lane,) = run_recorded(prog)
+        for (s1, e1, _), (s2, _e2, _) in zip(lane, lane[1:]):
+            assert e1 <= s2 + 1e-12
+            assert s1 < e1
+
+    def test_not_recorded_by_default(self):
+        params = SystemParameters.paper_default().with_(num_nodes=1)
+        engine = Engine(params)
+        ctx = NodeContext(0, 1, params, engine)
+
+        def prog():
+            yield ctx.compute(1.0)
+
+        engine.run([prog()])
+        assert engine.timelines == [[]]
+
+
+class TestRenderer:
+    def test_lanes_and_legend(self):
+        def prog(ctx):
+            yield ctx.compute(1.0, tag="agg_cpu")
+
+        lanes = run_recorded(prog, prog)
+        text = render_timeline(lanes, width=40)
+        assert text.count("node ") == 2
+        assert "a=agg_cpu" in text
+        assert ".=idle/wait" in text
+
+    def test_idle_shown_as_dots(self):
+        def busy(ctx):
+            yield ctx.compute(2.0, tag="agg_cpu")
+
+        def brief(ctx):
+            yield ctx.compute(0.2, tag="agg_cpu")
+
+        lanes = run_recorded(busy, brief)
+        text = render_timeline(lanes, width=40)
+        brief_lane = text.splitlines()[1]
+        assert brief_lane.count(".") > 20
+
+    def test_empty(self):
+        assert "no timeline" in render_timeline([])
+        assert "empty" in render_timeline([[]])
+
+    def test_tag_char_default(self):
+        assert tag_char("unknown_tag") == "#"
+        assert tag_char("spill_io") == "!"
+
+
+class TestOutcomeIntegration:
+    def test_outcome_renders(self, sum_query):
+        dist = generate_uniform(1000, 50, 2, seed=0)
+        out = run_algorithm(
+            "two_phase", dist, sum_query, record_timeline=True
+        )
+        text = out.render_timeline(width=40)
+        assert "node  0" in text and "node  1" in text
+
+    def test_outcome_without_recording_explains(self, sum_query):
+        dist = generate_uniform(1000, 50, 2, seed=0)
+        out = run_algorithm("two_phase", dist, sum_query)
+        assert "not recorded" in out.render_timeline()
+
+    def test_coordinator_bottleneck_visible(self, sum_query):
+        """C-2P: the coordinator works past every other node's finish."""
+        dist = generate_uniform(4000, 1500, 4, seed=1)
+        out = run_algorithm(
+            "centralized_two_phase", dist, sum_query,
+            record_timeline=True,
+        )
+        ends = [max(e for _s, e, _t in lane) for lane in out.timelines]
+        assert ends[0] > 1.2 * max(ends[1:])

@@ -1,0 +1,100 @@
+"""Property tests for the workload generators.
+
+The figures sweep exact group counts, so the generators' cardinality
+guarantees are hard requirements, not statistical tendencies.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.generator import (
+    generate_uniform,
+    generate_zipf,
+    selectivity_to_groups,
+)
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+
+sizes = st.integers(min_value=2, max_value=400)
+node_counts = st.integers(min_value=1, max_value=8)
+seeds = st.integers(min_value=0, max_value=2**31)
+
+
+@given(sizes, node_counts, seeds, st.data())
+@settings(max_examples=60, deadline=None)
+def test_uniform_exact_group_count(num_tuples, nodes, seed, data):
+    groups = data.draw(st.integers(min_value=1, max_value=num_tuples))
+    dist = generate_uniform(num_tuples, groups, nodes, seed=seed)
+    keys = {row[0] for row in dist.all_rows()}
+    assert keys == set(range(groups))
+    assert len(dist) == num_tuples
+
+
+@given(sizes, node_counts, seeds, st.data())
+@settings(max_examples=40, deadline=None)
+def test_uniform_frequencies_balanced(num_tuples, nodes, seed, data):
+    groups = data.draw(st.integers(min_value=1, max_value=num_tuples))
+    dist = generate_uniform(num_tuples, groups, nodes, seed=seed)
+    counts = Counter(row[0] for row in dist.all_rows())
+    assert max(counts.values()) - min(counts.values()) <= 1
+
+
+@given(sizes, node_counts, seeds, st.data())
+@settings(max_examples=40, deadline=None)
+def test_zipf_exact_group_count(num_tuples, nodes, seed, data):
+    groups = data.draw(st.integers(min_value=1, max_value=num_tuples))
+    dist = generate_zipf(num_tuples, groups, nodes, seed=seed)
+    assert len({row[0] for row in dist.all_rows()}) == groups
+    assert len(dist) == num_tuples
+
+
+@given(
+    st.integers(min_value=100, max_value=2000),
+    st.integers(min_value=2, max_value=8),
+    st.floats(min_value=1.0, max_value=8.0),
+    seeds,
+)
+@settings(max_examples=40, deadline=None)
+def test_input_skew_conserves_tuples(num_tuples, nodes, factor, seed):
+    dist = generate_input_skew(
+        num_tuples, min(10, num_tuples), nodes,
+        skew_factor=factor, seed=seed,
+    )
+    assert len(dist) == num_tuples
+    sizes_per_node = dist.tuples_per_node()
+    assert all(s >= 0 for s in sizes_per_node)
+    if factor > 1.5 and nodes > 1:
+        assert sizes_per_node[0] >= max(sizes_per_node[1:])
+
+
+@given(
+    st.integers(min_value=200, max_value=2000),
+    st.integers(min_value=12, max_value=60),
+    seeds,
+)
+@settings(max_examples=40, deadline=None)
+def test_output_skew_invariants(num_tuples, groups, seed):
+    dist = generate_output_skew(
+        num_tuples, groups, num_nodes=8, seed=seed
+    )
+    # Definitionally: equal tuples per node, exact total group count,
+    # single-group nodes hold exactly their own key.
+    per_node = dist.tuples_per_node()
+    assert max(per_node) - min(per_node) <= 1
+    assert len({row[0] for row in dist.all_rows()}) == groups
+    for node in range(4):
+        assert {r[0] for r in dist.fragment(node).relation.rows} == {node}
+
+
+@given(
+    st.floats(min_value=1e-9, max_value=1.0),
+    st.integers(min_value=1, max_value=10**7),
+)
+@settings(max_examples=80)
+def test_selectivity_to_groups_in_range(selectivity, num_tuples):
+    groups = selectivity_to_groups(selectivity, num_tuples)
+    assert 1 <= groups <= num_tuples or groups == 1
+    # Round-tripping through the induced selectivity is stable.
+    assert selectivity_to_groups(groups / num_tuples, num_tuples) == groups

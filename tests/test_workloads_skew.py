@@ -1,0 +1,94 @@
+"""Unit tests for the Section 6 skew generators."""
+
+import pytest
+
+from repro.workloads.skew import generate_input_skew, generate_output_skew
+
+
+class TestInputSkew:
+    def test_skewed_node_bigger(self):
+        dist = generate_input_skew(
+            8000, 100, 8, skew_factor=4.0, num_skewed=1, seed=0
+        )
+        sizes = dist.tuples_per_node()
+        assert sizes[0] > 3.5 * (sum(sizes[1:]) / 7)
+
+    def test_total_preserved(self):
+        dist = generate_input_skew(8001, 100, 8, skew_factor=3.0)
+        assert len(dist) == 8001
+
+    def test_every_node_sees_full_group_mix(self):
+        """Input skew means groups per node stay the same."""
+        dist = generate_input_skew(8000, 20, 4, skew_factor=4.0, seed=1)
+        for frag in dist.fragments:
+            assert len({r[0] for r in frag.relation.rows}) == 20
+
+    def test_group_count_exact(self):
+        dist = generate_input_skew(4000, 55, 4)
+        assert len({r[0] for r in dist.all_rows()}) == 55
+
+    def test_multiple_skewed_nodes(self):
+        dist = generate_input_skew(
+            9000, 10, 6, skew_factor=2.0, num_skewed=2, seed=0
+        )
+        sizes = dist.tuples_per_node()
+        assert sizes[0] > sizes[5] and sizes[1] > sizes[5]
+
+    def test_factor_below_one_rejected(self):
+        with pytest.raises(ValueError):
+            generate_input_skew(100, 5, 4, skew_factor=0.5)
+
+    def test_num_skewed_validated(self):
+        with pytest.raises(ValueError):
+            generate_input_skew(100, 5, 4, num_skewed=5)
+
+
+class TestOutputSkew:
+    def test_figure9_shape(self):
+        """4 of 8 nodes hold exactly one group value each."""
+        dist = generate_output_skew(8000, 100, num_nodes=8, seed=0)
+        group_counts = [
+            len({r[0] for r in frag.relation.rows})
+            for frag in dist.fragments
+        ]
+        assert group_counts[:4] == [1, 1, 1, 1]
+        assert all(c > 1 for c in group_counts[4:])
+
+    def test_equal_tuples_per_node(self):
+        """Output skew keeps the input sizes balanced by definition."""
+        dist = generate_output_skew(8000, 100, num_nodes=8, seed=0)
+        sizes = dist.tuples_per_node()
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_group_count_exact(self):
+        dist = generate_output_skew(8000, 100, num_nodes=8, seed=0)
+        assert len({r[0] for r in dist.all_rows()}) == 100
+
+    def test_heavy_groups_only_on_heavy_nodes(self):
+        dist = generate_output_skew(8000, 100, num_nodes=8, seed=0)
+        for node in range(4):
+            keys = {r[0] for r in dist.fragment(node).relation.rows}
+            assert keys == {node}
+
+    def test_total_preserved_with_remainder(self):
+        dist = generate_output_skew(8003, 100, num_nodes=8, seed=0)
+        assert len(dist) == 8003
+
+    def test_custom_split(self):
+        dist = generate_output_skew(
+            6000, 50, num_nodes=6, num_single_group_nodes=2, seed=0
+        )
+        counts = [
+            len({r[0] for r in f.relation.rows}) for f in dist.fragments
+        ]
+        assert counts[:2] == [1, 1]
+
+    def test_too_few_groups_rejected(self):
+        with pytest.raises(ValueError):
+            generate_output_skew(1000, 4, num_nodes=8)
+
+    def test_all_single_rejected(self):
+        with pytest.raises(ValueError):
+            generate_output_skew(
+                1000, 100, num_nodes=8, num_single_group_nodes=8
+            )

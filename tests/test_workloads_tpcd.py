@@ -1,0 +1,75 @@
+"""Unit tests for the TPC-D-flavoured workload."""
+
+import pytest
+
+from repro.parallel import reference_aggregate
+from repro.workloads.tpcd import (
+    LINEITEM_SCHEMA,
+    TPCD_QUERIES,
+    generate_lineitem,
+    q1_pricing_summary,
+    q_distinct_orders,
+    q_partkey_volume,
+    tpcd_query,
+)
+
+
+class TestGenerator:
+    def test_row_count_and_nodes(self):
+        dist = generate_lineitem(1000, 4, seed=0)
+        assert len(dist) == 1000
+        assert dist.num_nodes == 4
+
+    def test_schema_width_near_100_bytes(self):
+        assert 90 <= LINEITEM_SCHEMA.tuple_bytes <= 110
+
+    def test_deterministic(self):
+        a = generate_lineitem(500, 2, seed=9)
+        b = generate_lineitem(500, 2, seed=9)
+        assert a.all_rows() == b.all_rows()
+
+    def test_flags_domain(self):
+        dist = generate_lineitem(500, 2, seed=0)
+        idx = LINEITEM_SCHEMA.index_of("returnflag")
+        assert {r[idx] for r in dist.all_rows()} <= {"A", "N", "R"}
+
+    def test_orderkey_multiplicity(self):
+        dist = generate_lineitem(4000, 2, seed=0, parts_per_order=8.0)
+        idx = LINEITEM_SCHEMA.index_of("orderkey")
+        distinct = len({r[idx] for r in dist.all_rows()})
+        assert distinct < 1000  # ~500 orders expected
+
+
+class TestQueries:
+    def test_q1_is_low_cardinality(self):
+        dist = generate_lineitem(2000, 4, seed=0)
+        rows = reference_aggregate(dist, q1_pricing_summary())
+        assert 1 <= len(rows) <= 6  # |returnflag| × |linestatus|
+
+    def test_q1_aggregate_sanity(self):
+        dist = generate_lineitem(2000, 4, seed=0)
+        rows = reference_aggregate(dist, q1_pricing_summary())
+        for row in rows:
+            # columns: rf, ls, sum_qty, sum_base, avg_qty, avg_price,
+            #          avg_disc, count
+            assert row[2] > 0 and row[7] > 0
+            assert 1 <= row[4] <= 50   # avg quantity within domain
+
+    def test_partkey_is_high_cardinality(self):
+        dist = generate_lineitem(2000, 4, seed=0)
+        rows = reference_aggregate(dist, q_partkey_volume())
+        assert len(rows) > 500
+
+    def test_distinct_orders_matches_orderkeys(self):
+        dist = generate_lineitem(2000, 4, seed=0)
+        rows = reference_aggregate(dist, q_distinct_orders())
+        idx = LINEITEM_SCHEMA.index_of("orderkey")
+        assert len(rows) == len({r[idx] for r in dist.all_rows()})
+
+    def test_lookup_by_name(self):
+        for name in TPCD_QUERIES:
+            assert tpcd_query(name).aggregates
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown TPC-D query"):
+            tpcd_query("q99")
