@@ -13,7 +13,7 @@ Run:  python examples/reproduce_all.py        (~2-4 minutes)
 import sys
 import time
 
-from repro.bench import figures
+from repro.bench import degraded, figures
 from repro.bench.harness import format_table, write_results
 from repro.bench.plotting import render_chart
 
@@ -31,6 +31,8 @@ SIMULATED = [
     ("fig8", figures.figure8),
     ("fig9", figures.figure9),
     ("skew_input", figures.input_skew_study),
+    ("degraded_straggler", degraded.straggler_sweep),
+    ("degraded_crash", degraded.crash_sweep),
 ]
 
 

@@ -18,6 +18,7 @@ from repro.core.aggregates import make_state_factory
 from repro.core.hashtable import HashAggregator
 from repro.core.query import BoundQuery
 from repro.core.sortagg import SortAggregator
+from repro.sim.faults import FaultPlan
 from repro.sim.node import BlockedChannel, NodeContext
 from repro.storage.hashing import bucket_of
 from repro.storage.relation import Fragment
@@ -63,6 +64,12 @@ class SimConfig:
         group-count figure: "lower_bound" (the paper's choice — safe,
         never overestimates), "chao1" or "jackknife" (species
         estimators that correct for unseen groups).
+    faults:
+        A :class:`~repro.sim.faults.FaultPlan` injecting crashes,
+        stragglers, message loss/duplication, and transient disk errors
+        into the run; the runner then executes with crash recovery
+        (see ``repro.sim.recovery``).  ``None`` (the default) keeps the
+        perfect-cluster fast path, bit-identical to the pre-fault engine.
     """
 
     pipeline: bool = False
@@ -74,6 +81,7 @@ class SimConfig:
     seed: int = 0
     local_method: str = "hash"
     estimator: str = "lower_bound"
+    faults: FaultPlan | None = None
 
     def __post_init__(self) -> None:
         if self.local_method not in ("hash", "sort"):
@@ -172,6 +180,9 @@ def scan_pages(ctx: NodeContext, fragment: Fragment, pipeline: bool):
     request itself.
     """
     for page_rows in fragment.relation.pages(ctx.params.page_bytes):
+        # Counting scanned tuples feeds the tuples_scanned metric and is
+        # the trigger point for crash-after-K-tuples fault injection.
+        ctx.record_scanned(len(page_rows))
         io = None if pipeline else ctx.read_pages(1, tag="scan_io")
         yield page_rows, io
 

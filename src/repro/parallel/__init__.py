@@ -12,9 +12,13 @@ from repro.parallel.file_executor import (
     materialize_fragments,
 )
 from repro.parallel.local import reference_aggregate
-from repro.parallel.mp_executor import multiprocessing_aggregate
+from repro.parallel.mp_executor import (
+    FragmentFailedError,
+    multiprocessing_aggregate,
+)
 
 __all__ = [
+    "FragmentFailedError",
     "file_backed_aggregate",
     "materialize_fragments",
     "multiprocessing_aggregate",

@@ -1,10 +1,18 @@
-"""A real multiprocessing Two Phase executor.
+"""A real multiprocessing Two Phase executor, hardened against failures.
 
 Each worker process aggregates one node's fragment (phase 1); the parent
 merges the partial states (phase 2).  This demonstrates the library's
 partial-aggregate states compose across *real* process boundaries — the
 states are picklable by construction — while the simulator remains the
 source of timing results (see DESIGN.md on the GIL/1-core substitution).
+
+Dispatch is per-job (one worker process per fragment attempt, at most
+``processes`` in flight) rather than a bare ``pool.map``, so the parent
+can detect a worker that raises, dies, or exceeds ``timeout`` seconds and
+retry that one fragment up to ``max_retries`` times.  A fragment that
+still fails raises :class:`FragmentFailedError` carrying the partial
+progress (every fragment that *did* complete) — the executor never hangs
+on a dead or wedged worker.
 
 ``processes=0`` (the default) sizes the pool to the fragment count but
 falls back to in-process execution when the host has a single CPU, so the
@@ -15,10 +23,40 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
+from collections import deque
+from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
 from repro.storage.relation import DistributedRelation
+
+_JOIN_GRACE_SECONDS = 5.0
+
+
+class FragmentFailedError(RuntimeError):
+    """One fragment's phase-1 job failed after exhausting its retries.
+
+    ``partial_results`` maps fragment index to the completed partial
+    lists, so a caller can salvage finished work or re-dispatch only the
+    failed fragment.
+    """
+
+    def __init__(
+        self,
+        fragment_index: int,
+        attempts: int,
+        cause: str,
+        partial_results: dict[int, list],
+    ) -> None:
+        super().__init__(
+            f"fragment {fragment_index} failed after {attempts} "
+            f"attempt(s): {cause}"
+        )
+        self.fragment_index = fragment_index
+        self.attempts = attempts
+        self.cause = cause
+        self.partial_results = partial_results
 
 
 def _local_phase(args) -> list[tuple[tuple, GroupState]]:
@@ -38,12 +76,168 @@ def _local_phase(args) -> list[tuple[tuple, GroupState]]:
     return list(table.items())
 
 
+def _child_main(fn, job, conn) -> None:
+    """Worker entry: run the phase and report ("ok"|"error", payload)."""
+    try:
+        result = fn(job)
+    except BaseException as exc:  # report, don't let the child hang
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        finally:
+            conn.close()
+        return
+    conn.send(("ok", result))
+    conn.close()
+
+
+class _Attempt:
+    __slots__ = ("index", "attempt", "proc", "conn", "deadline")
+
+    def __init__(self, index, attempt, proc, conn, deadline) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.proc = proc
+        self.conn = conn
+        self.deadline = deadline
+
+
+def _reap(attempt: _Attempt) -> None:
+    attempt.conn.close()
+    attempt.proc.join(_JOIN_GRACE_SECONDS)
+    if attempt.proc.is_alive():  # pragma: no cover - stuck after close
+        attempt.proc.terminate()
+        attempt.proc.join(_JOIN_GRACE_SECONDS)
+
+
+def _run_jobs_in_processes(
+    fn,
+    jobs: list,
+    processes: int,
+    max_retries: int,
+    timeout: float | None,
+) -> dict[int, list]:
+    """Run every job in its own worker; returns index -> result.
+
+    Detects raised exceptions, dead workers (closed pipe without a
+    result), and per-attempt timeouts; each failed job is retried in a
+    fresh process up to ``max_retries`` times before
+    :class:`FragmentFailedError` aborts the run.
+    """
+    ctx = multiprocessing.get_context()
+    pending: deque[tuple[int, int]] = deque((i, 0) for i in range(len(jobs)))
+    running: dict[object, _Attempt] = {}
+    completed: dict[int, list] = {}
+
+    def launch(index: int, attempt: int) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        proc = ctx.Process(
+            target=_child_main,
+            args=(fn, jobs[index], send_conn),
+            daemon=True,
+        )
+        proc.start()
+        send_conn.close()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        running[recv_conn] = _Attempt(index, attempt, proc, recv_conn,
+                                      deadline)
+
+    def fail_or_retry(attempt: _Attempt, cause: str) -> None:
+        if attempt.attempt + 1 > max_retries:
+            raise FragmentFailedError(
+                attempt.index, attempt.attempt + 1, cause, dict(completed)
+            )
+        pending.append((attempt.index, attempt.attempt + 1))
+
+    try:
+        while running or pending:
+            while pending and len(running) < processes:
+                launch(*pending.popleft())
+            next_deadline = min(
+                (a.deadline for a in running.values()
+                 if a.deadline is not None),
+                default=None,
+            )
+            wait_for = (
+                None if next_deadline is None
+                else max(0.0, next_deadline - time.monotonic())
+            )
+            ready = _connection_wait(list(running), timeout=wait_for)
+            for conn in ready:
+                attempt = running.pop(conn)
+                try:
+                    status, payload = conn.recv()
+                except (EOFError, OSError):
+                    status = "error"
+                    payload = (
+                        "worker died without a result "
+                        f"(exitcode={attempt.proc.exitcode})"
+                    )
+                _reap(attempt)
+                if status == "ok":
+                    completed[attempt.index] = payload
+                else:
+                    fail_or_retry(attempt, payload)
+            now = time.monotonic()
+            for conn, attempt in list(running.items()):
+                if attempt.deadline is not None and now >= attempt.deadline:
+                    del running[conn]
+                    attempt.proc.terminate()
+                    _reap(attempt)
+                    fail_or_retry(
+                        attempt, f"timed out after {timeout:g}s"
+                    )
+    finally:
+        for attempt in running.values():
+            attempt.proc.terminate()
+            _reap(attempt)
+    return completed
+
+
+def _run_jobs_in_process(
+    fn, jobs: list, max_retries: int
+) -> dict[int, list]:
+    """The single-CPU path: same retry semantics, no processes."""
+    completed: dict[int, list] = {}
+    for index, job in enumerate(jobs):
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                completed[index] = fn(job)
+                break
+            except Exception as exc:
+                if attempts > max_retries:
+                    raise FragmentFailedError(
+                        index,
+                        attempts,
+                        f"{type(exc).__name__}: {exc}",
+                        dict(completed),
+                    ) from exc
+    return completed
+
+
 def multiprocessing_aggregate(
     dist: DistributedRelation,
     query: AggregateQuery,
     processes: int = 0,
+    *,
+    max_retries: int = 2,
+    timeout: float | None = None,
+    phase_fn=None,
 ) -> list[tuple]:
-    """Two Phase over real processes; returns sorted result rows."""
+    """Two Phase over real processes; returns sorted result rows.
+
+    ``timeout`` bounds each worker attempt in wall-clock seconds
+    (process dispatch only — the in-process fallback cannot preempt
+    itself); ``max_retries`` bounds re-dispatches per fragment;
+    ``phase_fn`` substitutes the phase-1 worker function (picklable —
+    used by the fault-injection tests).
+    """
+    if max_retries < 0:
+        raise ValueError("max_retries must be non-negative")
+    if timeout is not None and timeout <= 0:
+        raise ValueError("timeout must be positive")
+    fn = _local_phase if phase_fn is None else phase_fn
     jobs = [
         (frag.relation.rows, query, dist.schema) for frag in dist.fragments
     ]
@@ -51,19 +245,23 @@ def multiprocessing_aggregate(
     if processes == 0:
         processes = min(len(jobs), cpu_count)
     if processes <= 1:
-        partial_lists = [_local_phase(job) for job in jobs]
+        completed = _run_jobs_in_process(fn, jobs, max_retries)
     else:
-        with multiprocessing.Pool(processes) as pool:
-            partial_lists = pool.map(_local_phase, jobs)
+        completed = _run_jobs_in_processes(
+            fn, jobs, processes, max_retries, timeout
+        )
 
     bq = query.bind(dist.schema)
+    # Merge into states owned by this function: never mutate (or shallow-
+    # copy) the pooled partials, so re-running over the same inputs can
+    # never see aliased state from an earlier merge.
     merged: dict[tuple, GroupState] = {}
-    for partials in partial_lists:
-        for key, state in partials:
+    for index in range(len(jobs)):
+        for key, state in completed[index]:
             mine = merged.get(key)
             if mine is None:
-                merged[key] = state.copy()
-            else:
-                mine.merge(state)
+                mine = GroupState(query.aggregates)
+                merged[key] = mine
+            mine.merge(state)
     rows = (bq.result_row(key, state) for key, state in merged.items())
     return sorted(row for row in rows if bq.passes_having(row))

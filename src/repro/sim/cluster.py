@@ -44,6 +44,7 @@ class Cluster:
         program_factories,
         record_timeline: bool = False,
         node_speed_factors=None,
+        faults=None,
     ) -> RunResult:
         factories = list(program_factories)
         if len(factories) != self.params.num_nodes:
@@ -57,6 +58,7 @@ class Cluster:
             network,
             record_timeline=record_timeline,
             node_speed_factors=node_speed_factors,
+            faults=faults,
         )
         contexts = [
             NodeContext(i, self.params.num_nodes, self.params, engine)

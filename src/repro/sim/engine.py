@@ -15,6 +15,19 @@ Zero-byte messages (control traffic such as ``end_of_phase`` and ``eof``)
 are free and arrive instantly — the paper piggy-backs them on data
 messages.  A send to the local node bypasses both the network and the
 protocol cost.
+
+Fault injection (``faults`` = a :class:`~repro.sim.faults.FaultRuntime`)
+is layered on at the request boundaries: crashes terminate a node's
+program at its next request past the trigger, lost data blocks are
+retransmitted by a reliable transport (ack timeout + bounded exponential
+backoff, delaying delivery and occupying the network per attempt),
+duplicate deliveries are suppressed by transport sequence numbers, and
+transient disk-read errors re-issue the read once.  When any node has
+crashed by the time the event heap drains, the engine raises
+:class:`~repro.sim.faults.NodeCrashedError` carrying the attempt's partial
+metrics so the recovery layer can re-execute the lost work.  With
+``faults=None`` every check short-circuits and the simulation is
+bit-identical to the fault-free engine.
 """
 
 from __future__ import annotations
@@ -34,12 +47,14 @@ from repro.sim.events import (
     TryRecv,
     WritePages,
 )
+from repro.sim.faults import NodeCrashedError
 from repro.sim.metrics import ClusterMetrics, NodeMetrics
 from repro.sim.network import make_network
 
 _RUNNING = "running"
 _PARKED = "parked"
 _DONE = "done"
+_CRASHED = "crashed"
 
 
 class DeadlockError(RuntimeError):
@@ -61,6 +76,7 @@ class _NodeState:
     waiting_epoch: int = 0
     result: object = None
     metrics: NodeMetrics = None
+    crash_pending: bool = False
 
     def matching(self, kind: str | None):
         """Mailbox entries whose message kind matches ``kind``."""
@@ -81,10 +97,15 @@ class Engine:
         record_timeline: bool = False,
         max_events: int = 50_000_000,
         node_speed_factors=None,
+        faults=None,
     ) -> None:
         self.params = params
         self.network = network if network is not None else make_network(params)
         self.record_timeline = record_timeline
+        # Optional FaultRuntime (see repro.sim.faults); None = perfect
+        # cluster, and every fault check below short-circuits.
+        self.faults = faults
+        self.crashed: dict[int, float] = {}
         # A backstop against node programs that send/poll in an infinite
         # loop: far above any legitimate run, but finite.
         self.max_events = max_events
@@ -120,6 +141,13 @@ class Engine:
         self.timelines = [[] for _ in self._nodes]
         for st in self._nodes:
             self._push(0.0, "resume", st.node_id, None)
+        if self.faults is not None:
+            # Proactive wake-ups so a timed crash fires even on a node
+            # that is idle (parked) when its time comes.
+            for st in self._nodes:
+                crash_at = self.faults.crash_time(st.node_id)
+                if crash_at is not None:
+                    self._push(crash_at, "crashcheck", st.node_id, None)
         processed = 0
         while self._heap:
             processed += 1
@@ -130,7 +158,7 @@ class Engine:
                 )
             time, _seq, action, node_id, payload = heapq.heappop(self._heap)
             st = self._nodes[node_id]
-            if st.status == _DONE:
+            if st.status in (_DONE, _CRASHED):
                 continue
             if action == "resume":
                 self._advance(st, payload, time)
@@ -140,8 +168,22 @@ class Engine:
                 self._handle_recv(st, payload, time)
             elif action == "tryrecv":
                 self._handle_tryrecv(st, payload, time)
+            elif action == "crashcheck":
+                self._handle_crashcheck(st, time)
             else:  # pragma: no cover - internal invariant
                 raise SimulationError(f"unknown action {action!r}")
+        if self.crashed:
+            # Survivors may be parked mid-protocol waiting on the dead
+            # node; close their accounting at their last activity so the
+            # recovery layer can merge this attempt's partial work.
+            for st in self._nodes:
+                if st.status not in (_DONE, _CRASHED):
+                    st.metrics.finish_time = max(
+                        st.metrics.finish_time, st.clock
+                    )
+            raise NodeCrashedError(
+                dict(self.crashed), self._collect_metrics(), self.trace
+            )
         stuck = [st.node_id for st in self._nodes if st.status != _DONE]
         if stuck:
             kinds = {
@@ -152,12 +194,14 @@ class Engine:
             raise DeadlockError(
                 f"nodes {stuck} never finished; parked waiting on {kinds}"
             )
-        metrics = ClusterMetrics(
+        return [st.result for st in self._nodes], self._collect_metrics()
+
+    def _collect_metrics(self) -> ClusterMetrics:
+        return ClusterMetrics(
             nodes=[st.metrics for st in self._nodes],
             network_busy_seconds=self.network.busy_seconds,
             network_blocks=self.network.blocks_carried,
         )
-        return [st.result for st in self._nodes], metrics
 
     def log(self, node_id: int, what: str, **detail) -> None:
         """Record a trace event at the node's current simulated time."""
@@ -173,6 +217,18 @@ class Engine:
         metrics = self._nodes[node_id].metrics
         if table_entries > metrics.peak_table_entries:
             metrics.peak_table_entries = table_entries
+
+    def record_scanned(self, node_id: int, tuples: int) -> None:
+        """Count fragment tuples scanned; arms tuple-triggered crashes."""
+        st = self._nodes[node_id]
+        st.metrics.tuples_scanned += tuples
+        if self.faults is not None and not st.crash_pending:
+            threshold = self.faults.crash_after_tuples(node_id)
+            if (
+                threshold is not None
+                and st.metrics.tuples_scanned >= threshold
+            ):
+                st.crash_pending = True
 
     def _record_segment(
         self, node_id: int, start: float, end: float, tag: str
@@ -199,12 +255,41 @@ class Engine:
         return math.ceil(nbytes / self.params.block_bytes)
 
     def _node_slowdown(self, node_id: int) -> float:
-        if self.node_speed_factors is None:
-            return 1.0
+        slowdown = 1.0
+        if self.node_speed_factors is not None:
+            try:
+                slowdown = 1.0 / self.node_speed_factors[node_id]
+            except IndexError:
+                pass
+        if self.faults is not None:
+            slowdown *= self.faults.slowdown(node_id)
+        return slowdown
+
+    def _crash(self, st: _NodeState, at: float) -> None:
+        """Terminate a node's program: it is dead from ``at`` onwards."""
+        st.status = _CRASHED
+        st.crash_pending = False
         try:
-            return 1.0 / self.node_speed_factors[node_id]
-        except IndexError:
-            return 1.0
+            st.gen.close()
+        except Exception:  # a mid-yield generator may object; it is dead
+            pass
+        st.mailbox.clear()
+        st.waiting_kind = None
+        st.metrics.finish_time = at
+        st.metrics.crashed = True
+        self.crashed[st.node_id] = at
+        self.faults.note_crash(st.node_id)
+        self.trace.append(
+            TraceEvent(at, st.node_id, "node_crash", {"at": at})
+        )
+
+    def _handle_crashcheck(self, st: _NodeState, time: float) -> None:
+        # The heap is time-ordered, so if the node has not crashed on its
+        # own by now the scheduled time has genuinely arrived.
+        crash_at = self.faults.crash_time(st.node_id)
+        if crash_at is None:  # consumed already (e.g. tuple trigger fired)
+            return
+        self._crash(st, max(crash_at, st.clock))
 
     def _advance(self, st: _NodeState, value, time: float) -> None:
         """Run the node greedily until it hits a shared-resource request."""
@@ -214,7 +299,16 @@ class Engine:
         params = self.params
         metrics = st.metrics
         slowdown = self._node_slowdown(st.node_id)
+        crash_at = (
+            None if self.faults is None
+            else self.faults.crash_time(st.node_id)
+        )
         while True:
+            if st.crash_pending or (
+                crash_at is not None and st.clock >= crash_at
+            ):
+                self._crash(st, st.clock)
+                return
             try:
                 req = gen.send(value)
             except StopIteration as stop:
@@ -237,6 +331,16 @@ class Engine:
                     else params.io_seconds
                 )
                 seconds = req.pages * per_page * slowdown
+                if (
+                    self.faults is not None
+                    and req.pages > 0
+                    and self.faults.read_error(st.node_id)
+                ):
+                    # Transient read failure: the request is re-issued
+                    # once, doubling its latency.
+                    metrics.retries += 1
+                    metrics.add_tagged("fault_io_retry", seconds)
+                    seconds *= 2
                 start = st.clock
                 st.clock += seconds
                 metrics.io_read_seconds += seconds
@@ -280,6 +384,7 @@ class Engine:
         metrics.messages_sent += 1
         metrics.blocks_sent += blocks
         metrics.bytes_sent += msg.nbytes
+        faults = self.faults
         if msg.dst == msg.src:
             delivery = st.clock
         else:
@@ -287,11 +392,37 @@ class Engine:
             st.clock += protocol
             metrics.cpu_seconds += protocol
             metrics.add_tagged("send_protocol", protocol)
-            delivery = self.network.transfer(st.clock, blocks)
+            send_at = st.clock
+            if faults is not None and blocks > 0:
+                # Reliable transport over a lossy link: each dropped
+                # transmission occupies the network, costs the sender an
+                # ack timeout plus backoff, and is retried; delivery is
+                # delayed but guaranteed.  (Zero-byte control messages
+                # are piggy-backed and exempt.)
+                drops = faults.message_drops(st.node_id)
+                for attempt in range(drops):
+                    self.network.transfer(send_at, blocks)
+                    wait = faults.retry_delay(attempt)
+                    send_at += wait
+                    metrics.retries += 1
+                    metrics.timeouts += 1
+                    metrics.add_tagged("retransmit_wait", wait)
+            delivery = self.network.transfer(send_at, blocks)
         channel = (msg.src, msg.dst)
         delivery = max(delivery, self._channel_last.get(channel, 0.0))
         self._channel_last[channel] = delivery
         dst = self._nodes[msg.dst]
+        if faults is not None and blocks > 0 and msg.dst != msg.src:
+            if faults.duplicate(st.node_id):
+                # The duplicate copy burns network time; the receiving
+                # transport drops it by sequence number.
+                self.network.transfer(delivery, blocks)
+                dst.metrics.duplicates_dropped += 1
+        if dst.status == _CRASHED:
+            # Sent into the void: the sender paid for the transfer, but
+            # nothing arrives and nobody wakes.
+            self._advance(st, None, st.clock)
+            return
         self._seq += 1
         heapq.heappush(dst.mailbox, (delivery, self._seq, msg))
         if dst.status == _PARKED and (

@@ -1,0 +1,294 @@
+"""Deterministic fault injection for the cluster simulator.
+
+A :class:`FaultPlan` describes everything that can go wrong during a
+simulated run: node crashes (at a simulated time or after a number of
+scanned tuples), stragglers (per-node CPU/disk slowdown multipliers),
+message loss and duplication on the interconnect, and transient disk-read
+errors.  The plan is pure data — seedable, immutable, reusable — and is
+attached to a run via ``SimConfig(faults=plan)``; every algorithm runs
+unchanged under it.
+
+The engine never consults the plan directly.  ``plan.start()`` yields a
+:class:`FaultSchedule` (the mutable per-query state: which crashes have
+already fired across recovery attempts), and ``schedule.runtime(node_ids)``
+yields the :class:`FaultRuntime` one simulation attempt uses.  The runtime
+maps the attempt's dense node indices back to the original node ids, so a
+straggler keeps straggling and a consumed crash stays consumed after the
+cluster shrinks around a failure.
+
+Determinism: every random draw comes from per-node ``random.Random``
+streams seeded from ``(plan.seed, original node id, stream)``.  The engine
+itself is deterministic, so the draws are consumed in a deterministic
+order and a given (workload, parameters, plan) triple always produces the
+same crashes, the same retransmissions, and byte-identical metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+
+class FaultConfigError(ValueError):
+    """A FaultPlan field is out of range or self-contradictory."""
+
+
+class NodeCrashedError(RuntimeError):
+    """One or more nodes crashed; the attempt's partial state is attached.
+
+    Raised by the engine once the event heap drains with crashed nodes
+    present.  ``crashed`` maps the attempt's node index to the simulated
+    crash time; ``metrics`` and ``trace`` carry the work the attempt
+    performed up to that point so recovery can account for it.
+    """
+
+    def __init__(self, crashed: dict[int, float], metrics, trace) -> None:
+        nodes = sorted(crashed)
+        super().__init__(
+            f"node(s) {nodes} crashed at "
+            f"{[round(crashed[n], 6) for n in nodes]}"
+        )
+        self.crashed = dict(crashed)
+        self.metrics = metrics
+        self.trace = trace
+
+
+class ClusterLostError(RuntimeError):
+    """Recovery is impossible: every node crashed (or retries exhausted)."""
+
+
+@dataclass(frozen=True)
+class CrashFault:
+    """Kill ``node_id`` at ``at_time`` or after ``after_tuples`` scanned.
+
+    Exactly one trigger must be given.  ``after_tuples`` counts tuples the
+    node scans off its fragment (the ``tuples_scanned`` metric), which
+    pins the crash inside phase 1 regardless of timing details.  A crash
+    scheduled after the node would naturally finish never fires.
+    """
+
+    node_id: int
+    at_time: float | None = None
+    after_tuples: int | None = None
+
+    def __post_init__(self) -> None:
+        if (self.at_time is None) == (self.after_tuples is None):
+            raise FaultConfigError(
+                "a CrashFault needs exactly one of at_time/after_tuples"
+            )
+        if self.at_time is not None and self.at_time < 0:
+            raise FaultConfigError("at_time must be non-negative")
+        if self.after_tuples is not None and self.after_tuples < 1:
+            raise FaultConfigError("after_tuples must be at least 1")
+
+
+@dataclass(frozen=True)
+class Straggler:
+    """Run ``node_id``'s CPU and disk ``slowdown`` times slower."""
+
+    node_id: int
+    slowdown: float
+
+    def __post_init__(self) -> None:
+        if self.slowdown < 1.0:
+            raise FaultConfigError(
+                "slowdown must be >= 1 (it multiplies durations)"
+            )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Everything injected into one simulated run (immutable, seedable).
+
+    Attributes
+    ----------
+    seed:
+        Seeds every probabilistic draw (message loss/duplication, disk
+        errors).  Same plan + same workload = identical runs.
+    crashes:
+        :class:`CrashFault` entries; each fires at most once per query,
+        even across recovery attempts.
+    stragglers:
+        :class:`Straggler` entries; persist across recovery attempts.
+    message_loss:
+        Per-transmission drop probability for data messages.  Lost blocks
+        are retransmitted by the reliable transport (ack timeout +
+        bounded exponential backoff), so delivery is delayed, never
+        abandoned; zero-byte control messages are piggy-backed and exempt.
+    message_duplication:
+        Probability a delivered data message arrives twice; the duplicate
+        is suppressed by the transport's sequence numbers (counted in
+        ``duplicates_dropped``) but still occupies the network.
+    read_error_rate:
+        Per-request probability a disk read fails transiently and is
+        re-issued once (doubling that request's latency).
+    ack_timeout:
+        Seconds the transport waits for an ack before retransmitting.
+    backoff:
+        Multiplier applied to the retransmission delay per attempt.
+    max_backoff:
+        Upper bound on any single retransmission delay.
+    max_send_retries:
+        Cap on retransmissions per message; the draw is truncated there,
+        so delivery is guaranteed within a bounded delay.
+    detection_timeout:
+        Heartbeat timeout: seconds after a crash before the survivors
+        declare the node dead and recovery starts.
+    max_recovery_attempts:
+        Cap on restart attempts before giving up with ClusterLostError.
+    """
+
+    seed: int = 0
+    crashes: tuple[CrashFault, ...] = ()
+    stragglers: tuple[Straggler, ...] = ()
+    message_loss: float = 0.0
+    message_duplication: float = 0.0
+    read_error_rate: float = 0.0
+    ack_timeout: float = 0.01
+    backoff: float = 2.0
+    max_backoff: float = 0.25
+    max_send_retries: int = 12
+    detection_timeout: float = 0.05
+    max_recovery_attempts: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("message_loss", "message_duplication",
+                     "read_error_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value < 1.0:
+                raise FaultConfigError(f"{name} must be in [0, 1)")
+        if self.ack_timeout <= 0:
+            raise FaultConfigError("ack_timeout must be positive")
+        if self.backoff < 1.0:
+            raise FaultConfigError("backoff must be >= 1")
+        if self.max_backoff < self.ack_timeout:
+            raise FaultConfigError("max_backoff must be >= ack_timeout")
+        if self.max_send_retries < 1:
+            raise FaultConfigError("max_send_retries must be at least 1")
+        if self.detection_timeout < 0:
+            raise FaultConfigError("detection_timeout must be non-negative")
+        if self.max_recovery_attempts < 1:
+            raise FaultConfigError("max_recovery_attempts must be >= 1")
+        seen: set[int] = set()
+        for crash in self.crashes:
+            if crash.node_id in seen:
+                raise FaultConfigError(
+                    f"node {crash.node_id} has more than one CrashFault"
+                )
+            seen.add(crash.node_id)
+
+    @property
+    def active(self) -> bool:
+        """Whether the plan injects anything at all."""
+        return bool(
+            self.crashes
+            or self.stragglers
+            or self.message_loss
+            or self.message_duplication
+            or self.read_error_rate
+        )
+
+    def start(self) -> "FaultSchedule":
+        """The mutable per-query state (crash consumption across attempts)."""
+        return FaultSchedule(self)
+
+
+@dataclass
+class FaultSchedule:
+    """Tracks which one-shot faults already fired during one query."""
+
+    plan: FaultPlan
+    consumed_crashes: set[int] = field(default_factory=set)
+
+    def runtime(self, node_ids: list[int]) -> "FaultRuntime":
+        """The runtime for one attempt over the surviving ``node_ids``."""
+        return FaultRuntime(self, node_ids)
+
+
+def _stream(seed: int, orig_id: int, salt: int) -> random.Random:
+    # Distinct deterministic streams per (plan seed, node, purpose);
+    # plain integer arithmetic so the seed is stable across processes.
+    return random.Random(
+        (seed * 2_654_435_761 + orig_id * 40_503 + salt) % (2**63)
+    )
+
+
+class FaultRuntime:
+    """What the engine consults during one attempt (index-mapped view)."""
+
+    def __init__(self, schedule: FaultSchedule, node_ids: list[int]) -> None:
+        self.schedule = schedule
+        self.plan = schedule.plan
+        self.node_ids = list(node_ids)
+        plan = self.plan
+        self._crash_by_orig = {c.node_id: c for c in plan.crashes}
+        self._slowdown_by_orig = {
+            s.node_id: s.slowdown for s in plan.stragglers
+        }
+        self._net_rng = [
+            _stream(plan.seed, orig, 1) for orig in self.node_ids
+        ]
+        self._disk_rng = [
+            _stream(plan.seed, orig, 2) for orig in self.node_ids
+        ]
+
+    # -- stragglers ---------------------------------------------------------
+
+    def slowdown(self, index: int) -> float:
+        return self._slowdown_by_orig.get(self.node_ids[index], 1.0)
+
+    # -- crashes ------------------------------------------------------------
+
+    def _crash_for(self, index: int) -> CrashFault | None:
+        orig = self.node_ids[index]
+        if orig in self.schedule.consumed_crashes:
+            return None
+        return self._crash_by_orig.get(orig)
+
+    def crash_time(self, index: int) -> float | None:
+        crash = self._crash_for(index)
+        return None if crash is None else crash.at_time
+
+    def crash_after_tuples(self, index: int) -> int | None:
+        crash = self._crash_for(index)
+        return None if crash is None else crash.after_tuples
+
+    def note_crash(self, index: int) -> int:
+        """Mark the node's crash as fired; returns the original node id."""
+        orig = self.node_ids[index]
+        self.schedule.consumed_crashes.add(orig)
+        return orig
+
+    # -- unreliable transport ----------------------------------------------
+
+    def message_drops(self, index: int) -> int:
+        """How many transmissions of this message are lost (bounded)."""
+        if not self.plan.message_loss:
+            return 0
+        rng = self._net_rng[index]
+        drops = 0
+        while (
+            drops < self.plan.max_send_retries
+            and rng.random() < self.plan.message_loss
+        ):
+            drops += 1
+        return drops
+
+    def duplicate(self, index: int) -> bool:
+        if not self.plan.message_duplication:
+            return False
+        return self._net_rng[index].random() < self.plan.message_duplication
+
+    def retry_delay(self, attempt: int) -> float:
+        """Backoff before retransmission number ``attempt`` (bounded)."""
+        return min(
+            self.plan.ack_timeout * (self.plan.backoff**attempt),
+            self.plan.max_backoff,
+        )
+
+    # -- disk ---------------------------------------------------------------
+
+    def read_error(self, index: int) -> bool:
+        if not self.plan.read_error_rate:
+            return False
+        return self._disk_rng[index].random() < self.plan.read_error_rate

@@ -25,6 +25,13 @@ class NodeMetrics:
     groups_output: int = 0
     peak_table_entries: int = 0
     finish_time: float = 0.0
+    # Fault/recovery accounting (all zero on a fault-free run):
+    retries: int = 0
+    timeouts: int = 0
+    duplicates_dropped: int = 0
+    reexecuted_tuples: int = 0
+    degraded_makespan: float = 0.0
+    crashed: bool = False
     tagged_seconds: dict[str, float] = field(default_factory=dict)
 
     def add_tagged(self, tag: str, seconds: float) -> None:
@@ -81,6 +88,27 @@ class ClusterMetrics:
         return sum(n.bytes_sent for n in self.nodes)
 
     @property
+    def total_retries(self) -> int:
+        return sum(n.retries for n in self.nodes)
+
+    @property
+    def total_timeouts(self) -> int:
+        return sum(n.timeouts for n in self.nodes)
+
+    @property
+    def total_reexecuted_tuples(self) -> int:
+        return sum(n.reexecuted_tuples for n in self.nodes)
+
+    @property
+    def crashed_nodes(self) -> list[int]:
+        return [n.node_id for n in self.nodes if n.crashed]
+
+    @property
+    def degraded_makespan(self) -> float:
+        """Finish time under faults (0.0 when the run was fault-free)."""
+        return max((n.degraded_makespan for n in self.nodes), default=0.0)
+
+    @property
     def makespan(self) -> float:
         return max((n.finish_time for n in self.nodes), default=0.0)
 
@@ -104,6 +132,11 @@ class ClusterMetrics:
             "total_messages": self.total_messages,
             "total_bytes_sent": self.total_bytes_sent,
             "total_peak_table_entries": self.total_peak_table_entries,
+            "total_retries": self.total_retries,
+            "total_timeouts": self.total_timeouts,
+            "total_reexecuted_tuples": self.total_reexecuted_tuples,
+            "crashed_nodes": self.crashed_nodes,
+            "degraded_makespan": self.degraded_makespan,
             "skew_ratio": self.skew_ratio(),
             "nodes": [
                 {
@@ -120,6 +153,13 @@ class ClusterMetrics:
                     "bytes_sent": n.bytes_sent,
                     "peak_table_entries": n.peak_table_entries,
                     "finish_time": n.finish_time,
+                    "tuples_scanned": n.tuples_scanned,
+                    "retries": n.retries,
+                    "timeouts": n.timeouts,
+                    "duplicates_dropped": n.duplicates_dropped,
+                    "reexecuted_tuples": n.reexecuted_tuples,
+                    "degraded_makespan": n.degraded_makespan,
+                    "crashed": n.crashed,
                     "tagged_seconds": dict(n.tagged_seconds),
                 }
                 for n in self.nodes

@@ -105,6 +105,11 @@ class NodeContext:
         if self.engine is not None:
             self.engine.record_memory(self.node_id, table_entries)
 
+    def record_scanned(self, tuples: int) -> None:
+        """Count fragment tuples scanned (also arms K-tuple crash faults)."""
+        if self.engine is not None:
+            self.engine.record_scanned(self.node_id, tuples)
+
 
 class BlockedChannel:
     """Per-destination buffering of outgoing items into network blocks.

@@ -1,0 +1,93 @@
+"""Chaos matrix: every algorithm × every fault class stays exact.
+
+The acceptance bar of the fault-injection work: injecting a single-node
+crash mid-phase-1 must leave every algorithm completing with the exact
+sequential-reference answer (modulo float summation order) and with
+``reexecuted_tuples > 0`` on some survivor.  Message loss and
+duplication must never change an answer, only timings.
+"""
+
+import pytest
+
+from repro.core.runner import run_algorithm
+from repro.parallel import reference_aggregate
+from repro.sim.faults import CrashFault, FaultPlan, Straggler
+
+from tests.conftest import assert_rows_close
+
+ALGORITHMS = (
+    "centralized_two_phase",
+    "two_phase",
+    "repartitioning",
+    "sampling",
+    "adaptive_two_phase",
+    "adaptive_repartitioning",
+    "optimized_two_phase",
+    "streaming_pre_aggregation",
+)
+
+SCENARIOS = {
+    "lossy_network": FaultPlan(seed=1, message_loss=0.15,
+                               message_duplication=0.05),
+    "node_crash": FaultPlan(seed=2,
+                            crashes=(CrashFault(2, after_tuples=200),)),
+    "crash_on_lossy_network": FaultPlan(
+        seed=3,
+        crashes=(CrashFault(2, after_tuples=200),),
+        message_loss=0.1,
+        read_error_rate=0.05,
+    ),
+    "full_chaos": FaultPlan(
+        seed=4,
+        crashes=(CrashFault(1, after_tuples=300),),
+        stragglers=(Straggler(3, 2.0),),
+        message_loss=0.1,
+        message_duplication=0.05,
+        read_error_rate=0.05,
+    ),
+}
+
+
+@pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_algorithm_survives_scenario(
+    algorithm, scenario, small_dist, sum_query
+):
+    plan = SCENARIOS[scenario]
+    expected = reference_aggregate(small_dist, sum_query)
+    out = run_algorithm(algorithm, small_dist, sum_query, faults=plan)
+    assert_rows_close(out.rows, expected)
+    if plan.crashes:
+        crashed = [c.node_id for c in plan.crashes]
+        assert out.metrics.crashed_nodes == crashed
+        assert out.metrics.total_reexecuted_tuples > 0
+        # The dead node's fragment was re-read by a survivor.
+        takeovers = out.events_named("takeover")
+        assert len(takeovers) == len(crashed)
+
+
+@pytest.mark.parametrize(
+    "algorithm", ("centralized_two_phase", "sampling")
+)
+def test_coordinator_crash_fails_over(algorithm, small_dist, sum_query):
+    """Killing node 0 — the coordinator — hands the role to a survivor."""
+    expected = reference_aggregate(small_dist, sum_query)
+    plan = FaultPlan(crashes=(CrashFault(0, after_tuples=150),))
+    out = run_algorithm(algorithm, small_dist, sum_query, faults=plan)
+    assert_rows_close(out.rows, expected)
+    assert out.metrics.crashed_nodes == [0]
+    failovers = out.events_named("coordinator_failover")
+    assert len(failovers) == 1
+    assert failovers[0].detail["old"] == 0
+    assert failovers[0].detail["new"] != 0
+
+
+def test_full_query_survives_crash(small_dist, full_query):
+    """All six aggregate functions stay exact through a recovery."""
+    expected = reference_aggregate(small_dist, full_query)
+    plan = FaultPlan(crashes=(CrashFault(3, after_tuples=250),))
+    out = run_algorithm(
+        "two_phase", small_dist, full_query, faults=plan
+    )
+    assert_rows_close(out.rows, expected)
+    assert out.metrics.total_reexecuted_tuples > 0
