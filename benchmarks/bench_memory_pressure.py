@@ -1,0 +1,25 @@
+"""Memory-pressure sweep: shrinking byte budgets cost makespan and spill.
+
+Shape assertions: every algorithm degrades monotonically as the budget
+shrinks (spilled bytes take the place of resident partials), the
+tightest budget spills strictly more than the most generous one, and
+every governed run reports real pressure — the ladder is exercised, not
+skated past.
+"""
+
+from conftest import report
+
+from repro.bench.memory_pressure import CONTENDERS, budget_sweep
+
+
+def test_budget_sweep(benchmark):
+    result = benchmark.pedantic(budget_sweep, rounds=1, iterations=1)
+    report(result)
+    # Rows go from the most generous budget (fraction 1.0) to the
+    # tightest (0.1), so both series must rise down the column.
+    for name in CONTENDERS:
+        makespan = result.column(name)
+        assert all(a < b for a, b in zip(makespan, makespan[1:]))
+        spill = result.column(f"{name}_spill_kb")
+        assert spill[-1] > spill[0]
+        assert all(kb > 0 for kb in spill)

@@ -13,7 +13,7 @@ Run:  python examples/reproduce_all.py        (~2-4 minutes)
 import sys
 import time
 
-from repro.bench import degraded, figures
+from repro.bench import degraded, figures, memory_pressure
 from repro.bench.harness import format_table, write_results
 from repro.bench.plotting import render_chart
 
@@ -33,6 +33,7 @@ SIMULATED = [
     ("skew_input", figures.input_skew_study),
     ("degraded_straggler", degraded.straggler_sweep),
     ("degraded_crash", degraded.crash_sweep),
+    ("memory_pressure", memory_pressure.budget_sweep),
 ]
 
 

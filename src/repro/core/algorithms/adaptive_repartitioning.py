@@ -52,7 +52,9 @@ def adaptive_repartitioning_body(
     switch_groups = _switch_groups(ctx, cfg)
     init_seg = _init_seg(ctx, cfg, switch_groups)
     dst_of = merge_destination(ctx)
-    raw_chan = BlockedChannel(ctx, RAW, raw_item_bytes(bq))
+    raw_chan = BlockedChannel(
+        ctx, RAW, raw_item_bytes(bq), operator="repart_buffer"
+    )
 
     seen_keys: set = set()
     tuples_seen = 0

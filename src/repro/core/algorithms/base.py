@@ -18,6 +18,7 @@ from repro.core.aggregates import make_state_factory
 from repro.core.hashtable import HashAggregator
 from repro.core.query import BoundQuery
 from repro.core.sortagg import SortAggregator
+from repro.resources.governor import MemoryPolicy
 from repro.sim.faults import FaultPlan
 from repro.sim.node import BlockedChannel, NodeContext
 from repro.storage.hashing import bucket_of
@@ -70,6 +71,14 @@ class SimConfig:
         into the run; the runner then executes with crash recovery
         (see ``repro.sim.recovery``).  ``None`` (the default) keeps the
         perfect-cluster fast path, bit-identical to the pre-fault engine.
+    memory:
+        A :class:`~repro.resources.MemoryPolicy` putting every node
+        under a byte budget enforced by the memory governor: hash/sort
+        tables, repartition buffers and mailboxes charge a per-node
+        ledger, and pressure walks the degradation ladder
+        (backpressure → spill → algorithm switch; see docs/memory.md).
+        ``None`` (the default) keeps runs bit-identical to ungoverned
+        behavior.
     """
 
     pipeline: bool = False
@@ -82,6 +91,7 @@ class SimConfig:
     local_method: str = "hash"
     estimator: str = "lower_bound"
     faults: FaultPlan | None = None
+    memory: MemoryPolicy | None = None
 
     def __post_init__(self) -> None:
         if self.local_method not in ("hash", "sort"):
@@ -153,15 +163,32 @@ def make_aggregator(
     fanout: int,
     spill: SpillCharges,
     method: str = "hash",
+    ledger=None,
+    operator: str | None = None,
+    item_bytes: int = 0,
 ):
-    """The node's bounded aggregation engine (hash or sort)."""
+    """The node's bounded aggregation engine (hash or sort).
+
+    With a governor ``ledger`` the engine opens an ``operator`` account,
+    its allocation is capped to what the node budget can hold
+    (``ledger.cap_entries``), and resident entries are charged at
+    ``item_bytes`` each; without one, behavior is unchanged.
+    """
     factory = make_state_factory(bq.query.aggregates)
+    account = None
+    if ledger is not None:
+        if item_bytes <= 0:
+            item_bytes = ledger.policy.entry_bytes
+        account = ledger.open(operator or "agg_table")
+        max_entries = ledger.cap_entries(max_entries)
     if method == "sort":
         return SortAggregator(
             factory,
             max_entries,
             on_spill_write=spill.on_write,
             on_spill_read=spill.on_read,
+            account=account,
+            entry_bytes=item_bytes,
         )
     return HashAggregator(
         factory,
@@ -169,6 +196,8 @@ def make_aggregator(
         fanout=fanout,
         on_spill_write=spill.on_write,
         on_spill_read=spill.on_read,
+        account=account,
+        entry_bytes=item_bytes,
     )
 
 
@@ -193,7 +222,9 @@ def flush_partials(ctx: NodeContext, bq: BoundQuery, items, dst_of):
     ``items`` is an iterable of (key, GroupState); ``dst_of(key)`` picks
     the destination node.  A generator: yields the cost/send requests.
     """
-    chan = BlockedChannel(ctx, PARTIALS, partial_item_bytes(bq))
+    chan = BlockedChannel(
+        ctx, PARTIALS, partial_item_bytes(bq), operator="partials_buffer"
+    )
     count = 0
     for key, state in items:
         count += 1
@@ -239,6 +270,9 @@ def merge_phase(
             cfg.fanout,
             spill,
             method=cfg.local_method,
+            ledger=ctx.memory,
+            operator="merge_table",
+            item_bytes=partial_item_bytes(bq),
         )
     )
     eofs = 0

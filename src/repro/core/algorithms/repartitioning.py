@@ -31,7 +31,9 @@ def repartition_scan(
 ):
     """Scan the fragment and forward every matching tuple to its merger."""
     dst_of = merge_destination(ctx)
-    chan = BlockedChannel(ctx, RAW, raw_item_bytes(bq))
+    chan = BlockedChannel(
+        ctx, RAW, raw_item_bytes(bq), operator="repart_buffer"
+    )
     for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
         if io is not None:
             yield io

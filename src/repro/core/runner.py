@@ -145,6 +145,7 @@ def run_algorithm(
             lambda ctx, fragment: body(ctx, fragment, bq, config),
             record_timeline=record_timeline,
             node_speed_factors=node_speed_factors,
+            memory=config.memory,
         )
         rows = []
         for node_rows in run.node_results:
@@ -172,6 +173,7 @@ def run_algorithm(
         (make_factory(frag) for frag in dist.fragments),
         record_timeline=record_timeline,
         node_speed_factors=node_speed_factors,
+        memory=config.memory,
     )
     rows: list[tuple] = []
     for node_rows in result.node_results:

@@ -12,11 +12,18 @@ accumulates at most ``max_entries`` items in memory, then emits a sorted
 at finish time.  Like the hash engine, equal keys met while a run is in
 memory are pre-aggregated immediately, so run length is bounded by
 distinct keys, not raw tuples.
+
+Like the hash engine, the sorter registers with the memory governor when
+given an operator ``account``: resident entries are charged per key, a
+denied charge forces an early run emission (the ladder's spill rung),
+and with a ``spill_store`` the emitted runs genuinely leave memory.
 """
 
 from __future__ import annotations
 
 import heapq
+
+from repro.resources.governor import RUNG_SPILL
 
 
 class SortAggregator:
@@ -28,6 +35,11 @@ class SortAggregator:
 
     Keys must be orderable (tuples of ints/strs, as produced by
     BoundQuery.key_of, are).
+
+    ``account``/``entry_bytes``/``spill_item_bytes`` register the sorter
+    with the memory governor (see :mod:`repro.resources`); a
+    ``spill_store`` (same protocol as the hash aggregator's) holds the
+    emitted runs out of core, one bucket per run.
     """
 
     def __init__(
@@ -36,6 +48,10 @@ class SortAggregator:
         max_entries: int,
         on_spill_write=None,
         on_spill_read=None,
+        account=None,
+        entry_bytes: int = 0,
+        spill_item_bytes: int = 0,
+        spill_store=None,
     ) -> None:
         if max_entries < 1:
             raise ValueError("max_entries must be at least 1")
@@ -43,10 +59,16 @@ class SortAggregator:
         self._max_entries = max_entries
         self._on_spill_write = on_spill_write
         self._on_spill_read = on_spill_read
+        self._account = account
+        self._entry_bytes = entry_bytes
+        self._spill_item_bytes = spill_item_bytes or entry_bytes
+        self._store = spill_store
         self._current: dict = {}
         self._runs: list[list] = []
+        self._run_lengths: list[int] = []
         self.spilled_items = 0
         self.run_count = 0
+        self.governed_runs = 0
 
     @property
     def max_entries(self) -> int:
@@ -64,18 +86,41 @@ class SortAggregator:
         if not self._current:
             return
         run = sorted(self._current.items())
-        self._runs.append(run)
+        if self._store is not None:
+            run_id = self.run_count
+            for item in run:
+                self._store.append(run_id, item)
+        else:
+            self._runs.append(run)
+        self._run_lengths.append(len(run))
         self.run_count += 1
         self.spilled_items += len(run)
         if self._on_spill_write is not None:
             self._on_spill_write(len(run))
+        if self._account is not None:
+            self._account.release(len(run) * self._entry_bytes)
+            self._account.ledger.note_spill(
+                len(run) * self._spill_item_bytes
+            )
         self._current = {}
 
     def _absorb(self, key, state_or_values, is_partial: bool) -> None:
         state = self._current.get(key)
         if state is None:
+            governed = self._account is not None
             if len(self._current) >= self._max_entries:
                 self._emit_run()
+                if governed:
+                    self._account.charge(self._entry_bytes)
+            elif governed and not self._account.try_charge(
+                self._entry_bytes
+            ):
+                # Governor pressure with entries to spare: flush the run
+                # early (ladder rung 2) and force-take the freed bytes.
+                self.governed_runs += 1
+                self._account.ledger.note_rung(RUNG_SPILL)
+                self._emit_run()
+                self._account.charge(self._entry_bytes)
             state = self._state_factory()
             self._current[key] = state
         if is_partial:
@@ -89,18 +134,28 @@ class SortAggregator:
     def add_partial(self, key, partial) -> None:
         self._absorb(key, partial, is_partial=True)
 
+    def _release_current(self) -> None:
+        if self._account is not None:
+            self._account.release(len(self._current) * self._entry_bytes)
+
     def finish(self):
         """Yield (key, state) in key order, merging all spooled runs."""
-        if not self._runs:
+        if not self.run_count:
             # Common case: everything fit — one in-memory sort.
-            yield from sorted(self._current.items())
+            items = sorted(self._current.items())
+            self._release_current()
             self._current = {}
+            yield from items
             return
         self._emit_run()  # flush the tail as a final run
-        runs, self._runs = self._runs, []
-        for run in runs:
-            if self._on_spill_read is not None:
-                self._on_spill_read(len(run))
+        if self._on_spill_read is not None:
+            for length in self._run_lengths:
+                self._on_spill_read(length)
+        self._run_lengths = []
+        if self._store is not None:
+            runs = [self._store.drain(i) for i in range(self.run_count)]
+        else:
+            runs, self._runs = self._runs, []
         merged = heapq.merge(*runs, key=lambda item: item[0])
         pending_key, pending_state = None, None
         for key, state in merged:

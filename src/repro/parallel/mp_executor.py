@@ -29,9 +29,15 @@ from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
+from repro.resources.governor import MemoryExceededError
 from repro.storage.relation import DistributedRelation
 
 _JOIN_GRACE_SECONDS = 5.0
+
+# Accounting for the per-fragment memory budget: one resident group costs
+# roughly its projected attributes plus running-state overhead.
+_ENTRY_OVERHEAD_BYTES = 8
+_MIN_SPILL_ENTRIES = 8
 
 
 class FragmentFailedError(RuntimeError):
@@ -76,6 +82,78 @@ def _local_phase(args) -> list[tuple[tuple, GroupState]]:
     return list(table.items())
 
 
+class _GovernedPhase:
+    """Phase 1 under a byte budget — rung 4 of the degradation ladder.
+
+    Picklable (a plain instance of a module-level class), so it crosses
+    the worker-process boundary like any ``phase_fn``.  First attempt
+    (``spill=False``): aggregate in memory with a watchdog that raises
+    :class:`~repro.resources.MemoryExceededError` — carrying the
+    high-water mark — the moment the table would outgrow the budget.
+    Retry attempts (``spill=True``): rerun out-of-core at the reduced
+    budget, spooling overflow groups through a
+    :class:`~repro.storage.spill.FileSpillStore`, which completes under
+    any budget without losing tuples.
+    """
+
+    def __init__(self, budget_bytes: int, spill: bool) -> None:
+        if budget_bytes < 1:
+            raise ValueError("budget_bytes must be positive")
+        self.budget_bytes = budget_bytes
+        self.spill = spill
+
+    def _entry_bytes(self, bq) -> int:
+        return max(1, bq.projected_bytes) + _ENTRY_OVERHEAD_BYTES
+
+    def __call__(self, job) -> list[tuple[tuple, GroupState]]:
+        rows, query, schema = job
+        bq = query.bind(schema)
+        entry_bytes = self._entry_bytes(bq)
+        if self.spill:
+            return self._spill_phase(rows, query, bq, entry_bytes)
+        return self._watchdog_phase(rows, query, bq, entry_bytes)
+
+    def _watchdog_phase(self, rows, query, bq, entry_bytes):
+        table: dict[tuple, GroupState] = {}
+        for row in rows:
+            if not bq.matches(row):
+                continue
+            key = bq.key_of(row)
+            state = table.get(key)
+            if state is None:
+                used = len(table) * entry_bytes
+                if used + entry_bytes > self.budget_bytes:
+                    raise MemoryExceededError(
+                        "mp_local_phase",
+                        self.budget_bytes,
+                        high_water_bytes=used,
+                        requested_bytes=entry_bytes,
+                    )
+                state = GroupState(query.aggregates)
+                table[key] = state
+            state.update(bq.values_of(row))
+        return list(table.items())
+
+    def _spill_phase(self, rows, query, bq, entry_bytes):
+        from repro.core.hashtable import HashAggregator
+        from repro.storage.spill import FileSpillStore
+
+        max_entries = max(
+            _MIN_SPILL_ENTRIES, self.budget_bytes // entry_bytes
+        )
+        with FileSpillStore() as store:
+            agg = HashAggregator(
+                lambda: GroupState(query.aggregates),
+                max_entries,
+                spill_store=store,
+            )
+            for row in rows:
+                if not bq.matches(row):
+                    continue
+                agg.add_values(bq.key_of(row), bq.values_of(row))
+            return list(agg.finish())
+
+
 def _child_main(fn, job, conn) -> None:
     """Worker entry: run the phase and report ("ok"|"error", payload)."""
     try:
@@ -110,7 +188,7 @@ def _reap(attempt: _Attempt) -> None:
 
 
 def _run_jobs_in_processes(
-    fn,
+    fn_for,
     jobs: list,
     processes: int,
     max_retries: int,
@@ -118,9 +196,11 @@ def _run_jobs_in_processes(
 ) -> dict[int, list]:
     """Run every job in its own worker; returns index -> result.
 
-    Detects raised exceptions, dead workers (closed pipe without a
-    result), and per-attempt timeouts; each failed job is retried in a
-    fresh process up to ``max_retries`` times before
+    ``fn_for(attempt)`` resolves the phase function for a given attempt
+    number — how the memory ladder swaps in a reduced-budget spill phase
+    on retry.  Detects raised exceptions, dead workers (closed pipe
+    without a result), and per-attempt timeouts; each failed job is
+    retried in a fresh process up to ``max_retries`` times before
     :class:`FragmentFailedError` aborts the run.
     """
     ctx = multiprocessing.get_context()
@@ -132,7 +212,7 @@ def _run_jobs_in_processes(
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         proc = ctx.Process(
             target=_child_main,
-            args=(fn, jobs[index], send_conn),
+            args=(fn_for(attempt), jobs[index], send_conn),
             daemon=True,
         )
         proc.start()
@@ -194,7 +274,7 @@ def _run_jobs_in_processes(
 
 
 def _run_jobs_in_process(
-    fn, jobs: list, max_retries: int
+    fn_for, jobs: list, max_retries: int
 ) -> dict[int, list]:
     """The single-CPU path: same retry semantics, no processes."""
     completed: dict[int, list] = {}
@@ -203,7 +283,7 @@ def _run_jobs_in_process(
         while True:
             attempts += 1
             try:
-                completed[index] = fn(job)
+                completed[index] = fn_for(attempts - 1)(job)
                 break
             except Exception as exc:
                 if attempts > max_retries:
@@ -224,6 +304,7 @@ def multiprocessing_aggregate(
     max_retries: int = 2,
     timeout: float | None = None,
     phase_fn=None,
+    memory_budget_bytes: int | None = None,
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -232,12 +313,38 @@ def multiprocessing_aggregate(
     itself); ``max_retries`` bounds re-dispatches per fragment;
     ``phase_fn`` substitutes the phase-1 worker function (picklable —
     used by the fault-injection tests).
+
+    ``memory_budget_bytes`` puts each fragment's phase-1 table under a
+    byte budget: the first attempt aggregates in memory but raises
+    :class:`~repro.resources.MemoryExceededError` on overrun, and each
+    retry reruns the fragment out-of-core at *half* the previous budget
+    (rung 4 of the degradation ladder) — so an over-budget fragment
+    completes exactly, just slower, instead of failing the run.
+    Mutually exclusive with ``phase_fn``; ``None`` leaves the executor
+    byte-identical to ungoverned behavior.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be non-negative")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
+    if memory_budget_bytes is not None:
+        if phase_fn is not None:
+            raise ValueError(
+                "pass either phase_fn or memory_budget_bytes, not both"
+            )
+        if memory_budget_bytes < 1:
+            raise ValueError("memory_budget_bytes must be positive")
     fn = _local_phase if phase_fn is None else phase_fn
+
+    def fn_for(attempt: int):
+        if memory_budget_bytes is None:
+            return fn
+        if attempt == 0:
+            return _GovernedPhase(memory_budget_bytes, spill=False)
+        return _GovernedPhase(
+            max(1, memory_budget_bytes >> attempt), spill=True
+        )
+
     jobs = [
         (frag.relation.rows, query, dist.schema) for frag in dist.fragments
     ]
@@ -245,10 +352,10 @@ def multiprocessing_aggregate(
     if processes == 0:
         processes = min(len(jobs), cpu_count)
     if processes <= 1:
-        completed = _run_jobs_in_process(fn, jobs, max_retries)
+        completed = _run_jobs_in_process(fn_for, jobs, max_retries)
     else:
         completed = _run_jobs_in_processes(
-            fn, jobs, processes, max_retries, timeout
+            fn_for, jobs, processes, max_retries, timeout
         )
 
     bq = query.bind(dist.schema)

@@ -1,0 +1,35 @@
+"""Resource governance: the cluster-wide memory accounting tree.
+
+See ``docs/memory.md`` for the governor, the budget knobs, and the
+four-rung graceful-degradation ladder.
+"""
+
+from repro.resources.governor import (
+    RUNG_BACKPRESSURE,
+    RUNG_NAMES,
+    RUNG_RETRY,
+    RUNG_SPILL,
+    RUNG_SWITCH,
+    MemoryExceededError,
+    MemoryGovernor,
+    MemoryPolicy,
+    NodeLedger,
+    OperatorAccount,
+    SpillCapacityError,
+    SpillDepthExceededError,
+)
+
+__all__ = [
+    "MemoryExceededError",
+    "MemoryGovernor",
+    "MemoryPolicy",
+    "NodeLedger",
+    "OperatorAccount",
+    "RUNG_BACKPRESSURE",
+    "RUNG_NAMES",
+    "RUNG_RETRY",
+    "RUNG_SPILL",
+    "RUNG_SWITCH",
+    "SpillCapacityError",
+    "SpillDepthExceededError",
+]

@@ -5,6 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.costmodel.params import SystemParameters
+from repro.resources.governor import MemoryGovernor
 from repro.sim.engine import Engine
 from repro.sim.events import TraceEvent
 from repro.sim.metrics import ClusterMetrics
@@ -45,6 +46,7 @@ class Cluster:
         record_timeline: bool = False,
         node_speed_factors=None,
         faults=None,
+        memory=None,
     ) -> RunResult:
         factories = list(program_factories)
         if len(factories) != self.params.num_nodes:
@@ -53,15 +55,27 @@ class Cluster:
                 f"{self.params.num_nodes} nodes"
             )
         network = make_network(self.params)
+        governor = (
+            MemoryGovernor(memory, self.params.num_nodes)
+            if memory is not None
+            else None
+        )
         engine = Engine(
             self.params,
             network,
             record_timeline=record_timeline,
             node_speed_factors=node_speed_factors,
             faults=faults,
+            governor=governor,
         )
         contexts = [
-            NodeContext(i, self.params.num_nodes, self.params, engine)
+            NodeContext(
+                i,
+                self.params.num_nodes,
+                self.params,
+                engine,
+                memory=governor.node(i) if governor is not None else None,
+            )
             for i in range(self.params.num_nodes)
         ]
         generators = [

@@ -16,6 +16,17 @@ are free and arrive instantly — the paper piggy-backs them on data
 messages.  A send to the local node bypasses both the network and the
 protocol cost.
 
+Memory governance (``governor`` = a
+:class:`~repro.resources.MemoryGovernor`) registers each node's mailbox
+with the governor's accounting tree: in-flight message bytes are charged
+to the receiving node's ledger and released when the message is
+consumed.  A send into a mailbox already holding more than the policy's
+mailbox budget stalls the *producer* — the first rung of the
+degradation ladder — for ``stall_seconds`` per block, charged to the
+sender's clock (visible in the makespan) and recorded as
+``mem_stall_seconds``.  With ``governor=None`` every check
+short-circuits and runs are bit-identical to the ungoverned engine.
+
 Fault injection (``faults`` = a :class:`~repro.sim.faults.FaultRuntime`)
 is layered on at the request boundaries: crashes terminate a node's
 program at its next request past the trigger, lost data blocks are
@@ -47,6 +58,7 @@ from repro.sim.events import (
     TryRecv,
     WritePages,
 )
+from repro.resources.governor import RUNG_BACKPRESSURE, RUNG_NAMES
 from repro.sim.faults import NodeCrashedError
 from repro.sim.metrics import ClusterMetrics, NodeMetrics
 from repro.sim.network import make_network
@@ -98,6 +110,7 @@ class Engine:
         max_events: int = 50_000_000,
         node_speed_factors=None,
         faults=None,
+        governor=None,
     ) -> None:
         self.params = params
         self.network = network if network is not None else make_network(params)
@@ -105,6 +118,16 @@ class Engine:
         # Optional FaultRuntime (see repro.sim.faults); None = perfect
         # cluster, and every fault check below short-circuits.
         self.faults = faults
+        # Optional MemoryGovernor (see repro.resources); None = ungoverned,
+        # and every memory check below short-circuits.
+        self.governor = governor
+        if governor is not None:
+            self._mailbox_accounts = [
+                governor.node(i).open("mailbox")
+                for i in range(params.num_nodes)
+            ]
+        else:
+            self._mailbox_accounts = []
         self.crashed: dict[int, float] = {}
         # A backstop against node programs that send/poll in an infinite
         # loop: far above any legitimate run, but finite.
@@ -197,6 +220,18 @@ class Engine:
         return [st.result for st in self._nodes], self._collect_metrics()
 
     def _collect_metrics(self) -> ClusterMetrics:
+        if self.governor is not None:
+            # Fold the governor's ledgers into the per-node accounting so
+            # degraded runs are observable alongside the timing metrics.
+            for st in self._nodes:
+                ledger = self.governor.node(st.node_id)
+                st.metrics.mem_high_water_bytes = ledger.high_water
+                st.metrics.mem_spill_bytes = ledger.spill_bytes
+                st.metrics.mem_stall_seconds = ledger.stall_seconds
+                st.metrics.mem_ladder_rungs = {
+                    RUNG_NAMES[r]: c
+                    for r, c in sorted(ledger.ladder_rungs.items())
+                }
         return ClusterMetrics(
             nodes=[st.metrics for st in self._nodes],
             network_busy_seconds=self.network.busy_seconds,
@@ -274,6 +309,9 @@ class Engine:
         except Exception:  # a mid-yield generator may object; it is dead
             pass
         st.mailbox.clear()
+        if self.governor is not None:
+            # A dead node's mailbox holds nothing; free its charges.
+            self._mailbox_accounts[st.node_id].close()
         st.waiting_kind = None
         st.metrics.finish_time = at
         st.metrics.crashed = True
@@ -392,6 +430,22 @@ class Engine:
             st.clock += protocol
             metrics.cpu_seconds += protocol
             metrics.add_tagged("send_protocol", protocol)
+            if self.governor is not None and blocks > 0:
+                # Rung 1 of the degradation ladder: the receiver's
+                # mailbox is over budget, so the producer stalls before
+                # putting more bytes in flight.
+                policy = self.governor.policy
+                mailbox = self._mailbox_accounts[msg.dst]
+                if (
+                    mailbox.used + msg.nbytes
+                    > policy.effective_mailbox_budget
+                ):
+                    stall = policy.stall_seconds * blocks
+                    st.clock += stall
+                    metrics.add_tagged("mem_stall", stall)
+                    ledger = self.governor.node(st.node_id)
+                    ledger.note_stall(stall)
+                    ledger.note_rung(RUNG_BACKPRESSURE)
             send_at = st.clock
             if faults is not None and blocks > 0:
                 # Reliable transport over a lossy link: each dropped
@@ -423,6 +477,9 @@ class Engine:
             # nothing arrives and nobody wakes.
             self._advance(st, None, st.clock)
             return
+        if self.governor is not None and msg.nbytes > 0 and msg.dst != msg.src:
+            # In-flight bytes live on the receiver until consumed.
+            self._mailbox_accounts[msg.dst].charge(msg.nbytes)
         self._seq += 1
         heapq.heappush(dst.mailbox, (delivery, self._seq, msg))
         if dst.status == _PARKED and (
@@ -441,6 +498,12 @@ class Engine:
         st.mailbox.remove(entry)
         heapq.heapify(st.mailbox)
         delivery, _seq, msg = entry
+        if (
+            self.governor is not None
+            and msg.nbytes > 0
+            and msg.dst != msg.src
+        ):
+            self._mailbox_accounts[msg.dst].release(msg.nbytes)
         st.clock = max(st.clock, delivery)
         if msg.dst != msg.src:
             blocks = self._blocks(msg.nbytes)

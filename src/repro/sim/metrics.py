@@ -32,6 +32,11 @@ class NodeMetrics:
     reexecuted_tuples: int = 0
     degraded_makespan: float = 0.0
     crashed: bool = False
+    # Memory-governor accounting (all zero/empty on ungoverned runs):
+    mem_high_water_bytes: int = 0
+    mem_spill_bytes: int = 0
+    mem_stall_seconds: float = 0.0
+    mem_ladder_rungs: dict[str, int] = field(default_factory=dict)
     tagged_seconds: dict[str, float] = field(default_factory=dict)
 
     def add_tagged(self, tag: str, seconds: float) -> None:
@@ -104,6 +109,27 @@ class ClusterMetrics:
         return [n.node_id for n in self.nodes if n.crashed]
 
     @property
+    def total_mem_spill_bytes(self) -> int:
+        return sum(n.mem_spill_bytes for n in self.nodes)
+
+    @property
+    def total_mem_stall_seconds(self) -> float:
+        return sum(n.mem_stall_seconds for n in self.nodes)
+
+    @property
+    def max_mem_high_water_bytes(self) -> int:
+        return max((n.mem_high_water_bytes for n in self.nodes), default=0)
+
+    @property
+    def mem_ladder_rungs(self) -> dict[str, int]:
+        """Cluster-wide degradation-ladder counters (empty if ungoverned)."""
+        merged: dict[str, int] = {}
+        for n in self.nodes:
+            for rung, count in n.mem_ladder_rungs.items():
+                merged[rung] = merged.get(rung, 0) + count
+        return merged
+
+    @property
     def degraded_makespan(self) -> float:
         """Finish time under faults (0.0 when the run was fault-free)."""
         return max((n.degraded_makespan for n in self.nodes), default=0.0)
@@ -137,6 +163,10 @@ class ClusterMetrics:
             "total_reexecuted_tuples": self.total_reexecuted_tuples,
             "crashed_nodes": self.crashed_nodes,
             "degraded_makespan": self.degraded_makespan,
+            "total_mem_spill_bytes": self.total_mem_spill_bytes,
+            "total_mem_stall_seconds": self.total_mem_stall_seconds,
+            "max_mem_high_water_bytes": self.max_mem_high_water_bytes,
+            "mem_ladder_rungs": self.mem_ladder_rungs,
             "skew_ratio": self.skew_ratio(),
             "nodes": [
                 {
@@ -160,6 +190,10 @@ class ClusterMetrics:
                     "reexecuted_tuples": n.reexecuted_tuples,
                     "degraded_makespan": n.degraded_makespan,
                     "crashed": n.crashed,
+                    "mem_high_water_bytes": n.mem_high_water_bytes,
+                    "mem_spill_bytes": n.mem_spill_bytes,
+                    "mem_stall_seconds": n.mem_stall_seconds,
+                    "mem_ladder_rungs": dict(n.mem_ladder_rungs),
                     "tagged_seconds": dict(n.tagged_seconds),
                 }
                 for n in self.nodes

@@ -56,6 +56,8 @@ _ADDITIVE_FIELDS = (
     "retries",
     "timeouts",
     "duplicates_dropped",
+    "mem_spill_bytes",
+    "mem_stall_seconds",
 )
 
 
@@ -89,6 +91,13 @@ def _merge_attempts(
             acc.peak_table_entries = max(
                 acc.peak_table_entries, nm.peak_table_entries
             )
+            acc.mem_high_water_bytes = max(
+                acc.mem_high_water_bytes, nm.mem_high_water_bytes
+            )
+            for rung, count in nm.mem_ladder_rungs.items():
+                acc.mem_ladder_rungs[rung] = (
+                    acc.mem_ladder_rungs.get(rung, 0) + count
+                )
             # Later attempts overwrite: a node's finish time is where its
             # *last* attempt left it (absolute, detection delays included).
             acc.finish_time = base + nm.finish_time
@@ -114,12 +123,17 @@ def run_resilient(
     program_for,
     record_timeline: bool = False,
     node_speed_factors=None,
+    memory=None,
 ) -> ResilientRun:
     """Run ``program_for(ctx, fragment)`` per node, surviving crashes.
 
     ``fragments`` is the original placement (index == node id);
     ``node_speed_factors`` is indexed by original node id and follows a
-    node's work to wherever it lives after takeover.
+    node's work to wherever it lives after takeover.  ``memory`` is an
+    optional :class:`~repro.resources.MemoryPolicy`: each attempt gets a
+    fresh governor sized to the surviving cluster, so the ladder
+    composes with crash recovery (takeover nodes feel *more* pressure,
+    since they aggregate extra fragments under the same budget).
     """
     num_original = len(fragments)
     if params.num_nodes != num_original:
@@ -176,6 +190,7 @@ def run_resilient(
                 record_timeline=record_timeline,
                 node_speed_factors=speeds,
                 faults=schedule.runtime(node_ids),
+                memory=memory,
             )
         except NodeCrashedError as exc:
             records.append((list(node_ids), exc.metrics, base_time, exc.trace))

@@ -5,6 +5,15 @@ simulator charges their I/O symbolically).  For real out-of-core
 operation, :class:`FileSpillStore` spools bucket items to per-bucket
 files via pickle and streams them back — so the Section 2 algorithm can
 genuinely run with data larger than memory.
+
+Both stores are context managers and ``close()`` is idempotent, so spill
+files never outlive an exception (``with FileSpillStore() as store:``).
+The file store keeps real byte accounting (``bytes_written`` /
+``bytes_read``, totalled across recursion levels at the root), supports
+an optional ``on_bytes`` hook for charging a governor ledger, and
+enforces an optional ``max_bytes`` disk budget — the size guard of the
+degradation ladder's spill rung (the matching recursion-depth guard
+lives in :class:`~repro.core.hashtable.HashAggregator`).
 """
 
 from __future__ import annotations
@@ -13,6 +22,8 @@ import os
 import pickle
 import shutil
 import tempfile
+
+from repro.resources.governor import SpillCapacityError
 
 
 class MemorySpillStore:
@@ -41,6 +52,13 @@ class MemorySpillStore:
     def close(self) -> None:
         self._buckets.clear()
 
+    def __enter__(self) -> "MemorySpillStore":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False
+
 
 class FileSpillStore:
     """Spool bucket items to per-bucket files on disk.
@@ -48,10 +66,23 @@ class FileSpillStore:
     Items are pickled length-prefixed records, appended sequentially —
     the access pattern the cost model's sequential-I/O spill terms
     assume.  ``drain`` streams a bucket back and deletes its file.
+
+    ``max_bytes`` caps the bytes written across the whole store tree
+    (children included); exceeding it raises
+    :class:`~repro.resources.SpillCapacityError`.  ``on_bytes`` is called
+    with each record's size as it is written — the hook a governor
+    ledger's ``note_spill`` plugs into.
     """
 
-    def __init__(self, directory: str | None = None) -> None:
-        self._own_dir = directory is None
+    def __init__(
+        self,
+        directory: str | None = None,
+        max_bytes: int | None = None,
+        on_bytes=None,
+        _root: "FileSpillStore | None" = None,
+    ) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError("max_bytes must be positive")
         self.directory = (
             tempfile.mkdtemp(prefix="repro-spill-")
             if directory is None
@@ -60,18 +91,41 @@ class FileSpillStore:
         os.makedirs(self.directory, exist_ok=True)
         self._counts: dict[int, int] = {}
         self._children = 0
+        self._closed = False
+        self._root = self if _root is None else _root
+        # Per-store byte counters; the root additionally aggregates the
+        # whole tree in total_bytes_written / total_bytes_read.
         self.bytes_written = 0
+        self.bytes_read = 0
+        self.total_bytes_written = 0
+        self.total_bytes_read = 0
+        self.max_bytes = max_bytes
+        self._on_bytes = on_bytes
 
     def _path(self, bucket: int) -> str:
         return os.path.join(self.directory, f"bucket_{bucket}.spill")
 
     def append(self, bucket: int, item) -> None:
+        if self._closed:
+            raise RuntimeError("spill store is closed")
         data = pickle.dumps(item, protocol=pickle.HIGHEST_PROTOCOL)
+        nbytes = len(data) + 4
+        root = self._root
+        if (
+            root.max_bytes is not None
+            and root.total_bytes_written + nbytes > root.max_bytes
+        ):
+            raise SpillCapacityError(
+                root.max_bytes, root.total_bytes_written + nbytes
+            )
         with open(self._path(bucket), "ab") as handle:
             handle.write(len(data).to_bytes(4, "little"))
             handle.write(data)
         self._counts[bucket] = self._counts.get(bucket, 0) + 1
-        self.bytes_written += len(data) + 4
+        self.bytes_written += nbytes
+        root.total_bytes_written += nbytes
+        if root._on_bytes is not None:
+            root._on_bytes(nbytes)
 
     def bucket_ids(self) -> list[int]:
         return sorted(self._counts)
@@ -84,26 +138,46 @@ class FileSpillStore:
         if bucket not in self._counts:
             return
         self._counts.pop(bucket)
+        root = self._root
         with open(path, "rb") as handle:
             while True:
                 header = handle.read(4)
                 if not header:
                     break
                 size = int.from_bytes(header, "little")
+                self.bytes_read += size + 4
+                root.total_bytes_read += size + 4
                 yield pickle.loads(handle.read(size))
         os.remove(path)
 
     def child(self) -> "FileSpillStore":
         """A store in a subdirectory, for one recursion level.
 
-        Children share the parent's lifetime: closing the root (which
-        owns the temp directory) removes every level at once.
+        Children share the root's byte accounting and ``max_bytes``
+        budget, and live inside the root's directory: closing the root
+        removes every level at once (each child's own ``close()`` is
+        also safe and removes just its subtree).
         """
+        if self._closed:
+            raise RuntimeError("spill store is closed")
         self._children += 1
         return FileSpillStore(
-            os.path.join(self.directory, f"level_{self._children}")
+            os.path.join(self.directory, f"level_{self._children}"),
+            _root=self._root,
         )
 
     def close(self) -> None:
-        if self._own_dir and os.path.isdir(self.directory):
+        """Remove this store's directory tree.  Idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        self._counts.clear()
+        if os.path.isdir(self.directory):
             shutil.rmtree(self.directory, ignore_errors=True)
+
+    def __enter__(self) -> "FileSpillStore":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        self.close()
+        return False

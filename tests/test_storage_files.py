@@ -15,6 +15,7 @@ from repro.storage.pagefile import (
 from repro.storage.relation import Relation
 from repro.storage.schema import Column, Schema, default_schema
 from repro.storage.serialization import RowCodec
+from repro.resources import SpillCapacityError
 from repro.storage.spill import FileSpillStore, MemorySpillStore
 
 
@@ -163,6 +164,102 @@ class TestSpillStores:
         child.append(1, "child-item")
         assert list(store.drain(1)) == ["parent-item"]
         assert list(child.drain(1)) == ["child-item"]
+
+
+class TestFileSpillStoreHardening:
+    def test_context_manager_cleans_up(self):
+        with FileSpillStore() as store:
+            store.append(0, "item")
+            directory = store.directory
+            assert os.path.isdir(directory)
+        assert not os.path.isdir(directory)
+
+    def test_cleanup_survives_exceptions(self):
+        """Spill files must not outlive the operator that crashed."""
+        directory = None
+        with pytest.raises(RuntimeError, match="boom"):
+            with FileSpillStore() as store:
+                store.append(0, "item")
+                directory = store.directory
+                raise RuntimeError("boom")
+        assert directory is not None
+        assert not os.path.isdir(directory)
+
+    def test_close_is_idempotent(self):
+        store = FileSpillStore()
+        store.append(0, "item")
+        store.close()
+        store.close()  # second close is a no-op, not an error
+        assert not os.path.isdir(store.directory)
+
+    def test_append_after_close_raises(self):
+        store = FileSpillStore()
+        store.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            store.append(0, "item")
+        with pytest.raises(RuntimeError, match="closed"):
+            store.child()
+
+    def test_closing_root_removes_children(self, tmp_path):
+        store = FileSpillStore(str(tmp_path / "spill"))
+        child = store.child()
+        child.append(0, "item")
+        store.close()
+        assert not os.path.isdir(child.directory)
+
+    def test_byte_accounting_read_back(self):
+        with FileSpillStore() as store:
+            store.append(0, ("v", 1, (1.0,)))
+            store.append(0, ("v", 2, (2.0,)))
+            assert store.bytes_written > 0
+            assert store.bytes_read == 0
+            list(store.drain(0))
+            assert store.bytes_read == store.bytes_written
+
+    def test_children_share_root_totals(self, tmp_path):
+        store = FileSpillStore(str(tmp_path / "spill"))
+        child = store.child()
+        store.append(0, "a")
+        child.append(0, "b")
+        assert store.total_bytes_written == (
+            store.bytes_written + child.bytes_written
+        )
+        store.close()
+
+    def test_max_bytes_guard(self):
+        with FileSpillStore(max_bytes=64) as store:
+            with pytest.raises(SpillCapacityError) as info:
+                for i in range(100):
+                    store.append(0, ("v", i, (float(i),)))
+            assert info.value.max_bytes == 64
+            assert info.value.attempted_bytes > 64
+            # What was written before the guard tripped stays readable.
+            assert store.item_count(0) > 0
+
+    def test_max_bytes_shared_with_children(self, tmp_path):
+        store = FileSpillStore(str(tmp_path / "spill"), max_bytes=64)
+        child = store.child()
+        with pytest.raises(SpillCapacityError):
+            for i in range(100):
+                child.append(0, ("v", i, (float(i),)))
+        store.close()
+
+    def test_max_bytes_validation(self):
+        with pytest.raises(ValueError, match="max_bytes"):
+            FileSpillStore(max_bytes=0)
+
+    def test_on_bytes_hook_fires(self):
+        seen = []
+        with FileSpillStore(on_bytes=seen.append) as store:
+            store.append(0, "item")
+            store.append(1, "item2")
+        assert len(seen) == 2
+        assert sum(seen) == store.total_bytes_written
+
+    def test_memory_store_context_manager(self):
+        with MemorySpillStore() as store:
+            store.append(0, "item")
+        assert store.item_count(0) == 0
 
 
 class TestFileBackedAggregation:
