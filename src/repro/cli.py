@@ -7,6 +7,7 @@ compare  simulate every algorithm on the same workload
 figure   regenerate a paper table/figure (writes results/<name>.csv)
 params   print a parameter preset (Table 1 or the Section 5 cluster)
 plan     ask the optimizer which algorithm to use
+trace    run one algorithm traced; write Chrome/Perfetto trace JSON
 """
 
 from __future__ import annotations
@@ -163,6 +164,50 @@ def _cmd_run(args, out) -> int:
     return 0
 
 
+def _cmd_trace(args, out) -> int:
+    from repro.obs import Tracer
+    from repro.obs.export import write_chrome_trace, write_jsonl
+    from repro.obs.schema import validate_chrome_trace
+    from repro.obs.export import to_chrome_trace
+
+    dist = _build_workload(args)
+    query = _build_query(args)
+    params = default_parameters(
+        dist,
+        network=_NETWORKS[args.network],
+        hash_table_entries=args.table_entries,
+    )
+    tracer = Tracer(operator_spans=not args.no_operator_spans)
+    outcome = run_algorithm(
+        args.algorithm,
+        dist,
+        query,
+        params=params,
+        pipeline=args.pipeline,
+        tracer=tracer,
+    )
+    doc = to_chrome_trace(tracer, process_name=f"repro:{args.algorithm}")
+    problems = validate_chrome_trace(doc)
+    if problems:  # pragma: no cover - exporter bug guard
+        for problem in problems:
+            print(f"schema problem: {problem}", file=out)
+        return 1
+    write_chrome_trace(tracer, args.out, f"repro:{args.algorithm}")
+    print(f"wrote {args.out} (load in ui.perfetto.dev)", file=out)
+    if args.jsonl:
+        write_jsonl(tracer, args.jsonl)
+        print(f"wrote {args.jsonl}", file=out)
+    summary = tracer.summary()
+    print(
+        f"{args.algorithm}: {outcome.elapsed_seconds:.4f}s simulated, "
+        f"{summary['spans']} spans, {summary['instants']} instants",
+        file=out,
+    )
+    for phase_name, seconds in summary["phase_seconds"].items():
+        print(f"  {phase_name:<24} {seconds:9.4f}s", file=out)
+    return 0
+
+
 def _cmd_compare(args, out) -> int:
     dist = _build_workload(args)
     query = _build_query(args)
@@ -239,6 +284,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="print a per-node activity Gantt chart",
     )
     p_run.set_defaults(func=_cmd_run)
+
+    p_trace = sub.add_parser(
+        "trace",
+        help="simulate one algorithm with tracing; write Chrome trace JSON",
+    )
+    p_trace.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), required=True
+    )
+    _add_workload_args(p_trace)
+    p_trace.add_argument(
+        "--out", default="trace.json",
+        help="Chrome trace_event JSON output path (default trace.json)",
+    )
+    p_trace.add_argument(
+        "--jsonl", default=None,
+        help="also write a flat JSONL span log to this path",
+    )
+    p_trace.add_argument(
+        "--no-operator-spans", action="store_true",
+        help="record only query/node/phase spans (smaller traces)",
+    )
+    p_trace.set_defaults(func=_cmd_trace)
 
     p_cmp = sub.add_parser("compare", help="simulate every algorithm")
     _add_workload_args(p_cmp)

@@ -63,62 +63,65 @@ def adaptive_repartitioning_body(
     sent_end_of_phase = False
     leftover_rows: list = []
 
-    for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
-        if io is not None:
-            yield io
-        # Poll for a peer's end-of-phase notice (piggy-backed control).
-        notice = yield ctx.try_recv(END_OF_PHASE)
-        if notice is not None:
-            switching = True
-            ctx.log("end_of_phase_received", from_node=notice.src)
-        if switching:
-            leftover_rows.extend(page_rows)
-            continue
-
-        yield ctx.repart_select_cpu(len(page_rows))
-        for row in page_rows:
-            if not bq.matches(row):
+    with ctx.phase("repartition_scan"):
+        for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
+            if io is not None:
+                yield io
+            # Poll for a peer's end-of-phase notice (piggy-backed control).
+            notice = yield ctx.try_recv(END_OF_PHASE)
+            if notice is not None:
+                switching = True
+                ctx.log("end_of_phase_received", from_node=notice.src)
+            if switching:
+                leftover_rows.extend(page_rows)
                 continue
-            key = bq.key_of(row)
-            tuples_seen += 1
-            if not judged:
-                seen_keys.add(key)
-                if tuples_seen >= init_seg:
-                    judged = True
-                    if len(seen_keys) < switch_groups:
-                        switching = True
-                        ctx.log(
-                            "switch_to_two_phase",
-                            tuples_seen=tuples_seen,
-                            groups_seen=len(seen_keys),
-                        )
-            send = raw_chan.push(dst_of(key), bq.projected_row(row))
-            if send is not None:
-                yield send
+
+            yield ctx.repart_select_cpu(len(page_rows))
+            for row in page_rows:
+                if not bq.matches(row):
+                    continue
+                key = bq.key_of(row)
+                tuples_seen += 1
+                if not judged:
+                    seen_keys.add(key)
+                    if tuples_seen >= init_seg:
+                        judged = True
+                        if len(seen_keys) < switch_groups:
+                            switching = True
+                            ctx.log(
+                                "switch_to_two_phase",
+                                tuples_seen=tuples_seen,
+                                groups_seen=len(seen_keys),
+                            )
+                send = raw_chan.push(dst_of(key), bq.projected_row(row))
+                if send is not None:
+                    yield send
+            if switching and not sent_end_of_phase:
+                sent_end_of_phase = True
+                for dst in range(ctx.num_nodes):
+                    if dst != ctx.node_id:
+                        yield ctx.send(dst, END_OF_PHASE)
+
         if switching and not sent_end_of_phase:
+            # A notice arrived on the very last page: still echo it.
             sent_end_of_phase = True
             for dst in range(ctx.num_nodes):
                 if dst != ctx.node_id:
                     yield ctx.send(dst, END_OF_PHASE)
 
-    if switching and not sent_end_of_phase:
-        # A notice arrived on the very last page: still echo it.
-        sent_end_of_phase = True
-        for dst in range(ctx.num_nodes):
-            if dst != ctx.node_id:
-                yield ctx.send(dst, END_OF_PHASE)
-
-    for send in raw_chan.flush():
-        yield send
+        for send in raw_chan.flush():
+            yield send
 
     if switching and leftover_rows:
         # Process the unscanned remainder with Adaptive Two Phase (it can
         # still fall back to repartitioning if the judgement was wrong).
-        yield from adaptive_scan(
-            ctx, fragment, bq, cfg, rows_override=leftover_rows
-        )
+        with ctx.phase("adaptive_fallback"):
+            yield from adaptive_scan(
+                ctx, fragment, bq, cfg, rows_override=leftover_rows
+            )
     yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

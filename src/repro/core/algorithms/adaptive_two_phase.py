@@ -137,9 +137,11 @@ def adaptive_two_phase_body(
     ctx: NodeContext, fragment: Fragment, bq: BoundQuery, cfg: SimConfig
 ):
     """One node's complete A-2P run; returns its result rows."""
-    yield from adaptive_scan(ctx, fragment, bq, cfg)
-    yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+    with ctx.phase("adaptive_scan"):
+        yield from adaptive_scan(ctx, fragment, bq, cfg)
+        yield from broadcast_eof(ctx)
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

@@ -25,14 +25,17 @@ def centralized_two_phase_body(
     ctx: NodeContext, fragment: Fragment, bq: BoundQuery, cfg: SimConfig
 ):
     """One node's C-2P run; only the coordinator returns rows."""
-    partials = yield from local_aggregation_phase(ctx, fragment, bq, cfg)
-    yield from flush_partials(
-        ctx, bq, partials, dst_of=lambda _key: COORDINATOR
-    )
-    yield from broadcast_eof(ctx, dsts=[COORDINATOR])
+    with ctx.phase("local_aggregation"):
+        partials = yield from local_aggregation_phase(ctx, fragment, bq, cfg)
+    with ctx.phase("flush_partials"):
+        yield from flush_partials(
+            ctx, bq, partials, dst_of=lambda _key: COORDINATOR
+        )
+        yield from broadcast_eof(ctx, dsts=[COORDINATOR])
     if ctx.node_id != COORDINATOR:
         return []
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

@@ -52,39 +52,42 @@ def optimized_two_phase_body(
     )
     forwarded_total = 0
 
-    for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
-        if io is not None:
-            yield io
-        aggregated = 0
-        forwarded = 0
-        for row in page_rows:
-            if not bq.matches(row):
-                continue
-            key = bq.key_of(row)
-            if table.add_values(key, bq.values_of(row)):
-                aggregated += 1
-                continue
-            forwarded += 1
-            send = raw_chan.push(dst_of(key), bq.projected_row(row))
-            if send is not None:
-                yield send
-        yield ctx.select_cpu(len(page_rows))
-        if aggregated:
-            yield ctx.local_agg_cpu(aggregated)
-        if forwarded:
-            # Hash + destination computation for the forwarded tuples.
-            p = ctx.params
-            yield ctx.compute(forwarded * (p.t_h + p.t_d), "select_cpu")
-        forwarded_total += forwarded
+    with ctx.phase("local_aggregation"):
+        for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
+            if io is not None:
+                yield io
+            aggregated = 0
+            forwarded = 0
+            for row in page_rows:
+                if not bq.matches(row):
+                    continue
+                key = bq.key_of(row)
+                if table.add_values(key, bq.values_of(row)):
+                    aggregated += 1
+                    continue
+                forwarded += 1
+                send = raw_chan.push(dst_of(key), bq.projected_row(row))
+                if send is not None:
+                    yield send
+            yield ctx.select_cpu(len(page_rows))
+            if aggregated:
+                yield ctx.local_agg_cpu(aggregated)
+            if forwarded:
+                # Hash + destination computation for the forwarded tuples.
+                p = ctx.params
+                yield ctx.compute(forwarded * (p.t_h + p.t_d), "select_cpu")
+            forwarded_total += forwarded
 
-    if forwarded_total:
-        ctx.log("forwarded_on_overflow", tuples=forwarded_total)
-    ctx.record_memory(len(table))
-    yield from flush_partials(ctx, bq, table.drain().items(), dst_of)
-    for send in raw_chan.flush():
-        yield send
-    yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+        if forwarded_total:
+            ctx.log("forwarded_on_overflow", tuples=forwarded_total)
+        ctx.record_memory(len(table))
+    with ctx.phase("flush_partials"):
+        yield from flush_partials(ctx, bq, table.drain().items(), dst_of)
+        for send in raw_chan.flush():
+            yield send
+        yield from broadcast_eof(ctx)
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

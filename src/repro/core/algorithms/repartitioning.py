@@ -52,9 +52,11 @@ def repartitioning_body(
     ctx: NodeContext, fragment: Fragment, bq: BoundQuery, cfg: SimConfig
 ):
     """One node's complete Repartitioning run; returns its result rows."""
-    yield from repartition_scan(ctx, fragment, bq, cfg)
-    yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+    with ctx.phase("repartition_scan"):
+        yield from repartition_scan(ctx, fragment, bq, cfg)
+        yield from broadcast_eof(ctx)
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

@@ -52,47 +52,50 @@ def sampling_body(
     per_node = max(1, -(-total_sample // ctx.num_nodes))
     rng = np.random.default_rng((cfg.seed, ctx.node_id))
 
-    rows, pages_read = sample_rows(
-        fragment.relation, per_node, ctx.params.page_bytes, rng
-    )
-    if pages_read:
-        yield ctx.read_pages(pages_read, random=True, tag="sample_io")
-    yield ctx.select_cpu(len(rows))
-    matched = [row for row in rows if bq.matches(row)]
-    yield ctx.local_agg_cpu(len(matched))
-    # Ship (key, sample frequency) pairs: the frequencies cost nothing
-    # extra (the sample was aggregated anyway) and let the coordinator
-    # apply a species estimator instead of the plain lower bound.
-    local_counts = Counter(bq.key_of(row) for row in matched)
-    yield ctx.result_cpu(len(local_counts))
-    yield ctx.send(
-        COORDINATOR,
-        SAMPLE,
-        payload=sorted(local_counts.items()),
-        nbytes=len(local_counts) * partial_item_bytes(bq),
-    )
-
-    if ctx.node_id == COORDINATOR:
-        pooled: Counter = Counter()
-        for _ in range(ctx.num_nodes):
-            msg = yield ctx.recv(SAMPLE)
-            yield ctx.compute(len(msg.payload) * ctx.params.t_r, "merge_cpu")
-            for key, count in msg.payload:
-                pooled[key] += count
-        estimated = estimate_groups(pooled.elements(), cfg.estimator)
-        choice = choose_algorithm(round(estimated), threshold)
-        ctx.log(
-            "sampling_decision",
-            distinct_in_sample=len(pooled),
-            estimated_groups=estimated,
-            estimator=cfg.estimator,
-            threshold=threshold,
-            choice=choice,
+    with ctx.phase("sampling"):
+        rows, pages_read = sample_rows(
+            fragment.relation, per_node, ctx.params.page_bytes, rng
         )
-        for dst in range(ctx.num_nodes):
-            yield ctx.send(dst, DECISION, payload=choice)
+        if pages_read:
+            yield ctx.read_pages(pages_read, random=True, tag="sample_io")
+        yield ctx.select_cpu(len(rows))
+        matched = [row for row in rows if bq.matches(row)]
+        yield ctx.local_agg_cpu(len(matched))
+        # Ship (key, sample frequency) pairs: the frequencies cost nothing
+        # extra (the sample was aggregated anyway) and let the coordinator
+        # apply a species estimator instead of the plain lower bound.
+        local_counts = Counter(bq.key_of(row) for row in matched)
+        yield ctx.result_cpu(len(local_counts))
+        yield ctx.send(
+            COORDINATOR,
+            SAMPLE,
+            payload=sorted(local_counts.items()),
+            nbytes=len(local_counts) * partial_item_bytes(bq),
+        )
 
-    decision = yield ctx.recv(DECISION)
+        if ctx.node_id == COORDINATOR:
+            pooled: Counter = Counter()
+            for _ in range(ctx.num_nodes):
+                msg = yield ctx.recv(SAMPLE)
+                yield ctx.compute(
+                    len(msg.payload) * ctx.params.t_r, "merge_cpu"
+                )
+                for key, count in msg.payload:
+                    pooled[key] += count
+            estimated = estimate_groups(pooled.elements(), cfg.estimator)
+            choice = choose_algorithm(round(estimated), threshold)
+            ctx.log(
+                "sampling_decision",
+                distinct_in_sample=len(pooled),
+                estimated_groups=estimated,
+                estimator=cfg.estimator,
+                threshold=threshold,
+                choice=choice,
+            )
+            for dst in range(ctx.num_nodes):
+                yield ctx.send(dst, DECISION, payload=choice)
+
+        decision = yield ctx.recv(DECISION)
     if decision.payload == TWO_PHASE:
         results = yield from two_phase_body(ctx, fragment, bq, cfg)
     else:

@@ -127,44 +127,47 @@ def streaming_pre_aggregation_body(
         ctx, PARTIALS, partial_item_bytes(bq), operator="partials_buffer"
     )
 
-    for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
-        if io is not None:
-            yield io
-        matched = 0
-        evicted_count = 0
-        for row in page_rows:
-            if not bq.matches(row):
-                continue
-            matched += 1
-            evicted = table.add_values(bq.key_of(row), bq.values_of(row))
-            if evicted is not None:
-                evicted_count += 1
-                send = chan.push(dst_of(evicted[0]), evicted)
-                if send is not None:
-                    yield send
-        yield ctx.select_cpu(len(page_rows))
-        yield ctx.local_agg_cpu(matched)
-        if evicted_count:
-            yield ctx.result_cpu(evicted_count)
+    with ctx.phase("streaming_scan"):
+        for page_rows, io in scan_pages(ctx, fragment, cfg.pipeline):
+            if io is not None:
+                yield io
+            matched = 0
+            evicted_count = 0
+            for row in page_rows:
+                if not bq.matches(row):
+                    continue
+                matched += 1
+                evicted = table.add_values(bq.key_of(row), bq.values_of(row))
+                if evicted is not None:
+                    evicted_count += 1
+                    send = chan.push(dst_of(evicted[0]), evicted)
+                    if send is not None:
+                        yield send
+            yield ctx.select_cpu(len(page_rows))
+            yield ctx.local_agg_cpu(matched)
+            if evicted_count:
+                yield ctx.result_cpu(evicted_count)
 
-    if table.evictions:
-        ctx.log(
-            "evictions",
-            count=table.evictions,
-            hits=table.hits,
-        )
-    ctx.record_memory(len(table))
-    final_count = 0
-    for key, state in table.drain():
-        final_count += 1
-        send = chan.push(dst_of(key), (key, state))
-        if send is not None:
+        if table.evictions:
+            ctx.log(
+                "evictions",
+                count=table.evictions,
+                hits=table.hits,
+            )
+        ctx.record_memory(len(table))
+    with ctx.phase("flush_partials"):
+        final_count = 0
+        for key, state in table.drain():
+            final_count += 1
+            send = chan.push(dst_of(key), (key, state))
+            if send is not None:
+                yield send
+        yield ctx.result_cpu(final_count)
+        for send in chan.flush():
             yield send
-    yield ctx.result_cpu(final_count)
-    for send in chan.flush():
-        yield send
-    yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+        yield from broadcast_eof(ctx)
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

@@ -65,11 +65,14 @@ def two_phase_body(
     ctx: NodeContext, fragment: Fragment, bq: BoundQuery, cfg: SimConfig
 ):
     """One node's complete Two Phase run; returns its result rows."""
-    partials = yield from local_aggregation_phase(ctx, fragment, bq, cfg)
-    dst_of = merge_destination(ctx)
-    yield from flush_partials(ctx, bq, partials, dst_of)
-    yield from broadcast_eof(ctx)
-    results = yield from merge_phase(
-        ctx, bq, cfg, expected_eofs=ctx.num_nodes
-    )
+    with ctx.phase("local_aggregation"):
+        partials = yield from local_aggregation_phase(ctx, fragment, bq, cfg)
+    with ctx.phase("flush_partials"):
+        dst_of = merge_destination(ctx)
+        yield from flush_partials(ctx, bq, partials, dst_of)
+        yield from broadcast_eof(ctx)
+    with ctx.phase("merge"):
+        results = yield from merge_phase(
+            ctx, bq, cfg, expected_eofs=ctx.num_nodes
+        )
     return results

@@ -102,6 +102,7 @@ def run_algorithm(
     config: SimConfig | None = None,
     record_timeline: bool = False,
     node_speed_factors=None,
+    tracer=None,
     **config_overrides,
 ) -> AlgorithmOutcome:
     """Simulate ``algorithm`` over ``dist`` and return the outcome.
@@ -111,7 +112,10 @@ def run_algorithm(
     captures per-node activity segments for
     :meth:`AlgorithmOutcome.render_timeline`.  ``node_speed_factors``
     models heterogeneous hardware: node i's CPU and disk run at
-    ``factors[i]`` times the Table 1 rates.
+    ``factors[i]`` times the Table 1 rates.  ``tracer`` is an optional
+    :class:`repro.obs.Tracer` that records the query → node → phase →
+    operator span tree of the run; ``tracer=None`` (the default) keeps
+    the simulation bit-identical to an untraced run.
     """
     try:
         body = ALGORITHM_BODIES[algorithm]
@@ -146,6 +150,7 @@ def run_algorithm(
             record_timeline=record_timeline,
             node_speed_factors=node_speed_factors,
             memory=config.memory,
+            tracer=tracer,
         )
         rows = []
         for node_rows in run.node_results:
@@ -174,6 +179,7 @@ def run_algorithm(
         record_timeline=record_timeline,
         node_speed_factors=node_speed_factors,
         memory=config.memory,
+        tracer=tracer,
     )
     rows: list[tuple] = []
     for node_rows in result.node_results:

@@ -1,0 +1,58 @@
+"""Observability: tracing, metrics registry, profiling, exporters.
+
+The simulator, the real executors, the algorithms, the CLI and the
+benchmark harness all instrument themselves through this package:
+
+``Tracer``
+    Hierarchical spans (query → node → phase → operator) plus instant
+    events.  Time-domain agnostic: the simulator records simulated
+    seconds, the multiprocessing executor records wall seconds.  A
+    disabled tracer (``None`` everywhere, or :data:`NULL_TRACER`) is
+    zero-cost: every integration point short-circuits and runs are
+    bit-identical to the un-instrumented code.
+
+``MetricsRegistry``
+    Typed counter / gauge / histogram handles with a deterministic
+    ``merge`` fold — the one place per-attempt counters (retries, spill
+    bytes, stall seconds) are combined, instead of ad-hoc summing.
+
+``repro.obs.export``
+    Chrome ``trace_event`` JSON (loads in ``chrome://tracing`` and
+    Perfetto) and a flat JSONL span log.
+
+``repro.obs.schema``
+    Dependency-free validators for the exported artifacts
+    (``BENCH_*.json`` and Chrome traces), shared by tests and CI.
+
+``repro.obs.profile``
+    Worker-process self-profiling (wall/CPU time, max RSS) used by
+    ``repro.parallel.mp_executor``.
+
+See ``docs/observability.md`` for the full tour.
+"""
+
+from repro.obs.export import (
+    to_chrome_trace,
+    to_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.profile import WorkerProfile
+from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "WorkerProfile",
+    "to_chrome_trace",
+    "to_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,270 @@
+"""A typed metrics registry with a deterministic fold.
+
+The simulator's :class:`~repro.sim.metrics.NodeMetrics` /
+:class:`~repro.sim.metrics.ClusterMetrics` are purpose-built dataclasses;
+the fault layer, the memory governor and the mp executor each grew their
+own counters on top.  ``MetricsRegistry`` is the unifying container:
+every number is a named :class:`Counter`, :class:`Gauge` or
+:class:`Histogram` handle, snapshots are JSON-serializable and sorted
+(deterministic), and ``merge`` defines *once* how per-attempt values fold
+into a run total — counters add, gauges combine per their declared mode,
+histograms merge bucket-wise.  ``from_cluster_metrics`` adapts a
+simulated run's accounting into the registry so simulator and
+real-executor runs can be compared handle-for-handle.
+"""
+
+from __future__ import annotations
+
+_MODES = ("last", "max", "min", "sum")
+
+DEFAULT_BUCKETS = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count (events, bytes, retries)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n=1) -> None:
+        if n < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += n
+
+
+class Gauge:
+    """A point-in-time value with a declared fold mode.
+
+    ``mode`` decides how two observations of the same gauge combine in
+    ``MetricsRegistry.merge``: "last" (overwrite), "max", "min", "sum".
+    High-water marks are ``mode="max"``; makespans folded across
+    recovery attempts are ``mode="last"``.
+    """
+
+    __slots__ = ("name", "value", "mode", "_set")
+
+    def __init__(self, name: str, mode: str = "last") -> None:
+        if mode not in _MODES:
+            raise ValueError(f"gauge mode must be one of {_MODES}")
+        self.name = name
+        self.mode = mode
+        self.value = 0.0
+        self._set = False
+
+    def set(self, value) -> None:
+        if not self._set:
+            self.value = value
+            self._set = True
+            return
+        if self.mode == "last":
+            self.value = value
+        elif self.mode == "max":
+            self.value = max(self.value, value)
+        elif self.mode == "min":
+            self.value = min(self.value, value)
+        else:
+            self.value += value
+
+
+class Histogram:
+    """A fixed-bucket distribution (durations, sizes).
+
+    ``buckets`` are upper bounds; an observation lands in the first
+    bucket whose bound is >= the value, or the overflow bucket.
+    """
+
+    __slots__ = ("name", "buckets", "counts", "count", "total", "min", "max")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS) -> None:
+        bounds = tuple(sorted(buckets))
+        if not bounds:
+            raise ValueError("histogram needs at least one bucket bound")
+        self.name = name
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # +1 overflow
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, value) -> None:
+        self.count += 1
+        self.total += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+        for i, bound in enumerate(self.buckets):
+            if value <= bound:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Named typed handles; get-or-create, snapshot, deterministic merge."""
+
+    def __init__(self) -> None:
+        self._metrics: dict[str, object] = {}
+
+    def _get(self, name: str, kind, factory):
+        existing = self._metrics.get(name)
+        if existing is not None:
+            if not isinstance(existing, kind):
+                raise TypeError(
+                    f"metric {name!r} already registered as "
+                    f"{type(existing).__name__}, not {kind.__name__}"
+                )
+            return existing
+        metric = factory()
+        self._metrics[name] = metric
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, lambda: Counter(name))
+
+    def gauge(self, name: str, mode: str = "last") -> Gauge:
+        gauge = self._get(name, Gauge, lambda: Gauge(name, mode))
+        if gauge.mode != mode:
+            raise ValueError(
+                f"gauge {name!r} registered with mode {gauge.mode!r}, "
+                f"requested {mode!r}"
+            )
+        return gauge
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        return self._get(name, Histogram, lambda: Histogram(name, buckets))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    def names(self) -> list[str]:
+        return sorted(self._metrics)
+
+    def value(self, name: str):
+        """Shortcut: a counter's or gauge's current value."""
+        metric = self._metrics[name]
+        if isinstance(metric, Histogram):
+            raise TypeError(f"{name!r} is a histogram; read its fields")
+        return metric.value
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold ``other`` into this registry (the one blessed fold).
+
+        Counters add, gauges combine by their mode, histograms combine
+        bucket-wise (bucket layouts must match).  Deterministic: the
+        result depends only on the two registries' contents.
+        """
+        for name in sorted(other._metrics):
+            metric = other._metrics[name]
+            if isinstance(metric, Counter):
+                self.counter(name).inc(metric.value)
+            elif isinstance(metric, Gauge):
+                mine = self.gauge(name, metric.mode)
+                if metric._set:
+                    mine.set(metric.value)
+            else:
+                mine = self.histogram(name, metric.buckets)
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket layouts differ"
+                    )
+                for i, c in enumerate(metric.counts):
+                    mine.counts[i] += c
+                mine.count += metric.count
+                mine.total += metric.total
+                for bound_attr in ("min", "max"):
+                    theirs = getattr(metric, bound_attr)
+                    if theirs is None:
+                        continue
+                    ours = getattr(mine, bound_attr)
+                    if ours is None:
+                        setattr(mine, bound_attr, theirs)
+                    else:
+                        pick = min if bound_attr == "min" else max
+                        setattr(mine, bound_attr, pick(ours, theirs))
+
+    def snapshot(self) -> dict:
+        """A JSON-serializable, sorted view of every handle."""
+        out: dict[str, dict] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Counter):
+                out[name] = {"type": "counter", "value": metric.value}
+            elif isinstance(metric, Gauge):
+                out[name] = {
+                    "type": "gauge",
+                    "mode": metric.mode,
+                    "value": metric.value,
+                }
+            else:
+                out[name] = {
+                    "type": "histogram",
+                    "count": metric.count,
+                    "total": metric.total,
+                    "min": metric.min,
+                    "max": metric.max,
+                    "buckets": list(metric.buckets),
+                    "counts": list(metric.counts),
+                }
+        return out
+
+    @classmethod
+    def from_cluster_metrics(
+        cls, metrics, prefix: str = "sim"
+    ) -> "MetricsRegistry":
+        """Adapt a :class:`ClusterMetrics` into typed handles.
+
+        Every scattered counter family — timing, I/O, network, fault
+        recovery, memory governor — lands under one namespace, so two
+        runs (or a simulated and a real one) compare handle-for-handle.
+        """
+        reg = cls()
+        reg.gauge(f"{prefix}.makespan_seconds").set(metrics.makespan)
+        reg.gauge(f"{prefix}.degraded_makespan_seconds").set(
+            metrics.degraded_makespan
+        )
+        reg.gauge(f"{prefix}.skew_ratio").set(metrics.skew_ratio())
+        reg.gauge(f"{prefix}.network_busy_seconds", mode="sum").set(
+            metrics.network_busy_seconds
+        )
+        reg.counter(f"{prefix}.network_blocks").inc(metrics.network_blocks)
+        reg.gauge(f"{prefix}.mem_high_water_bytes", mode="max").set(
+            metrics.max_mem_high_water_bytes
+        )
+        reg.gauge(f"{prefix}.peak_table_entries", mode="sum").set(
+            metrics.total_peak_table_entries
+        )
+        counters = {
+            "retries": "total_retries",
+            "timeouts": "total_timeouts",
+            "reexecuted_tuples": "total_reexecuted_tuples",
+            "messages_sent": "total_messages",
+            "bytes_sent": "total_bytes_sent",
+            "mem_spill_bytes": "total_mem_spill_bytes",
+        }
+        for short, attr in counters.items():
+            reg.counter(f"{prefix}.{short}").inc(getattr(metrics, attr))
+        reg.counter(f"{prefix}.crashed_nodes").inc(
+            len(metrics.crashed_nodes)
+        )
+        reg.gauge(f"{prefix}.mem_stall_seconds", mode="sum").set(
+            metrics.total_mem_stall_seconds
+        )
+        spill_pages = reg.counter(f"{prefix}.spill_pages")
+        duplicates = reg.counter(f"{prefix}.duplicates_dropped")
+        busy = reg.histogram(f"{prefix}.node_busy_seconds")
+        for node in metrics.nodes:
+            spill_pages.inc(round(node.spill_pages))
+            duplicates.inc(node.duplicates_dropped)
+            busy.observe(node.busy_seconds)
+        for rung, count in sorted(metrics.mem_ladder_rungs.items()):
+            reg.counter(f"{prefix}.ladder.{rung}").inc(count)
+        return reg

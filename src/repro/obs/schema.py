@@ -1,0 +1,146 @@
+"""Dependency-free schema validation for exported artifacts.
+
+Two artifact families leave the repo: Chrome trace JSON (``repro trace``,
+the CLI) and ``BENCH_<name>.json`` (the benchmark harness).  CI and the
+tests validate both with the checkers here — hand-rolled on purpose, so
+validation works in any environment the code itself runs in.
+
+Each validator returns a list of human-readable problems; an empty list
+means the document conforms.  ``validate_or_raise`` wraps that in a
+:class:`SchemaError` for script use (``python -m repro.obs.validate``).
+"""
+
+from __future__ import annotations
+
+BENCH_SCHEMA = "repro-bench/1"
+
+_CHROME_PHASES = {"X", "i", "M", "B", "E"}
+
+
+class SchemaError(ValueError):
+    """An artifact failed schema validation; ``problems`` lists why."""
+
+    def __init__(self, label: str, problems: list[str]) -> None:
+        super().__init__(
+            f"{label}: {len(problems)} schema problem(s): "
+            + "; ".join(problems[:5])
+            + ("; ..." if len(problems) > 5 else "")
+        )
+        self.problems = problems
+
+
+def _number(x) -> bool:
+    return isinstance(x, (int, float)) and not isinstance(x, bool)
+
+
+def validate_chrome_trace(doc) -> list[str]:
+    """Problems in a Chrome trace_event JSON document ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object with a traceEvents array"]
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents must be a list"]
+    if not events:
+        problems.append("traceEvents is empty")
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _CHROME_PHASES:
+            problems.append(f"{where}: unknown phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            problems.append(f"{where}: name must be a string")
+        for key in ("pid", "tid"):
+            if not isinstance(ev.get(key), int):
+                problems.append(f"{where}: {key} must be an integer")
+        if ph in ("X", "i", "B", "E"):
+            if not _number(ev.get("ts")):
+                problems.append(f"{where}: ts must be a number")
+            elif ev["ts"] < 0:
+                problems.append(f"{where}: ts must be non-negative")
+        if ph == "X":
+            if not _number(ev.get("dur")):
+                problems.append(f"{where}: dur must be a number")
+            elif ev["dur"] < 0:
+                problems.append(f"{where}: dur must be non-negative")
+        if ph == "M" and not isinstance(ev.get("args"), dict):
+            problems.append(f"{where}: metadata event needs args")
+    return problems
+
+
+def validate_bench_json(doc) -> list[str]:
+    """Problems in a BENCH_<name>.json document ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != BENCH_SCHEMA:
+        problems.append(
+            f"schema must be {BENCH_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("name"), str) or not doc.get("name"):
+        problems.append("name must be a non-empty string")
+    tests = doc.get("tests")
+    if not isinstance(tests, list):
+        problems.append("tests must be a list")
+        tests = []
+    for i, t in enumerate(tests):
+        where = f"tests[{i}]"
+        if not isinstance(t, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(t.get("nodeid"), str):
+            problems.append(f"{where}: nodeid must be a string")
+        if not isinstance(t.get("outcome"), str):
+            problems.append(f"{where}: outcome must be a string")
+        if not _number(t.get("wall_seconds")) or t["wall_seconds"] < 0:
+            problems.append(
+                f"{where}: wall_seconds must be a non-negative number"
+            )
+    figures = doc.get("figures")
+    if not isinstance(figures, list):
+        problems.append("figures must be a list")
+        figures = []
+    for i, fig in enumerate(figures):
+        where = f"figures[{i}]"
+        if not isinstance(fig, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        columns = fig.get("columns")
+        if not (
+            isinstance(columns, list)
+            and all(isinstance(c, str) for c in columns)
+        ):
+            problems.append(f"{where}: columns must be a list of strings")
+            continue
+        if not isinstance(fig.get("figure"), str):
+            problems.append(f"{where}: figure must be a string")
+        rows = fig.get("rows")
+        if not isinstance(rows, list):
+            problems.append(f"{where}: rows must be a list")
+            continue
+        for j, row in enumerate(rows):
+            if not isinstance(row, (list, tuple)):
+                problems.append(f"{where}.rows[{j}] is not a list")
+            elif len(row) != len(columns):
+                problems.append(
+                    f"{where}.rows[{j}] arity {len(row)} != "
+                    f"{len(columns)} columns"
+                )
+    if not isinstance(doc.get("metrics"), dict):
+        problems.append("metrics must be an object")
+    return problems
+
+
+def validate_or_raise(doc, kind: str, label: str = "document") -> None:
+    """Raise :class:`SchemaError` if ``doc`` fails the ``kind`` check."""
+    validators = {
+        "chrome": validate_chrome_trace,
+        "bench": validate_bench_json,
+    }
+    problems = validators[kind](doc)
+    if problems:
+        raise SchemaError(label, problems)

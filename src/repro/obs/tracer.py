@@ -1,0 +1,258 @@
+"""Hierarchical span tracing for simulated and real executions.
+
+A :class:`Tracer` records *spans* (named intervals with a category and a
+parent) and *instants* (point events) on integer *tracks*.  Track ``-1``
+is the cluster-wide track (the query span lives there); track ``i >= 0``
+is node / fragment ``i``.  The tracer is time-domain agnostic — callers
+pass explicit timestamps, so the simulator traces in simulated seconds
+while the multiprocessing executor traces in wall seconds (the exporter
+only cares that they are seconds).
+
+The span hierarchy is maintained with one open-span stack per track:
+``begin`` pushes, ``end`` pops, and ``complete`` records a closed span
+under the current stack top without pushing.  That yields the
+query → node → phase → operator tree the exporters rely on.
+
+``time_offset`` shifts every recorded timestamp and ``track_map``
+renumbers non-negative tracks at record time; the recovery layer sets
+both between attempts so a multi-attempt run exports as one coherent
+timeline (attempt 2 starting where attempt 1's crash was detected, with
+each surviving sim node's spans on its *original* node's track).
+
+Disabled tracing must cost nothing: pass ``tracer=None`` (every
+integration point guards with ``if tracer is not None``) or use the
+shared :data:`NULL_TRACER`, whose methods are no-ops returning a
+singleton null span.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+QUERY = "query"
+NODE = "node"
+PHASE = "phase"
+OPERATOR = "operator"
+
+
+@dataclass
+class Span:
+    """One named interval on one track (``end`` is None while open)."""
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    cat: str
+    track: int
+    start: float
+    end: float | None = None
+    args: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Span length in seconds (0.0 while the span is still open)."""
+        if self.end is None:
+            return 0.0
+        return self.end - self.start
+
+
+class Tracer:
+    """Collects spans and instant events from one traced execution.
+
+    ``operator_spans=False`` suppresses the per-request operator spans
+    the simulator emits (they dominate span counts on large runs) while
+    keeping query/node/phase structure and instants.
+    """
+
+    enabled = True
+
+    def __init__(self, operator_spans: bool = True) -> None:
+        self.operator_spans = operator_spans
+        self.spans: list[Span] = []
+        self.instants: list[dict] = []
+        self.time_offset = 0.0
+        self.track_map: dict[int, int] = {}
+        self._stacks: dict[int, list[Span]] = {}
+        self._next_id = 1
+
+    # -- recording ----------------------------------------------------------
+
+    def _map(self, track: int) -> int:
+        if track < 0 or not self.track_map:
+            return track
+        return self.track_map.get(track, track)
+
+    def _parent_of(self, track: int) -> Span | None:
+        stack = self._stacks.get(track)
+        if stack:
+            return stack[-1]
+        # An empty node track hangs off whatever is open cluster-wide
+        # (normally the query span).
+        cluster = self._stacks.get(-1)
+        if track != -1 and cluster:
+            return cluster[-1]
+        return None
+
+    def begin(
+        self,
+        name: str,
+        track: int = -1,
+        t: float = 0.0,
+        cat: str = PHASE,
+        parent: Span | None = None,
+        **args,
+    ) -> Span:
+        """Open a span and push it on its track's stack."""
+        track = self._map(track)
+        if parent is None:
+            parent = self._parent_of(track)
+        span = Span(
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            cat=cat,
+            track=track,
+            start=t + self.time_offset,
+            args=dict(args) if args else {},
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        self._stacks.setdefault(track, []).append(span)
+        return span
+
+    def end(self, span: Span, t: float, **args) -> None:
+        """Close a span (tolerates out-of-order closes of inner spans)."""
+        if span.end is not None:
+            return
+        span.end = max(t + self.time_offset, span.start)
+        if args:
+            span.args.update(args)
+        stack = self._stacks.get(span.track)
+        if stack and span in stack:
+            stack.remove(span)
+
+    def complete(
+        self,
+        name: str,
+        track: int,
+        start: float,
+        end: float,
+        cat: str = OPERATOR,
+        **args,
+    ) -> Span:
+        """Record an already-finished span (not pushed on the stack)."""
+        track = self._map(track)
+        parent = self._parent_of(track)
+        span = Span(
+            span_id=self._next_id,
+            parent_id=None if parent is None else parent.span_id,
+            name=name,
+            cat=cat,
+            track=track,
+            start=start + self.time_offset,
+            end=end + self.time_offset,
+            args=dict(args) if args else {},
+        )
+        self._next_id += 1
+        self.spans.append(span)
+        return span
+
+    def instant(self, name: str, track: int, t: float, **args) -> None:
+        """Record a point event (mode switch, crash, retry, ...)."""
+        self.instants.append(
+            {
+                "name": name,
+                "track": self._map(track),
+                "time": t + self.time_offset,
+                "args": dict(args) if args else {},
+            }
+        )
+
+    # -- inspection ---------------------------------------------------------
+
+    def open_spans(self) -> list[Span]:
+        """Spans begun but not yet ended (empty after a clean run)."""
+        return [s for s in self.spans if s.end is None]
+
+    def close_all(self, t: float) -> None:
+        """End every still-open span at ``t`` (crash/abort cleanup)."""
+        for stack in self._stacks.values():
+            for span in list(reversed(stack)):
+                self.end(span, t)
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self.spans if s.parent_id == span.span_id]
+
+    def spans_by_cat(self, cat: str) -> list[Span]:
+        return [s for s in self.spans if s.cat == cat]
+
+    def summary(self) -> dict:
+        """Span/instant counts and per-phase total seconds (sorted)."""
+        by_cat: dict[str, int] = {}
+        phase_seconds: dict[str, float] = {}
+        for span in self.spans:
+            by_cat[span.cat] = by_cat.get(span.cat, 0) + 1
+            if span.cat == PHASE and span.end is not None:
+                phase_seconds[span.name] = (
+                    phase_seconds.get(span.name, 0.0) + span.duration
+                )
+        return {
+            "spans": len(self.spans),
+            "instants": len(self.instants),
+            "by_category": dict(sorted(by_cat.items())),
+            "phase_seconds": dict(sorted(phase_seconds.items())),
+        }
+
+
+class _NullSpan:
+    """The inert span handed out by :class:`NullTracer`."""
+
+    __slots__ = ()
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class NullTracer:
+    """A tracer whose every method is a no-op (``enabled`` is False).
+
+    Useful where an API requires *a* tracer object; hot paths should
+    prefer ``tracer=None`` plus an ``is not None`` guard, which is
+    cheaper still.
+    """
+
+    enabled = False
+    operator_spans = False
+    spans: list = []
+    instants: list = []
+    time_offset = 0.0
+    track_map: dict = {}
+
+    def begin(self, name, track=-1, t=0.0, cat=PHASE, parent=None, **args):
+        return _NULL_SPAN
+
+    def end(self, span, t, **args) -> None:
+        pass
+
+    def complete(self, name, track, start, end, cat=OPERATOR, **args):
+        return _NULL_SPAN
+
+    def instant(self, name, track, t, **args) -> None:
+        pass
+
+    def open_spans(self) -> list:
+        return []
+
+    def close_all(self, t) -> None:
+        pass
+
+    def summary(self) -> dict:
+        return {
+            "spans": 0,
+            "instants": 0,
+            "by_category": {},
+            "phase_seconds": {},
+        }
+
+
+NULL_TRACER = NullTracer()

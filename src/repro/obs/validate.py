@@ -1,0 +1,51 @@
+"""Validate exported artifacts from the command line (used by CI).
+
+Usage::
+
+    python -m repro.obs.validate results/BENCH_*.json results/trace.json
+
+File kind is sniffed from the content: a top-level ``traceEvents`` key
+means Chrome trace, a ``schema`` key means bench JSON.  Exit code 0 when
+every file validates, 1 otherwise (problems printed per file).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.obs.schema import validate_bench_json, validate_chrome_trace
+
+
+def validate_file(path: str) -> list[str]:
+    """Problems in one artifact file ([] = valid)."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        return [f"unreadable: {exc}"]
+    if isinstance(doc, dict) and "traceEvents" in doc:
+        return validate_chrome_trace(doc)
+    return validate_bench_json(doc)
+
+
+def main(argv=None) -> int:
+    paths = sys.argv[1:] if argv is None else list(argv)
+    if not paths:
+        print("usage: python -m repro.obs.validate <artifact.json> ...")
+        return 2
+    failed = 0
+    for path in paths:
+        problems = validate_file(path)
+        if problems:
+            failed += 1
+            print(f"FAIL {path}")
+            for problem in problems:
+                print(f"  - {problem}")
+        else:
+            print(f"ok   {path}")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -29,6 +29,8 @@ from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
+from repro.obs.profile import WorkerProfile, profile_finish, profile_start
+from repro.obs.tracer import PHASE as _CAT_PHASE
 from repro.resources.governor import MemoryExceededError
 from repro.storage.relation import DistributedRelation
 
@@ -45,7 +47,10 @@ class FragmentFailedError(RuntimeError):
 
     ``partial_results`` maps fragment index to the completed partial
     lists, so a caller can salvage finished work or re-dispatch only the
-    failed fragment.
+    failed fragment.  ``cause_type`` is the exception type name of the
+    final failure (e.g. ``"MemoryExceededError"``, ``"WorkerDied"``,
+    ``"Timeout"``) so callers can branch on *what* failed without
+    parsing the message.
     """
 
     def __init__(
@@ -54,6 +59,7 @@ class FragmentFailedError(RuntimeError):
         attempts: int,
         cause: str,
         partial_results: dict[int, list],
+        cause_type: str | None = None,
     ) -> None:
         super().__init__(
             f"fragment {fragment_index} failed after {attempts} "
@@ -62,6 +68,7 @@ class FragmentFailedError(RuntimeError):
         self.fragment_index = fragment_index
         self.attempts = attempts
         self.cause = cause
+        self.cause_type = cause_type
         self.partial_results = partial_results
 
 
@@ -155,28 +162,121 @@ class _GovernedPhase:
 
 
 def _child_main(fn, job, conn) -> None:
-    """Worker entry: run the phase and report ("ok"|"error", payload)."""
+    """Worker entry: run the phase, self-profile, and report back.
+
+    The reply is ``(status, payload, profile)``: status "ok" carries the
+    result, status "error" a ``{"type", "message"}`` dict preserving the
+    exception's type so the parent can classify the failure; ``profile``
+    is the worker's self-measurement (wall/CPU seconds, high-water RSS).
+    """
+    started = profile_start()
     try:
         result = fn(job)
     except BaseException as exc:  # report, don't let the child hang
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            conn.send(
+                (
+                    "error",
+                    {"type": type(exc).__name__, "message": str(exc)},
+                    profile_finish(started),
+                )
+            )
         finally:
             conn.close()
         return
-    conn.send(("ok", result))
+    conn.send(("ok", result, profile_finish(started)))
     conn.close()
 
 
-class _Attempt:
-    __slots__ = ("index", "attempt", "proc", "conn", "deadline")
+class _ObsSink:
+    """Collects the executor's observability: spans, counters, profiles.
 
-    def __init__(self, index, attempt, proc, conn, deadline) -> None:
+    Wraps an optional tracer and metrics registry behind unconditional
+    method calls, so the dispatch loops stay readable; with neither
+    attached only the ``profiles`` list is maintained.  Times are wall
+    seconds relative to the sink's creation (the run start), keeping the
+    exported trace starting at zero like a simulated one.
+    """
+
+    def __init__(self, tracer=None, metrics=None) -> None:
+        self.tracer = tracer
+        self.metrics = metrics
+        self.t0 = time.perf_counter()
+        self.profiles: list[WorkerProfile] = []
+
+    def now(self) -> float:
+        return time.perf_counter() - self.t0
+
+    def attempt_done(
+        self,
+        index: int,
+        attempt: int,
+        start: float,
+        ok: bool,
+        profile: dict | None,
+        error: dict | None = None,
+    ) -> None:
+        """One fragment attempt finished (either way) at ``self.now()``."""
+        end = self.now()
+        if profile:
+            self.profiles.append(
+                WorkerProfile.from_dict(index, attempt, profile, ok=ok)
+            )
+        if self.metrics is not None:
+            m = self.metrics
+            m.counter("mp.attempts").inc()
+            if not ok:
+                m.counter("mp.failed_attempts").inc()
+            if profile:
+                m.histogram("mp.worker_wall_seconds").observe(
+                    profile.get("wall_seconds", 0.0)
+                )
+                m.histogram("mp.worker_cpu_seconds").observe(
+                    profile.get("cpu_seconds", 0.0)
+                )
+                m.gauge("mp.worker_max_rss_bytes", mode="max").set(
+                    profile.get("max_rss_bytes", 0)
+                )
+        if self.tracer is not None:
+            args = {"attempt": attempt, "ok": ok}
+            if profile:
+                args["cpu_seconds"] = profile.get("cpu_seconds", 0.0)
+                args["max_rss_bytes"] = profile.get("max_rss_bytes", 0)
+            if error is not None:
+                args["error_type"] = error.get("type")
+                args["error"] = error.get("message")
+            self.tracer.complete(
+                f"fragment {index}", index, start, end,
+                cat=_CAT_PHASE, **args,
+            )
+
+    def retry(self, index: int, attempt: int, error: dict) -> None:
+        """A failed attempt is being re-dispatched — the exception the
+        retry loop would otherwise discard goes on the record here."""
+        if self.metrics is not None:
+            self.metrics.counter("mp.retries").inc()
+            self.metrics.counter(
+                f"mp.errors.{error.get('type', 'Unknown')}"
+            ).inc()
+        if self.tracer is not None:
+            self.tracer.instant(
+                "fragment_retry", index, self.now(),
+                attempt=attempt,
+                error_type=error.get("type"),
+                error=error.get("message"),
+            )
+
+
+class _Attempt:
+    __slots__ = ("index", "attempt", "proc", "conn", "deadline", "started")
+
+    def __init__(self, index, attempt, proc, conn, deadline, started) -> None:
         self.index = index
         self.attempt = attempt
         self.proc = proc
         self.conn = conn
         self.deadline = deadline
+        self.started = started
 
 
 def _reap(attempt: _Attempt) -> None:
@@ -193,6 +293,7 @@ def _run_jobs_in_processes(
     processes: int,
     max_retries: int,
     timeout: float | None,
+    obs: _ObsSink,
 ) -> dict[int, list]:
     """Run every job in its own worker; returns index -> result.
 
@@ -219,13 +320,19 @@ def _run_jobs_in_processes(
         send_conn.close()
         deadline = None if timeout is None else time.monotonic() + timeout
         running[recv_conn] = _Attempt(index, attempt, proc, recv_conn,
-                                      deadline)
+                                      deadline, obs.now())
 
-    def fail_or_retry(attempt: _Attempt, cause: str) -> None:
+    def fail_or_retry(attempt: _Attempt, error: dict) -> None:
+        cause = f"{error.get('type')}: {error.get('message')}"
         if attempt.attempt + 1 > max_retries:
             raise FragmentFailedError(
-                attempt.index, attempt.attempt + 1, cause, dict(completed)
+                attempt.index,
+                attempt.attempt + 1,
+                cause,
+                dict(completed),
+                cause_type=error.get("type"),
             )
+        obs.retry(attempt.index, attempt.attempt, error)
         pending.append((attempt.index, attempt.attempt + 1))
 
     try:
@@ -244,28 +351,45 @@ def _run_jobs_in_processes(
             ready = _connection_wait(list(running), timeout=wait_for)
             for conn in ready:
                 attempt = running.pop(conn)
+                profile = None
+                error = None
                 try:
-                    status, payload = conn.recv()
+                    status, payload, profile = conn.recv()
                 except (EOFError, OSError):
                     status = "error"
-                    payload = (
-                        "worker died without a result "
-                        f"(exitcode={attempt.proc.exitcode})"
-                    )
+                    payload = {
+                        "type": "WorkerDied",
+                        "message": (
+                            "worker died without a result "
+                            f"(exitcode={attempt.proc.exitcode})"
+                        ),
+                    }
                 _reap(attempt)
                 if status == "ok":
                     completed[attempt.index] = payload
                 else:
-                    fail_or_retry(attempt, payload)
+                    error = payload
+                obs.attempt_done(
+                    attempt.index, attempt.attempt, attempt.started,
+                    status == "ok", profile, error,
+                )
+                if error is not None:
+                    fail_or_retry(attempt, error)
             now = time.monotonic()
             for conn, attempt in list(running.items()):
                 if attempt.deadline is not None and now >= attempt.deadline:
                     del running[conn]
                     attempt.proc.terminate()
                     _reap(attempt)
-                    fail_or_retry(
-                        attempt, f"timed out after {timeout:g}s"
+                    error = {
+                        "type": "Timeout",
+                        "message": f"timed out after {timeout:g}s",
+                    }
+                    obs.attempt_done(
+                        attempt.index, attempt.attempt, attempt.started,
+                        False, None, error,
                     )
+                    fail_or_retry(attempt, error)
     finally:
         for attempt in running.values():
             attempt.proc.terminate()
@@ -274,25 +398,55 @@ def _run_jobs_in_processes(
 
 
 def _run_jobs_in_process(
-    fn_for, jobs: list, max_retries: int
+    fn_for, jobs: list, max_retries: int, obs: _ObsSink
 ) -> dict[int, list]:
-    """The single-CPU path: same retry semantics, no processes."""
+    """The single-CPU path: same retry semantics, no processes.
+
+    Failures are classified like the process path's:
+    :class:`~repro.resources.MemoryExceededError` is the budget ladder's
+    *expected* trigger (the retry reruns with spilling), anything else
+    is an unexpected fragment error — and either way the exception of a
+    retried attempt is logged through the sink, never discarded, and
+    the final :class:`FragmentFailedError` chains from its cause.
+    """
     completed: dict[int, list] = {}
     for index, job in enumerate(jobs):
         attempts = 0
         while True:
             attempts += 1
+            started = profile_start()
+            span_start = obs.now()
             try:
                 completed[index] = fn_for(attempts - 1)(job)
-                break
+            except MemoryExceededError as exc:
+                cause = exc
+                error = {
+                    "type": "MemoryExceededError",
+                    "message": str(exc),
+                    "expected": True,
+                }
             except Exception as exc:
-                if attempts > max_retries:
-                    raise FragmentFailedError(
-                        index,
-                        attempts,
-                        f"{type(exc).__name__}: {exc}",
-                        dict(completed),
-                    ) from exc
+                cause = exc
+                error = {"type": type(exc).__name__, "message": str(exc)}
+            else:
+                obs.attempt_done(
+                    index, attempts - 1, span_start, True,
+                    profile_finish(started),
+                )
+                break
+            obs.attempt_done(
+                index, attempts - 1, span_start, False,
+                profile_finish(started), error,
+            )
+            if attempts > max_retries:
+                raise FragmentFailedError(
+                    index,
+                    attempts,
+                    f"{error['type']}: {error['message']}",
+                    dict(completed),
+                    cause_type=error["type"],
+                ) from cause
+            obs.retry(index, attempts - 1, error)
     return completed
 
 
@@ -305,6 +459,9 @@ def multiprocessing_aggregate(
     timeout: float | None = None,
     phase_fn=None,
     memory_budget_bytes: int | None = None,
+    tracer=None,
+    metrics=None,
+    profiles: list | None = None,
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -322,6 +479,15 @@ def multiprocessing_aggregate(
     completes exactly, just slower, instead of failing the run.
     Mutually exclusive with ``phase_fn``; ``None`` leaves the executor
     byte-identical to ungoverned behavior.
+
+    Observability (all optional, zero overhead when omitted):
+    ``tracer`` (a :class:`repro.obs.Tracer`) records one wall-clock span
+    per fragment attempt — including failed ones, with the error type in
+    the span args — under a run-wide query span; ``metrics`` (a
+    :class:`repro.obs.MetricsRegistry`) collects attempt/retry counters,
+    per-error-type counters, and worker wall/CPU/RSS distributions from
+    the workers' self-profiles; ``profiles`` (a list) is extended with
+    one :class:`repro.obs.WorkerProfile` per attempt that reported back.
     """
     if max_retries < 0:
         raise ValueError("max_retries must be non-negative")
@@ -351,13 +517,32 @@ def multiprocessing_aggregate(
     cpu_count = os.cpu_count() or 1
     if processes == 0:
         processes = min(len(jobs), cpu_count)
-    if processes <= 1:
-        completed = _run_jobs_in_process(fn_for, jobs, max_retries)
-    else:
-        completed = _run_jobs_in_processes(
-            fn_for, jobs, processes, max_retries, timeout
+    obs = _ObsSink(tracer, metrics)
+    run_span = None
+    if tracer is not None:
+        run_span = tracer.begin(
+            "mp_aggregate", track=-1, t=0.0, cat="query",
+            fragments=len(jobs), processes=processes,
         )
+    try:
+        if processes <= 1:
+            completed = _run_jobs_in_process(fn_for, jobs, max_retries, obs)
+        else:
+            completed = _run_jobs_in_processes(
+                fn_for, jobs, processes, max_retries, timeout, obs
+            )
+    except FragmentFailedError:
+        if tracer is not None:
+            tracer.close_all(obs.now())
+        if profiles is not None:
+            profiles.extend(obs.profiles)
+        raise
+    if profiles is not None:
+        profiles.extend(obs.profiles)
+    if metrics is not None:
+        metrics.counter("mp.fragments").inc(len(jobs))
 
+    merge_start = obs.now()
     bq = query.bind(dist.schema)
     # Merge into states owned by this function: never mutate (or shallow-
     # copy) the pooled partials, so re-running over the same inputs can
@@ -371,4 +556,14 @@ def multiprocessing_aggregate(
                 merged[key] = mine
             mine.merge(state)
     rows = (bq.result_row(key, state) for key, state in merged.items())
-    return sorted(row for row in rows if bq.passes_having(row))
+    result = sorted(row for row in rows if bq.passes_having(row))
+    if tracer is not None:
+        tracer.complete(
+            "merge", -1, merge_start, obs.now(), cat=_CAT_PHASE,
+            groups=len(result),
+        )
+        tracer.end(run_span, obs.now())
+    if metrics is not None:
+        metrics.gauge("mp.elapsed_seconds", mode="max").set(obs.now())
+        metrics.counter("mp.groups_output").inc(len(result))
+    return result

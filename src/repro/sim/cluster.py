@@ -47,6 +47,7 @@ class Cluster:
         node_speed_factors=None,
         faults=None,
         memory=None,
+        tracer=None,
     ) -> RunResult:
         factories = list(program_factories)
         if len(factories) != self.params.num_nodes:
@@ -67,6 +68,7 @@ class Cluster:
             node_speed_factors=node_speed_factors,
             faults=faults,
             governor=governor,
+            tracer=tracer,
         )
         contexts = [
             NodeContext(

@@ -58,6 +58,8 @@ from repro.sim.events import (
     TryRecv,
     WritePages,
 )
+from repro.obs.tracer import NODE as _CAT_NODE
+from repro.obs.tracer import QUERY as _CAT_QUERY
 from repro.resources.governor import RUNG_BACKPRESSURE, RUNG_NAMES
 from repro.sim.faults import NodeCrashedError
 from repro.sim.metrics import ClusterMetrics, NodeMetrics
@@ -89,6 +91,7 @@ class _NodeState:
     result: object = None
     metrics: NodeMetrics = None
     crash_pending: bool = False
+    span: object = None  # open obs span for this node's lifetime, if traced
 
     def matching(self, kind: str | None):
         """Mailbox entries whose message kind matches ``kind``."""
@@ -111,10 +114,14 @@ class Engine:
         node_speed_factors=None,
         faults=None,
         governor=None,
+        tracer=None,
     ) -> None:
         self.params = params
         self.network = network if network is not None else make_network(params)
         self.record_timeline = record_timeline
+        # Optional obs.Tracer; None = untraced, and every tracing hook
+        # below short-circuits so the simulation is bit-identical.
+        self.tracer = tracer
         # Optional FaultRuntime (see repro.sim.faults); None = perfect
         # cluster, and every fault check below short-circuits.
         self.faults = faults
@@ -162,6 +169,18 @@ class Engine:
             for i, gen in enumerate(generators)
         ]
         self.timelines = [[] for _ in self._nodes]
+        tracer = self.tracer
+        query_span = None
+        if tracer is not None:
+            query_span = tracer.begin(
+                "query", track=-1, t=0.0, cat=_CAT_QUERY,
+                nodes=len(self._nodes),
+            )
+            for st in self._nodes:
+                st.span = tracer.begin(
+                    f"node {st.node_id}", track=st.node_id, t=0.0,
+                    cat=_CAT_NODE, parent=query_span,
+                )
         for st in self._nodes:
             self._push(0.0, "resume", st.node_id, None)
         if self.faults is not None:
@@ -204,6 +223,12 @@ class Engine:
                     st.metrics.finish_time = max(
                         st.metrics.finish_time, st.clock
                     )
+            if tracer is not None:
+                horizon = max(
+                    (st.metrics.finish_time for st in self._nodes),
+                    default=0.0,
+                )
+                tracer.close_all(horizon)
             raise NodeCrashedError(
                 dict(self.crashed), self._collect_metrics(), self.trace
             )
@@ -217,6 +242,13 @@ class Engine:
             raise DeadlockError(
                 f"nodes {stuck} never finished; parked waiting on {kinds}"
             )
+        if tracer is not None:
+            makespan = max(
+                (st.metrics.finish_time for st in self._nodes), default=0.0
+            )
+            for st in self._nodes:
+                tracer.end(st.span, st.metrics.finish_time)
+            tracer.end(query_span, makespan)
         return [st.result for st in self._nodes], self._collect_metrics()
 
     def _collect_metrics(self) -> ClusterMetrics:
@@ -240,9 +272,10 @@ class Engine:
 
     def log(self, node_id: int, what: str, **detail) -> None:
         """Record a trace event at the node's current simulated time."""
-        self.trace.append(
-            TraceEvent(self._nodes[node_id].clock, node_id, what, detail)
-        )
+        clock = self._nodes[node_id].clock
+        self.trace.append(TraceEvent(clock, node_id, what, detail))
+        if self.tracer is not None:
+            self.tracer.instant(what, node_id, clock, **detail)
 
     def node_clock(self, node_id: int) -> float:
         return self._nodes[node_id].clock
@@ -306,8 +339,33 @@ class Engine:
         st.crash_pending = False
         try:
             st.gen.close()
-        except Exception:  # a mid-yield generator may object; it is dead
-            pass
+        except Exception as exc:
+            # Only the generator-shutdown protocol's own complaints are
+            # expected here (CPython raises a *plain* RuntimeError such
+            # as "generator ignored GeneratorExit" when a mid-yield
+            # generator refuses to die).  Anything more specific — a
+            # typed memory error, a simulation bug surfacing in a
+            # ``finally`` block — is a real error that must not vanish
+            # into the crash path: record it and re-raise.
+            if type(exc) in (RuntimeError, StopIteration):
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "generator_close_ignored", st.node_id, at,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+            else:
+                self.trace.append(
+                    TraceEvent(
+                        at, st.node_id, "generator_close_error",
+                        {"error": f"{type(exc).__name__}: {exc}"},
+                    )
+                )
+                if self.tracer is not None:
+                    self.tracer.instant(
+                        "generator_close_error", st.node_id, at,
+                        error=f"{type(exc).__name__}: {exc}",
+                    )
+                raise
         st.mailbox.clear()
         if self.governor is not None:
             # A dead node's mailbox holds nothing; free its charges.
@@ -320,6 +378,10 @@ class Engine:
         self.trace.append(
             TraceEvent(at, st.node_id, "node_crash", {"at": at})
         )
+        if self.tracer is not None:
+            self.tracer.instant("node_crash", st.node_id, at)
+            if st.span is not None:
+                self.tracer.end(st.span, at, crashed=True)
 
     def _handle_crashcheck(self, st: _NodeState, time: float) -> None:
         # The heap is time-ordered, so if the node has not crashed on its
@@ -336,6 +398,8 @@ class Engine:
         gen = st.gen
         params = self.params
         metrics = st.metrics
+        tracer = self.tracer
+        trace_ops = tracer is not None and tracer.operator_spans
         slowdown = self._node_slowdown(st.node_id)
         crash_at = (
             None if self.faults is None
@@ -362,6 +426,10 @@ class Engine:
                 metrics.cpu_seconds += seconds
                 metrics.add_tagged(req.tag, seconds)
                 self._record_segment(st.node_id, start, st.clock, req.tag)
+                if trace_ops and seconds > 0:
+                    tracer.complete(
+                        req.tag, st.node_id, start, st.clock, op="compute"
+                    )
             elif isinstance(req, ReadPages):
                 per_page = (
                     params.random_io_seconds
@@ -369,24 +437,38 @@ class Engine:
                     else params.io_seconds
                 )
                 seconds = req.pages * per_page * slowdown
+                retry_seconds = 0.0
                 if (
                     self.faults is not None
                     and req.pages > 0
                     and self.faults.read_error(st.node_id)
                 ):
                     # Transient read failure: the request is re-issued
-                    # once, doubling its latency.
+                    # once, doubling its latency.  The extra latency is
+                    # attributed to ``fault_io_retry`` only; the
+                    # request's own tag keeps its fault-free cost so the
+                    # tagged breakdown still partitions busy time.
                     metrics.retries += 1
-                    metrics.add_tagged("fault_io_retry", seconds)
-                    seconds *= 2
+                    retry_seconds = seconds
+                    metrics.add_tagged("fault_io_retry", retry_seconds)
+                    if tracer is not None:
+                        tracer.instant(
+                            "io_read_retry", st.node_id, st.clock,
+                            pages=req.pages, tag=req.tag,
+                        )
                 start = st.clock
-                st.clock += seconds
-                metrics.io_read_seconds += seconds
+                st.clock += seconds + retry_seconds
+                metrics.io_read_seconds += seconds + retry_seconds
                 metrics.pages_read += req.pages
                 if req.tag == "spill_io":
                     metrics.spill_pages += req.pages
                 metrics.add_tagged(req.tag, seconds)
                 self._record_segment(st.node_id, start, st.clock, req.tag)
+                if trace_ops and st.clock > start:
+                    tracer.complete(
+                        req.tag, st.node_id, start, st.clock,
+                        op="read", pages=req.pages,
+                    )
             elif isinstance(req, WritePages):
                 seconds = req.pages * params.io_seconds * slowdown
                 start = st.clock
@@ -397,6 +479,11 @@ class Engine:
                     metrics.spill_pages += req.pages
                 metrics.add_tagged(req.tag, seconds)
                 self._record_segment(st.node_id, start, st.clock, req.tag)
+                if trace_ops and seconds > 0:
+                    tracer.complete(
+                        req.tag, st.node_id, start, st.clock,
+                        op="write", pages=req.pages,
+                    )
             elif isinstance(req, Send):
                 self._push(st.clock, "send", st.node_id, req.message)
                 return
@@ -446,6 +533,11 @@ class Engine:
                     ledger = self.governor.node(st.node_id)
                     ledger.note_stall(stall)
                     ledger.note_rung(RUNG_BACKPRESSURE)
+                    if self.tracer is not None:
+                        self.tracer.instant(
+                            "mem_backpressure_stall", st.node_id,
+                            st.clock, seconds=stall, dst=msg.dst,
+                        )
             send_at = st.clock
             if faults is not None and blocks > 0:
                 # Reliable transport over a lossy link: each dropped

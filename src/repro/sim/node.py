@@ -13,6 +13,8 @@ time.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
+
 from repro.costmodel.params import SystemParameters
 from repro.resources.governor import RUNG_BACKPRESSURE
 from repro.sim.events import (
@@ -107,6 +109,30 @@ class NodeContext:
         """Record a trace event (mode switch, decision, ...)."""
         if self.engine is not None:
             self.engine.log(self.node_id, what, **detail)
+
+    @contextmanager
+    def phase(self, name: str, **args):
+        """Span over an algorithm phase on this node's tracer track.
+
+        A no-op (zero overhead beyond the generator frame) when the run
+        is untraced.  Works inside node programs because ``__enter__``
+        and ``__exit__`` execute synchronously at the node's current
+        simulated clock — including during ``gen.close()`` on a crash,
+        which closes the span at the crash time.
+        """
+        engine = self.engine
+        tracer = None if engine is None else engine.tracer
+        if tracer is None:
+            yield None
+            return
+        span = tracer.begin(
+            name, track=self.node_id,
+            t=engine.node_clock(self.node_id), **args,
+        )
+        try:
+            yield span
+        finally:
+            tracer.end(span, engine.node_clock(self.node_id))
 
     def record_memory(self, table_entries: int) -> None:
         """Update this node's peak hash/sort-table occupancy metric."""

@@ -72,6 +72,9 @@ class ResilientRun:
     timelines: list = field(default_factory=list)
     attempts: int = 1
     crashed_nodes: list[int] = field(default_factory=list)
+    # Per-attempt (node_ids, ClusterMetrics) pairs, in attempt order —
+    # the unmerged inputs to ``metrics``, for attribution and auditing.
+    attempt_metrics: list = field(default_factory=list)
 
 
 def _merge_attempts(
@@ -124,6 +127,7 @@ def run_resilient(
     record_timeline: bool = False,
     node_speed_factors=None,
     memory=None,
+    tracer=None,
 ) -> ResilientRun:
     """Run ``program_for(ctx, fragment)`` per node, surviving crashes.
 
@@ -134,6 +138,12 @@ def run_resilient(
     fresh governor sized to the surviving cluster, so the ladder
     composes with crash recovery (takeover nodes feel *more* pressure,
     since they aggregate extra fragments under the same budget).
+
+    With a ``tracer``, all attempts record into one timeline: before
+    each attempt the tracer's ``time_offset`` is set to the attempt's
+    absolute start and its ``track_map`` to the sim-index → original
+    node id mapping, so a crashed-and-recovered query exports as a
+    single coherent trace.
     """
     num_original = len(fragments)
     if params.num_nodes != num_original:
@@ -184,6 +194,9 @@ def run_resilient(
         if node_speed_factors is not None:
             speeds = [node_speed_factors[orig] for orig in node_ids]
         cluster = Cluster(attempt_params)
+        if tracer is not None:
+            tracer.time_offset = base_time
+            tracer.track_map = dict(enumerate(node_ids))
         try:
             result = cluster.run(
                 factories,
@@ -191,6 +204,7 @@ def run_resilient(
                 node_speed_factors=speeds,
                 faults=schedule.runtime(node_ids),
                 memory=memory,
+                tracer=tracer,
             )
         except NodeCrashedError as exc:
             records.append((list(node_ids), exc.metrics, base_time, exc.trace))
@@ -209,6 +223,11 @@ def run_resilient(
                 orig = node_ids[sim_index]
                 crashed_overall.append(orig)
                 dead_fragments.extend(assignment.pop(orig))
+                if tracer is not None:
+                    # sim_index so the attempt's track_map applies.
+                    tracer.instant(
+                        "crash_detected", sim_index, detection, node=orig
+                    )
                 extra_trace.append(
                     TraceEvent(
                         base_time + detection,
@@ -229,6 +248,13 @@ def run_resilient(
                         {"old": node_ids[0], "new": survivors[0]},
                     )
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "coordinator_failover",
+                        node_ids.index(survivors[0]),
+                        detection,
+                        old=node_ids[0], new=survivors[0],
+                    )
             for j, frag in enumerate(dead_fragments):
                 owner = survivors[j % len(survivors)]
                 assignment[owner].append(frag)
@@ -240,6 +266,11 @@ def run_resilient(
                         {"from_node": frag.node_id, "tuples": len(frag)},
                     )
                 )
+                if tracer is not None:
+                    tracer.instant(
+                        "takeover", node_ids.index(owner), detection,
+                        from_node=frag.node_id, tuples=len(frag),
+                    )
             node_ids = survivors
             base_time += detection
             continue
@@ -273,4 +304,5 @@ def run_resilient(
             timelines=result.timelines,
             attempts=attempts,
             crashed_nodes=sorted(crashed_overall),
+            attempt_metrics=[(ids, m) for ids, m, _base, _tr in records],
         )

@@ -1,0 +1,159 @@
+"""Hardened error paths: no more swallowed or untyped failures."""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+
+from repro.costmodel.params import SystemParameters
+from repro.obs import MetricsRegistry, Tracer
+from repro.parallel import FragmentFailedError, multiprocessing_aggregate
+from repro.parallel.mp_executor import _local_phase
+from repro.resources import MemoryExceededError
+from repro.sim.engine import Engine, _NodeState
+from repro.sim.events import Compute
+from repro.sim.faults import FaultPlan, FaultSchedule
+from repro.sim.metrics import NodeMetrics
+
+
+# --- simulator crash teardown (Engine._crash) ---------------------------
+
+
+def _engine(tracer=None):
+    params = SystemParameters.paper_default().with_(num_nodes=1)
+    faults = FaultSchedule(FaultPlan(seed=0)).runtime([0])
+    return Engine(params, faults=faults, tracer=tracer)
+
+
+def _state(gen):
+    next(gen)  # advance to the first yield so close() runs the finally
+    return _NodeState(node_id=0, gen=gen, metrics=NodeMetrics(0))
+
+
+def _stubborn():
+    try:
+        yield Compute(1.0)
+    except GeneratorExit:
+        yield Compute(1.0)  # refusing to die -> plain RuntimeError
+
+
+def _typed_failure():
+    try:
+        yield Compute(1.0)
+    finally:
+        raise MemoryExceededError("table", 100, 200)
+
+
+def _runtime_subclass_failure():
+    class Custom(RuntimeError):
+        pass
+
+    try:
+        yield Compute(1.0)
+    finally:
+        raise Custom("boom")
+
+
+class TestCrashTeardown:
+    def test_shutdown_noise_is_swallowed_and_traced(self):
+        tracer = Tracer()
+        engine = _engine(tracer)
+        st = _state(_stubborn())
+        engine._crash(st, 1.0)  # must not raise
+        names = [i["name"] for i in tracer.instants]
+        assert "generator_close_ignored" in names
+        assert "node_crash" in names
+
+    def test_typed_error_reraised(self):
+        engine = _engine()
+        st = _state(_typed_failure())
+        with pytest.raises(MemoryExceededError):
+            engine._crash(st, 1.0)
+        # ... and recorded on the run trace before propagating.
+        kinds = [ev.what for ev in engine.trace]
+        assert "generator_close_error" in kinds
+
+    def test_runtime_error_subclass_reraised(self):
+        """Only *exact* RuntimeError is shutdown noise; subclasses are
+        real failures (the typed memory errors are RuntimeError
+        subclasses)."""
+        engine = _engine()
+        st = _state(_runtime_subclass_failure())
+        with pytest.raises(RuntimeError, match="boom"):
+            engine._crash(st, 1.0)
+
+
+# --- mp executor cause chains -------------------------------------------
+
+
+def _raise_value_error(job):
+    raise ValueError("bad fragment")
+
+
+def _raise_once_then_work(marker_path, job):
+    import os
+
+    if not os.path.exists(marker_path):
+        with open(marker_path, "w"):
+            pass
+        raise KeyError("transient")
+    return _local_phase(job)
+
+
+class TestMpCauseChains:
+    def test_in_process_preserves_cause(self, small_dist, sum_query):
+        with pytest.raises(FragmentFailedError) as err:
+            multiprocessing_aggregate(
+                small_dist, sum_query, processes=1, max_retries=0,
+                phase_fn=_raise_value_error,
+            )
+        assert err.value.cause_type == "ValueError"
+        assert "ValueError: bad fragment" in err.value.cause
+        assert isinstance(err.value.__cause__, ValueError)
+
+    def test_process_path_classifies_error(self, small_dist, sum_query):
+        with pytest.raises(FragmentFailedError) as err:
+            multiprocessing_aggregate(
+                small_dist, sum_query, processes=2, max_retries=0,
+                phase_fn=_raise_value_error,
+            )
+        assert err.value.cause_type == "ValueError"
+        assert "ValueError: bad fragment" in err.value.cause
+
+    def test_discarded_retry_errors_are_observable(
+        self, small_dist, sum_query, tmp_path
+    ):
+        """A retried-away error must leave counters and trace instants."""
+        marker = tmp_path / "marker"
+        tracer = Tracer()
+        reg = MetricsRegistry()
+        rows = multiprocessing_aggregate(
+            small_dist, sum_query, processes=1, max_retries=1,
+            phase_fn=functools.partial(_raise_once_then_work, str(marker)),
+            tracer=tracer, metrics=reg,
+        )
+        assert rows  # the retry succeeded
+        assert reg.value("mp.retries") == 1
+        assert reg.value("mp.errors.KeyError") == 1
+        assert reg.value("mp.failed_attempts") == 1
+        retries = [
+            i for i in tracer.instants if i["name"] == "fragment_retry"
+        ]
+        assert len(retries) == 1
+        assert retries[0]["args"]["error_type"] == "KeyError"
+        # The failed attempt's span carries the error classification.
+        failed = [
+            s for s in tracer.spans
+            if s.name.startswith("fragment") and not s.args.get("ok", True)
+        ]
+        assert len(failed) == 1
+
+    def test_oom_retry_cause_chain(self, small_dist, sum_query):
+        with pytest.raises(FragmentFailedError) as err:
+            multiprocessing_aggregate(
+                small_dist, sum_query, processes=1, max_retries=0,
+                memory_budget_bytes=64,
+            )
+        assert err.value.cause_type == "MemoryExceededError"
+        assert isinstance(err.value.__cause__, MemoryExceededError)

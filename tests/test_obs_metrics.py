@@ -1,0 +1,166 @@
+"""MetricsRegistry semantics and the fault-accounting regressions."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.algorithms import ALGORITHM_BODIES, SimConfig
+from repro.core.runner import run_algorithm
+from repro.costmodel.params import SystemParameters
+from repro.obs import MetricsRegistry
+from repro.obs.metrics import Counter, Gauge, Histogram
+from repro.sim.faults import CrashFault, FaultPlan
+from repro.sim.recovery import run_resilient
+
+
+class TestHandles:
+    def test_counter_monotonic(self):
+        c = Counter("c")
+        c.inc()
+        c.inc(3)
+        assert c.value == 4
+        with pytest.raises(ValueError):
+            c.inc(-1)
+
+    @pytest.mark.parametrize(
+        "mode,observations,expected",
+        [
+            ("last", (3.0, 1.0), 1.0),
+            ("max", (3.0, 1.0), 3.0),
+            ("min", (3.0, 1.0), 1.0),
+            ("sum", (3.0, 1.0), 4.0),
+        ],
+    )
+    def test_gauge_modes(self, mode, observations, expected):
+        g = Gauge("g", mode=mode)
+        for value in observations:
+            g.set(value)
+        assert g.value == expected
+
+    def test_histogram_buckets(self):
+        h = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0):
+            h.observe(value)
+        assert h.counts == [1, 1, 1]  # one per bucket + overflow
+        assert h.count == 3
+        assert h.min == 0.5 and h.max == 50.0
+        assert h.mean == pytest.approx(55.5 / 3)
+
+    def test_registry_get_or_create_and_type_safety(self):
+        reg = MetricsRegistry()
+        assert reg.counter("x") is reg.counter("x")
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        reg.gauge("g", mode="max")
+        with pytest.raises(ValueError):
+            reg.gauge("g", mode="min")
+        reg.histogram("h")
+        with pytest.raises(TypeError):
+            reg.value("h")
+
+
+class TestMerge:
+    def _sample(self, retries, rss, wall):
+        reg = MetricsRegistry()
+        reg.counter("retries").inc(retries)
+        reg.gauge("rss", mode="max").set(rss)
+        reg.histogram("wall").observe(wall)
+        return reg
+
+    def test_merge_folds_by_kind(self):
+        a = self._sample(2, 100.0, 0.2)
+        b = self._sample(3, 50.0, 2.0)
+        a.merge(b)
+        assert a.value("retries") == 5
+        assert a.value("rss") == 100.0
+        h = a.histogram("wall")
+        assert h.count == 2 and h.min == 0.2 and h.max == 2.0
+
+    def test_merge_is_order_insensitive(self):
+        left = self._sample(2, 100.0, 0.2)
+        left.merge(self._sample(3, 50.0, 2.0))
+        right = self._sample(3, 50.0, 2.0)
+        right.merge(self._sample(2, 100.0, 0.2))
+        # max-gauges, counters and histograms all commute.
+        assert left.snapshot() == right.snapshot()
+
+    def test_unset_gauge_does_not_clobber(self):
+        a = MetricsRegistry()
+        a.gauge("g", mode="last").set(7.0)
+        b = MetricsRegistry()
+        b.gauge("g", mode="last")  # registered, never set
+        a.merge(b)
+        assert a.value("g") == 7.0
+
+    def test_snapshot_is_json_and_sorted(self):
+        reg = self._sample(1, 10.0, 0.5)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        json.dumps(snap)  # must be serializable as-is
+
+
+class TestClusterAdapter:
+    def test_from_cluster_metrics(self, small_dist, sum_query):
+        outcome = run_algorithm("two_phase", small_dist, sum_query)
+        reg = MetricsRegistry.from_cluster_metrics(outcome.metrics)
+        assert reg.value("sim.makespan_seconds") == pytest.approx(
+            outcome.metrics.makespan
+        )
+        assert reg.value("sim.messages_sent") == outcome.metrics.total_messages
+        busy = reg.histogram("sim.node_busy_seconds")
+        assert busy.count == small_dist.num_nodes
+
+
+class TestFaultAccountingRegressions:
+    def test_io_retry_does_not_double_tag(self, small_dist, sum_query):
+        """Regression: a faulted read once charged its own tag twice.
+
+        The retried read's extra time belongs to ``fault_io_retry``
+        alone; every operator tag must match the fault-free run exactly,
+        and the wall-clock read time must grow by exactly the retry tag.
+        """
+        clean = run_algorithm("two_phase", small_dist, sum_query)
+        faulted = run_algorithm(
+            "two_phase", small_dist, sum_query,
+            faults=FaultPlan(seed=5, read_error_rate=0.4),
+        )
+        assert faulted.metrics.total_retries > 0
+        for node_c, node_f in zip(clean.metrics.nodes, faulted.metrics.nodes):
+            tags_f = dict(node_f.tagged_seconds)
+            retry = tags_f.pop("fault_io_retry", 0.0)
+            assert set(tags_f) == set(node_c.tagged_seconds)
+            for tag, seconds in node_c.tagged_seconds.items():
+                assert tags_f[tag] == pytest.approx(seconds), tag
+            assert node_f.io_read_seconds == pytest.approx(
+                node_c.io_read_seconds + retry
+            )
+
+    def test_recovery_fold_matches_attempt_metrics(
+        self, small_dist, sum_query
+    ):
+        """Per-attempt attribution sums exactly to the folded totals."""
+        body = ALGORITHM_BODIES["two_phase"]
+        bq = sum_query.bind(small_dist.schema)
+        cfg = SimConfig()
+        params = SystemParameters.paper_default().with_(
+            num_nodes=small_dist.num_nodes
+        )
+        plan = FaultPlan(seed=3, crashes=(CrashFault(2, after_tuples=120),))
+        run = run_resilient(
+            params,
+            small_dist.fragments,
+            plan,
+            lambda ctx, fragment: body(ctx, fragment, bq, cfg),
+        )
+        assert len(run.attempt_metrics) == 2
+        for field in ("tuples_scanned", "cpu_seconds", "io_read_seconds"):
+            per_node = [0.0] * small_dist.num_nodes
+            for node_ids, metrics in run.attempt_metrics:
+                for sim_index, nm in enumerate(metrics.nodes):
+                    per_node[node_ids[sim_index]] += getattr(nm, field)
+            for node_id, total in enumerate(per_node):
+                assert getattr(run.metrics.node(node_id), field) == (
+                    pytest.approx(total)
+                ), field

@@ -1,0 +1,153 @@
+"""Span tree well-formedness: the tracer on real simulated runs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import run_algorithm
+from repro.obs import Tracer
+from repro.obs.tracer import NODE, OPERATOR, PHASE, QUERY, NullTracer
+from repro.sim.faults import CrashFault, FaultPlan
+
+
+def traced(algorithm, dist, query, **kw):
+    tracer = Tracer(**kw)
+    outcome = run_algorithm(algorithm, dist, query, tracer=tracer)
+    return tracer, outcome
+
+
+class TestSpanTree:
+    def test_exactly_one_query_span(self, small_dist, sum_query):
+        tracer, outcome = traced("two_phase", small_dist, sum_query)
+        roots = tracer.spans_by_cat(QUERY)
+        assert len(roots) == 1
+        (query_span,) = roots
+        assert query_span.track == -1
+        assert query_span.parent_id is None
+        assert query_span.start == 0.0
+        assert query_span.end == pytest.approx(outcome.elapsed_seconds)
+
+    def test_node_spans_are_query_children(self, small_dist, sum_query):
+        tracer, outcome = traced("two_phase", small_dist, sum_query)
+        (query_span,) = tracer.spans_by_cat(QUERY)
+        node_spans = tracer.spans_by_cat(NODE)
+        assert len(node_spans) == small_dist.num_nodes
+        assert sorted(s.track for s in node_spans) == list(
+            range(small_dist.num_nodes)
+        )
+        for span in node_spans:
+            assert span.parent_id == query_span.span_id
+            assert span.end == pytest.approx(
+                outcome.metrics.node(span.track).finish_time
+            )
+
+    def test_phase_spans_nest_under_their_node(self, small_dist, sum_query):
+        tracer, _ = traced("two_phase", small_dist, sum_query)
+        by_id = {s.span_id: s for s in tracer.spans}
+        phases = tracer.spans_by_cat(PHASE)
+        assert phases, "algorithm bodies must emit phase spans"
+        assert {p.name for p in phases} == {
+            "local_aggregation", "flush_partials", "merge",
+        }
+        for phase in phases:
+            parent = by_id[phase.parent_id]
+            assert parent.cat == NODE
+            assert parent.track == phase.track
+
+    def test_parent_interval_contains_child(self, small_dist, full_query):
+        tracer, _ = traced("repartitioning", small_dist, full_query)
+        by_id = {s.span_id: s for s in tracer.spans}
+        tol = 1e-9
+        for span in tracer.spans:
+            assert span.end is not None, f"open span {span.name!r}"
+            assert span.start <= span.end + tol
+            if span.parent_id is None:
+                continue
+            parent = by_id[span.parent_id]
+            assert parent.start <= span.start + tol
+            assert span.end <= parent.end + tol
+
+    def test_no_open_spans_after_clean_run(self, small_dist, sum_query):
+        tracer, _ = traced("adaptive_two_phase", small_dist, sum_query)
+        assert tracer.open_spans() == []
+
+    def test_no_open_spans_after_crash_recovery(self, small_dist, sum_query):
+        tracer = Tracer()
+        plan = FaultPlan(seed=7, crashes=(CrashFault(2, after_tuples=120),))
+        run_algorithm(
+            "two_phase", small_dist, sum_query, faults=plan, tracer=tracer
+        )
+        assert tracer.open_spans() == []
+        # The crashed node's attempt leaves node_crash/crash_detected
+        # instants on the shared timeline.
+        names = {i["name"] for i in tracer.instants}
+        assert "node_crash" in names
+        assert "crash_detected" in names
+
+    def test_operator_spans_toggle(self, small_dist, sum_query):
+        with_ops, _ = traced("two_phase", small_dist, sum_query)
+        without, _ = traced(
+            "two_phase", small_dist, sum_query, operator_spans=False
+        )
+        assert with_ops.spans_by_cat(OPERATOR)
+        assert without.spans_by_cat(OPERATOR) == []
+        # Structure above the operator layer is unaffected.
+        assert len(without.spans_by_cat(PHASE)) == len(
+            with_ops.spans_by_cat(PHASE)
+        )
+
+
+class TestTimeShifting:
+    def test_time_offset_shifts_records(self):
+        tracer = Tracer()
+        tracer.time_offset = 10.0
+        span = tracer.begin("a", track=0, t=1.0)
+        tracer.instant("tick", 0, 1.5)
+        tracer.end(span, 2.0)
+        assert span.start == pytest.approx(11.0)
+        assert span.end == pytest.approx(12.0)
+        assert tracer.instants[0]["time"] == pytest.approx(11.5)
+
+    def test_track_map_renumbers_at_record_time(self):
+        tracer = Tracer()
+        tracer.track_map = {0: 3, 1: 5}
+        span = tracer.begin("a", track=0, t=0.0)
+        tracer.complete("op", 1, 0.0, 1.0)
+        tracer.instant("tick", 0, 0.5)
+        tracer.end(span, 1.0)
+        assert span.track == 3
+        assert tracer.spans[-1].track == 5
+        assert tracer.instants[0]["track"] == 3
+        # The cluster track is never remapped.
+        q = tracer.begin("q", track=-1, t=0.0)
+        tracer.end(q, 1.0)
+        assert q.track == -1
+
+    def test_recovery_spans_land_on_original_tracks(
+        self, small_dist, sum_query
+    ):
+        tracer = Tracer()
+        plan = FaultPlan(seed=7, crashes=(CrashFault(2, after_tuples=120),))
+        run_algorithm(
+            "two_phase", small_dist, sum_query, faults=plan, tracer=tracer
+        )
+        tracks = {s.track for s in tracer.spans}
+        # Attempt 2 runs 3 sim nodes, but their spans must appear on the
+        # surviving *original* node ids — never above the cluster size.
+        assert tracks <= set(range(-1, small_dist.num_nodes))
+        queries = tracer.spans_by_cat(QUERY)
+        assert len(queries) == 2  # one span per attempt, one timeline
+        first, second = sorted(queries, key=lambda s: s.start)
+        assert second.start >= first.end
+
+
+class TestNullTracer:
+    def test_noop_protocol(self):
+        null = NullTracer()
+        span = null.begin("a", track=0, t=0.0)
+        null.end(span, 1.0)
+        null.complete("b", 0, 0.0, 1.0)
+        null.instant("c", 0, 0.5)
+        null.close_all(2.0)
+        assert null.open_spans() == []
+        assert not null.enabled
