@@ -8,6 +8,8 @@ figure   regenerate a paper table/figure (writes results/<name>.csv)
 params   print a parameter preset (Table 1 or the Section 5 cluster)
 plan     ask the optimizer which algorithm to use
 trace    run one algorithm traced; write Chrome/Perfetto trace JSON
+explain  render a run's adaptive decisions, judged against ground truth
+bench    compare BENCH artifacts against the committed baseline
 """
 
 from __future__ import annotations
@@ -30,6 +32,10 @@ _NETWORKS = {
     "fast": NetworkKind.HIGH_BANDWIDTH,
     "ethernet": NetworkKind.LIMITED_BANDWIDTH,
 }
+
+
+class CliError(Exception):
+    """A user-facing failure rendered as one actionable line, no traceback."""
 
 def _lazy_extensions():
     from repro.bench import scaling, validation
@@ -114,7 +120,8 @@ def _build_query(args) -> AggregateQuery:
     return AggregateQuery(group_by=["gkey"], aggregates=aggs)
 
 
-def _run_one(name, dist, query, args, out, record_timeline=False):
+def _run_one(name, dist, query, args, out, record_timeline=False,
+             ledger=None):
     params = default_parameters(
         dist,
         network=_NETWORKS[args.network],
@@ -127,6 +134,7 @@ def _run_one(name, dist, query, args, out, record_timeline=False):
         params=params,
         record_timeline=record_timeline,
         pipeline=args.pipeline,
+        ledger=ledger,
     )
     switches = [
         e for e in outcome.switch_events() if e.what.startswith("switch")
@@ -142,13 +150,53 @@ def _run_one(name, dist, query, args, out, record_timeline=False):
     return outcome
 
 
+def _workload_dict(args) -> dict:
+    return {
+        "workload": args.workload,
+        "tuples": args.tuples,
+        "groups": args.groups,
+        "nodes": args.nodes,
+        "seed": args.seed,
+        "network": args.network,
+    }
+
+
 def _cmd_run(args, out) -> int:
     dist = _build_workload(args)
     query = _build_query(args)
+    ledger = None
+    if args.save_run:
+        from repro.obs.decisions import DecisionLedger
+
+        ledger = DecisionLedger()
     outcome = _run_one(
         args.algorithm, dist, query, args, out,
         record_timeline=args.timeline,
+        ledger=ledger,
     )
+    if args.save_run:
+        from repro.obs.decisions import run_artifact, write_run_json
+
+        params = default_parameters(
+            dist,
+            network=_NETWORKS[args.network],
+            hash_table_entries=args.table_entries,
+        )
+        doc = run_artifact(
+            args.algorithm, outcome, ledger, params,
+            workload=_workload_dict(args),
+        )
+        try:
+            write_run_json(doc, args.save_run)
+        except OSError as exc:
+            raise CliError(
+                f"cannot write run artifact to {args.save_run!r}: {exc}"
+            ) from exc
+        print(
+            f"wrote {args.save_run} (inspect with `repro explain "
+            f"{args.save_run}`)",
+            file=out,
+        )
     if args.timeline:
         print(outcome.render_timeline(), file=out)
     if args.verify:
@@ -192,10 +240,21 @@ def _cmd_trace(args, out) -> int:
         for problem in problems:
             print(f"schema problem: {problem}", file=out)
         return 1
-    write_chrome_trace(tracer, args.out, f"repro:{args.algorithm}")
+    try:
+        write_chrome_trace(tracer, args.out, f"repro:{args.algorithm}")
+    except OSError as exc:
+        raise CliError(
+            f"cannot write trace to {args.out!r}: {exc}; "
+            "check the output directory exists and is writable"
+        ) from exc
     print(f"wrote {args.out} (load in ui.perfetto.dev)", file=out)
     if args.jsonl:
-        write_jsonl(tracer, args.jsonl)
+        try:
+            write_jsonl(tracer, args.jsonl)
+        except OSError as exc:
+            raise CliError(
+                f"cannot write span log to {args.jsonl!r}: {exc}"
+            ) from exc
         print(f"wrote {args.jsonl}", file=out)
     summary = tracer.summary()
     print(
@@ -205,6 +264,204 @@ def _cmd_trace(args, out) -> int:
     )
     for phase_name, seconds in summary["phase_seconds"].items():
         print(f"  {phase_name:<24} {seconds:9.4f}s", file=out)
+    return 0
+
+
+def _load_run_file(path: str) -> dict:
+    """Load a ``repro-run/1`` artifact or raise a one-line CliError."""
+    from repro.obs.decisions import load_run_json
+
+    try:
+        return load_run_json(path)
+    except FileNotFoundError:
+        raise CliError(
+            f"run file {path!r} not found; produce one with "
+            f"`repro run --algorithm sampling --save-run {path}`"
+        ) from None
+    except IsADirectoryError:
+        raise CliError(
+            f"{path!r} is a directory, not a run artifact"
+        ) from None
+    except ValueError as exc:  # json decode errors and SchemaError
+        raise CliError(
+            f"run file {path!r} is not a valid repro-run/1 artifact: {exc}"
+        ) from exc
+    except OSError as exc:
+        raise CliError(f"cannot read run file {path!r}: {exc}") from exc
+
+
+def _cmd_explain(args, out) -> int:
+    from repro.obs.decisions import (
+        DecisionLedger,
+        render_explain,
+        run_artifact,
+    )
+
+    if args.run_file is not None:
+        doc = _load_run_file(args.run_file)
+        print(render_explain(doc), file=out)
+        return 0
+    if args.algorithm is None:
+        raise CliError(
+            "pass a saved run file or --algorithm to simulate one "
+            "(e.g. `repro explain --algorithm sampling`)"
+        )
+    from repro.costmodel import MODEL_FUNCTIONS
+
+    dist = _build_workload(args)
+    query = _build_query(args)
+    params = default_parameters(
+        dist,
+        network=_NETWORKS[args.network],
+        hash_table_entries=args.table_entries,
+    )
+    ledger = DecisionLedger()
+    tracer = None
+    if args.drift:
+        if args.algorithm not in MODEL_FUNCTIONS:
+            raise CliError(
+                f"no analytical cost model for {args.algorithm!r}; "
+                f"--drift supports {sorted(MODEL_FUNCTIONS)}"
+            )
+        from repro.obs import Tracer
+
+        tracer = Tracer(operator_spans=False)
+    outcome = run_algorithm(
+        args.algorithm,
+        dist,
+        query,
+        params=params,
+        pipeline=args.pipeline,
+        tracer=tracer,
+        ledger=ledger,
+    )
+    doc = run_artifact(
+        args.algorithm, outcome, ledger, params,
+        workload=_workload_dict(args),
+    )
+    drift_table = None
+    if args.drift:
+        from repro.obs.drift import compare_model_to_run, format_drift_table
+
+        selectivity = max(outcome.num_groups, 1) / max(params.num_tuples, 1)
+        report = compare_model_to_run(
+            args.algorithm, params, selectivity, outcome.metrics,
+            tracer=tracer,
+        )
+        drift_table = format_drift_table(report)
+    print(render_explain(doc, drift_table=drift_table), file=out)
+    if args.save_run:
+        from repro.obs.decisions import write_run_json
+
+        try:
+            write_run_json(doc, args.save_run)
+        except OSError as exc:
+            raise CliError(
+                f"cannot write run artifact to {args.save_run!r}: {exc}"
+            ) from exc
+        print(f"wrote {args.save_run}", file=out)
+    return 0
+
+
+def _cmd_bench_compare(args, out) -> int:
+    from repro.bench.regression import (
+        compare_to_baseline,
+        format_delta_table,
+        has_regression,
+    )
+
+    try:
+        deltas, missing = compare_to_baseline(
+            args.results_dir,
+            args.baseline,
+            threshold=args.threshold,
+            wall_threshold=args.wall_threshold,
+        )
+    except FileNotFoundError as exc:
+        raise CliError(
+            f"baseline not found: {exc}; seed one with "
+            "`repro bench baseline`"
+        ) from exc
+    except (ValueError, OSError) as exc:
+        raise CliError(f"cannot compare benches: {exc}") from exc
+    table = format_delta_table(
+        deltas, missing, only_interesting=not args.all_rows
+    )
+    print(table, file=out)
+    if args.out:
+        try:
+            with open(args.out, "w") as handle:
+                handle.write(
+                    format_delta_table(deltas, missing) + "\n"
+                )
+        except OSError as exc:
+            raise CliError(
+                f"cannot write delta table to {args.out!r}: {exc}"
+            ) from exc
+        print(f"wrote {args.out}", file=out)
+    if args.record:
+        import json as _json
+        import os as _os
+
+        from repro.bench.regression import (
+            append_trajectory,
+            trajectory_entry,
+        )
+
+        index_names = sorted(
+            set(d.bench for d in deltas)
+        )
+        docs = {}
+        for name in index_names:
+            path = _os.path.join(args.results_dir, f"BENCH_{name}.json")
+            with open(path) as handle:
+                docs[name] = _json.load(handle)
+        if docs:
+            append_trajectory(
+                args.baseline, trajectory_entry(args.label, docs)
+            )
+            print(
+                f"appended trajectory entry {args.label!r}", file=out
+            )
+    if missing:
+        print(
+            "FAIL: missing bench artifact(s): " + ", ".join(missing),
+            file=out,
+        )
+        return 1
+    if has_regression(deltas):
+        print("FAIL: regression beyond threshold", file=out)
+        return 1
+    print("bench gate: no regression beyond threshold", file=out)
+    return 0
+
+
+def _cmd_bench_baseline(args, out) -> int:
+    from repro.bench.regression import seed_baseline
+
+    names = [n.strip() for n in args.names.split(",") if n.strip()]
+    if not names:
+        raise CliError("--names must list at least one bench")
+    try:
+        seed_baseline(
+            args.results_dir,
+            args.baseline,
+            names,
+            threshold=args.threshold,
+            label=args.label,
+        )
+    except FileNotFoundError as exc:
+        raise CliError(
+            f"bench artifact not found: {exc}; run the benchmarks first "
+            "(pytest benchmarks/ emits results/BENCH_<name>.json)"
+        ) from exc
+    except (ValueError, OSError) as exc:
+        raise CliError(f"cannot seed baseline: {exc}") from exc
+    print(
+        f"seeded {args.baseline} from {len(names)} bench artifact(s): "
+        + ", ".join(names),
+        file=out,
+    )
     return 0
 
 
@@ -283,6 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--timeline", action="store_true",
         help="print a per-node activity Gantt chart",
     )
+    p_run.add_argument(
+        "--save-run", default=None, metavar="PATH",
+        help="record the decision ledger and write a repro-run/1 "
+        "artifact for `repro explain`",
+    )
     p_run.set_defaults(func=_cmd_run)
 
     p_trace = sub.add_parser(
@@ -306,6 +568,78 @@ def build_parser() -> argparse.ArgumentParser:
         help="record only query/node/phase spans (smaller traces)",
     )
     p_trace.set_defaults(func=_cmd_trace)
+
+    p_explain = sub.add_parser(
+        "explain",
+        help="render a run's adaptive decisions judged against truth",
+    )
+    p_explain.add_argument(
+        "run_file", nargs="?", default=None,
+        help="a saved repro-run/1 artifact (from --save-run); omit to "
+        "simulate a fresh run instead",
+    )
+    p_explain.add_argument(
+        "--algorithm", choices=sorted(ALGORITHMS), default=None,
+        help="simulate this algorithm and explain it (no run file)",
+    )
+    _add_workload_args(p_explain)
+    p_explain.add_argument(
+        "--drift", action="store_true",
+        help="append the predicted-vs-observed cost-model drift table",
+    )
+    p_explain.add_argument(
+        "--save-run", default=None, metavar="PATH",
+        help="also write the run artifact to PATH",
+    )
+    p_explain.set_defaults(func=_cmd_explain)
+
+    p_bench = sub.add_parser(
+        "bench", help="bench baseline / regression-gate commands"
+    )
+    bench_sub = p_bench.add_subparsers(dest="bench_command", required=True)
+    p_bcmp = bench_sub.add_parser(
+        "compare",
+        help="compare results/BENCH_*.json against the committed baseline",
+    )
+    p_bcmp.add_argument("--results-dir", default="results")
+    p_bcmp.add_argument("--baseline", default="results/baseline")
+    p_bcmp.add_argument(
+        "--threshold", type=float, default=None,
+        help="relative figure-cell increase that fails the gate "
+        "(default: the baseline index's threshold)",
+    )
+    p_bcmp.add_argument(
+        "--wall-threshold", type=float, default=None,
+        help="also gate wall_seconds_total at this relative increase "
+        "(off by default: CI wall clocks are noisy)",
+    )
+    p_bcmp.add_argument(
+        "--out", default=None, metavar="PATH",
+        help="write the full delta table to PATH (CI artifact)",
+    )
+    p_bcmp.add_argument(
+        "--all-rows", action="store_true",
+        help="print every compared cell, not just regressions/improvements",
+    )
+    p_bcmp.add_argument(
+        "--record", action="store_true",
+        help="append a trajectory entry for this comparison",
+    )
+    p_bcmp.add_argument("--label", default="compare")
+    p_bcmp.set_defaults(func=_cmd_bench_compare)
+    p_bbase = bench_sub.add_parser(
+        "baseline",
+        help="seed results/baseline/ from current BENCH artifacts",
+    )
+    p_bbase.add_argument("--results-dir", default="results")
+    p_bbase.add_argument("--baseline", default="results/baseline")
+    p_bbase.add_argument(
+        "--names", default="fig2,table1",
+        help="comma-separated bench names (BENCH_<name>.json)",
+    )
+    p_bbase.add_argument("--threshold", type=float, default=0.10)
+    p_bbase.add_argument("--label", default="seed")
+    p_bbase.set_defaults(func=_cmd_bench_baseline)
 
     p_cmp = sub.add_parser("compare", help="simulate every algorithm")
     _add_workload_args(p_cmp)
@@ -422,6 +756,9 @@ def main(argv=None, out=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.func(args, out)
+    except CliError as exc:
+        print(f"error: {exc}", file=out)
+        return 2
     except BrokenPipeError:
         # Piping into `head` and friends closes our stdout early; that
         # is the consumer's prerogative, not an error.

@@ -71,7 +71,11 @@ def adaptive_repartitioning_body(
             notice = yield ctx.try_recv(END_OF_PHASE)
             if notice is not None:
                 switching = True
-                ctx.log("end_of_phase_received", from_node=notice.src)
+                ctx.decision(
+                    "end_of_phase_received",
+                    ledger_only={"tuples_seen": tuples_seen},
+                    from_node=notice.src,
+                )
             if switching:
                 leftover_rows.extend(page_rows)
                 continue
@@ -88,8 +92,12 @@ def adaptive_repartitioning_body(
                         judged = True
                         if len(seen_keys) < switch_groups:
                             switching = True
-                            ctx.log(
+                            ctx.decision(
                                 "switch_to_two_phase",
+                                ledger_only={
+                                    "switch_groups": switch_groups,
+                                    "init_seg": init_seg,
+                                },
                                 tuples_seen=tuples_seen,
                                 groups_seen=len(seen_keys),
                             )

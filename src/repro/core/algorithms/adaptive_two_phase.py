@@ -101,8 +101,14 @@ def adaptive_scan(
                 mode = REPARTITION_MODE
                 if ctx.memory is not None:
                     ctx.memory.note_rung(RUNG_SWITCH)
-                ctx.log(
+                ctx.decision(
                     "switch_to_repartitioning",
+                    ledger_only={
+                        "table_capacity": table.max_entries,
+                        "memory_rung": (
+                            RUNG_SWITCH if ctx.memory is not None else None
+                        ),
+                    },
                     tuples_seen=aggregated + forwarded,
                     groups_accumulated=len(table),
                 )

@@ -305,6 +305,7 @@ def merge_phase(
         if bq.passes_having(row):
             results.append(row)
     yield from spill.drain()
+    ctx.record_groups(len(results))
     yield ctx.result_cpu(len(results))
     if results and not cfg.pipeline:
         pages = ctx.pages_of(len(results) * result_item_bytes(bq))

@@ -79,7 +79,11 @@ def optimized_two_phase_body(
             forwarded_total += forwarded
 
         if forwarded_total:
-            ctx.log("forwarded_on_overflow", tuples=forwarded_total)
+            ctx.decision(
+                "forwarded_on_overflow",
+                ledger_only={"table_capacity": table.max_entries},
+                tuples=forwarded_total,
+            )
         ctx.record_memory(len(table))
     with ctx.phase("flush_partials"):
         yield from flush_partials(ctx, bq, table.drain().items(), dst_of)

@@ -84,8 +84,13 @@ def sampling_body(
                     pooled[key] += count
             estimated = estimate_groups(pooled.elements(), cfg.estimator)
             choice = choose_algorithm(round(estimated), threshold)
-            ctx.log(
+            ctx.decision(
                 "sampling_decision",
+                ledger_only={
+                    "sample_size": total_sample,
+                    "sample_per_node": per_node,
+                    "sample_tuples_pooled": sum(pooled.values()),
+                },
                 distinct_in_sample=len(pooled),
                 estimated_groups=estimated,
                 estimator=cfg.estimator,

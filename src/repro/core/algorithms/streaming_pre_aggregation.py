@@ -149,8 +149,9 @@ def streaming_pre_aggregation_body(
                 yield ctx.result_cpu(evicted_count)
 
         if table.evictions:
-            ctx.log(
+            ctx.decision(
                 "evictions",
+                ledger_only={"table_entries": len(table)},
                 count=table.evictions,
                 hits=table.hits,
             )

@@ -103,6 +103,7 @@ def run_algorithm(
     record_timeline: bool = False,
     node_speed_factors=None,
     tracer=None,
+    ledger=None,
     **config_overrides,
 ) -> AlgorithmOutcome:
     """Simulate ``algorithm`` over ``dist`` and return the outcome.
@@ -115,7 +116,10 @@ def run_algorithm(
     ``factors[i]`` times the Table 1 rates.  ``tracer`` is an optional
     :class:`repro.obs.Tracer` that records the query → node → phase →
     operator span tree of the run; ``tracer=None`` (the default) keeps
-    the simulation bit-identical to an untraced run.
+    the simulation bit-identical to an untraced run.  ``ledger`` is an
+    optional :class:`repro.obs.DecisionLedger` that records every
+    adaptive decision (sampling choice, A-2P switch, A-Rep fallback) as
+    a typed event; like the tracer it is zero-cost when None.
     """
     try:
         body = ALGORITHM_BODIES[algorithm]
@@ -151,6 +155,7 @@ def run_algorithm(
             node_speed_factors=node_speed_factors,
             memory=config.memory,
             tracer=tracer,
+            ledger=ledger,
         )
         rows = []
         for node_rows in run.node_results:
@@ -180,6 +185,7 @@ def run_algorithm(
         node_speed_factors=node_speed_factors,
         memory=config.memory,
         tracer=tracer,
+        ledger=ledger,
     )
     rows: list[tuple] = []
     for node_rows in result.node_results:

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import enum
 import math
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, fields, replace
 
 
 class NetworkKind(enum.Enum):
@@ -220,6 +220,25 @@ class SystemParameters:
             num_nodes=num_nodes,
             num_tuples=max(1, round(per_node * num_nodes)),
         )
+
+    # --- serialization (run artifacts, ``repro explain``) -----------------
+
+    def to_dict(self) -> dict:
+        """A JSON-serializable snapshot (enums stored by value)."""
+        data = {
+            f.name: getattr(self, f.name) for f in fields(self)
+        }
+        data["network"] = self.network.value
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "SystemParameters":
+        """Rebuild a parameter set saved by :meth:`to_dict`."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in data.items() if k in known}
+        if "network" in kwargs:
+            kwargs["network"] = NetworkKind(kwargs["network"])
+        return cls(**kwargs)
 
 
 def tuples_for_pages(params: SystemParameters, num_pages: float) -> float:

@@ -28,9 +28,34 @@ benchmark harness all instrument themselves through this package:
     Worker-process self-profiling (wall/CPU time, max RSS) used by
     ``repro.parallel.mp_executor``.
 
-See ``docs/observability.md`` for the full tour.
+``repro.obs.decisions``
+    The decision ledger: every adaptive choice (sampling verdict, A-2P
+    switch, A-Rep fallback) as a typed event, annotated post-hoc with
+    ground truth and counterfactual model costs; rendered by
+    ``repro explain``.
+
+``repro.obs.drift``
+    Predicted-vs-observed joins between the cost models' per-family
+    breakdowns and measured runs (simulator or mp executor).
+
+See ``docs/observability.md`` and ``docs/decisions.md`` for the tour.
 """
 
+from repro.obs.decisions import (
+    DecisionEvent,
+    DecisionLedger,
+    annotate_ground_truth,
+    load_run_json,
+    render_explain,
+    run_artifact,
+    write_run_json,
+)
+from repro.obs.drift import (
+    DriftReport,
+    compare_model_to_mp,
+    compare_model_to_run,
+    format_drift_table,
+)
 from repro.obs.export import (
     to_chrome_trace,
     to_jsonl,
@@ -43,6 +68,17 @@ from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
+    "DecisionEvent",
+    "DecisionLedger",
+    "DriftReport",
+    "annotate_ground_truth",
+    "compare_model_to_mp",
+    "compare_model_to_run",
+    "format_drift_table",
+    "load_run_json",
+    "render_explain",
+    "run_artifact",
+    "write_run_json",
     "Gauge",
     "Histogram",
     "MetricsRegistry",

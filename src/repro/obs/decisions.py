@@ -1,0 +1,399 @@
+"""The decision ledger: every adaptive choice, typed and auditable.
+
+The paper's contribution is *decisions made at query evaluation time* —
+Samp's estimate-vs-threshold choice, A-2P's per-node overflow switch,
+A-Rep's end-of-phase broadcast.  PR 3's tracer shows *when* phases ran;
+this module records *why* the run took the shape it did:
+
+``DecisionLedger``
+    An opt-in sink (threaded through the engine exactly like the
+    tracer — ``ledger=None`` keeps every run bit-identical) collecting
+    one :class:`DecisionEvent` per adaptive choice.  Each event carries
+    the node, the simulated time, the decision's inputs (estimate,
+    threshold, tuples seen, table fill, memory rung, ``initSeg``
+    counts…) and, when a tracer is attached, the id of the span it was
+    made inside.
+
+``annotate_ground_truth``
+    Post-hoc enrichment: once a run finishes, the *true* group count is
+    known, so every decision can be judged — estimate error, which
+    branch the truth would have picked, and the counterfactual cost of
+    the branch not taken (via the Section 2–4 analytical models).  Each
+    judged event gets a verdict: ``correct``, ``wrong_but_cheap`` (the
+    decision disagreed with the truth but the chosen branch's model
+    cost was no worse), or ``wrong_and_costly``.
+
+``run_artifact`` / ``load_run_json``
+    A ``repro-run/1`` JSON artifact bundling the ledger with the run's
+    metrics and parameters, so ``repro explain <run.json>`` can render
+    the report long after the process that ran the query is gone.
+
+See ``docs/decisions.md`` for the schema and report format.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+RUN_SCHEMA = "repro-run/1"
+
+# Decision kinds with first-class annotation support.  Anything else a
+# node records still lands in the ledger verbatim — the ledger is a log,
+# not a whitelist.
+SAMPLING_DECISION = "sampling_decision"
+A2P_SWITCH = "switch_to_repartitioning"
+AREP_SWITCH = "switch_to_two_phase"
+AREP_ECHO = "end_of_phase_received"
+OPT2P_FORWARD = "forwarded_on_overflow"
+PREAGG_EVICTIONS = "evictions"
+
+VERDICT_CORRECT = "correct"
+VERDICT_WRONG_CHEAP = "wrong_but_cheap"
+VERDICT_WRONG_COSTLY = "wrong_and_costly"
+
+
+@dataclass
+class DecisionEvent:
+    """One adaptive choice made during a run.
+
+    ``data`` holds the decision's inputs as recorded at the site;
+    ``truth`` is filled in by :func:`annotate_ground_truth` after the
+    run, when the real group count is known.
+    """
+
+    kind: str
+    node: int
+    time: float
+    data: dict = field(default_factory=dict)
+    span_id: int | None = None
+    truth: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "kind": self.kind,
+            "node": self.node,
+            "time": self.time,
+            "data": dict(self.data),
+            "span_id": self.span_id,
+            "truth": dict(self.truth),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "DecisionEvent":
+        return cls(
+            kind=data["kind"],
+            node=int(data["node"]),
+            time=float(data["time"]),
+            data=dict(data.get("data") or {}),
+            span_id=data.get("span_id"),
+            truth=dict(data.get("truth") or {}),
+        )
+
+
+class DecisionLedger:
+    """Collects the adaptive decisions of one run.
+
+    Mirrors the tracer's recovery contract: ``time_offset`` shifts
+    recorded times and ``track_map`` renumbers node ids, so a
+    multi-attempt fault recovery logs one coherent decision history on
+    the *original* node ids.
+    """
+
+    enabled = True
+
+    def __init__(self) -> None:
+        self.events: list[DecisionEvent] = []
+        self.time_offset = 0.0
+        self.track_map: dict[int, int] = {}
+
+    def record(
+        self,
+        kind: str,
+        node: int,
+        time: float,
+        data: dict | None = None,
+        span_id: int | None = None,
+    ) -> DecisionEvent:
+        """Append one decision event (returns it for further annotation)."""
+        if node >= 0 and self.track_map:
+            node = self.track_map.get(node, node)
+        event = DecisionEvent(
+            kind=kind,
+            node=node,
+            time=time + self.time_offset,
+            data=dict(data) if data else {},
+            span_id=span_id,
+        )
+        self.events.append(event)
+        return event
+
+    def events_of(self, kind: str) -> list[DecisionEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def to_dicts(self) -> list[dict]:
+        return [e.to_dict() for e in self.events]
+
+    @classmethod
+    def from_dicts(cls, events: list[dict]) -> "DecisionLedger":
+        ledger = cls()
+        ledger.events = [DecisionEvent.from_dict(e) for e in events]
+        return ledger
+
+
+def _model_seconds(algorithm: str, params, selectivity: float) -> float | None:
+    """Analytical cost of one branch at the observed selectivity."""
+    from repro.costmodel import MODEL_FUNCTIONS, model_cost
+
+    if algorithm not in MODEL_FUNCTIONS:
+        return None
+    return model_cost(algorithm, params, selectivity).total_seconds
+
+
+def _true_selectivity(true_groups: int, params) -> float:
+    sel = max(true_groups, 1) / max(params.num_tuples, 1)
+    return min(max(sel, 1.0 / params.num_tuples), 1.0)
+
+
+def annotate_ground_truth(
+    ledger: DecisionLedger, true_groups: int, params
+) -> DecisionLedger:
+    """Judge every judgeable decision against the run's real group count.
+
+    ``true_groups`` is the number of groups the query actually produced
+    (``AlgorithmOutcome.num_groups``, or ``total_groups_output`` from a
+    saved metrics snapshot).  Fills each event's ``truth`` dict in
+    place and returns the ledger for chaining.
+    """
+    from repro.sampling.decision import choose_algorithm
+
+    selectivity = _true_selectivity(true_groups, params)
+    for event in ledger.events:
+        truth: dict = {"true_groups": true_groups}
+        if event.kind == SAMPLING_DECISION:
+            estimated = float(event.data.get("estimated_groups", 0.0))
+            threshold = int(event.data.get("threshold", 0))
+            choice = event.data.get("choice", "")
+            truth["estimate_abs_error"] = estimated - true_groups
+            truth["estimate_rel_error"] = (
+                (estimated - true_groups) / true_groups
+                if true_groups
+                else 0.0
+            )
+            if threshold > 0:
+                truth_choice = choose_algorithm(true_groups, threshold)
+                truth["truth_choice"] = truth_choice
+                truth["decision_correct"] = truth_choice == choice
+                alternative = (
+                    "repartitioning"
+                    if choice == "two_phase"
+                    else "two_phase"
+                )
+                chosen_cost = _model_seconds(choice, params, selectivity)
+                alt_cost = _model_seconds(alternative, params, selectivity)
+                truth["counterfactual"] = {
+                    "chosen": choice,
+                    "chosen_model_seconds": chosen_cost,
+                    "alternative": alternative,
+                    "alternative_model_seconds": alt_cost,
+                }
+                if truth_choice == choice:
+                    truth["verdict"] = VERDICT_CORRECT
+                elif (
+                    chosen_cost is not None
+                    and alt_cost is not None
+                    and chosen_cost <= alt_cost
+                ):
+                    truth["verdict"] = VERDICT_WRONG_CHEAP
+                else:
+                    truth["verdict"] = VERDICT_WRONG_COSTLY
+        elif event.kind == A2P_SWITCH:
+            capacity = event.data.get("table_entries")
+            if capacity is None:
+                capacity = params.hash_table_entries
+            truth["table_entries"] = capacity
+            # The switch is forced by a full table; it is *justified*
+            # when the relation genuinely has more groups than one
+            # node's table can hold.
+            truth["groups_exceed_capacity"] = true_groups > capacity
+            truth["verdict"] = (
+                VERDICT_CORRECT
+                if true_groups > capacity
+                else VERDICT_WRONG_CHEAP
+            )
+        elif event.kind == AREP_SWITCH:
+            switch_groups = event.data.get("switch_groups")
+            if switch_groups is not None:
+                correct = true_groups < int(switch_groups)
+                truth["decision_correct"] = correct
+                chosen_cost = _model_seconds(
+                    "two_phase", params, selectivity
+                )
+                alt_cost = _model_seconds(
+                    "repartitioning", params, selectivity
+                )
+                truth["counterfactual"] = {
+                    "chosen": "two_phase",
+                    "chosen_model_seconds": chosen_cost,
+                    "alternative": "repartitioning",
+                    "alternative_model_seconds": alt_cost,
+                }
+                if correct:
+                    truth["verdict"] = VERDICT_CORRECT
+                elif (
+                    chosen_cost is not None
+                    and alt_cost is not None
+                    and chosen_cost <= alt_cost
+                ):
+                    truth["verdict"] = VERDICT_WRONG_CHEAP
+                else:
+                    truth["verdict"] = VERDICT_WRONG_COSTLY
+        event.truth = truth
+    return ledger
+
+
+# -- run artifacts (``repro explain`` input) ------------------------------
+
+
+def run_artifact(
+    algorithm: str,
+    outcome,
+    ledger: DecisionLedger,
+    params,
+    workload: dict | None = None,
+) -> dict:
+    """Bundle a finished run into a ``repro-run/1`` document.
+
+    ``outcome`` is an :class:`~repro.core.runner.AlgorithmOutcome`;
+    ground truth is annotated here (the outcome knows the real group
+    count), so the artifact is self-contained.
+    """
+    annotate_ground_truth(ledger, outcome.num_groups, params)
+    return {
+        "schema": RUN_SCHEMA,
+        "algorithm": algorithm,
+        "elapsed_seconds": outcome.elapsed_seconds,
+        "num_groups": outcome.num_groups,
+        "params": params.to_dict(),
+        "workload": dict(workload) if workload else {},
+        "decisions": ledger.to_dicts(),
+        "metrics": outcome.metrics.to_dict(),
+    }
+
+
+def write_run_json(doc: dict, path: str) -> str:
+    """Validate and write a run artifact; returns the path."""
+    from repro.obs.schema import validate_or_raise
+
+    validate_or_raise(doc, "run", label=path)
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True, default=str)
+        handle.write("\n")
+    return path
+
+
+def load_run_json(path: str) -> dict:
+    """Read and validate a run artifact (raises SchemaError/OSError)."""
+    from repro.obs.schema import validate_or_raise
+
+    with open(path) as handle:
+        doc = json.load(handle)
+    validate_or_raise(doc, "run", label=path)
+    return doc
+
+
+# -- the explain report ---------------------------------------------------
+
+
+def _fmt_seconds(value) -> str:
+    if value is None:
+        return "n/a"
+    return f"{value:.4f}s"
+
+
+def _describe_event(event: DecisionEvent) -> list[str]:
+    lines = [
+        f"[{event.time:.4f}s] node {event.node}: {event.kind}"
+    ]
+    for key in sorted(event.data):
+        lines.append(f"    {key:<24} {event.data[key]}")
+    truth = event.truth
+    if not truth:
+        return lines
+    if "estimate_rel_error" in truth:
+        lines.append(
+            f"    {'true_groups':<24} {truth['true_groups']}"
+        )
+        lines.append(
+            "    {:<24} {:+.1%}".format(
+                "estimate_rel_error", truth["estimate_rel_error"]
+            )
+        )
+    if "truth_choice" in truth:
+        lines.append(
+            f"    {'truth_would_pick':<24} {truth['truth_choice']}"
+        )
+    if "groups_exceed_capacity" in truth:
+        lines.append(
+            "    {:<24} {} (true groups {} vs table {})".format(
+                "groups_exceed_capacity",
+                truth["groups_exceed_capacity"],
+                truth["true_groups"],
+                truth.get("table_entries"),
+            )
+        )
+    counterfactual = truth.get("counterfactual")
+    if counterfactual:
+        lines.append(
+            "    model cost: chosen {} = {}, alternative {} = {}".format(
+                counterfactual["chosen"],
+                _fmt_seconds(counterfactual["chosen_model_seconds"]),
+                counterfactual["alternative"],
+                _fmt_seconds(counterfactual["alternative_model_seconds"]),
+            )
+        )
+    if "verdict" in truth:
+        lines.append(f"    {'verdict':<24} {truth['verdict']}")
+    return lines
+
+
+def render_explain(doc: dict, drift_table: str | None = None) -> str:
+    """The human-readable ``repro explain`` report for a run artifact."""
+    params = doc.get("params", {})
+    lines = [
+        "== explain: {} on {} nodes ==".format(
+            doc.get("algorithm", "?"), params.get("num_nodes", "?")
+        ),
+        "elapsed {:.4f}s simulated, {} groups".format(
+            float(doc.get("elapsed_seconds", 0.0)),
+            doc.get("num_groups", "?"),
+        ),
+    ]
+    decisions = [
+        DecisionEvent.from_dict(e) for e in doc.get("decisions", [])
+    ]
+    if not decisions:
+        lines.append(
+            "no adaptive decisions recorded (the run never had to choose)"
+        )
+    else:
+        lines.append(f"{len(decisions)} decision(s):")
+        for event in decisions:
+            lines.extend(_describe_event(event))
+        verdicts: dict[str, int] = {}
+        for event in decisions:
+            verdict = event.truth.get("verdict")
+            if verdict:
+                verdicts[verdict] = verdicts.get(verdict, 0) + 1
+        if verdicts:
+            summary = ", ".join(
+                f"{count} {name}" for name, count in sorted(verdicts.items())
+            )
+            lines.append(f"verdicts: {summary}")
+    if drift_table:
+        lines.append("")
+        lines.append(drift_table)
+    return "\n".join(lines)

@@ -1,9 +1,13 @@
 """Dependency-free schema validation for exported artifacts.
 
-Two artifact families leave the repo: Chrome trace JSON (``repro trace``,
-the CLI) and ``BENCH_<name>.json`` (the benchmark harness).  CI and the
-tests validate both with the checkers here — hand-rolled on purpose, so
-validation works in any environment the code itself runs in.
+Six artifact families leave the repo: Chrome trace JSON (``repro
+trace``), ``BENCH_<name>.json`` (the benchmark harness), ``repro-run/1``
+run artifacts with the decision ledger (``repro explain``),
+``repro-drift/1`` predicted-vs-observed reports, the committed
+``results/baseline/INDEX.json`` bench baseline, and the appendable
+``TRAJECTORY.jsonl`` entries.  CI and the tests validate all of them
+with the checkers here — hand-rolled on purpose, so validation works in
+any environment the code itself runs in.
 
 Each validator returns a list of human-readable problems; an empty list
 means the document conforms.  ``validate_or_raise`` wraps that in a
@@ -13,6 +17,10 @@ means the document conforms.  ``validate_or_raise`` wraps that in a
 from __future__ import annotations
 
 BENCH_SCHEMA = "repro-bench/1"
+RUN_SCHEMA = "repro-run/1"
+DRIFT_SCHEMA = "repro-drift/1"
+BASELINE_SCHEMA = "repro-baseline/1"
+TRAJECTORY_SCHEMA = "repro-trajectory/1"
 
 _CHROME_PHASES = {"X", "i", "M", "B", "E"}
 
@@ -135,11 +143,164 @@ def validate_bench_json(doc) -> list[str]:
     return problems
 
 
+def validate_run_json(doc) -> list[str]:
+    """Problems in a ``repro-run/1`` decision-ledger artifact ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != RUN_SCHEMA:
+        problems.append(
+            f"schema must be {RUN_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("algorithm"), str) or not doc.get("algorithm"):
+        problems.append("algorithm must be a non-empty string")
+    if not _number(doc.get("elapsed_seconds")) or doc["elapsed_seconds"] < 0:
+        problems.append("elapsed_seconds must be a non-negative number")
+    num_groups = doc.get("num_groups")
+    if not isinstance(num_groups, int) or isinstance(num_groups, bool):
+        problems.append("num_groups must be an integer")
+    elif num_groups < 0:
+        problems.append("num_groups must be non-negative")
+    if not isinstance(doc.get("params"), dict):
+        problems.append("params must be an object")
+    if not isinstance(doc.get("metrics"), dict):
+        problems.append("metrics must be an object")
+    decisions = doc.get("decisions")
+    if not isinstance(decisions, list):
+        problems.append("decisions must be a list")
+        decisions = []
+    for i, event in enumerate(decisions):
+        where = f"decisions[{i}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(event.get("kind"), str) or not event.get("kind"):
+            problems.append(f"{where}: kind must be a non-empty string")
+        node = event.get("node")
+        if not isinstance(node, int) or isinstance(node, bool):
+            problems.append(f"{where}: node must be an integer")
+        if not _number(event.get("time")) or event["time"] < 0:
+            problems.append(f"{where}: time must be a non-negative number")
+        for key in ("data", "truth"):
+            if not isinstance(event.get(key), dict):
+                problems.append(f"{where}: {key} must be an object")
+        span_id = event.get("span_id")
+        if span_id is not None and (
+            not isinstance(span_id, int) or isinstance(span_id, bool)
+        ):
+            problems.append(f"{where}: span_id must be an integer or null")
+    return problems
+
+
+def validate_drift_json(doc) -> list[str]:
+    """Problems in a ``repro-drift/1`` report ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != DRIFT_SCHEMA:
+        problems.append(
+            f"schema must be {DRIFT_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("algorithm"), str) or not doc.get("algorithm"):
+        problems.append("algorithm must be a non-empty string")
+    if doc.get("substrate") not in ("sim", "mp"):
+        problems.append(
+            f"substrate must be 'sim' or 'mp', got {doc.get('substrate')!r}"
+        )
+    if not _number(doc.get("selectivity")):
+        problems.append("selectivity must be a number")
+    for key in ("predicted_total_seconds", "observed_total_seconds"):
+        if not _number(doc.get(key)) or doc[key] < 0:
+            problems.append(f"{key} must be a non-negative number")
+    records = doc.get("predicted_vs_observed")
+    if not isinstance(records, list):
+        problems.append("predicted_vs_observed must be a list")
+        records = []
+    for i, record in enumerate(records):
+        where = f"predicted_vs_observed[{i}]"
+        if not isinstance(record, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        if not isinstance(record.get("family"), str):
+            problems.append(f"{where}: family must be a string")
+        for key in ("predicted_seconds", "observed_seconds"):
+            if not _number(record.get(key)) or record[key] < 0:
+                problems.append(
+                    f"{where}: {key} must be a non-negative number"
+                )
+        rel = record.get("rel_error")
+        if rel is not None and not _number(rel):
+            problems.append(f"{where}: rel_error must be a number or null")
+    if not isinstance(doc.get("phase_seconds"), dict):
+        problems.append("phase_seconds must be an object")
+    return problems
+
+
+def validate_baseline_index(doc) -> list[str]:
+    """Problems in a ``results/baseline/INDEX.json`` document ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["top level must be an object"]
+    if doc.get("schema") != BASELINE_SCHEMA:
+        problems.append(
+            f"schema must be {BASELINE_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        problems.append("benches must be a non-empty object")
+        benches = {}
+    for name, filename in benches.items():
+        if not isinstance(filename, str) or not filename.endswith(".json"):
+            problems.append(
+                f"benches[{name!r}] must be a .json filename, "
+                f"got {filename!r}"
+            )
+    threshold = doc.get("threshold")
+    if threshold is not None and (
+        not _number(threshold) or threshold <= 0
+    ):
+        problems.append("threshold must be a positive number or absent")
+    return problems
+
+
+def validate_trajectory_entry(doc) -> list[str]:
+    """Problems in one ``TRAJECTORY.jsonl`` line ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["entry must be an object"]
+    if doc.get("schema") != TRAJECTORY_SCHEMA:
+        problems.append(
+            f"schema must be {TRAJECTORY_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    if not isinstance(doc.get("label"), str) or not doc.get("label"):
+        problems.append("label must be a non-empty string")
+    benches = doc.get("benches")
+    if not isinstance(benches, dict) or not benches:
+        problems.append("benches must be a non-empty object")
+        benches = {}
+    for name, summary in benches.items():
+        where = f"benches[{name!r}]"
+        if not isinstance(summary, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        for key in ("tests", "failed"):
+            value = summary.get(key)
+            if not isinstance(value, int) or isinstance(value, bool):
+                problems.append(f"{where}: {key} must be an integer")
+        if not _number(summary.get("wall_seconds_total")):
+            problems.append(f"{where}: wall_seconds_total must be a number")
+    return problems
+
+
 def validate_or_raise(doc, kind: str, label: str = "document") -> None:
     """Raise :class:`SchemaError` if ``doc`` fails the ``kind`` check."""
     validators = {
         "chrome": validate_chrome_trace,
         "bench": validate_bench_json,
+        "run": validate_run_json,
+        "drift": validate_drift_json,
+        "baseline": validate_baseline_index,
+        "trajectory": validate_trajectory_entry,
     }
     problems = validators[kind](doc)
     if problems:

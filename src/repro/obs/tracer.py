@@ -170,6 +170,18 @@ class Tracer:
 
     # -- inspection ---------------------------------------------------------
 
+    def current_span(self, track: int = -1) -> Span | None:
+        """The innermost open span on ``track`` (after track mapping).
+
+        Lets decision recorders link an event to the phase/operator span
+        it occurred under without threading span handles through the
+        algorithm bodies.
+        """
+        stack = self._stacks.get(self._map(track))
+        if stack:
+            return stack[-1]
+        return None
+
     def open_spans(self) -> list[Span]:
         """Spans begun but not yet ended (empty after a clean run)."""
         return [s for s in self.spans if s.end is None]
@@ -239,6 +251,9 @@ class NullTracer:
 
     def instant(self, name, track, t, **args) -> None:
         pass
+
+    def current_span(self, track=-1):
+        return None
 
     def open_spans(self) -> list:
         return []

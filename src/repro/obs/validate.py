@@ -2,11 +2,16 @@
 
 Usage::
 
-    python -m repro.obs.validate results/BENCH_*.json results/trace.json
+    python -m repro.obs.validate results/BENCH_*.json results/trace.json \
+        results/run.json results/baseline/INDEX.json \
+        results/baseline/TRAJECTORY.jsonl
 
 File kind is sniffed from the content: a top-level ``traceEvents`` key
-means Chrome trace, a ``schema`` key means bench JSON.  Exit code 0 when
-every file validates, 1 otherwise (problems printed per file).
+means Chrome trace; a ``schema`` key selects the matching validator
+(``repro-bench/1``, ``repro-run/1``, ``repro-drift/1``,
+``repro-baseline/1``); ``.jsonl`` files are validated line by line as
+trajectory entries.  Exit code 0 when every file validates, 1 otherwise
+(problems printed per file).
 """
 
 from __future__ import annotations
@@ -14,11 +19,53 @@ from __future__ import annotations
 import json
 import sys
 
-from repro.obs.schema import validate_bench_json, validate_chrome_trace
+from repro.obs.schema import (
+    BASELINE_SCHEMA,
+    DRIFT_SCHEMA,
+    RUN_SCHEMA,
+    TRAJECTORY_SCHEMA,
+    validate_baseline_index,
+    validate_bench_json,
+    validate_chrome_trace,
+    validate_drift_json,
+    validate_run_json,
+    validate_trajectory_entry,
+)
+
+_BY_SCHEMA = {
+    RUN_SCHEMA: validate_run_json,
+    DRIFT_SCHEMA: validate_drift_json,
+    BASELINE_SCHEMA: validate_baseline_index,
+    TRAJECTORY_SCHEMA: validate_trajectory_entry,
+}
+
+
+def _validate_jsonl(path: str) -> list[str]:
+    problems: list[str] = []
+    try:
+        with open(path) as handle:
+            lines = handle.read().splitlines()
+    except OSError as exc:
+        return [f"unreadable: {exc}"]
+    entries = [line for line in lines if line.strip()]
+    if not entries:
+        return ["no entries"]
+    for i, line in enumerate(entries):
+        try:
+            doc = json.loads(line)
+        except ValueError as exc:
+            problems.append(f"line {i + 1}: invalid JSON: {exc}")
+            continue
+        problems.extend(
+            f"line {i + 1}: {p}" for p in validate_trajectory_entry(doc)
+        )
+    return problems
 
 
 def validate_file(path: str) -> list[str]:
     """Problems in one artifact file ([] = valid)."""
+    if path.endswith(".jsonl"):
+        return _validate_jsonl(path)
     try:
         with open(path) as handle:
             doc = json.load(handle)
@@ -26,6 +73,8 @@ def validate_file(path: str) -> list[str]:
         return [f"unreadable: {exc}"]
     if isinstance(doc, dict) and "traceEvents" in doc:
         return validate_chrome_trace(doc)
+    if isinstance(doc, dict) and doc.get("schema") in _BY_SCHEMA:
+        return _BY_SCHEMA[doc["schema"]](doc)
     return validate_bench_json(doc)
 
 

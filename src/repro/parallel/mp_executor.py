@@ -566,4 +566,10 @@ def multiprocessing_aggregate(
     if metrics is not None:
         metrics.gauge("mp.elapsed_seconds", mode="max").set(obs.now())
         metrics.counter("mp.groups_output").inc(len(result))
+        # Worker-vs-merge wall split, consumed by the drift layer
+        # (repro.obs.drift.compare_model_to_mp).
+        metrics.gauge("mp.phase_seconds.local", mode="max").set(merge_start)
+        metrics.gauge("mp.phase_seconds.merge", mode="max").set(
+            obs.now() - merge_start
+        )
     return result

@@ -48,6 +48,7 @@ class Cluster:
         faults=None,
         memory=None,
         tracer=None,
+        ledger=None,
     ) -> RunResult:
         factories = list(program_factories)
         if len(factories) != self.params.num_nodes:
@@ -69,6 +70,7 @@ class Cluster:
             faults=faults,
             governor=governor,
             tracer=tracer,
+            ledger=ledger,
         )
         contexts = [
             NodeContext(

@@ -115,6 +115,7 @@ class Engine:
         faults=None,
         governor=None,
         tracer=None,
+        ledger=None,
     ) -> None:
         self.params = params
         self.network = network if network is not None else make_network(params)
@@ -122,6 +123,9 @@ class Engine:
         # Optional obs.Tracer; None = untraced, and every tracing hook
         # below short-circuits so the simulation is bit-identical.
         self.tracer = tracer
+        # Optional obs.DecisionLedger; None = unrecorded, and decision
+        # sites degrade to plain trace events (bit-identical runs).
+        self.ledger = ledger
         # Optional FaultRuntime (see repro.sim.faults); None = perfect
         # cluster, and every fault check below short-circuits.
         self.faults = faults
@@ -277,6 +281,36 @@ class Engine:
         if self.tracer is not None:
             self.tracer.instant(what, node_id, clock, **detail)
 
+    def decision(
+        self, node_id: int, what: str, extra: dict | None, detail: dict
+    ) -> None:
+        """Record an adaptive decision: a trace event plus a ledger entry.
+
+        The trace event carries exactly ``detail`` (byte-identical to the
+        pre-ledger ``ctx.log`` call); ``extra`` holds ledger-only context
+        (table capacities, memory rungs, sample sizes) that would bloat
+        the trace.  With ``ledger=None`` this *is* ``log()``.
+        """
+        self.log(node_id, what, **detail)
+        ledger = self.ledger
+        if ledger is None:
+            return
+        data = dict(detail)
+        if extra:
+            data.update(extra)
+        span_id = None
+        if self.tracer is not None:
+            span = self.tracer.current_span(node_id)
+            if span is not None:
+                span_id = getattr(span, "span_id", None)
+        ledger.record(
+            what,
+            node_id,
+            self._nodes[node_id].clock,
+            data=data,
+            span_id=span_id,
+        )
+
     def node_clock(self, node_id: int) -> float:
         return self._nodes[node_id].clock
 
@@ -285,6 +319,10 @@ class Engine:
         metrics = self._nodes[node_id].metrics
         if table_entries > metrics.peak_table_entries:
             metrics.peak_table_entries = table_entries
+
+    def record_groups(self, node_id: int, groups: int) -> None:
+        """Record how many result groups one node produced (ground truth)."""
+        self._nodes[node_id].metrics.groups_output += groups
 
     def record_scanned(self, node_id: int, tuples: int) -> None:
         """Count fragment tuples scanned; arms tuple-triggered crashes."""

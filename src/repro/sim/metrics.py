@@ -93,6 +93,15 @@ class ClusterMetrics:
         return sum(n.bytes_sent for n in self.nodes)
 
     @property
+    def total_groups_output(self) -> int:
+        """The true result group count (every body reports its merge output).
+
+        This is the ground truth the decision ledger compares sampling
+        estimates against — available without a second aggregation pass.
+        """
+        return sum(n.groups_output for n in self.nodes)
+
+    @property
     def total_retries(self) -> int:
         return sum(n.retries for n in self.nodes)
 
@@ -157,6 +166,7 @@ class ClusterMetrics:
             "total_spill_pages": self.total_spill_pages,
             "total_messages": self.total_messages,
             "total_bytes_sent": self.total_bytes_sent,
+            "total_groups_output": self.total_groups_output,
             "total_peak_table_entries": self.total_peak_table_entries,
             "total_retries": self.total_retries,
             "total_timeouts": self.total_timeouts,
@@ -184,6 +194,7 @@ class ClusterMetrics:
                     "peak_table_entries": n.peak_table_entries,
                     "finish_time": n.finish_time,
                     "tuples_scanned": n.tuples_scanned,
+                    "groups_output": n.groups_output,
                     "retries": n.retries,
                     "timeouts": n.timeouts,
                     "duplicates_dropped": n.duplicates_dropped,

@@ -110,6 +110,24 @@ class NodeContext:
         if self.engine is not None:
             self.engine.log(self.node_id, what, **detail)
 
+    def decision(
+        self, what: str, ledger_only: dict | None = None, **detail
+    ) -> None:
+        """Record an adaptive decision.
+
+        Emits exactly the trace event ``log(what, **detail)`` would
+        (so traced output is unchanged) and, when the run carries a
+        :class:`~repro.obs.decisions.DecisionLedger`, a ledger entry
+        with ``detail`` merged with ``ledger_only`` extras.
+        """
+        if self.engine is not None:
+            self.engine.decision(self.node_id, what, ledger_only, detail)
+
+    def record_groups(self, groups: int) -> None:
+        """Record result groups this node emitted (true-group ground truth)."""
+        if self.engine is not None:
+            self.engine.record_groups(self.node_id, groups)
+
     @contextmanager
     def phase(self, name: str, **args):
         """Span over an algorithm phase on this node's tracer track.

@@ -128,6 +128,7 @@ def run_resilient(
     node_speed_factors=None,
     memory=None,
     tracer=None,
+    ledger=None,
 ) -> ResilientRun:
     """Run ``program_for(ctx, fragment)`` per node, surviving crashes.
 
@@ -143,7 +144,9 @@ def run_resilient(
     each attempt the tracer's ``time_offset`` is set to the attempt's
     absolute start and its ``track_map`` to the sim-index → original
     node id mapping, so a crashed-and-recovered query exports as a
-    single coherent trace.
+    single coherent trace.  A ``ledger``
+    (:class:`~repro.obs.DecisionLedger`) gets the same treatment, so
+    decision events carry absolute times on original node ids.
     """
     num_original = len(fragments)
     if params.num_nodes != num_original:
@@ -197,6 +200,9 @@ def run_resilient(
         if tracer is not None:
             tracer.time_offset = base_time
             tracer.track_map = dict(enumerate(node_ids))
+        if ledger is not None:
+            ledger.time_offset = base_time
+            ledger.track_map = dict(enumerate(node_ids))
         try:
             result = cluster.run(
                 factories,
@@ -205,6 +211,7 @@ def run_resilient(
                 faults=schedule.runtime(node_ids),
                 memory=memory,
                 tracer=tracer,
+                ledger=ledger,
             )
         except NodeCrashedError as exc:
             records.append((list(node_ids), exc.metrics, base_time, exc.trace))

@@ -211,6 +211,206 @@ class TestParams:
         assert "2000000" in text
 
 
+class TestExplain:
+    def test_fresh_run_shows_judged_decision(self):
+        code, text = run_cli(
+            "explain",
+            "--algorithm", "sampling",
+            "--tuples", "8000",
+            "--groups", "2000",
+            "--nodes", "4",
+        )
+        assert code == 0
+        assert "sampling_decision" in text
+        assert "estimate_rel_error" in text
+        assert "verdict" in text
+
+    def test_drift_table_appended(self):
+        code, text = run_cli(
+            "explain",
+            "--algorithm", "sampling",
+            "--tuples", "4000",
+            "--groups", "100",
+            "--nodes", "4",
+            "--drift",
+        )
+        assert code == 0
+        assert "== drift: sampling (sim" in text
+        assert "base_io" in text
+
+    def test_drift_rejected_without_cost_model(self):
+        code, text = run_cli(
+            "explain",
+            "--algorithm", "streaming_pre_aggregation",
+            "--tuples", "2000",
+            "--groups", "50",
+            "--nodes", "2",
+            "--drift",
+        )
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_requires_file_or_algorithm(self):
+        code, text = run_cli("explain")
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_save_then_explain_roundtrip(self, tmp_path):
+        path = str(tmp_path / "run.json")
+        code, text = run_cli(
+            "run",
+            "--algorithm", "sampling",
+            "--tuples", "2000",
+            "--groups", "50",
+            "--nodes", "4",
+            "--save-run", path,
+        )
+        assert code == 0
+        assert path in text
+        code, text = run_cli("explain", path)
+        assert code == 0
+        assert "sampling_decision" in text
+
+    def test_missing_file_is_one_actionable_line(self):
+        code, text = run_cli("explain", "/no/such/run.json")
+        assert code == 2
+        assert text.startswith("error:")
+        assert "--save-run" in text  # tells the user how to make one
+        assert "Traceback" not in text
+        assert len(text.strip().splitlines()) == 1
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text("{this is not json")
+        code, text = run_cli("explain", str(bad))
+        assert code == 2
+        assert text.startswith("error:")
+        assert "Traceback" not in text
+
+    def test_wrong_schema_rejected(self, tmp_path):
+        notrun = tmp_path / "notrun.json"
+        notrun.write_text('{"schema": "repro-bench/1"}')
+        code, text = run_cli("explain", str(notrun))
+        assert code == 2
+        assert "not a valid repro-run/1 artifact" in text
+
+    def test_directory_rejected(self, tmp_path):
+        code, text = run_cli("explain", str(tmp_path))
+        assert code == 2
+        assert "directory" in text
+
+
+class TestTraceErrors:
+    def test_unwritable_out_is_one_line_error(self, tmp_path):
+        code, text = run_cli(
+            "trace",
+            "--algorithm", "two_phase",
+            "--tuples", "1000",
+            "--groups", "10",
+            "--nodes", "2",
+            "--out", str(tmp_path / "missing_dir" / "trace.json"),
+        )
+        assert code == 2
+        assert text.startswith("error:")
+        assert "Traceback" not in text
+
+
+class TestBenchGate:
+    def _seed(self, tmp_path):
+        import json as _json
+
+        doc = {
+            "schema": "repro-bench/1",
+            "name": "demo",
+            "tests": [],
+            "figures": [
+                {
+                    "figure": "fig_demo",
+                    "columns": ["selectivity", "two_phase"],
+                    "rows": [[0.01, 10.0]],
+                }
+            ],
+            "metrics": {
+                "tests": 0, "failed": 0, "figures": 1,
+                "wall_seconds_total": 1.0,
+            },
+        }
+        results = tmp_path / "results"
+        results.mkdir()
+        (results / "BENCH_demo.json").write_text(_json.dumps(doc))
+        code, text = run_cli(
+            "bench", "baseline",
+            "--results-dir", str(results),
+            "--baseline", str(results / "baseline"),
+            "--names", "demo",
+        )
+        assert code == 0, text
+        return results, doc
+
+    def test_clean_compare_exits_zero(self, tmp_path):
+        results, _ = self._seed(tmp_path)
+        code, text = run_cli(
+            "bench", "compare",
+            "--results-dir", str(results),
+            "--baseline", str(results / "baseline"),
+        )
+        assert code == 0
+        assert "no regression beyond threshold" in text
+
+    def test_injected_regression_exits_one(self, tmp_path):
+        import json as _json
+
+        results, doc = self._seed(tmp_path)
+        doc["figures"][0]["rows"] = [[0.01, 15.0]]  # +50%
+        (results / "BENCH_demo.json").write_text(_json.dumps(doc))
+        delta_path = tmp_path / "delta.txt"
+        code, text = run_cli(
+            "bench", "compare",
+            "--results-dir", str(results),
+            "--baseline", str(results / "baseline"),
+            "--out", str(delta_path),
+        )
+        assert code == 1
+        assert "regression" in text
+        # The delta artifact is written even when the gate fails.
+        assert "regression" in delta_path.read_text()
+
+    def test_missing_artifact_exits_one(self, tmp_path):
+        results, _ = self._seed(tmp_path)
+        (results / "BENCH_demo.json").unlink()
+        code, text = run_cli(
+            "bench", "compare",
+            "--results-dir", str(results),
+            "--baseline", str(results / "baseline"),
+        )
+        assert code == 1
+        assert "missing" in text
+
+    def test_missing_baseline_dir_is_usage_error(self, tmp_path):
+        code, text = run_cli(
+            "bench", "compare",
+            "--results-dir", str(tmp_path),
+            "--baseline", str(tmp_path / "nowhere"),
+        )
+        assert code == 2
+        assert text.startswith("error:")
+
+    def test_record_appends_trajectory(self, tmp_path):
+        results, _ = self._seed(tmp_path)
+        code, _ = run_cli(
+            "bench", "compare",
+            "--results-dir", str(results),
+            "--baseline", str(results / "baseline"),
+            "--record", "--label", "pr-check",
+        )
+        assert code == 0
+        lines = (
+            (results / "baseline" / "TRAJECTORY.jsonl")
+            .read_text().splitlines()
+        )
+        assert len(lines) == 2  # seed + the recorded compare
+
+
 class TestPlan:
     def test_no_estimate(self):
         code, text = run_cli("plan")

@@ -2,9 +2,10 @@
 
 import pytest
 
-from repro.costmodel import model_cost
+from repro.costmodel import MODEL_FUNCTIONS, model_cost
 from repro.costmodel.params import SystemParameters
 from repro.costmodel.report import (
+    _FAMILY_RULES,
     FAMILIES,
     breakdown_table,
     classify_component,
@@ -34,6 +35,26 @@ class TestClassification:
     def test_cpu_is_default(self):
         assert classify_component("select_cpu") == "cpu"
         assert classify_component("something_new") == "cpu"
+
+
+class TestModelCoverage:
+    @pytest.mark.parametrize("selectivity", [1e-6, 0.01, 0.5])
+    def test_every_component_classified_explicitly(self, params, selectivity):
+        """No model component may fall through to the default family.
+
+        ``classify_component`` defaults unknown names to "cpu"; a new
+        model component that silently lands there would corrupt the
+        family breakdowns (and the drift reports built on them) without
+        any test noticing.  Pin that every component name emitted by
+        every model matches an explicit rule.
+        """
+        needles = [n for _, group in _FAMILY_RULES for n in group]
+        for name in MODEL_FUNCTIONS:
+            breakdown = model_cost(name, params, selectivity)
+            for component in breakdown.components:
+                assert any(needle in component for needle in needles), (
+                    f"{name}.{component} falls through to default family"
+                )
 
 
 class TestFamilyBreakdown:

@@ -1,0 +1,268 @@
+"""Tests for the decision ledger: recording, ground truth, artifacts.
+
+The ledger is the audit trail of the paper's run-time choices; these
+tests pin that every adaptive site records its inputs, that post-hoc
+annotation judges decisions against the real group count (including the
+case where sampling genuinely picks the wrong branch), and that the
+``repro-run/1`` artifact roundtrips through disk.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.runner import ALGORITHMS, default_parameters, run_algorithm
+from repro.obs import (
+    DecisionLedger,
+    Tracer,
+    annotate_ground_truth,
+    load_run_json,
+    render_explain,
+    run_artifact,
+    write_run_json,
+)
+from repro.obs.decisions import (
+    A2P_SWITCH,
+    AREP_ECHO,
+    AREP_SWITCH,
+    DecisionEvent,
+    SAMPLING_DECISION,
+    VERDICT_CORRECT,
+    VERDICT_WRONG_CHEAP,
+    VERDICT_WRONG_COSTLY,
+)
+from repro.sim.faults import CrashFault, FaultPlan
+from repro.workloads.generator import generate_uniform, generate_zipf
+
+
+@pytest.fixture
+def many_groups_dist():
+    """Enough groups to overflow every node's table and trip switches."""
+    return generate_uniform(
+        num_tuples=8000, num_groups=2000, num_nodes=4, seed=3
+    )
+
+
+class TestRecording:
+    def test_sampling_records_decision_inputs(self, small_dist, sum_query):
+        ledger = DecisionLedger()
+        run_algorithm("sampling", small_dist, sum_query, ledger=ledger)
+        (event,) = ledger.events_of(SAMPLING_DECISION)
+        assert event.node == 0  # the coordinator decides
+        for key in (
+            "estimated_groups",
+            "estimator",
+            "threshold",
+            "choice",
+            "distinct_in_sample",
+            "sample_size",
+            "sample_per_node",
+        ):
+            assert key in event.data, key
+        assert event.data["choice"] in ("two_phase", "repartitioning")
+
+    def test_a2p_records_switches(self, many_groups_dist, sum_query):
+        ledger = DecisionLedger()
+        run_algorithm(
+            "adaptive_two_phase", many_groups_dist, sum_query, ledger=ledger
+        )
+        switches = ledger.events_of(A2P_SWITCH)
+        assert len(switches) == many_groups_dist.num_nodes
+        for event in switches:
+            assert event.data["tuples_seen"] >= 0
+            assert event.data["table_capacity"] > 0
+            assert event.data["groups_accumulated"] > 0
+
+    def test_arep_records_echo_and_switch(self, small_dist, sum_query):
+        # 16 groups on 4 nodes: A-Rep finishes its initSeg probe well
+        # under the switch threshold and falls back to Two Phase.
+        ledger = DecisionLedger()
+        run_algorithm(
+            "adaptive_repartitioning", small_dist, sum_query, ledger=ledger
+        )
+        switches = ledger.events_of(AREP_SWITCH)
+        assert switches, "expected the low-group fallback to fire"
+        for event in switches:
+            assert event.data["switch_groups"] > 0
+            assert event.data["init_seg"] > 0
+        assert ledger.events_of(AREP_ECHO)
+
+    def test_no_ledger_means_no_recording(self, small_dist, sum_query):
+        # Smoke-checks the None short-circuit path (parity is pinned
+        # separately in test_obs_parity.py).
+        outcome = run_algorithm("sampling", small_dist, sum_query)
+        assert outcome.num_groups == 16
+
+    def test_span_linkage(self, small_dist, sum_query):
+        ledger = DecisionLedger()
+        tracer = Tracer()
+        run_algorithm(
+            "sampling", small_dist, sum_query,
+            tracer=tracer, ledger=ledger,
+        )
+        (event,) = ledger.events_of(SAMPLING_DECISION)
+        assert event.span_id is not None
+        assert event.span_id in {
+            span.span_id for span in tracer.spans
+        }
+
+    def test_ledger_survives_fault_recovery(self, small_dist, sum_query):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "adaptive_repartitioning", small_dist, sum_query,
+            faults=FaultPlan(
+                seed=5, crashes=(CrashFault(1, after_tuples=150),)
+            ),
+            ledger=ledger,
+        )
+        assert outcome.num_groups == 16
+        assert len(ledger) > 0
+        # Recovery renumbers surviving nodes; recorded ids must stay in
+        # the original cluster's id space and times must be monotone
+        # across attempts (never negative after the offset).
+        for event in ledger.events:
+            assert 0 <= event.node < small_dist.num_nodes
+            assert event.time >= 0.0
+
+
+class TestGroundTruthMetric:
+    @pytest.mark.parametrize("algorithm", ALGORITHMS)
+    def test_total_groups_output_matches_result(
+        self, algorithm, small_dist, sum_query
+    ):
+        """The metrics' ground-truth group count equals the answer's."""
+        outcome = run_algorithm(algorithm, small_dist, sum_query)
+        assert outcome.metrics.total_groups_output == outcome.num_groups
+        assert (
+            outcome.metrics.to_dict()["total_groups_output"]
+            == outcome.num_groups
+        )
+
+
+class TestAnnotation:
+    def test_correct_sampling_decision(self, many_groups_dist, sum_query):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "sampling", many_groups_dist, sum_query, ledger=ledger
+        )
+        params = default_parameters(many_groups_dist)
+        annotate_ground_truth(ledger, outcome.num_groups, params)
+        (event,) = ledger.events_of(SAMPLING_DECISION)
+        truth = event.truth
+        assert truth["true_groups"] == outcome.num_groups
+        assert truth["truth_choice"] == "repartitioning"
+        assert truth["decision_correct"] is True
+        assert truth["verdict"] == VERDICT_CORRECT
+        counterfactual = truth["counterfactual"]
+        assert counterfactual["chosen"] == "repartitioning"
+        assert counterfactual["alternative"] == "two_phase"
+        assert counterfactual["chosen_model_seconds"] > 0
+        assert counterfactual["alternative_model_seconds"] > 0
+
+    def test_wrong_branch_under_skew(self, sum_query):
+        """Heavy skew fools the estimator into the wrong branch.
+
+        A Zipf(2.5) relation hides most of its 3000 groups in the tail:
+        the pooled sample sees ~34 distinct keys, below the threshold of
+        40, so Samp picks Two Phase even though the true group count is
+        75x the threshold.  The annotation must call this out.
+        """
+        dist = generate_zipf(
+            num_tuples=20000, num_groups=3000, num_nodes=4,
+            alpha=2.5, seed=7,
+        )
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "sampling", dist, sum_query, ledger=ledger,
+            sample_multiplier=0.25,
+        )
+        (event,) = ledger.events_of(SAMPLING_DECISION)
+        assert event.data["estimated_groups"] < event.data["threshold"]
+        assert event.data["choice"] == "two_phase"
+        assert outcome.num_groups == 3000
+
+        annotate_ground_truth(
+            ledger, outcome.num_groups, default_parameters(dist)
+        )
+        truth = event.truth
+        assert truth["decision_correct"] is False
+        assert truth["truth_choice"] == "repartitioning"
+        assert truth["estimate_rel_error"] < -0.9
+        assert truth["verdict"] in (
+            VERDICT_WRONG_CHEAP, VERDICT_WRONG_COSTLY
+        )
+
+    def test_a2p_switch_judged_against_capacity(
+        self, many_groups_dist, sum_query
+    ):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "adaptive_two_phase", many_groups_dist, sum_query, ledger=ledger
+        )
+        annotate_ground_truth(
+            ledger, outcome.num_groups, default_parameters(many_groups_dist)
+        )
+        for event in ledger.events_of(A2P_SWITCH):
+            assert event.truth["groups_exceed_capacity"] is True
+            assert event.truth["verdict"] == VERDICT_CORRECT
+
+
+class TestRunArtifact:
+    def test_roundtrip_through_disk(
+        self, many_groups_dist, sum_query, tmp_path
+    ):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "sampling", many_groups_dist, sum_query, ledger=ledger
+        )
+        params = default_parameters(many_groups_dist)
+        doc = run_artifact(
+            "sampling", outcome, ledger, params,
+            workload={"kind": "uniform", "num_tuples": 8000},
+        )
+        path = str(tmp_path / "run.json")
+        write_run_json(doc, path)
+        loaded = load_run_json(path)
+        assert loaded["schema"] == "repro-run/1"
+        assert loaded["algorithm"] == "sampling"
+        assert loaded["num_groups"] == outcome.num_groups
+        assert loaded["decisions"] == doc["decisions"]
+        assert loaded["params"]["num_nodes"] == params.num_nodes
+
+    def test_event_dict_roundtrip(self):
+        event = DecisionEvent(
+            kind=SAMPLING_DECISION, node=0, time=1.5,
+            data={"estimated_groups": 12.0}, span_id=7,
+            truth={"verdict": VERDICT_CORRECT},
+        )
+        assert DecisionEvent.from_dict(event.to_dict()) == event
+        ledger = DecisionLedger.from_dicts([event.to_dict()])
+        assert len(ledger) == 1
+        assert ledger.events[0].span_id == 7
+
+    def test_render_explain_shows_judgement(
+        self, many_groups_dist, sum_query
+    ):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "sampling", many_groups_dist, sum_query, ledger=ledger
+        )
+        doc = run_artifact(
+            "sampling", outcome, ledger, default_parameters(many_groups_dist)
+        )
+        text = render_explain(doc)
+        assert "sampling_decision" in text
+        assert "estimate_rel_error" in text
+        assert "truth_would_pick" in text
+        assert "model cost: chosen" in text
+        assert "verdicts: 1 correct" in text
+
+    def test_render_explain_without_decisions(self, small_dist, sum_query):
+        ledger = DecisionLedger()
+        outcome = run_algorithm(
+            "two_phase", small_dist, sum_query, ledger=ledger
+        )
+        doc = run_artifact(
+            "two_phase", outcome, ledger, default_parameters(small_dist)
+        )
+        assert "no adaptive decisions" in render_explain(doc)

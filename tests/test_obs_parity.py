@@ -13,7 +13,7 @@ import json
 import pytest
 
 from repro.core.runner import ALGORITHMS, run_algorithm
-from repro.obs import MetricsRegistry, Tracer
+from repro.obs import DecisionLedger, MetricsRegistry, Tracer
 from repro.parallel import multiprocessing_aggregate
 from repro.sim.faults import CrashFault, FaultPlan, Straggler
 
@@ -35,6 +35,43 @@ def test_tracing_off_vs_on_bit_identical(algorithm, small_dist, full_query):
         algorithm, small_dist, full_query, tracer=Tracer()
     )
     assert fingerprint(plain) == fingerprint(traced)
+
+
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_ledger_off_vs_on_bit_identical(algorithm, small_dist, full_query):
+    """The decision ledger is observe-only: attaching it changes nothing."""
+    plain = run_algorithm(algorithm, small_dist, full_query)
+    with_ledger = run_algorithm(
+        algorithm, small_dist, full_query, ledger=DecisionLedger()
+    )
+    assert fingerprint(plain) == fingerprint(with_ledger)
+
+
+def test_ledger_and_tracer_together_bit_identical(small_dist, full_query):
+    plain = run_algorithm("sampling", small_dist, full_query)
+    observed = run_algorithm(
+        "sampling", small_dist, full_query,
+        tracer=Tracer(), ledger=DecisionLedger(),
+    )
+    assert fingerprint(plain) == fingerprint(observed)
+
+
+def test_ledger_parity_under_faults(small_dist, sum_query):
+    def plan():
+        return FaultPlan(
+            seed=9,
+            crashes=(CrashFault(1, after_tuples=150),),
+            message_loss=0.05,
+        )
+
+    plain = run_algorithm(
+        "adaptive_two_phase", small_dist, sum_query, faults=plan()
+    )
+    observed = run_algorithm(
+        "adaptive_two_phase", small_dist, sum_query, faults=plan(),
+        ledger=DecisionLedger(),
+    )
+    assert fingerprint(plain) == fingerprint(observed)
 
 
 def test_tracing_parity_under_faults(small_dist, sum_query):
