@@ -286,12 +286,9 @@ def merge_phase(
         items = msg.payload
         yield ctx.merge_cpu(len(items))
         if msg.kind == PARTIALS:
-            for key, state in items:
-                agg.add_partial(key, state)
+            agg.add_partials(items)
         elif msg.kind == RAW:
-            for projected in items:
-                key, values = bq.split_projected(projected)
-                agg.add_values(key, values)
+            agg.add_projected(items, bq)
         else:
             raise RuntimeError(
                 f"merge phase got unexpected message kind {msg.kind!r}"
@@ -314,10 +311,20 @@ def merge_phase(
 
 
 def merge_destination(ctx: NodeContext):
-    """The hash-partitioning function routing a group key to its merger."""
+    """The hash-partitioning function routing a group key to its merger.
+
+    Memoized per distinct key: grouped inputs route millions of tuples
+    through a handful of keys, so caching the bucket turns the per-tuple
+    FNV hash into a dict hit with identical assignments.
+    """
     n = ctx.num_nodes
+    cache: dict = {}
+    cache_get = cache.get
 
     def dst_of(key) -> int:
-        return bucket_of(key, n)
+        dst = cache_get(key)
+        if dst is None:
+            dst = cache[key] = bucket_of(key, n)
+        return dst
 
     return dst_of

@@ -47,12 +47,7 @@ def local_aggregation_phase(
         if io is not None:
             yield io
         yield ctx.select_cpu(len(page_rows))
-        matched = 0
-        for row in page_rows:
-            if not bq.matches(row):
-                continue
-            matched += 1
-            agg.add_values(bq.key_of(row), bq.values_of(row))
+        matched = agg.add_rows(page_rows, bq)
         yield ctx.local_agg_cpu(matched)
         yield from spill.drain()
     ctx.record_memory(agg.in_memory_groups)

@@ -259,6 +259,73 @@ class HashAggregator:
         elif not self._table.add_partial(key, partial):
             self._spill(("p", key, partial))
 
+    # -- batch entry points --------------------------------------------------
+    #
+    # The batch paths absorb whole row batches with the per-row dispatch
+    # hoisted out: resident-key updates and ungoverned not-full inserts run
+    # inline; anything that could seal, spill, or touch the governor
+    # delegates to the per-item methods above, so sealed/spill/budget
+    # semantics (and therefore results) are exactly the per-row path's.
+
+    def _absorb_kv(self, pairs) -> None:
+        bounded = self._table
+        table = bounded._table
+        get = table.get
+        factory = self._state_factory
+        slow_add = self.add_values
+        fast = bounded._account is None
+        max_entries = bounded.max_entries
+        for key, values in pairs:
+            state = get(key)
+            if state is not None:
+                state.update(values)
+            elif fast and not self._sealed and len(table) < max_entries:
+                state = factory()
+                table[key] = state
+                state.update(values)
+            else:
+                slow_add(key, values)
+
+    def add_rows(self, rows, bq, apply_where: bool = True) -> int:
+        """Absorb a batch of raw rows; returns how many passed WHERE.
+
+        ``rows`` is any iterable of tuples (a page, a decoded
+        :class:`~repro.storage.rowblock.RowBlock`, …).  Set
+        ``apply_where=False`` when the input is already filtered (e.g. a
+        select operator upstream).
+        """
+        if apply_where and bq.query.where is not None:
+            matches = bq.matches
+            rows = [row for row in rows if matches(row)]
+        elif not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        key_of = bq.key_of
+        values_of = bq.values_of
+        self._absorb_kv([(key_of(row), values_of(row)) for row in rows])
+        return len(rows)
+
+    def add_projected(self, items, bq) -> None:
+        """Absorb a batch of projected tuples (key columns + agg inputs)."""
+        k = len(bq.key_indexes)
+        self._absorb_kv([(p[:k], p[k:]) for p in items])
+
+    def add_partials(self, items) -> None:
+        """Merge a batch of (key, GroupState) partials."""
+        bounded = self._table
+        table = bounded._table
+        get = table.get
+        slow_add = self.add_partial
+        fast = bounded._account is None
+        max_entries = bounded.max_entries
+        for key, partial in items:
+            state = get(key)
+            if state is not None:
+                state.merge(partial)
+            elif fast and not self._sealed and len(table) < max_entries:
+                table[key] = partial.copy()
+            else:
+                slow_add(key, partial)
+
     def finish(self):
         """Yield every (key, GroupState), processing overflow buckets.
 

@@ -24,11 +24,42 @@ over the network when tuples are repartitioned.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from operator import itemgetter
 
 from repro.core.aggregates import AggregateSpec
 from repro.storage.schema import Schema
 
 _SCALAR_KEY = ()
+
+
+def _key_getter(key_idx: tuple[int, ...]):
+    """A specialized ``row -> key tuple`` closure for one index layout.
+
+    Equivalent to ``tuple(row[i] for i in key_idx)`` but without building
+    a generator per row — the single-column and multi-column shapes run
+    at C speed (tuple display / itemgetter).
+    """
+    if not key_idx:
+        return lambda row: _SCALAR_KEY
+    if len(key_idx) == 1:
+        k = key_idx[0]
+        return lambda row: (row[k],)
+    return itemgetter(*key_idx)
+
+
+def _values_getter(agg_idx: tuple):
+    """A specialized ``row -> aggregate inputs`` closure (None ⇒ COUNT(*)'s
+    sentinel 1), same shapes as :func:`_key_getter`."""
+    if any(i is None for i in agg_idx):
+        if all(i is None for i in agg_idx):
+            ones = (1,) * len(agg_idx)
+            return lambda row: ones
+        idx = tuple(agg_idx)
+        return lambda row: tuple(1 if i is None else row[i] for i in idx)
+    if len(agg_idx) == 1:
+        a = agg_idx[0]
+        return lambda row: (row[a],)
+    return itemgetter(*agg_idx)
 
 
 @dataclass(frozen=True)
@@ -100,6 +131,21 @@ class BoundQuery:
             for spec in self.query.aggregates
         )
         self._names = self.schema.names()
+        # Shadow the methods below with shape-specialized closures: every
+        # hot loop calling ``bq.key_of(row)`` gets the fast path without
+        # changing a call site.
+        self.key_of = _key_getter(self._key_idx)
+        self.values_of = _values_getter(self._agg_idx)
+
+    @property
+    def key_indexes(self) -> tuple[int, ...]:
+        """Schema positions of the GROUP BY columns (for block key access)."""
+        return self._key_idx
+
+    @property
+    def agg_indexes(self) -> tuple:
+        """Schema positions of the aggregate inputs; None means COUNT(*)."""
+        return self._agg_idx
 
     def key_of(self, row) -> tuple:
         """The grouping key of a row; ``()`` for scalar aggregation."""

@@ -134,6 +134,59 @@ class SortAggregator:
     def add_partial(self, key, partial) -> None:
         self._absorb(key, partial, is_partial=True)
 
+    # -- batch entry points --------------------------------------------------
+    #
+    # Same contract as HashAggregator's: resident-key updates and
+    # ungoverned not-full inserts run inline, everything else delegates to
+    # _absorb.  _absorb can emit a run, which REBINDS self._current, so the
+    # local dict alias must be refreshed after every delegation.
+
+    def _absorb_kv_batch(self, pairs, is_partial: bool) -> None:
+        factory = self._state_factory
+        governed = self._account is not None
+        max_entries = self._max_entries
+        current = self._current
+        get = current.get
+        for key, item in pairs:
+            state = get(key)
+            if state is None:
+                if governed or len(current) >= max_entries:
+                    self._absorb(key, item, is_partial)
+                    current = self._current
+                    get = current.get
+                    continue
+                state = factory()
+                current[key] = state
+            if is_partial:
+                state.merge(item)
+            else:
+                state.update(item)
+
+    def add_rows(self, rows, bq, apply_where: bool = True) -> int:
+        """Absorb a batch of raw rows; returns how many passed WHERE."""
+        if apply_where and bq.query.where is not None:
+            matches = bq.matches
+            rows = [row for row in rows if matches(row)]
+        elif not isinstance(rows, (list, tuple)):
+            rows = list(rows)
+        key_of = bq.key_of
+        values_of = bq.values_of
+        self._absorb_kv_batch(
+            [(key_of(row), values_of(row)) for row in rows], is_partial=False
+        )
+        return len(rows)
+
+    def add_projected(self, items, bq) -> None:
+        """Absorb a batch of projected tuples (key columns + agg inputs)."""
+        k = len(bq.key_indexes)
+        self._absorb_kv_batch(
+            [(p[:k], p[k:]) for p in items], is_partial=False
+        )
+
+    def add_partials(self, items) -> None:
+        """Merge a batch of (key, GroupState) partials."""
+        self._absorb_kv_batch(items, is_partial=True)
+
     def _release_current(self) -> None:
         if self._account is not None:
             self._account.release(len(self._current) * self._entry_bytes)

@@ -6,10 +6,24 @@ partial-aggregate states compose across *real* process boundaries — the
 states are picklable by construction — while the simulator remains the
 source of timing results (see DESIGN.md on the GIL/1-core substitution).
 
-Dispatch is per-job (one worker process per fragment attempt, at most
-``processes`` in flight) rather than a bare ``pool.map``, so the parent
-can detect a worker that raises, dies, or exceeds ``timeout`` seconds and
-retry that one fragment up to ``max_retries`` times.  A fragment that
+Dispatch (``strategy="pool"``, the default) runs through a persistent
+worker pool: workers are forked once and reused across fragments, retries
+and runs, and each fragment's rows travel as one fixed-width
+:class:`~repro.storage.RowBlock` encoding in a ``repro_mp_``-named
+``multiprocessing.shared_memory`` segment — only a small job descriptor
+(segment name, row count, query, schema) is pickled over the pipe.  When
+the query has no WHERE predicate and the caller did not substitute a
+``phase_fn``, rows are projected to the key + aggregate columns before
+encoding, so an evaluation-schema tuple ships 16 of its 100 bytes.
+Segments are owned by the parent and unlinked on *every* exit path
+(success, worker error, timeout, dead worker, FragmentFailedError).
+``strategy="spawn"`` keeps the pre-pool dispatch — one freshly spawned
+process per fragment attempt with the whole row list pickled to it — as
+the comparison baseline for ``benchmarks/bench_throughput.py``.
+
+Either way the parent detects a worker that raises, dies, or exceeds
+``timeout`` seconds and retries that one fragment (in a fresh or
+replacement worker) up to ``max_retries`` times.  A fragment that
 still fails raises :class:`FragmentFailedError` carrying the partial
 progress (every fragment that *did* complete) — the executor never hangs
 on a dead or wedged worker.
@@ -21,10 +35,14 @@ test suite stays fast everywhere.
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing
 import os
+import secrets
+import struct
 import time
 from collections import deque
+from multiprocessing import resource_tracker, shared_memory
 from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.aggregates import GroupState
@@ -33,8 +51,13 @@ from repro.obs.profile import WorkerProfile, profile_finish, profile_start
 from repro.obs.tracer import PHASE as _CAT_PHASE
 from repro.resources.governor import MemoryExceededError
 from repro.storage.relation import DistributedRelation
+from repro.storage.serialization import RowCodec
 
 _JOIN_GRACE_SECONDS = 5.0
+
+# Every executor-owned shared-memory segment uses this name prefix, so
+# leaked segments are countable (tests/test_mp_shm.py greps /dev/shm).
+SHM_PREFIX = "repro_mp_"
 
 # Accounting for the per-fragment memory budget: one resident group costs
 # roughly its projected attributes plus running-state overhead.
@@ -186,6 +209,511 @@ def _child_main(fn, job, conn) -> None:
         return
     conn.send(("ok", result, profile_finish(started)))
     conn.close()
+
+
+# -- shared-memory row-block transfer ----------------------------------------
+
+_NP_FORMATS = {"int": "<i8", "float": "<f8"}
+
+
+def _block_dtype(schema):
+    """The numpy structured dtype matching RowCodec's packed layout, or
+    None when numpy is unavailable (str columns become opaque void
+    fields, so any schema maps)."""
+    try:
+        import numpy as np
+    except ImportError:  # pragma: no cover - numpy is a test/bench dep
+        return None
+    return np.dtype(
+        {
+            "names": [c.name for c in schema.columns],
+            "formats": [
+                _NP_FORMATS.get(c.kind, f"V{c.size_bytes}")
+                for c in schema.columns
+            ],
+        }
+    )
+
+
+def _encode_rows_columnwise(rows, schema, idx=None):
+    """Row-block encoding via one numpy array fill per column.
+
+    ``idx`` maps schema column ``i`` to source-row position ``idx[i]``,
+    so projection happens during column extraction — the projected
+    tuples are never materialized.  ~4x faster than per-row struct
+    packing for the numeric schemas the executor ships.  Returns None
+    when the shape is outside the fast subset (str columns, values a C
+    int64/double cannot hold, no numpy) — the caller then falls back to
+    ``RowCodec.encode_many``.
+    """
+    if any(c.kind == "str" for c in schema.columns):
+        return None
+    dtype = _block_dtype(schema)
+    if dtype is None:
+        return None
+    try:
+        import numpy as np
+
+        arr = np.empty(len(rows), dtype=dtype)
+        for i, col in enumerate(schema.columns):
+            j = i if idx is None else idx[i]
+            values = np.asarray([row[j] for row in rows])
+            if col.kind == "int" and values.dtype.kind != "i":
+                return None  # bools/objects: let struct decide exactness
+            if col.kind == "float":
+                values = values.astype("<f8", copy=False)
+            arr[col.name] = values
+        return arr.tobytes()
+    except (OverflowError, TypeError, ValueError, IndexError):
+        return None
+
+
+def _projection_for(query: AggregateQuery, schema):
+    """(subschema, column indexes) shipping only key + aggregate columns.
+
+    Returns None when projection is unsafe or useless: a WHERE predicate
+    may read any column, and a COUNT(*)-only query has no needed columns
+    (an empty schema cannot exist — ship the full rows).
+    """
+    if query.where is not None:
+        return None
+    used = set(query.group_by)
+    used.update(
+        spec.column for spec in query.aggregates if spec.column is not None
+    )
+    needed = [c.name for c in schema.columns if c.name in used]
+    if not needed or len(needed) == len(schema.columns):
+        return None
+    return schema.project(needed), schema.indexes_of(needed)
+
+
+def _encode_fragment(rows, query, schema, segments: list, project: bool = True):
+    """Encode one fragment into a shared-memory segment; returns the job
+    descriptor for the pool worker.
+
+    The descriptor is ``("shm", name, num_rows, query, schema)`` — the
+    segment (appended to ``segments``, which the caller owns and unlinks)
+    holds the fragment's fixed-width row-block encoding.  Rows the codec
+    cannot encode (a value wider than its column) fall back to an
+    ``("inline", job)`` descriptor pickled over the pipe, preserving the
+    legacy behavior for them.  ``project=False`` ships the full rows —
+    required when a substituted ``phase_fn`` inspects raw tuples.
+    """
+    proj = None if not (rows and project) else _projection_for(query, schema)
+    if proj is not None:
+        ship_schema, idx = proj
+    else:
+        ship_schema, idx = schema, None
+    data = _encode_rows_columnwise(rows, ship_schema, idx)
+    if data is None:
+        if idx is not None:
+            if len(idx) == 1:
+                k = idx[0]
+                rows = [(row[k],) for row in rows]
+            else:
+                rows = [tuple(row[i] for i in idx) for row in rows]
+        try:
+            data = RowCodec(ship_schema).encode_many(rows)
+        except (ValueError, TypeError, AttributeError, struct.error):
+            return ("inline", (rows, query, schema))
+    if not data:  # SharedMemory cannot be zero-sized
+        return ("inline", (rows, query, ship_schema))
+    shm = shared_memory.SharedMemory(
+        create=True, size=len(data), name=SHM_PREFIX + secrets.token_hex(8)
+    )
+    segments.append(shm)
+    shm.buf[: len(data)] = data
+    return ("shm", shm.name, len(rows), query, ship_schema)
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to a parent-owned segment without adopting its lifecycle.
+
+    Attaching registers the segment with a resource tracker, which would
+    unlink it again at exit — but the parent owns the lifecycle.  Forked
+    workers share the parent's tracker, where registration is idempotent
+    and the parent's ``unlink`` deregisters exactly once, so nothing to
+    undo; under any other start method the worker has its *own* tracker
+    and the attachment must be unregistered immediately.
+    """
+    shm = shared_memory.SharedMemory(name=name)
+    if multiprocessing.get_start_method() != "fork":
+        try:  # pragma: no cover - non-fork platforms
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    return shm
+
+
+def _segment_bytes(descriptor) -> bytes:
+    """Copy a descriptor's row-block payload out of its segment."""
+    _kind, name, num_rows, _query, schema = descriptor
+    shm = _attach_segment(name)
+    try:
+        return bytes(shm.buf[: num_rows * RowCodec(schema).row_bytes])
+    finally:
+        shm.close()
+
+
+def _load_job(descriptor):
+    """Worker side: materialize a descriptor back into (rows, query, schema)."""
+    if descriptor[0] == "inline":
+        return descriptor[1]
+    _kind, _name, _num_rows, query, schema = descriptor
+    rows = RowCodec(schema).decode_many(_segment_bytes(descriptor))
+    return (rows, query, schema)
+
+
+def _vectorized_local_phase(data, num_rows, query, schema):
+    """Phase 1 straight off the block encoding — no per-row decode.
+
+    Views the fixed-width buffer as a numpy structured array and folds
+    each fragment with ``np.unique`` + ``np.bincount``.  Returns the
+    (key, GroupState) partials, or None when the query shape is outside
+    the vectorized subset — single int grouping column, no WHERE, and
+    count/sum/min/max/avg/var/stddev over float columns — in which case
+    the caller decodes and runs the per-row phase.
+
+    Results are identical to the per-row phase, not merely close:
+    ``bincount`` accumulates weights in input order, exactly the order
+    the sequential loop adds them, so float sums agree bit for bit
+    (min/max/count are order-insensitive anyway).  The one deliberate
+    deviation: SUM/AVG/VAR over *int* columns fall back, because the
+    per-row path keeps Python arbitrary-precision sums.
+    """
+    if query.where is not None or not query.group_by:
+        return None
+    bq = query.bind(schema)
+    key_idx = bq.key_indexes
+    if len(key_idx) != 1:
+        return None
+    columns = schema.columns
+    if columns[key_idx[0]].kind != "int":
+        return None
+    plans: list[tuple[str, int | None]] = []
+    for spec, col_idx in zip(query.aggregates, bq.agg_indexes):
+        func = spec.func
+        if func == "count":
+            # Codec rows never carry NULL, so COUNT(col) == COUNT(*).
+            plans.append(("count", None))
+            continue
+        if func not in ("sum", "min", "max", "avg", "var", "stddev"):
+            return None
+        kind = columns[col_idx].kind
+        if kind == "str" or (func not in ("min", "max") and kind != "float"):
+            return None
+        plans.append((func, col_idx))
+    dtype = _block_dtype(schema)
+    if dtype is None or dtype.itemsize * num_rows != len(data):
+        return None
+
+    import numpy as np
+
+    arr = np.frombuffer(data, dtype=dtype, count=num_rows)
+    uniq, inv = np.unique(arr[columns[key_idx[0]].name], return_inverse=True)
+    n_groups = len(uniq)
+    counts = np.bincount(inv, minlength=n_groups)
+    spec_states: list[list] = []
+    for (func, col_idx), spec in zip(plans, query.aggregates):
+        states = [spec.new_state() for _ in range(n_groups)]
+        if func == "count":
+            for state, c in zip(states, counts.tolist()):
+                state.count = c
+            spec_states.append(states)
+            continue
+        values = arr[columns[col_idx].name]
+        if func in ("min", "max"):
+            acc = np.full(n_groups, np.inf if func == "min" else -np.inf)
+            ufunc = np.minimum if func == "min" else np.maximum
+            ufunc.at(acc, inv, values)
+            if columns[col_idx].kind == "int":
+                extremes = [int(v) for v in acc.tolist()]
+            else:
+                extremes = acc.tolist()
+            for state, v in zip(states, extremes):
+                state.value = v
+        elif func == "sum":
+            totals = np.bincount(inv, weights=values, minlength=n_groups)
+            for state, t in zip(states, totals.tolist()):
+                state.total = t
+                state.seen = True
+        elif func == "avg":
+            totals = np.bincount(inv, weights=values, minlength=n_groups)
+            for state, t, c in zip(states, totals.tolist(), counts.tolist()):
+                state.total = t
+                state.count = c
+        else:  # var / stddev share VarianceState's three moments
+            totals = np.bincount(inv, weights=values, minlength=n_groups)
+            sq = np.bincount(inv, weights=values * values, minlength=n_groups)
+            for state, t, s, c in zip(
+                states, totals.tolist(), sq.tolist(), counts.tolist()
+            ):
+                state.total = t
+                state.total_sq = s
+                state.count = c
+        spec_states.append(states)
+
+    out = []
+    for g, key in enumerate(uniq.tolist()):
+        group = GroupState.__new__(GroupState)
+        group.states = [states[g] for states in spec_states]
+        out.append(((key,), group))
+    return out
+
+
+def _local_phase_block(descriptor):
+    """The pool's default phase 1 for shm descriptors: vectorize when the
+    query shape allows, decode + per-row otherwise."""
+    data = _segment_bytes(descriptor)
+    _kind, _name, num_rows, query, schema = descriptor
+    result = _vectorized_local_phase(data, num_rows, query, schema)
+    if result is not None:
+        return result
+    return _local_phase((RowCodec(schema).decode_many(data), query, schema))
+
+
+# -- the persistent worker pool ----------------------------------------------
+
+
+def _pool_worker_main(conn) -> None:
+    """Long-lived worker loop: recv (fn, descriptor), send one reply each.
+
+    The reply is ``(status, payload, profile)`` exactly like the legacy
+    one-shot worker's, so the parent-side classification (ok / typed
+    error / dead worker on EOF) is shared.  ``None`` is the shutdown
+    sentinel; a closed pipe means the parent is gone.
+    """
+    while True:
+        try:
+            request = conn.recv()
+        except (EOFError, OSError):
+            return
+        if request is None:
+            conn.close()
+            return
+        fn, descriptor = request
+        started = profile_start()
+        try:
+            if fn is _local_phase and descriptor[0] == "shm":
+                result = _local_phase_block(descriptor)
+            else:
+                result = fn(_load_job(descriptor))
+        except BaseException as exc:
+            try:
+                conn.send(
+                    (
+                        "error",
+                        {"type": type(exc).__name__, "message": str(exc)},
+                        profile_finish(started),
+                    )
+                )
+                continue
+            except Exception:  # pragma: no cover - parent went away
+                return
+        try:
+            conn.send(("ok", result, profile_finish(started)))
+        except Exception:  # pragma: no cover - parent went away
+            return
+
+
+class _PoolWorker:
+    __slots__ = ("proc", "conn")
+
+    def __init__(self, proc, conn) -> None:
+        self.proc = proc
+        self.conn = conn
+
+
+class WorkerPool:
+    """A lazily grown pool of persistent, replaceable worker processes.
+
+    Workers survive across fragments, retries, and whole
+    :func:`multiprocessing_aggregate` calls (the module keeps one shared
+    instance), which is where the pool strategy's throughput comes from:
+    the per-attempt fork/exec and module re-import of the spawn strategy
+    is paid once per worker instead of once per fragment.
+
+    A worker that died or was terminated mid-job (timeout, crash) is
+    *discarded* and a fresh one forked on demand — the pool never hands
+    out a worker in an unknown state.
+    """
+
+    def __init__(self, ctx=None) -> None:
+        self._ctx = ctx or multiprocessing.get_context()
+        self._idle: list[_PoolWorker] = []
+        self.spawned = 0
+
+    def acquire(self) -> _PoolWorker:
+        while self._idle:
+            worker = self._idle.pop()
+            if worker.proc.is_alive():
+                return worker
+            self.discard(worker)  # pragma: no cover - died while idle
+        parent_conn, child_conn = self._ctx.Pipe()
+        proc = self._ctx.Process(
+            target=_pool_worker_main, args=(child_conn,), daemon=True
+        )
+        proc.start()
+        child_conn.close()
+        self.spawned += 1
+        return _PoolWorker(proc, parent_conn)
+
+    def release(self, worker: _PoolWorker) -> None:
+        """Return a healthy worker for reuse."""
+        self._idle.append(worker)
+
+    def discard(self, worker: _PoolWorker) -> None:
+        """Terminate and reap a worker that cannot be reused."""
+        try:
+            worker.conn.close()
+        except OSError:  # pragma: no cover - already closed
+            pass
+        worker.proc.terminate()
+        worker.proc.join(_JOIN_GRACE_SECONDS)
+        if worker.proc.is_alive():  # pragma: no cover - stuck after kill
+            worker.proc.kill()
+            worker.proc.join(_JOIN_GRACE_SECONDS)
+
+    def shutdown(self) -> None:
+        """Stop every idle worker (busy ones are the dispatcher's to kill)."""
+        while self._idle:
+            worker = self._idle.pop()
+            try:
+                worker.conn.send(None)
+            except (OSError, ValueError):
+                pass
+            self.discard(worker)
+
+
+_shared_pool: WorkerPool | None = None
+
+
+def _get_shared_pool() -> WorkerPool:
+    global _shared_pool
+    if _shared_pool is None:
+        _shared_pool = WorkerPool()
+        atexit.register(_shared_pool.shutdown)
+    return _shared_pool
+
+
+def shutdown_worker_pool() -> None:
+    """Terminate the module's shared pool (tests; safe to call anytime)."""
+    if _shared_pool is not None:
+        _shared_pool.shutdown()
+
+
+def _run_jobs_in_pool(
+    fn_for,
+    descriptors: list,
+    processes: int,
+    max_retries: int,
+    timeout: float | None,
+    obs: _ObsSink,
+    pool: WorkerPool,
+) -> dict[int, list]:
+    """Pool dispatch: same retry/timeout/death semantics as the spawn
+    path, but jobs go to persistent workers as small descriptors.
+
+    Timeout and death handling must discard the worker (its loop may be
+    wedged or gone); a clean "error" reply leaves it reusable.
+    """
+    pending: deque[tuple[int, int]] = deque(
+        (i, 0) for i in range(len(descriptors))
+    )
+    busy: dict[object, tuple[_PoolWorker, _Attempt]] = {}
+    completed: dict[int, list] = {}
+
+    def dispatch(index: int, attempt: int) -> None:
+        worker = pool.acquire()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        record = _Attempt(index, attempt, worker.proc, worker.conn,
+                          deadline, obs.now())
+        busy[worker.conn] = (worker, record)
+        try:
+            worker.conn.send((fn_for(attempt), descriptors[index]))
+        except (OSError, ValueError):  # pragma: no cover - died pre-send
+            del busy[worker.conn]
+            pool.discard(worker)
+            fail_or_retry(record, {
+                "type": "WorkerDied",
+                "message": "worker pipe closed before dispatch",
+            })
+
+    def fail_or_retry(record: _Attempt, error: dict) -> None:
+        cause = f"{error.get('type')}: {error.get('message')}"
+        if record.attempt + 1 > max_retries:
+            raise FragmentFailedError(
+                record.index,
+                record.attempt + 1,
+                cause,
+                dict(completed),
+                cause_type=error.get("type"),
+            )
+        obs.retry(record.index, record.attempt, error)
+        pending.append((record.index, record.attempt + 1))
+
+    try:
+        while busy or pending:
+            while pending and len(busy) < processes:
+                dispatch(*pending.popleft())
+            next_deadline = min(
+                (a.deadline for _, a in busy.values()
+                 if a.deadline is not None),
+                default=None,
+            )
+            wait_for = (
+                None if next_deadline is None
+                else max(0.0, next_deadline - time.monotonic())
+            )
+            ready = _connection_wait(list(busy), timeout=wait_for)
+            for conn in ready:
+                worker, record = busy.pop(conn)
+                profile = None
+                error = None
+                try:
+                    status, payload, profile = conn.recv()
+                except (EOFError, OSError):
+                    status = "error"
+                    payload = {
+                        "type": "WorkerDied",
+                        "message": (
+                            "worker died without a result "
+                            f"(exitcode={worker.proc.exitcode})"
+                        ),
+                    }
+                if status == "ok":
+                    completed[record.index] = payload
+                    pool.release(worker)
+                else:
+                    error = payload
+                    if error.get("type") == "WorkerDied":
+                        pool.discard(worker)
+                    else:
+                        pool.release(worker)
+                obs.attempt_done(
+                    record.index, record.attempt, record.started,
+                    status == "ok", profile, error,
+                )
+                if error is not None:
+                    fail_or_retry(record, error)
+            now = time.monotonic()
+            for conn, (worker, record) in list(busy.items()):
+                if record.deadline is not None and now >= record.deadline:
+                    del busy[conn]
+                    pool.discard(worker)
+                    error = {
+                        "type": "Timeout",
+                        "message": f"timed out after {timeout:g}s",
+                    }
+                    obs.attempt_done(
+                        record.index, record.attempt, record.started,
+                        False, None, error,
+                    )
+                    fail_or_retry(record, error)
+    finally:
+        for worker, _record in busy.values():
+            pool.discard(worker)
+    return completed
 
 
 class _ObsSink:
@@ -462,6 +990,7 @@ def multiprocessing_aggregate(
     tracer=None,
     metrics=None,
     profiles: list | None = None,
+    strategy: str = "pool",
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -470,6 +999,13 @@ def multiprocessing_aggregate(
     itself); ``max_retries`` bounds re-dispatches per fragment;
     ``phase_fn`` substitutes the phase-1 worker function (picklable —
     used by the fault-injection tests).
+
+    ``strategy`` picks the dispatch mechanism when real processes are
+    used: ``"pool"`` (the default) reuses the module's persistent worker
+    pool and ships fragments as shared-memory row blocks; ``"spawn"``
+    starts one fresh process per fragment attempt and pickles the rows
+    to it (the pre-pool behavior, kept as the benchmark baseline).
+    Results are identical either way.
 
     ``memory_budget_bytes`` puts each fragment's phase-1 table under a
     byte budget: the first attempt aggregates in memory but raises
@@ -500,6 +1036,10 @@ def multiprocessing_aggregate(
             )
         if memory_budget_bytes < 1:
             raise ValueError("memory_budget_bytes must be positive")
+    if strategy not in ("pool", "spawn"):
+        raise ValueError(
+            f"strategy must be 'pool' or 'spawn', got {strategy!r}"
+        )
     fn = _local_phase if phase_fn is None else phase_fn
 
     def fn_for(attempt: int):
@@ -527,10 +1067,34 @@ def multiprocessing_aggregate(
     try:
         if processes <= 1:
             completed = _run_jobs_in_process(fn_for, jobs, max_retries, obs)
-        else:
+        elif strategy == "spawn":
             completed = _run_jobs_in_processes(
                 fn_for, jobs, processes, max_retries, timeout, obs
             )
+        else:
+            segments: list = []
+            try:
+                descriptors = [
+                    _encode_fragment(
+                        rows, q, schema, segments,
+                        project=phase_fn is None,
+                    )
+                    for rows, q, schema in jobs
+                ]
+                completed = _run_jobs_in_pool(
+                    fn_for, descriptors, processes, max_retries, timeout,
+                    obs, _get_shared_pool(),
+                )
+            finally:
+                # The parent owns every segment: unlink on success,
+                # worker error, timeout, death, and FragmentFailedError
+                # alike, so /dev/shm never accumulates repro_mp_* files.
+                for shm in segments:
+                    shm.close()
+                    try:
+                        shm.unlink()
+                    except FileNotFoundError:  # pragma: no cover
+                        pass
     except FragmentFailedError:
         if tracer is not None:
             tracer.close_all(obs.now())

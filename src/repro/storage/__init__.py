@@ -8,7 +8,12 @@ round-robin and hash partitioners, and page-count arithmetic used for I/O
 cost accounting.
 """
 
-from repro.storage.hashing import stable_hash
+from repro.storage.hashing import (
+    bucket_of,
+    bucket_of_block,
+    hash_bytes,
+    stable_hash,
+)
 from repro.storage.pagefile import (
     PageFile,
     read_relation_file,
@@ -16,10 +21,12 @@ from repro.storage.pagefile import (
 )
 from repro.storage.partition import (
     hash_partition,
+    hash_partition_block,
     range_partition,
     round_robin_partition,
 )
 from repro.storage.relation import DistributedRelation, Fragment, Relation
+from repro.storage.rowblock import RowBlock
 from repro.storage.schema import Column, Schema
 from repro.storage.serialization import RowCodec
 from repro.storage.spill import FileSpillStore, MemorySpillStore
@@ -32,9 +39,14 @@ __all__ = [
     "MemorySpillStore",
     "PageFile",
     "Relation",
+    "RowBlock",
     "RowCodec",
     "Schema",
+    "bucket_of",
+    "bucket_of_block",
+    "hash_bytes",
     "hash_partition",
+    "hash_partition_block",
     "range_partition",
     "read_relation_file",
     "round_robin_partition",

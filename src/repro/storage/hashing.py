@@ -6,13 +6,28 @@ in a real cluster — or a test re-run — would disagree.  We use a small
 Fowler–Noll–Vo (FNV-1a) implementation over a canonical byte encoding of the
 key, which is fast, stable, and has good avalanche behaviour for the integer
 and string keys the workloads generate.
+
+FNV-1a is serial per byte (each byte is xor-folded into the running product),
+but mod 2**64 distributes over both the multiply and the low-byte xor, so the
+64-bit mask does not have to be applied every iteration.  ``hash_bytes``
+exploits that: it folds bytes in chunks and masks once per chunk (once total
+for short keys), letting Python's bigint multiply absorb the chunk before the
+truncation.  The values are bit-identical to the naive per-byte loop — pinned
+by golden vectors in ``tests/golden/block_parity.json``.
 """
 
 from __future__ import annotations
 
+import struct
+
 _FNV_OFFSET = 0xCBF29CE484222325
 _FNV_PRIME = 0x100000001B3
 _MASK64 = 0xFFFFFFFFFFFFFFFF
+
+# Deferred-mask chunk width: the intermediate grows ~40 bits per byte
+# (the prime is 2**40-ish), so 16-byte chunks stay well under one bigint
+# digit allocation spike while amortizing the mask.
+_CHUNK = 16
 
 
 def _encode(value) -> bytes:
@@ -40,14 +55,28 @@ def _encode(value) -> bytes:
     raise TypeError(f"unhashable partition key type: {type(value).__name__}")
 
 
+def hash_bytes(data) -> int:
+    """64-bit FNV-1a over raw bytes, identical across processes and runs.
+
+    This is the block path's entry point: key bytes that are already in a
+    row block's fixed-width encoding can be hashed directly, skipping the
+    canonical re-encoding that :func:`stable_hash` performs per value.
+    """
+    h = _FNV_OFFSET
+    if len(data) <= 2 * _CHUNK:
+        for byte in data:
+            h = (h ^ byte) * _FNV_PRIME
+        return h & _MASK64
+    for base in range(0, len(data), _CHUNK):
+        for byte in data[base : base + _CHUNK]:
+            h = (h ^ byte) * _FNV_PRIME
+        h &= _MASK64
+    return h
+
+
 def stable_hash(value) -> int:
     """A 64-bit FNV-1a hash, identical across processes and runs."""
-    data = _encode(value)
-    h = _FNV_OFFSET
-    for byte in data:
-        h ^= byte
-        h = (h * _FNV_PRIME) & _MASK64
-    return h
+    return hash_bytes(_encode(value))
 
 
 def bucket_of(value, num_buckets: int) -> int:
@@ -55,3 +84,46 @@ def bucket_of(value, num_buckets: int) -> int:
     if num_buckets <= 0:
         raise ValueError("num_buckets must be positive")
     return stable_hash(value) % num_buckets
+
+
+def bucket_of_block(block, col_indexes, num_buckets: int, cache=None) -> list[int]:
+    """Bucket assignment for every row of a block, memoized per distinct key.
+
+    Produces exactly ``bucket_of(tuple(row[i] for i in col_indexes))`` for
+    each row, but hashes each *distinct* key once: the raw fixed-width key
+    bytes (equal tuples ⇔ equal bytes) index a cache of computed buckets, so
+    grouped data pays one decode + one hash per group instead of per tuple.
+
+    Pass the same ``cache`` dict across blocks of one partitioning pass to
+    share the memo; with ``cache=None`` each call memoizes only within the
+    block.
+    """
+    if num_buckets <= 0:
+        raise ValueError("num_buckets must be positive")
+    codec = block.codec
+    key_struct = struct.Struct(
+        "<" + "".join(codec.column_structs[i].format[1:] for i in col_indexes)
+    )
+    str_positions = tuple(
+        j
+        for j, i in enumerate(col_indexes)
+        if codec.schema.columns[i].kind == "str"
+    )
+    if cache is None:
+        cache = {}
+    cache_get = cache.get
+    buckets = []
+    append = buckets.append
+    for raw in block.key_bytes(col_indexes):
+        bucket = cache_get(raw)
+        if bucket is None:
+            values = key_struct.unpack(raw)
+            if str_positions:
+                values = list(values)
+                for j in str_positions:
+                    values[j] = values[j].rstrip(b"\x00").decode("utf-8")
+                values = tuple(values)
+            bucket = stable_hash(values) % num_buckets
+            cache[raw] = bucket
+        append(bucket)
+    return buckets

@@ -80,11 +80,8 @@ class PageFile:
             raise EOFError(f"page {page_no} beyond end of {self.path}")
         (count,) = _COUNT.unpack_from(data)
         width = self.codec.row_bytes
-        rows = []
-        for i in range(count):
-            start = _COUNT.size + i * width
-            rows.append(self.codec.decode(data[start : start + width]))
-        return rows
+        start = _COUNT.size
+        return self.codec.decode_many(data[start : start + count * width])
 
     def scan(self):
         """Yield every row, page by page, in write order."""

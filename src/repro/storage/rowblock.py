@@ -1,0 +1,141 @@
+"""Contiguous fixed-width row blocks — the batched data path's unit.
+
+A :class:`RowBlock` is N encoded rows of one schema laid out back to back
+in a single ``bytes``/``memoryview`` buffer.  Because every row has the
+same width (see :class:`repro.storage.serialization.RowCodec`), slicing,
+row addressing, and per-column access are all offset arithmetic: a block
+slice is a zero-copy ``memoryview`` window, and shipping a block to a
+worker process is one buffer copy instead of pickling N tuples.
+
+Blocks deliberately do not replace Python-tuple rows — they wrap the same
+encoding the page file uses, so ``from_rows``/``to_rows`` round-trips are
+exact and any consumer can fall back to tuples at a block boundary.
+"""
+
+from __future__ import annotations
+
+from repro.storage.schema import Schema
+from repro.storage.serialization import RowCodec
+
+
+class RowBlock:
+    """N fixed-width encoded rows in one contiguous buffer."""
+
+    __slots__ = ("codec", "data", "num_rows")
+
+    def __init__(self, codec: RowCodec, data, num_rows: int | None = None):
+        row_bytes = codec.row_bytes
+        nbytes = len(data)
+        if num_rows is None:
+            if nbytes % row_bytes:
+                raise ValueError(
+                    f"buffer of {nbytes} bytes is not a whole number of "
+                    f"{row_bytes}-byte rows"
+                )
+            num_rows = nbytes // row_bytes
+        elif num_rows * row_bytes != nbytes:
+            raise ValueError(
+                f"expected {num_rows * row_bytes} bytes for {num_rows} rows, "
+                f"got {nbytes}"
+            )
+        self.codec = codec
+        self.data = data
+        self.num_rows = num_rows
+
+    @classmethod
+    def from_rows(cls, schema_or_codec, rows) -> "RowBlock":
+        codec = (
+            RowCodec(schema_or_codec)
+            if isinstance(schema_or_codec, Schema)
+            else schema_or_codec
+        )
+        rows = rows if isinstance(rows, (list, tuple)) else list(rows)
+        return cls(codec, codec.encode_many(rows), len(rows))
+
+    @property
+    def schema(self) -> Schema:
+        return self.codec.schema
+
+    @property
+    def nbytes(self) -> int:
+        return len(self.data)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    def __iter__(self):
+        return iter(self.codec.decode_many(self.data))
+
+    def __getitem__(self, index):
+        """``block[i]`` decodes one row; ``block[i:j]`` is a zero-copy
+        sub-block viewing the same buffer."""
+        if isinstance(index, slice):
+            start, stop, step = index.indices(self.num_rows)
+            if step != 1:
+                raise ValueError("row blocks only support contiguous slices")
+            width = self.codec.row_bytes
+            view = memoryview(self.data)[start * width : stop * width]
+            return RowBlock(self.codec, view, max(0, stop - start))
+        if index < 0:
+            index += self.num_rows
+        if not 0 <= index < self.num_rows:
+            raise IndexError(f"row {index} out of range ({self.num_rows} rows)")
+        width = self.codec.row_bytes
+        return self.codec.decode(
+            memoryview(self.data)[index * width : (index + 1) * width]
+        )
+
+    def to_rows(self) -> list[tuple]:
+        return self.codec.decode_many(self.data)
+
+    def tobytes(self) -> bytes:
+        """The underlying encoding as real ``bytes`` (copies iff a view)."""
+        data = self.data
+        return data if isinstance(data, bytes) else bytes(data)
+
+    def key_bytes(self, col_indexes) -> list[bytes]:
+        """Per row, the raw encoded bytes of the given columns, concatenated.
+
+        Equal tuples always produce equal key bytes under the fixed-width
+        encoding, so these serve as exact cache keys for memoized bucket
+        assignment (:func:`repro.storage.hashing.bucket_of_block`) without
+        decoding the rows.
+        """
+        width = self.codec.row_bytes
+        offsets = self.codec.column_offsets
+        structs = self.codec.column_structs
+        data = self.data
+        if isinstance(data, memoryview):
+            data = bytes(data)
+        spans = [(offsets[i], offsets[i] + structs[i].size) for i in col_indexes]
+        if len(spans) == 1:
+            lo, hi = spans[0]
+            return [
+                data[base + lo : base + hi]
+                for base in range(0, self.num_rows * width, width)
+            ]
+        return [
+            b"".join([data[base + lo : base + hi] for lo, hi in spans])
+            for base in range(0, self.num_rows * width, width)
+        ]
+
+    def column(self, col_index: int) -> list:
+        """All values of one column, decoded without materializing rows."""
+        width = self.codec.row_bytes
+        offset = self.codec.column_offsets[col_index]
+        codec_struct = self.codec.column_structs[col_index]
+        unpack_from = codec_struct.unpack_from
+        data = self.data
+        values = [
+            unpack_from(data, base)[0]
+            for base in range(offset, offset + self.num_rows * width, width)
+        ]
+        if self.codec.schema.columns[col_index].kind == "str":
+            return [v.rstrip(b"\x00").decode("utf-8") for v in values]
+        return values
+
+    def __repr__(self) -> str:
+        return (
+            f"RowBlock({self.num_rows} rows × {self.codec.row_bytes} B, "
+            f"schema={self.codec.schema.names()})"
+        )

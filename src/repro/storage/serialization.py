@@ -4,7 +4,9 @@ Fixed-width encoding derived from the schema: int columns are 8-byte
 signed little-endian, floats are IEEE-754 doubles, str columns occupy
 exactly their declared ``size_bytes`` (UTF-8, NUL-padded, truncation
 rejected).  Fixed width keeps tuples-per-page arithmetic exact — the
-same arithmetic the cost models charge I/O with.
+same arithmetic the cost models charge I/O with — and makes N encoded
+rows a contiguous, sliceable byte run (see
+:class:`repro.storage.rowblock.RowBlock`).
 """
 
 from __future__ import annotations
@@ -15,49 +17,106 @@ from repro.storage.schema import Schema
 
 
 class RowCodec:
-    """Encode/decode rows of one schema to fixed-width bytes."""
+    """Encode/decode rows of one schema to fixed-width bytes.
+
+    All per-column work — the combined struct format, each column's own
+    precompiled :class:`struct.Struct`, byte offsets, and which columns
+    need UTF-8 handling — is resolved once here, so the per-row
+    ``encode``/``decode`` and the bulk ``encode_many``/``decode_many``
+    never rebuild schema-derived state.
+    """
 
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
         parts = []
-        self._str_sizes: list[int | None] = []
+        column_structs = []
+        offsets = []
+        offset = 0
+        # (position, width, name) for every string column; empty for
+        # all-numeric schemas, which then take the pack-directly path.
+        self._str_cols: tuple[tuple[int, int, str], ...] = tuple(
+            (i, c.size_bytes, c.name)
+            for i, c in enumerate(schema.columns)
+            if c.kind == "str"
+        )
         for column in schema.columns:
             if column.kind == "int":
-                parts.append("q")
-                self._str_sizes.append(None)
+                fmt = "q"
             elif column.kind == "float":
-                parts.append("d")
-                self._str_sizes.append(None)
+                fmt = "d"
             else:
-                parts.append(f"{column.size_bytes}s")
-                self._str_sizes.append(column.size_bytes)
+                fmt = f"{column.size_bytes}s"
+            parts.append(fmt)
+            column_structs.append(struct.Struct("<" + fmt))
+            offsets.append(offset)
+            offset += column_structs[-1].size
         self._struct = struct.Struct("<" + "".join(parts))
+        self.column_structs: tuple[struct.Struct, ...] = tuple(column_structs)
+        self.column_offsets: tuple[int, ...] = tuple(offsets)
 
     @property
     def row_bytes(self) -> int:
         return self._struct.size
 
-    def encode(self, row: tuple) -> bytes:
-        values = []
-        for value, str_size in zip(row, self._str_sizes):
-            if str_size is None:
-                values.append(value)
-                continue
-            raw = value.encode("utf-8")
-            if len(raw) > str_size:
+    def _encode_strs(self, row: tuple) -> list:
+        values = list(row)
+        for i, width, name in self._str_cols:
+            raw = values[i].encode("utf-8")
+            if len(raw) > width:
                 raise ValueError(
-                    f"string {value!r} exceeds its column width "
-                    f"({len(raw)} > {str_size} bytes)"
+                    f"column {name!r}: string {values[i]!r} exceeds its "
+                    f"column width ({len(raw)} > {width} bytes)"
                 )
-            values.append(raw)
-        return self._struct.pack(*values)
+            values[i] = raw
+        return values
 
-    def decode(self, data: bytes) -> tuple:
-        values = self._struct.unpack(data)
-        out = []
-        for value, str_size in zip(values, self._str_sizes):
-            if str_size is None:
-                out.append(value)
-            else:
-                out.append(value.rstrip(b"\x00").decode("utf-8"))
+    def encode(self, row: tuple) -> bytes:
+        if not self._str_cols:
+            return self._struct.pack(*row)
+        return self._struct.pack(*self._encode_strs(row))
+
+    def encode_many(self, rows) -> bytes:
+        """Concatenated fixed-width encodings of ``rows`` (one allocation)."""
+        pack = self._struct.pack
+        if not self._str_cols:
+            return b"".join([pack(*row) for row in rows])
+        encode_strs = self._encode_strs
+        return b"".join([pack(*encode_strs(row)) for row in rows])
+
+    def _decode_values(self, values: tuple) -> tuple:
+        out = list(values)
+        for i, _width, _name in self._str_cols:
+            out[i] = out[i].rstrip(b"\x00").decode("utf-8")
         return tuple(out)
+
+    def decode(self, data) -> tuple:
+        values = self._struct.unpack(data)
+        if not self._str_cols:
+            return values
+        return self._decode_values(values)
+
+    def decode_many(self, data) -> list[tuple]:
+        """All rows of a contiguous encoding (inverse of encode_many).
+
+        ``data`` may be ``bytes`` or a ``memoryview``; its length must be
+        a multiple of ``row_bytes``.  Decoding runs through
+        ``struct.iter_unpack`` (one C-level pass), with the UTF-8 fixup
+        only where the schema has string columns.
+        """
+        if not self._str_cols:
+            return list(self._struct.iter_unpack(data))
+        decode_values = self._decode_values
+        return [
+            decode_values(values)
+            for values in self._struct.iter_unpack(data)
+        ]
+
+    def decode_column(self, data, row_index: int, col_index: int):
+        """One column value out of a contiguous encoding, without
+        materializing the row (uses the per-column precompiled codec)."""
+        base = row_index * self._struct.size + self.column_offsets[col_index]
+        (value,) = self.column_structs[col_index].unpack_from(data, base)
+        for i, _width, _name in self._str_cols:
+            if i == col_index:
+                return value.rstrip(b"\x00").decode("utf-8")
+        return value

@@ -1,0 +1,220 @@
+"""Shared-memory hygiene and parity of the pooled executor.
+
+Every pooled dispatch creates ``/dev/shm/repro_mp_*`` segments owned by
+the parent; the contract is that *zero* survive any exit path — clean
+runs, raising workers, hard worker deaths, wedged-worker timeouts, and
+budgeted OOM-retry ladders.  The chaos matrix here drives each of those
+paths with real processes and counts segments after every one.
+
+The parity half pins that the pooled path (vectorized kernel, shm
+blocks, columnwise encode) and its fallbacks (string keys, WHERE
+clauses, multi-column keys, arbitrary-precision int sums) all produce
+results identical to the spawn baseline and the in-process path.
+"""
+
+import functools
+import glob
+import os
+
+import pytest
+
+from tests.conftest import assert_rows_close
+from tests.test_mp_executor_faults import (
+    _always_raise,
+    _die_once_then_work,
+    _wedge,
+)
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.parallel import (
+    FragmentFailedError,
+    multiprocessing_aggregate,
+    reference_aggregate,
+)
+from repro.parallel import mp_executor
+from repro.storage.schema import Column, Schema
+from repro.storage.relation import DistributedRelation
+from repro.workloads.generator import generate_uniform
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not mounted"
+)
+
+
+def _segments():
+    return glob.glob("/dev/shm/" + mp_executor.SHM_PREFIX + "*")
+
+
+@pytest.fixture(autouse=True)
+def no_leaked_segments():
+    """Every test in this module starts and must end segment-clean."""
+    assert _segments() == []
+    yield
+    assert _segments() == [], "executor leaked shared-memory segments"
+
+
+@pytest.fixture
+def dist():
+    return generate_uniform(num_tuples=2400, num_groups=60, num_nodes=4, seed=21)
+
+
+@pytest.fixture
+def query():
+    return AggregateQuery(
+        group_by=["gkey"],
+        aggregates=[AggregateSpec("sum", "val"), AggregateSpec("count")],
+    )
+
+
+def _gkey_at_least_ten(row):
+    # WHERE predicates cross the process boundary, so module-level.
+    return row["gkey"] >= 10
+
+
+def _str_keyed_dist():
+    schema = Schema(
+        [Column("dept", "str", 8), Column("n", "int"), Column("val", "float")]
+    )
+    rows = [(f"dept-{i % 7}", i, float(i) / 3.0) for i in range(900)]
+    return DistributedRelation(schema, [rows[i::3] for i in range(3)])
+
+
+class TestChaosMatrixLeavesNoSegments:
+    """Each executor exit path, checked for segment hygiene by the
+    autouse fixture; assertions inside pin the path actually taken."""
+
+    def test_clean_run(self, dist, query):
+        got = multiprocessing_aggregate(dist, query, processes=2)
+        assert_rows_close(got, reference_aggregate(dist, query))
+
+    def test_raising_worker_exhausts_retries(self, dist, query):
+        with pytest.raises(FragmentFailedError) as info:
+            multiprocessing_aggregate(
+                dist, query, processes=2, max_retries=1,
+                phase_fn=_always_raise,
+            )
+        assert "injected failure" in info.value.cause
+
+    def test_worker_death_then_recovery(self, dist, query, tmp_path):
+        phase = functools.partial(
+            _die_once_then_work, str(tmp_path / "died_once")
+        )
+        got = multiprocessing_aggregate(
+            dist, query, processes=2, phase_fn=phase
+        )
+        assert_rows_close(got, reference_aggregate(dist, query))
+
+    def test_wedged_worker_times_out(self, dist, query):
+        with pytest.raises(FragmentFailedError):
+            multiprocessing_aggregate(
+                dist, query, processes=2, max_retries=0,
+                timeout=0.5, phase_fn=_wedge,
+            )
+
+    def test_oom_retry_ladder(self, dist, query):
+        got = multiprocessing_aggregate(
+            dist, query, processes=2, memory_budget_bytes=1500
+        )
+        assert_rows_close(got, reference_aggregate(dist, query))
+
+    def test_shutdown_after_runs(self, dist, query):
+        multiprocessing_aggregate(dist, query, processes=2)
+        mp_executor.shutdown_worker_pool()
+        # Idempotent, and a later run transparently respawns workers.
+        mp_executor.shutdown_worker_pool()
+        got = multiprocessing_aggregate(dist, query, processes=2)
+        assert_rows_close(got, reference_aggregate(dist, query))
+
+
+class TestPoolBehaviour:
+    def test_workers_are_reused_across_runs(self, dist, query):
+        multiprocessing_aggregate(dist, query, processes=2)
+        pool = mp_executor._get_shared_pool()
+        spawned_after_first = pool.spawned
+        assert spawned_after_first >= 1
+        for _ in range(3):
+            multiprocessing_aggregate(dist, query, processes=2)
+        assert pool.spawned == spawned_after_first
+
+    def test_strategy_is_validated(self, dist, query):
+        with pytest.raises(ValueError, match="strategy"):
+            multiprocessing_aggregate(
+                dist, query, processes=2, strategy="threads"
+            )
+
+    def test_strategies_agree_exactly(self, dist, query):
+        pool = multiprocessing_aggregate(
+            dist, query, processes=2, strategy="pool"
+        )
+        spawn = multiprocessing_aggregate(
+            dist, query, processes=2, strategy="spawn"
+        )
+        inproc = multiprocessing_aggregate(dist, query, processes=1)
+        # Bit-identical, not merely close: the vectorized kernel must
+        # accumulate in the same order as the per-row loop.
+        assert pool == spawn == inproc
+
+
+class TestVectorizedFallbackParity:
+    """Shapes the vectorized kernel refuses must take the decode
+    fallback and still match the other dispatch paths exactly."""
+
+    @staticmethod
+    def _agree(dist, query):
+        pool = multiprocessing_aggregate(
+            dist, query, processes=2, strategy="pool"
+        )
+        inproc = multiprocessing_aggregate(dist, query, processes=1)
+        assert pool == inproc
+        assert_rows_close(pool, reference_aggregate(dist, query))
+
+    def test_string_group_key(self):
+        query = AggregateQuery(
+            group_by=["dept"],
+            aggregates=[AggregateSpec("sum", "val"), AggregateSpec("count")],
+        )
+        self._agree(_str_keyed_dist(), query)
+
+    def test_multi_column_key(self):
+        query = AggregateQuery(
+            group_by=["dept", "n"],
+            aggregates=[AggregateSpec("count")],
+        )
+        self._agree(_str_keyed_dist(), query)
+
+    def test_where_clause(self, dist):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("sum", "val")],
+            where=_gkey_at_least_ten,
+        )
+        self._agree(dist, query)
+
+    def test_int_sum_stays_arbitrary_precision(self):
+        query = AggregateQuery(
+            group_by=["dept"], aggregates=[AggregateSpec("sum", "n")]
+        )
+        self._agree(_str_keyed_dist(), query)
+
+    def test_rich_aggregate_mix(self, dist):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[
+                AggregateSpec("sum", "val"),
+                AggregateSpec("count"),
+                AggregateSpec("min", "val"),
+                AggregateSpec("max", "val"),
+                AggregateSpec("avg", "val"),
+                AggregateSpec("var", "val"),
+                AggregateSpec("stddev", "val"),
+            ],
+        )
+        self._agree(dist, query)
+
+    def test_count_distinct_falls_back(self, dist):
+        query = AggregateQuery(
+            group_by=["gkey"],
+            aggregates=[AggregateSpec("count_distinct", "val")],
+        )
+        self._agree(dist, query)

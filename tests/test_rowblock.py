@@ -1,0 +1,196 @@
+"""Property-based round-trips for the fixed-width codec and row blocks.
+
+The invariants the batched data path leans on: ``encode_many`` followed
+by ``decode_many`` is the identity for any encodable rows, a block slice
+is a zero-copy window that decodes to the matching list slice, column
+extraction equals row decoding followed by projection, and memoized
+block bucketing agrees with per-tuple ``bucket_of`` exactly.
+
+Strings are NUL-padded to their column width and decoding strips the
+padding, so the encodable domain is: UTF-8 form fits the width and the
+value does not itself end in NUL.  The strategies generate exactly that
+domain; over-width values are covered separately by the truncation
+error test.  Floats exclude NaN only because NaN != NaN would fail the
+equality assertion, not because the codec mishandles it.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage.hashing import bucket_of, bucket_of_block
+from repro.storage.rowblock import RowBlock
+from repro.storage.schema import Column, Schema
+from repro.storage.serialization import RowCodec
+
+_INT64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_FLOAT64 = st.floats(allow_nan=False)
+
+
+def _str_values(width: int):
+    return st.text(
+        alphabet=st.characters(codec="utf-8"), max_size=width
+    ).filter(
+        lambda s: len(s.encode("utf-8")) <= width and not s.endswith("\x00")
+    )
+
+
+@st.composite
+def _schema_and_rows(draw):
+    num_cols = draw(st.integers(min_value=1, max_value=4))
+    columns = []
+    value_strategies = []
+    for i in range(num_cols):
+        kind = draw(st.sampled_from(["int", "float", "str"]))
+        if kind == "str":
+            width = draw(st.integers(min_value=1, max_value=12))
+            columns.append(Column(f"c{i}", "str", width))
+            value_strategies.append(_str_values(width))
+        else:
+            columns.append(Column(f"c{i}", kind))
+            value_strategies.append(_INT64 if kind == "int" else _FLOAT64)
+    rows = draw(st.lists(st.tuples(*value_strategies), max_size=30))
+    return Schema(columns), rows
+
+
+@given(_schema_and_rows())
+def test_encode_decode_round_trip(case):
+    schema, rows = case
+    codec = RowCodec(schema)
+    assert codec.decode_many(codec.encode_many(rows)) == rows
+    for row in rows:
+        assert codec.decode(codec.encode(row)) == row
+
+
+@given(_schema_and_rows())
+def test_block_round_trip_and_indexing(case):
+    schema, rows = case
+    block = RowBlock.from_rows(schema, rows)
+    assert len(block) == len(rows)
+    assert block.nbytes == len(rows) * block.codec.row_bytes
+    assert block.to_rows() == rows
+    assert list(block) == rows
+    for i in range(len(rows)):
+        assert block[i] == rows[i]
+        assert block[i - len(rows)] == rows[i]
+
+
+@given(_schema_and_rows(), st.data())
+def test_block_slice_is_zero_copy_window(case, data):
+    schema, rows = case
+    block = RowBlock.from_rows(schema, rows)
+    start = data.draw(st.integers(0, len(rows)), label="start")
+    stop = data.draw(st.integers(start, len(rows)), label="stop")
+    window = block[start:stop]
+    assert window.to_rows() == rows[start:stop]
+    assert isinstance(window.data, memoryview)  # a view, not a copy
+    # A re-encode of the slice is byte-identical to the window.
+    assert window.tobytes() == block.codec.encode_many(rows[start:stop])
+
+
+@given(_schema_and_rows(), st.data())
+def test_column_matches_row_projection(case, data):
+    schema, rows = case
+    block = RowBlock.from_rows(schema, rows)
+    col = data.draw(st.integers(0, len(schema) - 1), label="col")
+    assert block.column(col) == [row[col] for row in rows]
+    codec = block.codec
+    encoded = block.tobytes()
+    for i in range(len(rows)):
+        assert codec.decode_column(encoded, i, col) == rows[i][col]
+
+
+@given(_schema_and_rows(), st.data())
+def test_block_bucketing_matches_per_tuple(case, data):
+    schema, rows = case
+    block = RowBlock.from_rows(schema, rows)
+    num_cols = len(schema)
+    col_indexes = data.draw(
+        st.lists(
+            st.integers(0, num_cols - 1),
+            min_size=1,
+            max_size=num_cols,
+            unique=True,
+        ),
+        label="key columns",
+    )
+    num_buckets = data.draw(st.integers(1, 16), label="buckets")
+    expected = [
+        bucket_of(tuple(row[i] for i in col_indexes), num_buckets)
+        for row in rows
+    ]
+    assert bucket_of_block(block, col_indexes, num_buckets) == expected
+    # A shared memo across sub-blocks of one partitioning pass must not
+    # change any assignment.
+    cache: dict = {}
+    mid = len(rows) // 2
+    shared = bucket_of_block(
+        block[:mid], col_indexes, num_buckets, cache=cache
+    ) + bucket_of_block(block[mid:], col_indexes, num_buckets, cache=cache)
+    assert shared == expected
+
+
+@given(_schema_and_rows())
+def test_key_bytes_equal_iff_keys_equal(case):
+    schema, rows = case
+    block = RowBlock.from_rows(schema, rows)
+    col_indexes = list(range(len(schema)))
+    raws = block.key_bytes(col_indexes)
+    for raw, row in zip(raws, rows):
+        assert raws.count(raw) == rows.count(row)
+
+
+class TestCodecErrors:
+    def test_truncation_error_names_the_column(self):
+        schema = Schema(
+            [Column("gkey", "int"), Column("label", "str", 4)]
+        )
+        codec = RowCodec(schema)
+        with pytest.raises(ValueError, match="'label'"):
+            codec.encode((1, "too wide"))
+        with pytest.raises(ValueError, match="'label'"):
+            codec.encode_many([(1, "ok"), (2, "too wide")])
+        # Multi-byte characters count in encoded bytes, not characters.
+        with pytest.raises(ValueError, match="'label'"):
+            codec.encode((1, "ééé"))
+
+    def test_out_of_range_int_raises(self):
+        codec = RowCodec(Schema([Column("k", "int")]))
+        with pytest.raises(struct.error):
+            codec.encode((2**63,))
+
+
+class TestBlockErrors:
+    def _block(self):
+        schema = Schema([Column("k", "int"), Column("v", "float")])
+        return RowBlock.from_rows(schema, [(i, i / 2) for i in range(5)])
+
+    def test_partial_row_buffer_rejected(self):
+        block = self._block()
+        with pytest.raises(ValueError, match="whole number"):
+            RowBlock(block.codec, block.tobytes()[:-1])
+
+    def test_row_count_must_match_buffer(self):
+        block = self._block()
+        with pytest.raises(ValueError, match="expected"):
+            RowBlock(block.codec, block.tobytes(), num_rows=4)
+
+    def test_strided_slice_rejected(self):
+        with pytest.raises(ValueError, match="contiguous"):
+            self._block()[::2]
+
+    def test_index_out_of_range(self):
+        block = self._block()
+        with pytest.raises(IndexError):
+            block[5]
+        with pytest.raises(IndexError):
+            block[-6]
+
+    def test_empty_block(self):
+        schema = Schema([Column("k", "int")])
+        block = RowBlock.from_rows(schema, [])
+        assert len(block) == 0
+        assert block.to_rows() == []
+        assert bucket_of_block(block, [0], 4) == []
