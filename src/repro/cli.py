@@ -121,7 +121,7 @@ def _build_query(args) -> AggregateQuery:
 
 
 def _run_one(name, dist, query, args, out, record_timeline=False,
-             ledger=None):
+             ledger=None, faults=None):
     params = default_parameters(
         dist,
         network=_NETWORKS[args.network],
@@ -135,6 +135,7 @@ def _run_one(name, dist, query, args, out, record_timeline=False,
         record_timeline=record_timeline,
         pipeline=args.pipeline,
         ledger=ledger,
+        faults=faults,
     )
     switches = [
         e for e in outcome.switch_events() if e.what.startswith("switch")
@@ -161,7 +162,174 @@ def _workload_dict(args) -> dict:
     }
 
 
+def _parse_fault_plan(text: str):
+    """Parse the ``--faults`` mini-grammar into a :class:`FaultPlan`.
+
+    ``seed=S,kill=N[@TUPLES],slow=NxFACTOR,stall=NxSECONDS,loss=P,dup=P,
+    error-rate=P`` — ``kill``/``slow``/``stall`` may repeat to target
+    several nodes.  ``kill=N`` crashes node N at time zero; ``kill=N@T``
+    crashes it after scanning T tuples (simulator substrate only — the
+    mp pool kills at the fragment's first dispatch either way).
+    """
+    from repro.sim.faults import (
+        CrashFault,
+        FaultConfigError,
+        FaultPlan,
+        Straggler,
+        WorkerStall,
+    )
+
+    seed = 0
+    crashes: list = []
+    stragglers: list = []
+    stalls: list = []
+    rates = {"loss": 0.0, "dup": 0.0, "error-rate": 0.0}
+
+    def _pair(value: str, sep: str, what: str) -> tuple[int, float]:
+        node_text, _, amount_text = value.partition(sep)
+        try:
+            return int(node_text), float(amount_text)
+        except ValueError:
+            raise CliError(
+                f"bad --faults entry {what}={value!r} "
+                f"(expected NODE{sep}NUMBER)"
+            ) from None
+
+    for entry in filter(None, (e.strip() for e in text.split(","))):
+        key, sep, value = entry.partition("=")
+        if not sep:
+            raise CliError(
+                f"bad --faults entry {entry!r} (expected key=value)"
+            )
+        try:
+            if key == "seed":
+                seed = int(value)
+            elif key == "kill":
+                node_text, _, tuples_text = value.partition("@")
+                node = int(node_text)
+                if tuples_text:
+                    crashes.append(
+                        CrashFault(node, after_tuples=int(tuples_text))
+                    )
+                else:
+                    crashes.append(CrashFault(node, at_time=0.0))
+            elif key == "slow":
+                node, factor = _pair(value, "x", "slow")
+                stragglers.append(Straggler(node, factor))
+            elif key == "stall":
+                node, seconds = _pair(value, "x", "stall")
+                stalls.append(WorkerStall(node, seconds))
+            elif key in rates:
+                rates[key] = float(value)
+            else:
+                raise CliError(
+                    f"unknown --faults key {key!r} (expected seed, kill, "
+                    "slow, stall, loss, dup, or error-rate)"
+                )
+        except (ValueError, FaultConfigError) as exc:
+            raise CliError(f"bad --faults entry {entry!r}: {exc}") from exc
+    try:
+        return FaultPlan(
+            seed=seed,
+            crashes=tuple(crashes),
+            stragglers=tuple(stragglers),
+            worker_stalls=tuple(stalls),
+            message_loss=rates["loss"],
+            message_duplication=rates["dup"],
+            read_error_rate=rates["error-rate"],
+        )
+    except FaultConfigError as exc:
+        raise CliError(f"bad --faults plan: {exc}") from exc
+
+
+def _cmd_run_mp(args, out, faults) -> int:
+    """``repro run --substrate mp``: the real-process pool executor."""
+    import time as _time
+
+    from repro.obs.metrics import MetricsRegistry
+    from repro.parallel import multiprocessing_aggregate, pool_breaker_state
+
+    if args.timeline:
+        raise CliError(
+            "--timeline needs the simulator (use --substrate sim)"
+        )
+    if args.save_run:
+        raise CliError(
+            "--save-run records simulator decisions (use --substrate sim)"
+        )
+    dist = _build_workload(args)
+    query = _build_query(args)
+    metrics = MetricsRegistry()
+    faults_log: list = []
+    start = _time.monotonic()
+    try:
+        rows = multiprocessing_aggregate(
+            dist,
+            query,
+            processes=args.processes,
+            strategy=args.strategy,
+            faults=faults,
+            faults_log=faults_log,
+            speculate=args.speculate,
+            metrics=metrics,
+        )
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    elapsed = _time.monotonic() - start
+
+    def _metric(name: str) -> int:
+        try:
+            return int(metrics.value(name))
+        except KeyError:
+            return 0
+
+    breaker = pool_breaker_state()
+    print(
+        f"mp[{args.strategy}]{'':<17} {elapsed:9.4f}s  "
+        f"groups={len(rows):<7d} "
+        f"retries={_metric('mp.retries'):<3d} "
+        f"injected={len(faults_log):<3d} "
+        f"speculated={_metric('mp.speculative.launched')}"
+        f"/{_metric('mp.speculative.backup_wins')} won",
+        file=out,
+    )
+    if breaker.degraded or breaker.rebuilds:
+        print(
+            f"breaker: rebuilds={breaker.rebuilds} "
+            f"degraded={breaker.degraded}",
+            file=out,
+        )
+    if args.verify:
+        expected = {
+            tuple(r[: len(query.group_by)]): r
+            for r in reference_aggregate(dist, query)
+        }
+        got = {tuple(r[: len(query.group_by)]): r for r in rows}
+        ok = expected.keys() == got.keys() and all(
+            all(
+                abs(a - b) <= 1e-9 + 1e-9 * abs(b)
+                if isinstance(a, float)
+                else a == b
+                for a, b in zip(got[key], expected[key])
+            )
+            for key in expected
+        )
+        print(
+            f"verified against reference: {'OK' if ok else 'MISMATCH'}",
+            file=out,
+        )
+        if not ok:
+            return 1
+    if args.show_rows:
+        for row in rows[: args.show_rows]:
+            print("  ", row, file=out)
+    return 0
+
+
 def _cmd_run(args, out) -> int:
+    faults = _parse_fault_plan(args.faults) if args.faults else None
+    if args.substrate == "mp":
+        return _cmd_run_mp(args, out, faults)
     dist = _build_workload(args)
     query = _build_query(args)
     ledger = None
@@ -173,6 +341,7 @@ def _cmd_run(args, out) -> int:
         args.algorithm, dist, query, args, out,
         record_timeline=args.timeline,
         ledger=ledger,
+        faults=faults,
     )
     if args.save_run:
         from repro.obs.decisions import run_artifact, write_run_json
@@ -529,11 +698,39 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    p_run = sub.add_parser("run", help="simulate one algorithm")
+    p_run = sub.add_parser(
+        "run", help="run one algorithm (simulated or real processes)"
+    )
     p_run.add_argument(
-        "--algorithm", choices=sorted(ALGORITHMS), required=True
+        "--algorithm", choices=sorted(ALGORITHMS),
+        default="adaptive_two_phase",
+        help="simulator algorithm (ignored by --substrate mp, which "
+        "always runs the real two-phase pool executor)",
     )
     _add_workload_args(p_run)
+    p_run.add_argument(
+        "--substrate", choices=("sim", "mp"), default="sim",
+        help="sim = event simulator; mp = real multiprocessing executor",
+    )
+    p_run.add_argument(
+        "--strategy", choices=("pool", "spawn"), default="pool",
+        help="mp substrate dispatch strategy",
+    )
+    p_run.add_argument(
+        "--processes", type=int, default=0,
+        help="mp substrate worker count (0 = one per fragment, capped "
+        "at the CPU count)",
+    )
+    p_run.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="seedable fault plan for either substrate: "
+        "seed=S,kill=N[@TUPLES],slow=NxFACTOR,stall=NxSECONDS,"
+        "loss=P,dup=P,error-rate=P",
+    )
+    p_run.add_argument(
+        "--speculate", action="store_true",
+        help="mp substrate: re-execute straggling fragments speculatively",
+    )
     p_run.add_argument("--verify", action="store_true")
     p_run.add_argument("--show-rows", type=int, default=0)
     p_run.add_argument(

@@ -47,6 +47,7 @@ AREP_SWITCH = "switch_to_two_phase"
 AREP_ECHO = "end_of_phase_received"
 OPT2P_FORWARD = "forwarded_on_overflow"
 PREAGG_EVICTIONS = "evictions"
+SPECULATIVE_EXECUTION = "speculative_execution"
 
 VERDICT_CORRECT = "correct"
 VERDICT_WRONG_CHEAP = "wrong_but_cheap"

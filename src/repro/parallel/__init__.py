@@ -14,13 +14,25 @@ from repro.parallel.file_executor import (
 from repro.parallel.local import reference_aggregate
 from repro.parallel.mp_executor import (
     FragmentFailedError,
+    InjectedFaultError,
+    PoolCircuitBreaker,
+    WorkerFailure,
     multiprocessing_aggregate,
+    pool_breaker_state,
+    reset_pool_breaker,
+    shutdown_worker_pool,
 )
 
 __all__ = [
     "FragmentFailedError",
+    "InjectedFaultError",
+    "PoolCircuitBreaker",
+    "WorkerFailure",
     "file_backed_aggregate",
     "materialize_fragments",
     "multiprocessing_aggregate",
+    "pool_breaker_state",
     "reference_aggregate",
+    "reset_pool_breaker",
+    "shutdown_worker_pool",
 ]

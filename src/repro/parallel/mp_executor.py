@@ -31,6 +31,40 @@ on a dead or wedged worker.
 ``processes=0`` (the default) sizes the pool to the fragment count but
 falls back to in-process execution when the host has a single CPU, so the
 test suite stays fast everywhere.
+
+The pool path is chaos-hardened end to end:
+
+- **Unified fault injection** — the same seedable
+  :class:`~repro.sim.faults.FaultPlan` that drives the simulator drives
+  real-process injection here (``faults=plan``): a ``CrashFault``
+  SIGKILLs the fragment's worker at job start (the worker shim delivers
+  the signal to itself, so the crash always lands on the scheduled
+  fragment), a ``Straggler`` limps it with an artificial per-row
+  slowdown, a ``WorkerStall`` self-SIGSTOPs it until the parent's
+  scheduled SIGCONT (the limplock scenario), ``read_error_rate`` raises
+  :class:`InjectedFaultError` inside the worker, and ``message_loss``
+  unlinks the fragment's shared-memory segment before dispatch.  Which
+  faults fire where is the plan's deterministic
+  ``injection_schedule`` — identical (kind, target, ordinal) tuples on
+  the sim and mp substrates for a given seed.
+- **Heartbeats** — workers emit liveness + progress beats mid-job over
+  their pipes; the dispatcher declares a silent worker ``HeartbeatLost``
+  after ``heartbeat_timeout`` seconds instead of waiting out the full
+  job timeout, and detects workers that died while *idle* eagerly.
+- **Speculative re-execution** — with ``speculate=True``, a fragment
+  running longer than a robust multiple of the median attempt time gets
+  a backup attempt on another worker; first result wins, the loser is
+  cancelled, and every speculation is recorded through the
+  :class:`~repro.obs.decisions.DecisionLedger` with a post-hoc verdict.
+- **Quarantine + circuit breaker** — a fragment that kills
+  ``poison_threshold`` workers fails fast as a ``PoisonFragment`` with
+  the full cause chain; repeated infrastructure-level run failures trip
+  a module-level breaker that rebuilds the shared pool once and then
+  degrades ``strategy="pool"`` to the spawn path, surfaced in
+  ``mp.breaker.*`` metrics and trace events.
+
+The fault-free path is byte-identical to the pre-chaos executor; the
+golden parity tests pin that.
 """
 
 from __future__ import annotations
@@ -39,7 +73,10 @@ import atexit
 import multiprocessing
 import os
 import secrets
+import signal
+import statistics
 import struct
+import threading
 import time
 from collections import deque
 from multiprocessing import resource_tracker, shared_memory
@@ -47,9 +84,21 @@ from multiprocessing.connection import wait as _connection_wait
 
 from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
+from repro.obs.decisions import (
+    SPECULATIVE_EXECUTION,
+    VERDICT_CORRECT,
+    VERDICT_WRONG_CHEAP,
+)
 from repro.obs.profile import WorkerProfile, profile_finish, profile_start
 from repro.obs.tracer import PHASE as _CAT_PHASE
 from repro.resources.governor import MemoryExceededError
+from repro.sim.faults import (
+    INJECT_ERROR,
+    INJECT_KILL,
+    INJECT_SHM_LOSS,
+    INJECT_SLOW,
+    INJECT_STALL,
+)
 from repro.storage.relation import DistributedRelation
 from repro.storage.serialization import RowCodec
 
@@ -93,6 +142,28 @@ class FragmentFailedError(RuntimeError):
         self.cause = cause
         self.cause_type = cause_type
         self.partial_results = partial_results
+
+
+class InjectedFaultError(RuntimeError):
+    """Raised inside a worker by the fault injector (``read_error_rate``)."""
+
+
+class WorkerFailure(RuntimeError):
+    """The reconstructed cause of a cross-process fragment failure.
+
+    Worker exceptions arrive as ``{"type", "message"}`` dicts — the
+    original object cannot cross the pipe — so the final
+    :class:`FragmentFailedError` chains from one of these (``raise …
+    from WorkerFailure(error)``), giving pool and spawn dispatch the
+    same cause-chain shape the in-process path gets from the real
+    exception.
+    """
+
+    def __init__(self, error: dict) -> None:
+        super().__init__(
+            f"{error.get('type', 'Unknown')}: {error.get('message', '')}"
+        )
+        self.error_type = error.get("type", "Unknown")
 
 
 def _local_phase(args) -> list[tuple[tuple, GroupState]]:
@@ -475,14 +546,112 @@ def _local_phase_block(descriptor):
 # -- the persistent worker pool ----------------------------------------------
 
 
-def _pool_worker_main(conn) -> None:
-    """Long-lived worker loop: recv (fn, descriptor), send one reply each.
+_SLOW_CHUNK_ROWS = 128
 
-    The reply is ``(status, payload, profile)`` exactly like the legacy
-    one-shot worker's, so the parent-side classification (ok / typed
-    error / dead worker on EOF) is shared.  ``None`` is the shutdown
+
+class _HeartbeatSender(threading.Thread):
+    """Worker-side beat emitter: one ``("beat", {"rows_done": n}, None)``
+    per interval while a job runs, sharing the reply pipe under a lock
+    so beats never interleave with the final reply."""
+
+    def __init__(self, conn, lock, interval: float, progress: list) -> None:
+        super().__init__(daemon=True)
+        self.conn = conn
+        self.lock = lock
+        self.interval = interval
+        self.progress = progress
+        self._done = threading.Event()
+
+    def run(self) -> None:
+        while not self._done.wait(self.interval):
+            try:
+                with self.lock:
+                    self.conn.send(
+                        ("beat", {"rows_done": self.progress[0]}, None)
+                    )
+            except Exception:  # pragma: no cover - parent went away
+                return
+
+    def stop(self) -> None:
+        self._done.set()
+        self.join()
+
+
+def _slow_job(fn, descriptor, factor: float, progress: list):
+    """Injected straggler: run the job ``factor`` times slower.
+
+    For the default phase the rows run through the per-row loop in
+    chunks, sleeping off ``(factor - 1)`` of each chunk's elapsed time
+    and advancing ``progress`` — a limping-but-alive worker whose beats
+    show partial progress.  The accumulation order is exactly the
+    sequential loop's, so results stay bit-identical to the fault-free
+    run.  Substituted phase functions are opaque: they run whole, then
+    sleep off the multiplier.
+    """
+    if fn is _local_phase:
+        rows, query, schema = _load_job(descriptor)
+        bq = query.bind(schema)
+        table: dict[tuple, GroupState] = {}
+        for start in range(0, len(rows), _SLOW_CHUNK_ROWS):
+            t0 = time.perf_counter()
+            for row in rows[start:start + _SLOW_CHUNK_ROWS]:
+                if not bq.matches(row):
+                    continue
+                key = bq.key_of(row)
+                state = table.get(key)
+                if state is None:
+                    state = GroupState(query.aggregates)
+                    table[key] = state
+                state.update(bq.values_of(row))
+            progress[0] = min(start + _SLOW_CHUNK_ROWS, len(rows))
+            time.sleep((factor - 1.0) * (time.perf_counter() - t0))
+        return list(table.items())
+    t0 = time.perf_counter()
+    result = fn(_load_job(descriptor))
+    time.sleep((factor - 1.0) * (time.perf_counter() - t0))
+    return result
+
+
+def _run_worker_job(fn, descriptor, inject: dict, progress: list):
+    """Run one job under the (possibly empty) injection directive.
+
+    Kill and stall are delivered *here*, by the worker to itself, so
+    the fault lands on the fragment it was scheduled for — a parent
+    signal sent after dispatch can race a fast job and hit whatever
+    runs on this worker next instead.
+    """
+    if inject.get(INJECT_KILL):
+        # A real crash: no exception, no reply, the parent sees EOF.
+        os.kill(os.getpid(), signal.SIGKILL)
+    if inject.get(INJECT_STALL) is not None:
+        # Limplock: freeze (heartbeats included) until the parent's
+        # scheduled SIGCONT — or its heartbeat-loss recovery — ends it.
+        os.kill(os.getpid(), signal.SIGSTOP)
+    if inject.get(INJECT_ERROR):
+        raise InjectedFaultError(
+            "injected worker fault (FaultPlan.read_error_rate)"
+        )
+    slow = inject.get(INJECT_SLOW)
+    if slow:
+        return _slow_job(fn, descriptor, slow, progress)
+    if fn is _local_phase and descriptor[0] == "shm":
+        return _local_phase_block(descriptor)
+    return fn(_load_job(descriptor))
+
+
+def _pool_worker_main(conn) -> None:
+    """Long-lived worker loop: recv (fn, descriptor, opts), one reply each.
+
+    The final reply is ``(status, payload, profile)`` exactly like the
+    legacy one-shot worker's, so the parent-side classification (ok /
+    typed error / dead worker on EOF) is shared; ``("beat", …)``
+    messages may precede it when ``opts["heartbeat"]`` asks for them.
+    ``opts["inject"]`` carries the fault directive for this job
+    (self-SIGKILL, self-SIGSTOP limplock, an injected exception, or a
+    slowdown factor).  ``None`` is the shutdown
     sentinel; a closed pipe means the parent is gone.
     """
+    lock = threading.Lock()
     while True:
         try:
             request = conn.recv()
@@ -491,27 +660,31 @@ def _pool_worker_main(conn) -> None:
         if request is None:
             conn.close()
             return
-        fn, descriptor = request
+        fn, descriptor, opts = request
+        progress = [0]
+        beat = None
+        interval = opts.get("heartbeat")
+        if interval:
+            beat = _HeartbeatSender(conn, lock, interval, progress)
+            beat.start()
         started = profile_start()
         try:
-            if fn is _local_phase and descriptor[0] == "shm":
-                result = _local_phase_block(descriptor)
-            else:
-                result = fn(_load_job(descriptor))
+            result = _run_worker_job(
+                fn, descriptor, opts.get("inject") or {}, progress
+            )
         except BaseException as exc:
-            try:
-                conn.send(
-                    (
-                        "error",
-                        {"type": type(exc).__name__, "message": str(exc)},
-                        profile_finish(started),
-                    )
-                )
-                continue
-            except Exception:  # pragma: no cover - parent went away
-                return
+            reply = (
+                "error",
+                {"type": type(exc).__name__, "message": str(exc)},
+                profile_finish(started),
+            )
+        else:
+            reply = ("ok", result, profile_finish(started))
+        if beat is not None:
+            beat.stop()  # joins: no beat can trail the final reply
         try:
-            conn.send(("ok", result, profile_finish(started)))
+            with lock:
+                conn.send(reply)
         except Exception:  # pragma: no cover - parent went away
             return
 
@@ -548,7 +721,7 @@ class WorkerPool:
             worker = self._idle.pop()
             if worker.proc.is_alive():
                 return worker
-            self.discard(worker)  # pragma: no cover - died while idle
+            self.discard(worker)  # died while idle: reap, fork a fresh one
         parent_conn, child_conn = self._ctx.Pipe()
         proc = self._ctx.Process(
             target=_pool_worker_main, args=(child_conn,), daemon=True
@@ -562,13 +735,35 @@ class WorkerPool:
         """Return a healthy worker for reuse."""
         self._idle.append(worker)
 
-    def discard(self, worker: _PoolWorker) -> None:
-        """Terminate and reap a worker that cannot be reused."""
+    def idle_workers(self) -> list[_PoolWorker]:
+        """A snapshot of the idle set (the dispatcher waits on their
+        pipes so idle deaths are noticed eagerly, not at next acquire)."""
+        return list(self._idle)
+
+    def remove_idle(self, worker: _PoolWorker) -> None:
+        """Retire a specific idle worker (it died or sent nonsense)."""
+        try:
+            self._idle.remove(worker)
+        except ValueError:  # pragma: no cover - already gone
+            return
+        self.discard(worker)
+
+    def discard(self, worker: _PoolWorker, hard: bool = False) -> None:
+        """Terminate and reap a worker that cannot be reused.
+
+        ``hard`` skips SIGTERM and kills outright — required for
+        SIGSTOPped (stalled) workers, which would never see the TERM
+        and would eat the full join grace, and used for cancelled
+        speculation losers where promptness matters.
+        """
         try:
             worker.conn.close()
         except OSError:  # pragma: no cover - already closed
             pass
-        worker.proc.terminate()
+        if hard:
+            worker.proc.kill()
+        else:
+            worker.proc.terminate()
         worker.proc.join(_JOIN_GRACE_SECONDS)
         if worker.proc.is_alive():  # pragma: no cover - stuck after kill
             worker.proc.kill()
@@ -586,20 +781,229 @@ class WorkerPool:
 
 
 _shared_pool: WorkerPool | None = None
+_atexit_registered = False
 
 
 def _get_shared_pool() -> WorkerPool:
-    global _shared_pool
+    global _shared_pool, _atexit_registered
     if _shared_pool is None:
         _shared_pool = WorkerPool()
-        atexit.register(_shared_pool.shutdown)
+        if not _atexit_registered:
+            # One hook for the module, not one per pool instance: an
+            # explicit shutdown followed by a fresh pool must not leave
+            # stale atexit entries resurrecting dead pool objects.
+            atexit.register(shutdown_worker_pool)
+            _atexit_registered = True
     return _shared_pool
 
 
 def shutdown_worker_pool() -> None:
-    """Terminate the module's shared pool (tests; safe to call anytime)."""
-    if _shared_pool is not None:
-        _shared_pool.shutdown()
+    """Terminate the module's shared pool; idempotent, safe anytime.
+
+    Clears the module slot, so the next pooled run forks a fresh pool —
+    this is also how the circuit breaker rebuilds a sick pool.
+    """
+    global _shared_pool
+    pool, _shared_pool = _shared_pool, None
+    if pool is not None:
+        pool.shutdown()
+
+
+# -- circuit breaker: pool -> rebuild -> spawn degradation --------------------
+
+# Failure cause types that indicate executor infrastructure sickness
+# rather than a user phase function's exception.
+_INFRA_CAUSES = ("WorkerDied", "HeartbeatLost", "PoisonFragment")
+
+# Worker-death cause types a fragment accumulates toward quarantine.
+_INFRA_DEATHS = ("WorkerDied", "HeartbeatLost")
+
+
+class PoolCircuitBreaker:
+    """Escalating response to repeated pool-infrastructure failures.
+
+    ``threshold`` consecutive runs failing with an infrastructure cause
+    (:data:`_INFRA_CAUSES`) make the next pooled run rebuild the shared
+    pool from scratch; if failures keep coming after the rebuild, the
+    breaker *degrades* — every later ``strategy="pool"`` call silently
+    takes the spawn path, which needs no long-lived infrastructure.  A
+    successful run resets both stages.  State is surfaced through the
+    ``mp.breaker.*`` metrics and :func:`pool_breaker_state`.
+    """
+
+    def __init__(self, threshold: int = 3) -> None:
+        if threshold < 1:
+            raise ValueError("breaker threshold must be positive")
+        self.threshold = threshold
+        self.consecutive_infra_failures = 0
+        self.rebuilt = False
+        self.degraded = False
+        self.rebuilds = 0
+
+    def record_success(self) -> None:
+        self.consecutive_infra_failures = 0
+        self.rebuilt = False
+
+    def record_failure(self, cause_type: str | None) -> None:
+        if cause_type not in _INFRA_CAUSES:
+            # A user exception says nothing about pool health.
+            self.consecutive_infra_failures = 0
+            return
+        self.consecutive_infra_failures += 1
+        if self.consecutive_infra_failures >= self.threshold and self.rebuilt:
+            self.degraded = True
+
+    def should_rebuild(self) -> bool:
+        return (
+            not self.degraded
+            and not self.rebuilt
+            and self.consecutive_infra_failures >= self.threshold
+        )
+
+    def note_rebuild(self) -> None:
+        self.rebuilds += 1
+        self.rebuilt = True
+        self.consecutive_infra_failures = 0
+
+
+_pool_breaker = PoolCircuitBreaker()
+
+
+def pool_breaker_state() -> PoolCircuitBreaker:
+    """The live module-level breaker (read-only for callers)."""
+    return _pool_breaker
+
+
+def reset_pool_breaker(threshold: int = 3) -> None:
+    """Install a fresh breaker (tests; also un-degrades the executor)."""
+    global _pool_breaker
+    _pool_breaker = PoolCircuitBreaker(threshold)
+
+
+class MpFaultInjector:
+    """Maps a :class:`~repro.sim.faults.FaultPlan` onto pool workers.
+
+    Consumes the plan's deterministic ``injection_schedule`` — fragment
+    index stands in for node id, attempt number for ordinal — and hands
+    the dispatcher two views per (fragment, attempt): the directive to
+    ship *into* the worker (self-SIGKILL, self-SIGSTOP, injected
+    exception, slowdown factor) and the actions the parent applies
+    *around* it (unlinking the fragment's shm segment, scheduling the
+    SIGCONT that ends a stall).  Kill and stall execute in the worker
+    shim at job start rather than as parent-side signals: a parent
+    signal sent after dispatch races the job itself — a fast fragment
+    can reply (and the worker return to the idle list) before the
+    signal lands, killing or freezing whichever fragment is dispatched
+    there next and mis-charging the fault.  Each schedule entry fires
+    exactly once; ``injected`` logs what actually fired, in firing
+    order.
+    """
+
+    def __init__(self, plan, num_fragments: int, attempts: int) -> None:
+        self.plan = plan
+        self.schedule = plan.injection_schedule(
+            range(num_fragments), attempts
+        )
+        self._pending = set(self.schedule)
+        self._slow = {s.node_id: s.slowdown for s in plan.stragglers}
+        self._stall = {s.node_id: s.seconds for s in plan.worker_stalls}
+        self.injected: list[tuple[str, int, int]] = []
+
+    def _take(self, kind: str, index: int, attempt: int) -> bool:
+        key = (kind, index, attempt)
+        if key not in self._pending:
+            return False
+        self._pending.discard(key)
+        self.injected.append(key)
+        return True
+
+    def worker_inject(self, index: int, attempt: int) -> dict | None:
+        """The in-worker directive (kill beats everything: a dead worker
+        can't limp; error beats slow: the job dies before it crawls)."""
+        inject: dict = {}
+        if self._take(INJECT_KILL, index, attempt):
+            # A dead worker fires nothing else this attempt.
+            return {INJECT_KILL: True}
+        if self._take(INJECT_STALL, index, attempt):
+            inject[INJECT_STALL] = self._stall[index]
+        if self._take(INJECT_ERROR, index, attempt):
+            inject[INJECT_ERROR] = True
+        elif self._take(INJECT_SLOW, index, attempt):
+            inject[INJECT_SLOW] = self._slow[index]
+        return inject or None
+
+    def parent_actions(self, index: int, attempt: int) -> dict:
+        """Parent-side actions around the dispatch."""
+        actions: dict = {}
+        if self._take(INJECT_SHM_LOSS, index, attempt):
+            actions[INJECT_SHM_LOSS] = True
+        return actions
+
+
+class ChaosOptions:
+    """Resolved robustness knobs for one pool dispatch."""
+
+    __slots__ = (
+        "injector",
+        "heartbeat_interval",
+        "heartbeat_timeout",
+        "speculate",
+        "speculation_multiplier",
+        "speculation_min_seconds",
+        "poison_threshold",
+        "ledger",
+        "lose_segment",
+    )
+
+    def __init__(
+        self,
+        injector: MpFaultInjector | None = None,
+        heartbeat_interval: float | None = 0.5,
+        heartbeat_timeout: float | None = None,
+        speculate: bool = False,
+        speculation_multiplier: float = 3.0,
+        speculation_min_seconds: float = 0.05,
+        poison_threshold: int = 3,
+        ledger=None,
+        lose_segment=None,
+    ) -> None:
+        self.injector = injector
+        self.heartbeat_interval = heartbeat_interval or None
+        if heartbeat_timeout is None and self.heartbeat_interval:
+            # Generous default: a busy single-core box can starve the
+            # beat thread for a while without the worker being sick.
+            heartbeat_timeout = max(8.0 * self.heartbeat_interval, 5.0)
+        self.heartbeat_timeout = (
+            heartbeat_timeout if self.heartbeat_interval else None
+        )
+        self.speculate = speculate
+        self.speculation_multiplier = speculation_multiplier
+        self.speculation_min_seconds = speculation_min_seconds
+        self.poison_threshold = poison_threshold
+        self.ledger = ledger
+        self.lose_segment = lose_segment
+
+
+class _PoolAttempt:
+    """One in-flight fragment attempt on a pool worker."""
+
+    __slots__ = (
+        "index", "attempt", "worker", "deadline", "started",
+        "mono_started", "last_beat", "backup", "stall_resume", "rows_done",
+    )
+
+    def __init__(self, index, attempt, worker, deadline, started,
+                 backup=False) -> None:
+        self.index = index
+        self.attempt = attempt
+        self.worker = worker
+        self.deadline = deadline
+        self.started = started
+        self.mono_started = time.monotonic()
+        self.last_beat = self.mono_started
+        self.backup = backup
+        self.stall_resume = None
+        self.rows_done = 0
 
 
 def _run_jobs_in_pool(
@@ -610,109 +1014,323 @@ def _run_jobs_in_pool(
     timeout: float | None,
     obs: _ObsSink,
     pool: WorkerPool,
+    chaos: ChaosOptions | None = None,
+    reencode=None,
 ) -> dict[int, list]:
     """Pool dispatch: same retry/timeout/death semantics as the spawn
     path, but jobs go to persistent workers as small descriptors.
 
-    Timeout and death handling must discard the worker (its loop may be
-    wedged or gone); a clean "error" reply leaves it reusable.
+    Timeout, heartbeat-loss and death handling must discard the worker
+    (its loop may be wedged or gone); a clean "error" reply leaves it
+    reusable.  ``chaos`` bundles the robustness machinery: heartbeat
+    monitoring, fault injection, speculative re-execution and poison-
+    fragment quarantine (see :class:`ChaosOptions`); ``reencode(index)``
+    rebuilds a fragment's shm descriptor after injected segment loss.
     """
+    chaos = chaos if chaos is not None else ChaosOptions()
+    injector = chaos.injector
+    hb_timeout = chaos.heartbeat_timeout
+
     pending: deque[tuple[int, int]] = deque(
         (i, 0) for i in range(len(descriptors))
     )
-    busy: dict[object, tuple[_PoolWorker, _Attempt]] = {}
+    busy: dict[object, _PoolAttempt] = {}
     completed: dict[int, list] = {}
+    durations: list[float] = []      # completed attempt wall seconds
+    deaths: dict[int, list[str]] = {}  # fragment -> infra-death causes
+    outstanding: dict[int, int] = {}   # fragment -> in-flight attempts
+    spec_open: dict[int, dict] = {}    # fragment -> open speculation
 
-    def dispatch(index: int, attempt: int) -> None:
+    def drop(record: _PoolAttempt) -> None:
+        busy.pop(record.worker.conn, None)
+        outstanding[record.index] -= 1
+
+    def dispatch(index: int, attempt: int, backup: bool = False) -> None:
         worker = pool.acquire()
+        inject = None
+        actions: dict = {}
+        if injector is not None and not backup:
+            # Backups model re-execution on a healthy node: they skip
+            # injection, otherwise a straggler would limp its own rescue.
+            inject = injector.worker_inject(index, attempt)
+            actions = injector.parent_actions(index, attempt)
+        if actions.get(INJECT_SHM_LOSS) and chaos.lose_segment is not None:
+            if chaos.lose_segment(index):
+                obs.fault_injected(INJECT_SHM_LOSS, index, attempt)
         deadline = None if timeout is None else time.monotonic() + timeout
-        record = _Attempt(index, attempt, worker.proc, worker.conn,
-                          deadline, obs.now())
-        busy[worker.conn] = (worker, record)
+        record = _PoolAttempt(index, attempt, worker, deadline, obs.now(),
+                              backup)
+        busy[worker.conn] = record
+        outstanding[index] = outstanding.get(index, 0) + 1
+        opts = {"inject": inject, "heartbeat": chaos.heartbeat_interval}
         try:
-            worker.conn.send((fn_for(attempt), descriptors[index]))
+            worker.conn.send((fn_for(attempt), descriptors[index], opts))
         except (OSError, ValueError):  # pragma: no cover - died pre-send
-            del busy[worker.conn]
+            drop(record)
             pool.discard(worker)
-            fail_or_retry(record, {
+            attempt_failed(record, {
                 "type": "WorkerDied",
                 "message": "worker pipe closed before dispatch",
             })
+            return
+        if inject:
+            for kind in inject:
+                obs.fault_injected(kind, index, attempt)
+            if inject.get(INJECT_STALL) is not None:
+                # The worker self-SIGSTOPs at job start; the parent
+                # owns the SIGCONT that ends the limplock.
+                record.stall_resume = (
+                    time.monotonic() + inject[INJECT_STALL]
+                )
 
-    def fail_or_retry(record: _Attempt, error: dict) -> None:
+    def fail_or_retry(record: _PoolAttempt, error: dict) -> None:
         cause = f"{error.get('type')}: {error.get('message')}"
+        cause_type = error.get("type")
+        if cause_type in _INFRA_DEATHS:
+            chain = deaths.setdefault(record.index, [])
+            chain.append(cause)
+            obs.worker_death(record.index)
+            if len(chain) >= chaos.poison_threshold:
+                # Quarantine: this fragment is grinding the pool down —
+                # fail fast with the whole chain, retries be damned.
+                obs.quarantined(record.index, len(chain))
+                raise FragmentFailedError(
+                    record.index,
+                    record.attempt + 1,
+                    f"poison fragment: killed {len(chain)} worker(s) "
+                    "[" + " <- ".join(chain) + "]",
+                    dict(completed),
+                    cause_type="PoisonFragment",
+                ) from WorkerFailure(error)
         if record.attempt + 1 > max_retries:
             raise FragmentFailedError(
                 record.index,
                 record.attempt + 1,
                 cause,
                 dict(completed),
-                cause_type=error.get("type"),
-            )
+                cause_type=cause_type,
+            ) from WorkerFailure(error)
         obs.retry(record.index, record.attempt, error)
+        if (
+            reencode is not None
+            and cause_type == "FileNotFoundError"
+            and descriptors[record.index][0] == "shm"
+        ):
+            # The segment vanished (injected shm loss): re-encode the
+            # fragment into a fresh one before the retry ships.
+            descriptors[record.index] = reencode(record.index)
+            obs.reencoded(record.index)
         pending.append((record.index, record.attempt + 1))
+
+    def attempt_failed(record: _PoolAttempt, error: dict,
+                       profile=None) -> None:
+        obs.attempt_done(record.index, record.attempt, record.started,
+                         False, profile, error)
+        if record.index in completed:
+            return  # a speculative sibling already won
+        if outstanding.get(record.index, 0) > 0:
+            return  # a sibling is still running; it decides the outcome
+        fail_or_retry(record, error)
+
+    def wake_if_stalled(record: _PoolAttempt) -> None:
+        # A fast job can reply before the injected SIGSTOP lands; the
+        # worker then sits stopped while its stall deadline dies with
+        # the finished record.  Wake it before it rejoins the idle list
+        # or the next fragment dispatched to it hangs until heartbeat
+        # loss.
+        if record.stall_resume is not None:
+            try:
+                os.kill(record.worker.proc.pid, signal.SIGCONT)
+            except ProcessLookupError:  # pragma: no cover - already dead
+                pass
+            record.stall_resume = None
+
+    def resolve_ok(record: _PoolAttempt, payload, profile) -> None:
+        drop(record)
+        durations.append(time.monotonic() - record.mono_started)
+        wake_if_stalled(record)
+        pool.release(record.worker)
+        first = record.index not in completed
+        if first:
+            completed[record.index] = payload
+        obs.attempt_done(record.index, record.attempt, record.started,
+                         True, profile)
+        if outstanding.get(record.index, 0) > 0:
+            # First result wins: cancel the losing sibling(s) outright.
+            for other in [r for r in busy.values()
+                          if r.index == record.index]:
+                drop(other)
+                pool.discard(other.worker, hard=True)
+                obs.speculation_cancelled(other.index, other.attempt,
+                                          other.backup)
+        marker = spec_open.pop(record.index, None)
+        if marker is not None and first:
+            obs.speculation_resolved(record.index, record.backup)
+            event = marker.get("event")
+            if event is not None:
+                # Post-hoc verdict: a speculation whose backup won was
+                # the right call; one the primary beat was wasted work
+                # but cost only an idle-slot fork.
+                event.truth = {
+                    "backup_won": record.backup,
+                    "verdict": (VERDICT_CORRECT if record.backup
+                                else VERDICT_WRONG_CHEAP),
+                }
+
+    def maybe_speculate() -> None:
+        if pending or len(busy) >= processes or len(durations) < 2:
+            return
+        median = statistics.median(durations)
+        threshold = max(chaos.speculation_min_seconds,
+                        chaos.speculation_multiplier * median)
+        now = time.monotonic()
+        for record in list(busy.values()):
+            if len(busy) >= processes:
+                break
+            if record.backup or record.index in spec_open:
+                continue
+            elapsed = now - record.mono_started
+            if elapsed < threshold:
+                continue
+            obs.speculation_launched(record.index, record.attempt,
+                                     elapsed, threshold)
+            event = None
+            if chaos.ledger is not None:
+                event = chaos.ledger.record(
+                    SPECULATIVE_EXECUTION, record.index, obs.now(),
+                    data={
+                        "attempt": record.attempt,
+                        "elapsed_seconds": round(elapsed, 6),
+                        "threshold_seconds": round(threshold, 6),
+                        "median_seconds": round(median, 6),
+                    },
+                )
+            spec_open[record.index] = {"event": event}
+            dispatch(record.index, record.attempt, backup=True)
 
     try:
         while busy or pending:
             while pending and len(busy) < processes:
                 dispatch(*pending.popleft())
-            next_deadline = min(
-                (a.deadline for _, a in busy.values()
-                 if a.deadline is not None),
-                default=None,
-            )
+            if chaos.speculate:
+                maybe_speculate()
+            now = time.monotonic()
+            wait_until: list[float] = []
+            for record in busy.values():
+                if record.deadline is not None:
+                    wait_until.append(record.deadline)
+                if hb_timeout is not None:
+                    wait_until.append(record.last_beat + hb_timeout)
+                if record.stall_resume is not None:
+                    wait_until.append(record.stall_resume)
+            if (chaos.speculate and not pending
+                    and len(busy) < processes and len(durations) >= 2):
+                threshold = max(
+                    chaos.speculation_min_seconds,
+                    chaos.speculation_multiplier
+                    * statistics.median(durations),
+                )
+                wait_until.extend(
+                    r.mono_started + threshold
+                    for r in busy.values()
+                    if not r.backup and r.index not in spec_open
+                )
             wait_for = (
-                None if next_deadline is None
-                else max(0.0, next_deadline - time.monotonic())
+                None if not wait_until
+                else max(0.0, min(wait_until) - now)
             )
-            ready = _connection_wait(list(busy), timeout=wait_for)
+            idle = {w.conn: w for w in pool.idle_workers()}
+            ready = _connection_wait(
+                list(busy) + list(idle), timeout=wait_for
+            )
             for conn in ready:
-                worker, record = busy.pop(conn)
+                if conn in idle:
+                    worker = idle[conn]
+                    try:
+                        message = worker.conn.recv()
+                    except (EOFError, OSError):
+                        message = None
+                    if (isinstance(message, tuple) and message
+                            and message[0] == "beat"):
+                        continue  # stale beat from a finished job
+                    pool.remove_idle(worker)
+                    obs.idle_death()
+                    continue
+                record = busy.get(conn)
+                if record is None:
+                    continue  # cancelled earlier in this very batch
                 profile = None
-                error = None
                 try:
                     status, payload, profile = conn.recv()
                 except (EOFError, OSError):
-                    status = "error"
-                    payload = {
+                    status, payload = "died", None
+                if status == "beat":
+                    record.last_beat = time.monotonic()
+                    record.rows_done = payload.get(
+                        "rows_done", record.rows_done
+                    )
+                    obs.beat()
+                    continue
+                if status == "ok":
+                    resolve_ok(record, payload, profile)
+                    continue
+                drop(record)
+                if status == "died":
+                    error = {
                         "type": "WorkerDied",
                         "message": (
                             "worker died without a result "
-                            f"(exitcode={worker.proc.exitcode})"
+                            f"(exitcode={record.worker.proc.exitcode})"
                         ),
                     }
-                if status == "ok":
-                    completed[record.index] = payload
-                    pool.release(worker)
+                    pool.discard(record.worker)
                 else:
                     error = payload
-                    if error.get("type") == "WorkerDied":
-                        pool.discard(worker)
-                    else:
-                        pool.release(worker)
-                obs.attempt_done(
-                    record.index, record.attempt, record.started,
-                    status == "ok", profile, error,
-                )
-                if error is not None:
-                    fail_or_retry(record, error)
+                    wake_if_stalled(record)
+                    pool.release(record.worker)
+                attempt_failed(record, error, profile)
             now = time.monotonic()
-            for conn, (worker, record) in list(busy.items()):
+            for record in list(busy.values()):
+                if (record.stall_resume is not None
+                        and now >= record.stall_resume):
+                    # The injected limplock ends: wake the worker.
+                    try:
+                        os.kill(record.worker.proc.pid, signal.SIGCONT)
+                    except ProcessLookupError:  # pragma: no cover
+                        pass
+                    record.stall_resume = None
+                    record.last_beat = now  # grace until beats resume
+            if hb_timeout is not None:
+                for record in list(busy.values()):
+                    silence = now - record.last_beat
+                    if silence >= hb_timeout:
+                        drop(record)
+                        # hard: a SIGSTOPped worker never sees SIGTERM.
+                        pool.discard(record.worker, hard=True)
+                        obs.heartbeat_lost(record.index, record.attempt)
+                        attempt_failed(record, {
+                            "type": "HeartbeatLost",
+                            "message": (
+                                f"no heartbeat for {silence:.2f}s "
+                                "(worker stalled, starved, or wedged)"
+                            ),
+                        })
+            for record in list(busy.values()):
                 if record.deadline is not None and now >= record.deadline:
-                    del busy[conn]
-                    pool.discard(worker)
-                    error = {
+                    drop(record)
+                    pool.discard(
+                        record.worker,
+                        hard=record.stall_resume is not None,
+                    )
+                    attempt_failed(record, {
                         "type": "Timeout",
                         "message": f"timed out after {timeout:g}s",
-                    }
-                    obs.attempt_done(
-                        record.index, record.attempt, record.started,
-                        False, None, error,
-                    )
-                    fail_or_retry(record, error)
+                    })
     finally:
-        for worker, _record in busy.values():
-            pool.discard(worker)
+        for record in busy.values():
+            pool.discard(
+                record.worker, hard=record.stall_resume is not None
+            )
     return completed
 
 
@@ -794,6 +1412,74 @@ class _ObsSink:
                 error=error.get("message"),
             )
 
+    # -- chaos / robustness events -------------------------------------------
+
+    def _count(self, name: str) -> None:
+        if self.metrics is not None:
+            self.metrics.counter(name).inc()
+
+    def _instant(self, name: str, track: int, **args) -> None:
+        if self.tracer is not None:
+            self.tracer.instant(name, track, self.now(), **args)
+
+    def beat(self) -> None:
+        self._count("mp.heartbeat.beats")
+
+    def heartbeat_lost(self, index: int, attempt: int) -> None:
+        self._count("mp.heartbeat.lost")
+        self._instant("heartbeat_lost", index, attempt=attempt)
+
+    def idle_death(self) -> None:
+        self._count("mp.pool.idle_deaths")
+        self._instant("idle_worker_death", -1)
+
+    def fault_injected(self, kind: str, index: int, attempt: int) -> None:
+        self._count(f"mp.faults.injected.{kind}")
+        self._instant("fault_injected", index, kind=kind, attempt=attempt)
+
+    def speculation_launched(self, index: int, attempt: int,
+                             elapsed: float, threshold: float) -> None:
+        self._count("mp.speculative.launched")
+        self._instant(
+            "speculative_launch", index, attempt=attempt,
+            elapsed_seconds=round(elapsed, 6),
+            threshold_seconds=round(threshold, 6),
+        )
+
+    def speculation_resolved(self, index: int, backup_won: bool) -> None:
+        self._count(
+            "mp.speculative.backup_wins" if backup_won
+            else "mp.speculative.primary_wins"
+        )
+        self._instant("speculation_resolved", index, backup_won=backup_won)
+
+    def speculation_cancelled(self, index: int, attempt: int,
+                              backup: bool) -> None:
+        self._count("mp.speculative.cancelled")
+        self._instant(
+            "speculation_cancelled", index, attempt=attempt, backup=backup
+        )
+
+    def worker_death(self, index: int) -> None:
+        self._count("mp.quarantine.worker_deaths")
+
+    def quarantined(self, index: int, death_count: int) -> None:
+        self._count("mp.quarantine.poisoned")
+        self._instant("quarantine", index, deaths=death_count)
+
+    def reencoded(self, index: int) -> None:
+        self._count("mp.shm.reencoded")
+
+    def pool_rebuild(self) -> None:
+        self._count("mp.breaker.rebuilds")
+        self._instant("pool_rebuild", -1)
+
+    def pool_degraded(self) -> None:
+        self._count("mp.breaker.degraded_runs")
+        if self.metrics is not None:
+            self.metrics.gauge("mp.breaker.degraded", mode="max").set(1)
+        self._instant("pool_degraded", -1)
+
 
 class _Attempt:
     __slots__ = ("index", "attempt", "proc", "conn", "deadline", "started")
@@ -859,7 +1545,7 @@ def _run_jobs_in_processes(
                 cause,
                 dict(completed),
                 cause_type=error.get("type"),
-            )
+            ) from WorkerFailure(error)
         obs.retry(attempt.index, attempt.attempt, error)
         pending.append((attempt.index, attempt.attempt + 1))
 
@@ -991,6 +1677,15 @@ def multiprocessing_aggregate(
     metrics=None,
     profiles: list | None = None,
     strategy: str = "pool",
+    faults=None,
+    faults_log: list | None = None,
+    speculate: bool = False,
+    speculation_multiplier: float = 3.0,
+    speculation_min_seconds: float = 0.05,
+    heartbeat_interval: float | None = 0.5,
+    heartbeat_timeout: float | None = None,
+    poison_threshold: int = 3,
+    ledger=None,
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -1024,6 +1719,31 @@ def multiprocessing_aggregate(
     per-error-type counters, and worker wall/CPU/RSS distributions from
     the workers' self-profiles; ``profiles`` (a list) is extended with
     one :class:`repro.obs.WorkerProfile` per attempt that reported back.
+
+    Chaos / robustness (pool strategy only):
+
+    ``faults`` (a :class:`~repro.sim.faults.FaultPlan`) injects the
+    plan's deterministic fault schedule into the real workers — kills,
+    limplock stalls, slowdowns, in-worker exceptions, shm-segment loss
+    (see the module docstring for the mapping).  Requires real
+    processes: a run that would fall back in-process is bumped to two
+    workers.  ``faults_log`` (a list) receives the injected
+    ``(kind, fragment, attempt)`` entries in firing order.
+    ``speculate`` enables speculative re-execution: a fragment running
+    longer than ``max(speculation_min_seconds, speculation_multiplier ×
+    median attempt time)`` gets a backup attempt on a free worker;
+    first result wins, the loser is killed, and each speculation is
+    recorded in ``ledger`` (a :class:`~repro.obs.DecisionLedger`) with
+    a post-hoc verdict.  ``heartbeat_interval`` makes workers emit
+    liveness beats mid-job (``None`` disables); a worker silent for
+    ``heartbeat_timeout`` seconds (default ``max(8×interval, 5)``) is
+    declared lost without waiting out ``timeout``.  A fragment whose
+    attempts kill ``poison_threshold`` workers is quarantined: it fails
+    fast as a ``PoisonFragment`` instead of grinding the pool down.
+    Runs that repeatedly fail with infrastructure causes trip a
+    module-level circuit breaker (see :class:`PoolCircuitBreaker`):
+    the pool is rebuilt once, then ``strategy="pool"`` degrades to the
+    spawn path (fault injection is skipped while degraded).
     """
     if max_retries < 0:
         raise ValueError("max_retries must be non-negative")
@@ -1040,6 +1760,27 @@ def multiprocessing_aggregate(
         raise ValueError(
             f"strategy must be 'pool' or 'spawn', got {strategy!r}"
         )
+    faults_active = faults is not None and faults.active
+    if strategy == "spawn":
+        if faults_active:
+            raise ValueError(
+                "fault injection requires strategy='pool' (the spawn "
+                "path has no injection shim)"
+            )
+        if speculate:
+            raise ValueError(
+                "speculative re-execution requires strategy='pool'"
+            )
+    if speculation_multiplier < 1.0:
+        raise ValueError("speculation_multiplier must be >= 1")
+    if speculation_min_seconds <= 0:
+        raise ValueError("speculation_min_seconds must be positive")
+    if heartbeat_interval is not None and heartbeat_interval <= 0:
+        raise ValueError("heartbeat_interval must be positive (or None)")
+    if heartbeat_timeout is not None and heartbeat_timeout <= 0:
+        raise ValueError("heartbeat_timeout must be positive")
+    if poison_threshold < 1:
+        raise ValueError("poison_threshold must be positive")
     fn = _local_phase if phase_fn is None else phase_fn
 
     def fn_for(attempt: int):
@@ -1057,6 +1798,10 @@ def multiprocessing_aggregate(
     cpu_count = os.cpu_count() or 1
     if processes == 0:
         processes = min(len(jobs), cpu_count)
+    if faults_active and processes == 1:
+        # Injection needs real worker processes; the in-process fallback
+        # has nothing to kill, stall, or starve.
+        processes = 2
     obs = _ObsSink(tracer, metrics)
     run_span = None
     if tracer is not None:
@@ -1064,6 +1809,7 @@ def multiprocessing_aggregate(
             "mp_aggregate", track=-1, t=0.0, cat="query",
             fragments=len(jobs), processes=processes,
         )
+    breaker = _pool_breaker
     try:
         if processes <= 1:
             completed = _run_jobs_in_process(fn_for, jobs, max_retries, obs)
@@ -1071,21 +1817,69 @@ def multiprocessing_aggregate(
             completed = _run_jobs_in_processes(
                 fn_for, jobs, processes, max_retries, timeout, obs
             )
+        elif breaker.degraded:
+            # The breaker gave up on pool infrastructure: degrade to the
+            # spawn path (correct, just slower); injection is skipped.
+            obs.pool_degraded()
+            completed = _run_jobs_in_processes(
+                fn_for, jobs, processes, max_retries, timeout, obs
+            )
         else:
+            if breaker.should_rebuild():
+                shutdown_worker_pool()
+                breaker.note_rebuild()
+                obs.pool_rebuild()
+            injector = None
+            if faults_active:
+                injector = MpFaultInjector(faults, len(jobs),
+                                           max_retries + 1)
             segments: list = []
+            shm_owner: dict[int, shared_memory.SharedMemory] = {}
+
+            def encode(index: int):
+                rows, q, schema = jobs[index]
+                desc = _encode_fragment(
+                    rows, q, schema, segments, project=phase_fn is None
+                )
+                if desc[0] == "shm":
+                    shm_owner[index] = segments[-1]
+                return desc
+
+            def lose_segment(index: int) -> bool:
+                shm = shm_owner.get(index)
+                if shm is None:
+                    return False  # inline descriptor: nothing to lose
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover - lost twice
+                    pass
+                return True
+
+            chaos = ChaosOptions(
+                injector=injector,
+                heartbeat_interval=heartbeat_interval,
+                heartbeat_timeout=heartbeat_timeout,
+                speculate=speculate,
+                speculation_multiplier=speculation_multiplier,
+                speculation_min_seconds=speculation_min_seconds,
+                poison_threshold=poison_threshold,
+                ledger=ledger,
+                lose_segment=lose_segment,
+            )
             try:
-                descriptors = [
-                    _encode_fragment(
-                        rows, q, schema, segments,
-                        project=phase_fn is None,
-                    )
-                    for rows, q, schema in jobs
-                ]
+                descriptors = [encode(i) for i in range(len(jobs))]
                 completed = _run_jobs_in_pool(
                     fn_for, descriptors, processes, max_retries, timeout,
-                    obs, _get_shared_pool(),
+                    obs, _get_shared_pool(), chaos=chaos, reencode=encode,
                 )
+            except FragmentFailedError as exc:
+                breaker.record_failure(exc.cause_type)
+                raise
+            else:
+                breaker.record_success()
             finally:
+                if injector is not None and faults_log is not None:
+                    faults_log.extend(injector.injected)
                 # The parent owns every segment: unlink on success,
                 # worker error, timeout, death, and FragmentFailedError
                 # alike, so /dev/shm never accumulates repro_mp_* files.
@@ -1093,7 +1887,7 @@ def multiprocessing_aggregate(
                     shm.close()
                     try:
                         shm.unlink()
-                    except FileNotFoundError:  # pragma: no cover
+                    except FileNotFoundError:
                         pass
     except FragmentFailedError:
         if tracer is not None:

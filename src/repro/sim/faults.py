@@ -21,6 +21,18 @@ streams seeded from ``(plan.seed, original node id, stream)``.  The engine
 itself is deterministic, so the draws are consumed in a deterministic
 order and a given (workload, parameters, plan) triple always produces the
 same crashes, the same retransmissions, and byte-identical metrics.
+
+The same plan also drives **real-process** injection: the multiprocessing
+executor (``repro.parallel.mp_executor``) maps each fault class onto its
+process-level counterpart — a :class:`CrashFault` becomes a SIGKILL of
+the worker running that fragment, a :class:`Straggler` an artificial
+per-row slowdown (a limping worker), a :class:`WorkerStall` a
+SIGSTOP/SIGCONT pair, ``read_error_rate`` an injected worker exception,
+and ``message_loss`` the loss of the fragment's shared-memory segment.
+:meth:`FaultPlan.injection_schedule` is the single deterministic
+derivation both substrates consume, so a given seed produces the same
+injected-fault schedule (kind, target, ordinal) in the simulator and in
+the real pool (``tests/test_fault_determinism.py`` pins this).
 """
 
 from __future__ import annotations
@@ -55,6 +67,21 @@ class NodeCrashedError(RuntimeError):
 
 class ClusterLostError(RuntimeError):
     """Recovery is impossible: every node crashed (or retries exhausted)."""
+
+
+# Injection-schedule kinds, shared by the simulator and the real-process
+# executor.  ``FaultPlan.injection_schedule`` emits (kind, target,
+# ordinal) tuples using exactly these names.
+INJECT_KILL = "kill"
+INJECT_STALL = "stall"
+INJECT_SLOW = "slow"
+INJECT_ERROR = "error"
+INJECT_SHM_LOSS = "shm_loss"
+
+# Stream salts 1 and 2 belong to the simulator's transport and disk
+# draws; 3 and 4 seed the substrate-independent injection schedule.
+_SALT_INJECT_ERROR = 3
+_SALT_INJECT_LOSS = 4
 
 
 @dataclass(frozen=True)
@@ -97,6 +124,27 @@ class Straggler:
 
 
 @dataclass(frozen=True)
+class WorkerStall:
+    """Freeze ``node_id`` for ``seconds`` — the limplock scenario.
+
+    On the real-process substrate the fragment's worker SIGSTOPs itself
+    at job start and is SIGCONTed ``seconds`` later; the heartbeat
+    monitor sees
+    the beats stop and can retire the worker before the job timeout.
+    The simulator has no process to stop, so a stall is a no-op there —
+    it exists so one plan can describe a real-process limplock scenario
+    alongside simulator faults.  Fires at most once per query.
+    """
+
+    node_id: int
+    seconds: float
+
+    def __post_init__(self) -> None:
+        if self.seconds <= 0:
+            raise FaultConfigError("stall seconds must be positive")
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """Everything injected into one simulated run (immutable, seedable).
 
@@ -110,6 +158,9 @@ class FaultPlan:
         even across recovery attempts.
     stragglers:
         :class:`Straggler` entries; persist across recovery attempts.
+    worker_stalls:
+        :class:`WorkerStall` entries — real-process limplock (SIGSTOP/
+        SIGCONT); ignored by the simulator, one per node, fire once.
     message_loss:
         Per-transmission drop probability for data messages.  Lost blocks
         are retransmitted by the reliable transport (ack timeout +
@@ -141,6 +192,7 @@ class FaultPlan:
     seed: int = 0
     crashes: tuple[CrashFault, ...] = ()
     stragglers: tuple[Straggler, ...] = ()
+    worker_stalls: tuple[WorkerStall, ...] = ()
     message_loss: float = 0.0
     message_duplication: float = 0.0
     read_error_rate: float = 0.0
@@ -176,6 +228,13 @@ class FaultPlan:
                     f"node {crash.node_id} has more than one CrashFault"
                 )
             seen.add(crash.node_id)
+        stalled: set[int] = set()
+        for stall in self.worker_stalls:
+            if stall.node_id in stalled:
+                raise FaultConfigError(
+                    f"node {stall.node_id} has more than one WorkerStall"
+                )
+            stalled.add(stall.node_id)
 
     @property
     def active(self) -> bool:
@@ -183,6 +242,7 @@ class FaultPlan:
         return bool(
             self.crashes
             or self.stragglers
+            or self.worker_stalls
             or self.message_loss
             or self.message_duplication
             or self.read_error_rate
@@ -191,6 +251,52 @@ class FaultPlan:
     def start(self) -> "FaultSchedule":
         """The mutable per-query state (crash consumption across attempts)."""
         return FaultSchedule(self)
+
+    def injection_schedule(
+        self, node_ids, attempts: int = 1
+    ) -> list[tuple[str, int, int]]:
+        """The substrate-independent injected-fault schedule.
+
+        Returns ``(kind, target, ordinal)`` tuples — ``kind`` one of the
+        ``INJECT_*`` constants, ``target`` the original node id (equal to
+        the fragment index on the mp substrate), ``ordinal`` the attempt
+        number the fault fires on.  One-shot faults (kills, stalls) fire
+        at ordinal 0; stragglers limp on every attempt; the probabilistic
+        kinds (injected errors from ``read_error_rate``, shared-memory
+        loss from ``message_loss``) draw per attempt from the same
+        per-(seed, node, purpose) streams on every substrate, so the
+        schedule is a pure function of (plan, node_ids, attempts).
+        """
+        if attempts < 1:
+            raise FaultConfigError("attempts must be at least 1")
+        crash_nodes = {c.node_id for c in self.crashes}
+        stall_nodes = {s.node_id for s in self.worker_stalls}
+        slow_nodes = {s.node_id for s in self.stragglers}
+        entries: list[tuple[str, int, int]] = []
+        for orig in node_ids:
+            if orig in crash_nodes:
+                entries.append((INJECT_KILL, orig, 0))
+            if orig in stall_nodes:
+                entries.append((INJECT_STALL, orig, 0))
+            if orig in slow_nodes:
+                entries.extend(
+                    (INJECT_SLOW, orig, a) for a in range(attempts)
+                )
+            if self.read_error_rate:
+                rng = _stream(self.seed, orig, _SALT_INJECT_ERROR)
+                entries.extend(
+                    (INJECT_ERROR, orig, a)
+                    for a in range(attempts)
+                    if rng.random() < self.read_error_rate
+                )
+            if self.message_loss:
+                rng = _stream(self.seed, orig, _SALT_INJECT_LOSS)
+                entries.extend(
+                    (INJECT_SHM_LOSS, orig, a)
+                    for a in range(attempts)
+                    if rng.random() < self.message_loss
+                )
+        return entries
 
 
 @dataclass
@@ -292,3 +398,9 @@ class FaultRuntime:
         if not self.plan.read_error_rate:
             return False
         return self._disk_rng[index].random() < self.plan.read_error_rate
+
+    # -- substrate-independent injection view -------------------------------
+
+    def injection_schedule(self, attempts: int = 1) -> list[tuple[str, int, int]]:
+        """The plan's schedule restricted to this attempt's node ids."""
+        return self.plan.injection_schedule(self.node_ids, attempts)

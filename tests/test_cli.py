@@ -101,6 +101,93 @@ class TestRun:
         assert code == 0
 
 
+class TestRunFaults:
+    def test_sim_substrate_accepts_fault_plan(self):
+        code, text = run_cli(
+            "run",
+            "--algorithm", "two_phase",
+            "--tuples", "2000", "--groups", "50", "--nodes", "4",
+            "--faults", "seed=42,kill=2@250,slow=1x2.0,loss=0.1",
+            "--verify",
+        )
+        assert code == 0
+        assert "verified against reference: OK" in text
+
+    def test_algorithm_defaults_to_adaptive(self):
+        code, text = run_cli(
+            "run", "--tuples", "1000", "--groups", "20", "--nodes", "2"
+        )
+        assert code == 0
+        assert "adaptive_two_phase" in text
+
+    @pytest.mark.parametrize(
+        "spec, fragment",
+        [
+            ("seed=1,bogus=3", "unknown --faults key"),
+            ("seed", "expected key=value"),
+            ("stall=0xnope", "expected NODExNUMBER"),
+            ("kill=1,kill=1", "bad --faults plan"),
+            ("loss=2.0", "bad --faults plan"),
+        ],
+    )
+    def test_bad_fault_specs_rejected(self, spec, fragment):
+        code, text = run_cli(
+            "run", "--tuples", "400", "--nodes", "2", "--faults", spec
+        )
+        assert code == 2
+        assert fragment in text
+
+
+class TestRunMp:
+    def test_mp_substrate_runs_and_verifies(self):
+        code, text = run_cli(
+            "run",
+            "--substrate", "mp",
+            "--tuples", "2000", "--groups", "50", "--nodes", "4",
+            "--processes", "2",
+            "--verify",
+        )
+        assert code == 0
+        assert "mp[pool]" in text
+        assert "verified against reference: OK" in text
+
+    def test_mp_substrate_with_fault_plan(self):
+        code, text = run_cli(
+            "run",
+            "--substrate", "mp",
+            "--tuples", "2400", "--groups", "60", "--nodes", "4",
+            "--processes", "2",
+            "--faults", "seed=1,kill=3,slow=2x6.0,loss=0.3",
+            "--speculate",
+            "--verify",
+        )
+        assert code == 0
+        assert "verified against reference: OK" in text
+        assert "injected=" in text
+
+    def test_mp_rejects_spawn_with_faults(self):
+        code, text = run_cli(
+            "run",
+            "--substrate", "mp", "--strategy", "spawn",
+            "--tuples", "400", "--groups", "20", "--nodes", "2",
+            "--faults", "seed=1,kill=1",
+        )
+        assert code == 2
+        assert "strategy='pool'" in text
+
+    @pytest.mark.parametrize("flag", ["--timeline", "--save-run"])
+    def test_mp_rejects_simulator_only_flags(self, flag, tmp_path):
+        argv = [
+            "run", "--substrate", "mp", "--tuples", "400", "--nodes", "2",
+            flag,
+        ]
+        if flag == "--save-run":
+            argv.append(str(tmp_path / "run.json"))
+        code, text = run_cli(*argv)
+        assert code == 2
+        assert "--substrate sim" in text
+
+
 class TestSql:
     def test_sql_on_generated_workload(self):
         code, text = run_cli(

@@ -10,7 +10,8 @@ import json
 import pytest
 
 from repro.core.runner import run_algorithm
-from repro.sim.faults import CrashFault, FaultPlan, Straggler
+from repro.parallel.mp_executor import MpFaultInjector
+from repro.sim.faults import CrashFault, FaultPlan, Straggler, WorkerStall
 
 from tests.conftest import rows_close
 
@@ -75,3 +76,74 @@ def test_different_seed_different_transport(small_dist, sum_query):
     # ...but correctness is seed-independent (different delivery orders
     # only reorder the float summation).
     assert rows_close(runs[0].rows, runs[1].rows)
+
+
+def _chaos_plan(seed: int) -> FaultPlan:
+    return FaultPlan(
+        seed=seed,
+        crashes=(CrashFault(3, at_time=0.01),),
+        stragglers=(Straggler(2, 6.0),),
+        worker_stalls=(WorkerStall(0, 0.6),),
+        read_error_rate=0.3,
+        message_loss=0.3,
+    )
+
+
+class TestInjectionScheduleParity:
+    """One plan, one schedule, every substrate.
+
+    The (kind, target, ordinal) schedule is the contract between the
+    simulator and the mp pool: the same seed must map to the same
+    injected faults whether node ids name sim nodes or pool fragments.
+    """
+
+    def test_sim_and_mp_views_agree(self):
+        plan = _chaos_plan(seed=7)
+        node_ids = list(range(4))
+        direct = plan.injection_schedule(node_ids, attempts=3)
+        via_runtime = plan.start().runtime(node_ids).injection_schedule(3)
+        via_injector = MpFaultInjector(plan, num_fragments=4, attempts=3)
+        assert direct == via_runtime == via_injector.schedule
+
+    def test_same_seed_same_schedule(self):
+        for seed in range(10):
+            first = _chaos_plan(seed).injection_schedule(range(4), 3)
+            second = _chaos_plan(seed).injection_schedule(range(4), 3)
+            assert first == second
+
+    def test_different_seeds_draw_differently(self):
+        schedules = {
+            seed: tuple(_chaos_plan(seed).injection_schedule(range(4), 3))
+            for seed in range(10)
+        }
+        # The probabilistic kinds (error, shm loss) must vary by seed;
+        # ten identical draws would mean the streams ignore it.
+        assert len(set(schedules.values())) > 1
+
+    def test_mp_fires_only_scheduled_faults(self, sum_query):
+        import os
+
+        from repro.parallel import multiprocessing_aggregate
+        from repro.workloads.generator import generate_uniform
+
+        if not os.path.isdir("/dev/shm"):
+            pytest.skip("POSIX shared memory not mounted")
+        plan = _chaos_plan(seed=1)
+        dist = generate_uniform(2400, 60, 4, seed=21)
+        scheduled = set(
+            plan.injection_schedule(range(4), attempts=3)
+        )
+        log: list = []
+        multiprocessing_aggregate(
+            dist, sum_query, processes=2, timeout=30,
+            faults=plan, faults_log=log,
+        )
+        assert log, "the chaos plan injected nothing"
+        assert set(log) <= scheduled
+        # And a second run fires the identical sequence.
+        relog: list = []
+        multiprocessing_aggregate(
+            dist, sum_query, processes=2, timeout=30,
+            faults=plan, faults_log=relog,
+        )
+        assert relog == log

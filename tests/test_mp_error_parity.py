@@ -1,0 +1,140 @@
+"""Cause-chain parity: pool and spawn must fail identically.
+
+A caller branching on ``FragmentFailedError.cause_type`` — or walking
+``__cause__`` — must not care which dispatch strategy ran the job.  For
+each failure class (worker exception, timeout, hard death) both
+strategies are driven into the same terminal error and the error
+surface is compared field by field: ``cause_type``, the ``raise … from
+WorkerFailure`` chain, and the ``mp.retries`` / ``mp.errors.<Type>``
+retry metrics.
+"""
+
+import functools
+import os
+
+import pytest
+
+from tests.test_mp_executor_faults import (
+    _always_raise,
+    _die_once_then_work,
+    _wedge,
+)
+
+from repro.core.aggregates import AggregateSpec
+from repro.core.query import AggregateQuery
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import (
+    FragmentFailedError,
+    WorkerFailure,
+    multiprocessing_aggregate,
+    reset_pool_breaker,
+)
+from repro.workloads.generator import generate_uniform
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not mounted"
+)
+
+
+@pytest.fixture(autouse=True)
+def fresh_breaker():
+    reset_pool_breaker()
+    yield
+    reset_pool_breaker()
+
+
+@pytest.fixture
+def query():
+    return AggregateQuery(
+        group_by=["gkey"], aggregates=[AggregateSpec("sum", "val")]
+    )
+
+
+def _always_die(job):
+    os._exit(31)
+
+
+def _fail_both_ways(query, metrics_by_strategy, **kwargs):
+    # One fragment: the retry metric counts are deterministic.
+    dist = generate_uniform(num_tuples=400, num_groups=8, num_nodes=1, seed=0)
+    errors = {}
+    for strategy in ("pool", "spawn"):
+        metrics = MetricsRegistry()
+        with pytest.raises(FragmentFailedError) as info:
+            multiprocessing_aggregate(
+                dist, query, processes=2, strategy=strategy,
+                metrics=metrics, **kwargs,
+            )
+        errors[strategy] = info.value
+        metrics_by_strategy[strategy] = metrics
+    return errors["pool"], errors["spawn"]
+
+
+def _assert_same_surface(pool_err, spawn_err):
+    assert pool_err.cause_type == spawn_err.cause_type
+    assert pool_err.attempts == spawn_err.attempts
+    assert pool_err.fragment_index == spawn_err.fragment_index
+    assert isinstance(pool_err.__cause__, WorkerFailure)
+    assert isinstance(spawn_err.__cause__, WorkerFailure)
+    assert pool_err.__cause__.error_type == spawn_err.__cause__.error_type
+
+
+def _assert_same_retry_metrics(metrics_by_strategy, error_type):
+    for metrics in metrics_by_strategy.values():
+        assert metrics.value("mp.retries") == 1
+        assert metrics.value(f"mp.errors.{error_type}") == 1
+
+
+class TestCauseChainParity:
+    def test_worker_error(self, query):
+        metrics = {}
+        pool_err, spawn_err = _fail_both_ways(
+            query, metrics, max_retries=1, phase_fn=_always_raise
+        )
+        _assert_same_surface(pool_err, spawn_err)
+        assert pool_err.cause_type == "RuntimeError"
+        assert pool_err.cause == spawn_err.cause
+        assert "injected failure" in pool_err.cause
+        assert str(pool_err.__cause__) == str(spawn_err.__cause__)
+        _assert_same_retry_metrics(metrics, "RuntimeError")
+
+    def test_timeout(self, query):
+        metrics = {}
+        pool_err, spawn_err = _fail_both_ways(
+            query, metrics, max_retries=1, timeout=0.5, phase_fn=_wedge
+        )
+        _assert_same_surface(pool_err, spawn_err)
+        assert pool_err.cause_type == "Timeout"
+        assert "timed out after 0.5s" in pool_err.cause
+        assert pool_err.cause == spawn_err.cause
+        _assert_same_retry_metrics(metrics, "Timeout")
+
+    def test_worker_death(self, query):
+        metrics = {}
+        pool_err, spawn_err = _fail_both_ways(
+            query, metrics, max_retries=1, phase_fn=_always_die
+        )
+        _assert_same_surface(pool_err, spawn_err)
+        assert pool_err.cause_type == "WorkerDied"
+        assert "died without a result" in pool_err.cause
+        assert "died without a result" in spawn_err.cause
+        _assert_same_retry_metrics(metrics, "WorkerDied")
+
+    def test_death_recovery_parity(self, query, tmp_path):
+        """Die-once-then-work must recover on both strategies with the
+        same retry accounting."""
+        results = {}
+        for strategy in ("pool", "spawn"):
+            dist = generate_uniform(
+                num_tuples=400, num_groups=8, num_nodes=1, seed=0
+            )
+            fn = functools.partial(
+                _die_once_then_work, str(tmp_path / f"died_{strategy}")
+            )
+            metrics = MetricsRegistry()
+            results[strategy] = multiprocessing_aggregate(
+                dist, query, processes=2, strategy=strategy,
+                max_retries=2, phase_fn=fn, metrics=metrics,
+            )
+            assert metrics.value("mp.errors.WorkerDied") == 1
+        assert results["pool"] == results["spawn"]

@@ -15,6 +15,8 @@ results identical to the spawn baseline and the in-process path.
 import functools
 import glob
 import os
+import threading
+import time
 
 import pytest
 
@@ -70,6 +72,12 @@ def query():
 def _gkey_at_least_ten(row):
     # WHERE predicates cross the process boundary, so module-level.
     return row["gkey"] >= 10
+
+
+def _sleep_then_work(job):
+    # Long enough for the test to kill an idle worker mid-run.
+    time.sleep(0.6)
+    return mp_executor._local_phase(job)
 
 
 def _str_keyed_dist():
@@ -154,6 +162,70 @@ class TestPoolBehaviour:
         # Bit-identical, not merely close: the vectorized kernel must
         # accumulate in the same order as the per-row loop.
         assert pool == spawn == inproc
+
+
+class TestPoolHealth:
+    """Idle-death handling and shutdown/respawn lifecycle."""
+
+    def test_acquire_discards_worker_that_died_while_idle(self, dist, query):
+        multiprocessing_aggregate(dist, query, processes=2)
+        pool = mp_executor._get_shared_pool()
+        idle = pool.idle_workers()
+        assert len(idle) >= 2
+        # acquire pops from the end, so the last idle worker is the one
+        # it inspects first: kill it and make acquire skip the corpse.
+        victim = idle[-1]
+        victim.proc.kill()
+        victim.proc.join()
+        worker = pool.acquire()
+        assert worker is not victim
+        assert worker.proc.is_alive()
+        assert victim not in pool.idle_workers()
+        pool.release(worker)
+
+    def test_idle_death_detected_eagerly_during_run(self, query):
+        from repro.obs.metrics import MetricsRegistry
+
+        # Warm the pool to three workers, so a two-process run leaves
+        # one idle for the dispatcher to watch.
+        warm = generate_uniform(num_tuples=900, num_groups=12, num_nodes=3,
+                                seed=7)
+        multiprocessing_aggregate(warm, query, processes=3)
+        pool = mp_executor._get_shared_pool()
+        assert len(pool.idle_workers()) >= 3
+
+        dist = generate_uniform(num_tuples=800, num_groups=12, num_nodes=2,
+                                seed=8)
+        # acquire pops from the end, so index 0 stays idle.
+        bystander = pool.idle_workers()[0]
+        killer = threading.Timer(0.15, bystander.proc.kill)
+        metrics = MetricsRegistry()
+        killer.start()
+        try:
+            got = multiprocessing_aggregate(
+                dist, query, processes=2, phase_fn=_sleep_then_work,
+                metrics=metrics,
+            )
+        finally:
+            killer.cancel()
+        assert_rows_close(got, reference_aggregate(dist, query))
+        # The dispatcher noticed the idle corpse *during* the run — no
+        # waiting for the next acquire to trip over it.
+        assert metrics.value("mp.pool.idle_deaths") == 1
+        assert bystander not in pool.idle_workers()
+
+    def test_explicit_shutdown_forks_fresh_pool(self, dist, query):
+        multiprocessing_aggregate(dist, query, processes=2)
+        old_pool = mp_executor._get_shared_pool()
+        mp_executor.shutdown_worker_pool()
+        got = multiprocessing_aggregate(dist, query, processes=2)
+        assert_rows_close(got, reference_aggregate(dist, query))
+        new_pool = mp_executor._get_shared_pool()
+        assert new_pool is not old_pool
+        assert new_pool.spawned >= 1
+        # A stale handle's shutdown is harmless to the fresh pool.
+        old_pool.shutdown()
+        assert len(new_pool.idle_workers()) >= 1
 
 
 class TestVectorizedFallbackParity:
