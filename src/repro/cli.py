@@ -35,7 +35,20 @@ _NETWORKS = {
 
 
 class CliError(Exception):
-    """A user-facing failure rendered as one actionable line, no traceback."""
+    """A user-facing failure rendered as one actionable line, no traceback.
+
+    ``exit_code`` defaults to 2 (usage/query errors); deadline misses
+    use :data:`EXIT_DEADLINE_MISS` so scripts can tell "the query is
+    wrong" from "the query ran out of time" without parsing text.
+    """
+
+    def __init__(self, message: str, exit_code: int = 2) -> None:
+        super().__init__(message)
+        self.exit_code = exit_code
+
+
+EXIT_DEADLINE_MISS = 3
+
 
 def _lazy_extensions():
     from repro.bench import scaling, validation
@@ -247,7 +260,11 @@ def _cmd_run_mp(args, out, faults) -> int:
     import time as _time
 
     from repro.obs.metrics import MetricsRegistry
-    from repro.parallel import multiprocessing_aggregate, pool_breaker_state
+    from repro.parallel import (
+        DeadlineExceededError,
+        multiprocessing_aggregate,
+        pool_breaker_state,
+    )
 
     if args.timeline:
         raise CliError(
@@ -262,6 +279,9 @@ def _cmd_run_mp(args, out, faults) -> int:
     metrics = MetricsRegistry()
     faults_log: list = []
     start = _time.monotonic()
+    deadline = None
+    if args.timeout is not None:
+        deadline = start + args.timeout
     try:
         rows = multiprocessing_aggregate(
             dist,
@@ -272,7 +292,14 @@ def _cmd_run_mp(args, out, faults) -> int:
             faults_log=faults_log,
             speculate=args.speculate,
             metrics=metrics,
+            deadline=deadline,
         )
+    except DeadlineExceededError as exc:
+        raise CliError(
+            f"deadline missed: {exc}; raise --timeout (was "
+            f"{args.timeout}s) or shrink the workload",
+            exit_code=EXIT_DEADLINE_MISS,
+        ) from exc
     except ValueError as exc:
         raise CliError(str(exc)) from exc
     elapsed = _time.monotonic() - start
@@ -330,6 +357,11 @@ def _cmd_run(args, out) -> int:
     faults = _parse_fault_plan(args.faults) if args.faults else None
     if args.substrate == "mp":
         return _cmd_run_mp(args, out, faults)
+    if args.timeout is not None:
+        raise CliError(
+            "--timeout is the real executor's deadline; it needs "
+            "--substrate mp (the simulator reports simulated seconds)"
+        )
     dist = _build_workload(args)
     query = _build_query(args)
     ledger = None
@@ -731,6 +763,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--speculate", action="store_true",
         help="mp substrate: re-execute straggling fragments speculatively",
     )
+    p_run.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="mp substrate: wall-clock deadline for the whole run; a "
+        f"miss cancels in-flight work and exits {EXIT_DEADLINE_MISS}",
+    )
     p_run.add_argument("--verify", action="store_true")
     p_run.add_argument("--show-rows", type=int, default=0)
     p_run.add_argument(
@@ -895,7 +932,57 @@ def build_parser() -> argparse.ArgumentParser:
                        "of generating one")
     _add_workload_args(p_sql)
     p_sql.add_argument("--show-rows", type=int, default=10)
+    p_sql.add_argument(
+        "--substrate", choices=("sim", "mp"), default="sim",
+        help="sim = event simulator; mp = real multiprocessing executor",
+    )
+    p_sql.add_argument(
+        "--processes", type=int, default=0,
+        help="mp substrate worker count (0 = one per fragment, capped "
+        "at the CPU count)",
+    )
+    p_sql.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="mp substrate: wall-clock deadline; a miss cancels "
+        f"in-flight work and exits {EXIT_DEADLINE_MISS}",
+    )
     p_sql.set_defaults(func=_cmd_sql)
+
+    p_serve = sub.add_parser(
+        "serve",
+        help="long-lived HTTP/JSON query service over the worker pool",
+    )
+    p_serve.add_argument("--host", default="127.0.0.1")
+    p_serve.add_argument("--port", type=int, default=8642,
+                         help="0 = let the OS pick (printed at startup)")
+    p_serve.add_argument(
+        "--table", default="r",
+        help="name queries use in FROM for the served workload",
+    )
+    p_serve.add_argument("--data-dir", default=None,
+                         help="serve a saved DistributedRelation instead "
+                         "of generating one")
+    _add_workload_args(p_serve)
+    p_serve.add_argument("--max-concurrency", type=int, default=4)
+    p_serve.add_argument("--queue-depth", type=int, default=16)
+    p_serve.add_argument(
+        "--memory-pool-mb", type=int, default=64,
+        help="service-wide budget pool queries lease slices from",
+    )
+    p_serve.add_argument(
+        "--default-timeout", type=float, default=10.0, metavar="SECONDS",
+        help="per-query deadline when the request does not set one",
+    )
+    p_serve.add_argument(
+        "--processes", type=int, default=2,
+        help="pool workers per admitted query at full parallelism",
+    )
+    p_serve.add_argument(
+        "--faults", default=None, metavar="SPEC",
+        help="inject this fault plan into every query's pool run "
+        "(chaos testing; same grammar as `repro run --faults`)",
+    )
+    p_serve.set_defaults(func=_cmd_serve)
     return parser
 
 
@@ -907,6 +994,13 @@ def _cmd_sql(args, out) -> int:
         dist = load_distributed(args.data_dir)
     else:
         dist = _build_workload(args)
+    if args.substrate == "mp":
+        return _cmd_sql_mp(args, out, dist, run_sql)
+    if args.timeout is not None:
+        raise CliError(
+            "--timeout is the real executor's deadline; it needs "
+            "--substrate mp (the simulator reports simulated seconds)"
+        )
     params = default_parameters(
         dist,
         network=_NETWORKS[args.network],
@@ -925,6 +1019,90 @@ def _cmd_sql(args, out) -> int:
     if outcome.num_groups > args.show_rows:
         print(f"   ... {outcome.num_groups - args.show_rows} more rows",
               file=out)
+    return 0
+
+
+def _cmd_sql_mp(args, out, dist, run_sql) -> int:
+    """``repro sql --substrate mp``: real pool, optional deadline."""
+    import time as _time
+
+    from repro.parallel import DeadlineExceededError
+    from repro.sql.parser import ParseError
+
+    start = _time.monotonic()
+    deadline = None
+    if args.timeout is not None:
+        deadline = start + args.timeout
+    try:
+        rows = run_sql(
+            args.query, dist,
+            substrate="mp",
+            processes=args.processes,
+            deadline=deadline,
+        )
+    except DeadlineExceededError as exc:
+        raise CliError(
+            f"deadline missed: {exc}; raise --timeout (was "
+            f"{args.timeout}s) or shrink the workload",
+            exit_code=EXIT_DEADLINE_MISS,
+        ) from exc
+    except ParseError as exc:
+        raise CliError(f"bad SQL: {exc}") from exc
+    except ValueError as exc:
+        raise CliError(str(exc)) from exc
+    elapsed = _time.monotonic() - start
+    print(
+        f"mp: {len(rows)} groups in {elapsed:.4f}s wall",
+        file=out,
+    )
+    for row in rows[: args.show_rows]:
+        print("  ", row, file=out)
+    if len(rows) > args.show_rows:
+        print(f"   ... {len(rows) - args.show_rows} more rows", file=out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    """``repro serve``: boot the HTTP query service until SIGTERM."""
+    from repro.service import QueryService, ServiceConfig
+    from repro.service.http import create_server, serve
+    from repro.storage.io import load_distributed
+
+    faults = _parse_fault_plan(args.faults) if args.faults else None
+    if args.data_dir:
+        dist = load_distributed(args.data_dir)
+    else:
+        dist = _build_workload(args)
+    try:
+        config = ServiceConfig(
+            max_concurrency=args.max_concurrency,
+            queue_depth=args.queue_depth,
+            memory_pool_bytes=args.memory_pool_mb * 1024 * 1024,
+            default_timeout_seconds=args.default_timeout,
+            processes=args.processes,
+            faults=faults,
+        )
+    except ValueError as exc:
+        raise CliError(f"bad service configuration: {exc}") from exc
+    service = QueryService(config)
+    service.register_table(args.table, dist)
+    try:
+        server = create_server(service, args.host, args.port)
+    except OSError as exc:
+        raise CliError(
+            f"cannot bind {args.host}:{args.port}: {exc}; "
+            "pick another --port (0 = OS-assigned)"
+        ) from exc
+    print(
+        f"serving table {args.table!r} ({len(dist)} tuples, "
+        f"{dist.num_nodes} fragments) on "
+        f"http://{args.host}:{server.server_port} — POST /query, "
+        "GET /healthz, GET /metrics; SIGTERM drains",
+        file=out,
+        flush=True,
+    )
+    serve(service, server=server)
+    print("drained clean; worker pool shut down", file=out)
     return 0
 
 
@@ -955,7 +1133,7 @@ def main(argv=None, out=None) -> int:
         return args.func(args, out)
     except CliError as exc:
         print(f"error: {exc}", file=out)
-        return 2
+        return exc.exit_code
     except BrokenPipeError:
         # Piping into `head` and friends closes our stdout early; that
         # is the consumer's prerogative, not an error.

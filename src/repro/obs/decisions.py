@@ -49,6 +49,15 @@ OPT2P_FORWARD = "forwarded_on_overflow"
 PREAGG_EVICTIONS = "evictions"
 SPECULATIVE_EXECUTION = "speculative_execution"
 
+# Service-layer decision kinds (repro.service): admission-time choices,
+# logged with the same machinery as the in-query adaptive decisions so
+# one ledger tells the whole robustness story.
+ADMISSION_SHED = "admission_shed"
+QUERY_RETRY = "query_retry"
+DEADLINE_MISS = "deadline_miss"
+LADDER_TRANSITION = "ladder_transition"
+CACHE_SERVE = "cache_serve"
+
 VERDICT_CORRECT = "correct"
 VERDICT_WRONG_CHEAP = "wrong_but_cheap"
 VERDICT_WRONG_COSTLY = "wrong_and_costly"

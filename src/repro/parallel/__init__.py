@@ -13,6 +13,10 @@ from repro.parallel.file_executor import (
 )
 from repro.parallel.local import reference_aggregate
 from repro.parallel.mp_executor import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    DeadlineExceededError,
     FragmentFailedError,
     InjectedFaultError,
     PoolCircuitBreaker,
@@ -24,6 +28,10 @@ from repro.parallel.mp_executor import (
 )
 
 __all__ = [
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "DeadlineExceededError",
     "FragmentFailedError",
     "InjectedFaultError",
     "PoolCircuitBreaker",

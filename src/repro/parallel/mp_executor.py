@@ -65,6 +65,20 @@ The pool path is chaos-hardened end to end:
 
 The fault-free path is byte-identical to the pre-chaos executor; the
 golden parity tests pin that.
+
+The executor is also safe for **concurrent multi-threaded callers**
+(the long-lived query service in :mod:`repro.service` is the first):
+the shared pool hands out each worker to exactly one dispatcher at a
+time under a pool lock, idle-pipe watching is restricted to a sole
+dispatcher (concurrent runs detect idle deaths at acquire instead),
+worker forks are serialized, and a pool that was shut down while
+another run still held its workers discards them on release instead of
+resurrecting them as orphans.  ``deadline=`` (an absolute
+``time.monotonic()`` value) bounds a whole run: when it expires the
+dispatcher cancels every in-flight attempt through the same
+discard-on-timeout path, unlinks all shared-memory segments, and
+raises :class:`DeadlineExceededError` — cooperative cancellation for
+callers that serve queries under latency budgets.
 """
 
 from __future__ import annotations
@@ -72,6 +86,7 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import random
 import secrets
 import signal
 import statistics
@@ -142,6 +157,35 @@ class FragmentFailedError(RuntimeError):
         self.cause = cause
         self.cause_type = cause_type
         self.partial_results = partial_results
+
+
+class DeadlineExceededError(RuntimeError):
+    """The run's deadline expired before every fragment completed.
+
+    Raised by :func:`multiprocessing_aggregate` when ``deadline=`` (an
+    absolute ``time.monotonic()`` value) passes mid-run.  In-flight
+    attempts are cancelled through the pool's discard path and every
+    shared-memory segment is unlinked before this propagates, so a
+    deadline miss never leaks processes or segments.  Distinct from
+    :class:`FragmentFailedError` on purpose: a deadline miss says the
+    *caller's* latency budget ran out, not that the executor (or the
+    user's phase function) is sick — retrying at the same budget is
+    pointless and the circuit breaker ignores it.
+    """
+
+    def __init__(
+        self,
+        deadline_seconds: float,
+        completed_fragments: int,
+        total_fragments: int,
+    ) -> None:
+        super().__init__(
+            f"run deadline exceeded after {deadline_seconds:.3f}s with "
+            f"{completed_fragments}/{total_fragments} fragment(s) complete"
+        )
+        self.deadline_seconds = deadline_seconds
+        self.completed_fragments = completed_fragments
+        self.total_fragments = total_fragments
 
 
 class InjectedFaultError(RuntimeError):
@@ -255,6 +299,36 @@ class _GovernedPhase:
             return list(agg.finish())
 
 
+def _tracker_noop(*_args, **_kwargs) -> None:
+    return None
+
+
+def _disarm_resource_tracker() -> None:
+    """Fork-safety: neuter the inherited resource tracker in a worker.
+
+    Must run first thing in every forked child.  The parent's tracker
+    lock may be *held by another thread* at fork time — concurrent
+    dispatchers encode segments (``SharedMemory(create=True)`` registers
+    with the tracker) while ``WorkerPool.acquire`` forks — and a lock
+    captured mid-hold never unlocks in the child, because its owner
+    thread does not exist there.  On this Python, merely *attaching* a
+    segment also registers with the tracker, so the worker's first shm
+    attach would deadlock forever and hang its dispatcher.
+
+    Workers never own segments — the parent creates and unlinks all of
+    them — so the tracker has no business in a worker at all: make
+    register/unregister no-ops instead of trying to repair the lock.
+    """
+    resource_tracker.register = _tracker_noop
+    resource_tracker.unregister = _tracker_noop
+    resource_tracker.ensure_running = _tracker_noop
+    tracker = getattr(resource_tracker, "_resource_tracker", None)
+    if tracker is not None:
+        tracker.register = _tracker_noop
+        tracker.unregister = _tracker_noop
+        tracker.ensure_running = _tracker_noop
+
+
 def _child_main(fn, job, conn) -> None:
     """Worker entry: run the phase, self-profile, and report back.
 
@@ -263,6 +337,7 @@ def _child_main(fn, job, conn) -> None:
     exception's type so the parent can classify the failure; ``profile``
     is the worker's self-measurement (wall/CPU seconds, high-water RSS).
     """
+    _disarm_resource_tracker()
     started = profile_start()
     try:
         result = fn(job)
@@ -651,6 +726,7 @@ def _pool_worker_main(conn) -> None:
     slowdown factor).  ``None`` is the shutdown
     sentinel; a closed pipe means the parent is gone.
     """
+    _disarm_resource_tracker()
     lock = threading.Lock()
     while True:
         try:
@@ -709,44 +785,116 @@ class WorkerPool:
     A worker that died or was terminated mid-job (timeout, crash) is
     *discarded* and a fresh one forked on demand — the pool never hands
     out a worker in an unknown state.
+
+    The pool is thread-safe: the idle list, fork, and dispatcher
+    bookkeeping are guarded by one re-entrant lock, so concurrent
+    :func:`multiprocessing_aggregate` calls (the query service runs one
+    per request thread) can share it.  Each worker is held by exactly
+    one dispatcher between ``acquire`` and ``release``/``discard``, so
+    two runs never read the same pipe; idle-pipe *watching* is the one
+    single-dispatcher privilege (see :meth:`watch_idle`).
     """
 
     def __init__(self, ctx=None) -> None:
         self._ctx = ctx or multiprocessing.get_context()
         self._idle: list[_PoolWorker] = []
+        self._lock = threading.RLock()
+        self._dispatchers = 0
+        self.closed = False
         self.spawned = 0
 
     def acquire(self) -> _PoolWorker:
-        while self._idle:
-            worker = self._idle.pop()
-            if worker.proc.is_alive():
-                return worker
-            self.discard(worker)  # died while idle: reap, fork a fresh one
-        parent_conn, child_conn = self._ctx.Pipe()
-        proc = self._ctx.Process(
-            target=_pool_worker_main, args=(child_conn,), daemon=True
-        )
-        proc.start()
-        child_conn.close()
-        self.spawned += 1
-        return _PoolWorker(proc, parent_conn)
+        with self._lock:
+            while self._idle:
+                worker = self._idle.pop()
+                if worker.proc.is_alive():
+                    return worker
+                self.discard(worker)  # died while idle: reap, fork fresh
+            # Fork under the lock: forking from several threads at once
+            # is where fork-safety bugs live, and the fork is cheap
+            # relative to the fragment it will run.
+            parent_conn, child_conn = self._ctx.Pipe()
+            proc = self._ctx.Process(
+                target=_pool_worker_main, args=(child_conn,), daemon=True
+            )
+            proc.start()
+            child_conn.close()
+            self.spawned += 1
+            return _PoolWorker(proc, parent_conn)
 
     def release(self, worker: _PoolWorker) -> None:
-        """Return a healthy worker for reuse."""
-        self._idle.append(worker)
+        """Return a healthy worker for reuse.
+
+        A pool that was shut down while this worker was busy (circuit-
+        breaker rebuild, service drain) must not resurrect it as an
+        orphan nobody will ever stop — discard it instead.
+        """
+        with self._lock:
+            if self.closed:
+                self.discard(worker)
+                return
+            self._idle.append(worker)
+
+    def register_dispatcher(self) -> None:
+        """A dispatch loop is starting to use this pool."""
+        with self._lock:
+            self._dispatchers += 1
+
+    def unregister_dispatcher(self) -> None:
+        with self._lock:
+            self._dispatchers -= 1
 
     def idle_workers(self) -> list[_PoolWorker]:
-        """A snapshot of the idle set (the dispatcher waits on their
-        pipes so idle deaths are noticed eagerly, not at next acquire)."""
-        return list(self._idle)
+        """A snapshot of the idle set."""
+        with self._lock:
+            return list(self._idle)
+
+    def watch_idle(self) -> list[_PoolWorker]:
+        """The idle workers this dispatcher may wait on for eager
+        idle-death detection — only when it is the *sole* dispatcher.
+
+        With concurrent dispatchers the privilege is withdrawn: two
+        loops waiting on the same idle pipe would race to ``recv`` the
+        message (or steal a freshly dispatched job's reply), so idle
+        deaths are instead caught at the next ``acquire``.
+        """
+        with self._lock:
+            if self._dispatchers > 1:
+                return []
+            return list(self._idle)
+
+    def recv_idle(self, worker: _PoolWorker) -> str:
+        """Consume a ready message from a watched idle worker, safely.
+
+        Re-checks idle membership under the pool lock before reading:
+        between the dispatcher's wait and this call another thread may
+        have acquired the worker, in which case the ready data is *that
+        run's* reply and must not be stolen.  Returns ``"acquired"``
+        (not ours anymore), ``"beat"`` (stale heartbeat from a finished
+        job), or ``"dead"`` (EOF — the worker was retired).
+        """
+        with self._lock:
+            if worker not in self._idle:
+                return "acquired"
+            try:
+                message = worker.conn.recv()
+            except (EOFError, OSError):
+                message = None
+            if (isinstance(message, tuple) and message
+                    and message[0] == "beat"):
+                return "beat"
+            self._idle.remove(worker)
+            self.discard(worker)
+            return "dead"
 
     def remove_idle(self, worker: _PoolWorker) -> None:
         """Retire a specific idle worker (it died or sent nonsense)."""
-        try:
-            self._idle.remove(worker)
-        except ValueError:  # pragma: no cover - already gone
-            return
-        self.discard(worker)
+        with self._lock:
+            try:
+                self._idle.remove(worker)
+            except ValueError:  # pragma: no cover - already gone
+                return
+            self.discard(worker)
 
     def discard(self, worker: _PoolWorker, hard: bool = False) -> None:
         """Terminate and reap a worker that cannot be reused.
@@ -770,9 +918,12 @@ class WorkerPool:
             worker.proc.join(_JOIN_GRACE_SECONDS)
 
     def shutdown(self) -> None:
-        """Stop every idle worker (busy ones are the dispatcher's to kill)."""
-        while self._idle:
-            worker = self._idle.pop()
+        """Stop every idle worker (busy ones are the dispatcher's to
+        kill) and mark the pool closed so late releases discard."""
+        with self._lock:
+            self.closed = True
+            idle, self._idle = self._idle, []
+        for worker in idle:
             try:
                 worker.conn.send(None)
             except (OSError, ValueError):
@@ -782,29 +933,37 @@ class WorkerPool:
 
 _shared_pool: WorkerPool | None = None
 _atexit_registered = False
+# Guards the module pool slot against concurrent get/shutdown — the
+# query service calls multiprocessing_aggregate from many threads.
+_pool_mutex = threading.Lock()
 
 
 def _get_shared_pool() -> WorkerPool:
     global _shared_pool, _atexit_registered
-    if _shared_pool is None:
-        _shared_pool = WorkerPool()
-        if not _atexit_registered:
-            # One hook for the module, not one per pool instance: an
-            # explicit shutdown followed by a fresh pool must not leave
-            # stale atexit entries resurrecting dead pool objects.
-            atexit.register(shutdown_worker_pool)
-            _atexit_registered = True
-    return _shared_pool
+    with _pool_mutex:
+        if _shared_pool is None:
+            _shared_pool = WorkerPool()
+            if not _atexit_registered:
+                # One hook for the module, not one per pool instance: an
+                # explicit shutdown followed by a fresh pool must not
+                # leave stale atexit entries resurrecting dead pools.
+                atexit.register(shutdown_worker_pool)
+                _atexit_registered = True
+        return _shared_pool
 
 
 def shutdown_worker_pool() -> None:
     """Terminate the module's shared pool; idempotent, safe anytime.
 
     Clears the module slot, so the next pooled run forks a fresh pool —
-    this is also how the circuit breaker rebuilds a sick pool.
+    this is also how the circuit breaker rebuilds a sick pool.  Runs
+    still holding workers from the old pool finish normally; their
+    workers are discarded on release (the pool is marked closed) rather
+    than leaked as orphans.
     """
     global _shared_pool
-    pool, _shared_pool = _shared_pool, None
+    with _pool_mutex:
+        pool, _shared_pool = _shared_pool, None
     if pool is not None:
         pool.shutdown()
 
@@ -819,51 +978,149 @@ _INFRA_CAUSES = ("WorkerDied", "HeartbeatLost", "PoisonFragment")
 _INFRA_DEATHS = ("WorkerDied", "HeartbeatLost")
 
 
+# Breaker states, in classic circuit-breaker vocabulary.  ``closed``
+# is healthy pooled dispatch; ``open`` means infrastructure failures
+# reached the threshold (the rebuild is pending its backoff, or the
+# breaker has degraded to spawn for good); ``half_open`` is probation —
+# the pool was just rebuilt and the next run's outcome decides.
+BREAKER_CLOSED = "closed"
+BREAKER_HALF_OPEN = "half_open"
+BREAKER_OPEN = "open"
+
+_BREAKER_STATE_CODES = {
+    BREAKER_CLOSED: 0,
+    BREAKER_HALF_OPEN: 1,
+    BREAKER_OPEN: 2,
+}
+
+
 class PoolCircuitBreaker:
     """Escalating response to repeated pool-infrastructure failures.
 
     ``threshold`` consecutive runs failing with an infrastructure cause
-    (:data:`_INFRA_CAUSES`) make the next pooled run rebuild the shared
-    pool from scratch; if failures keep coming after the rebuild, the
-    breaker *degrades* — every later ``strategy="pool"`` call silently
-    takes the spawn path, which needs no long-lived infrastructure.  A
-    successful run resets both stages.  State is surfaced through the
-    ``mp.breaker.*`` metrics and :func:`pool_breaker_state`.
+    (:data:`_INFRA_CAUSES`) *open* the breaker: a rebuild of the shared
+    pool is scheduled after an exponential backoff with jitter
+    (``rebuild_backoff_seconds``, doubled per scheduled rebuild, capped,
+    each delay stretched by up to ``backoff_jitter`` of itself) rather
+    than immediately — a pool that is dying because the *host* is sick
+    (OOM killer, cgroup pressure) would otherwise be reforked straight
+    into the same grinder.  When the backoff elapses the next pooled
+    run rebuilds and enters probation (``half_open``); if failures
+    reach the threshold again the breaker *degrades* — every later
+    ``strategy="pool"`` call silently takes the spawn path, which needs
+    no long-lived infrastructure.  A successful run fully closes the
+    breaker.  State is surfaced as :attr:`state` /
+    :meth:`state_code` (gauge ``mp.breaker.state``: 0 closed,
+    1 half-open, 2 open) so health endpoints can report it, and all
+    transitions are thread-safe — concurrent service queries share this
+    one module-level breaker.
     """
 
-    def __init__(self, threshold: int = 3) -> None:
+    def __init__(
+        self,
+        threshold: int = 3,
+        rebuild_backoff_seconds: float = 0.5,
+        rebuild_backoff_cap_seconds: float = 30.0,
+        backoff_jitter: float = 0.5,
+        rng: random.Random | None = None,
+    ) -> None:
         if threshold < 1:
             raise ValueError("breaker threshold must be positive")
+        if rebuild_backoff_seconds < 0:
+            raise ValueError("rebuild_backoff_seconds must be >= 0")
+        if not 0 <= backoff_jitter <= 1:
+            raise ValueError("backoff_jitter must be within [0, 1]")
         self.threshold = threshold
+        self.rebuild_backoff_seconds = rebuild_backoff_seconds
+        self.rebuild_backoff_cap_seconds = rebuild_backoff_cap_seconds
+        self.backoff_jitter = backoff_jitter
         self.consecutive_infra_failures = 0
         self.rebuilt = False
         self.degraded = False
         self.rebuilds = 0
+        self.rebuild_not_before: float | None = None
+        self._rng = rng if rng is not None else random.Random()
+        self._lock = threading.Lock()
+
+    def _next_backoff(self) -> float:
+        base = min(
+            self.rebuild_backoff_seconds * (2 ** self.rebuilds),
+            self.rebuild_backoff_cap_seconds,
+        )
+        return base * (1.0 + self.backoff_jitter * self._rng.random())
 
     def record_success(self) -> None:
-        self.consecutive_infra_failures = 0
-        self.rebuilt = False
+        with self._lock:
+            self.consecutive_infra_failures = 0
+            self.rebuilt = False
+            self.rebuild_not_before = None
 
     def record_failure(self, cause_type: str | None) -> None:
-        if cause_type not in _INFRA_CAUSES:
-            # A user exception says nothing about pool health.
-            self.consecutive_infra_failures = 0
-            return
-        self.consecutive_infra_failures += 1
-        if self.consecutive_infra_failures >= self.threshold and self.rebuilt:
-            self.degraded = True
+        with self._lock:
+            if cause_type not in _INFRA_CAUSES:
+                # A user exception says nothing about pool health.
+                self.consecutive_infra_failures = 0
+                return
+            self.consecutive_infra_failures += 1
+            if self.consecutive_infra_failures < self.threshold:
+                return
+            if self.rebuilt:
+                self.degraded = True
+            elif self.rebuild_not_before is None:
+                # Threshold first reached: schedule the rebuild after
+                # the backoff; further failures keep the schedule.
+                self.rebuild_not_before = (
+                    time.monotonic() + self._next_backoff()
+                )
 
-    def should_rebuild(self) -> bool:
+    def _rebuild_due(self) -> bool:
         return (
             not self.degraded
             and not self.rebuilt
             and self.consecutive_infra_failures >= self.threshold
+            and (
+                self.rebuild_not_before is None
+                or time.monotonic() >= self.rebuild_not_before
+            )
         )
 
+    def should_rebuild(self) -> bool:
+        with self._lock:
+            return self._rebuild_due()
+
+    def take_rebuild(self) -> bool:
+        """Atomically claim the pending rebuild (one thread wins)."""
+        with self._lock:
+            if not self._rebuild_due():
+                return False
+            self._note_rebuild()
+            return True
+
     def note_rebuild(self) -> None:
+        with self._lock:
+            self._note_rebuild()
+
+    def _note_rebuild(self) -> None:
         self.rebuilds += 1
         self.rebuilt = True
         self.consecutive_infra_failures = 0
+        self.rebuild_not_before = None
+
+    @property
+    def state(self) -> str:
+        """``closed`` / ``half_open`` / ``open`` (see module constants)."""
+        with self._lock:
+            if self.degraded:
+                return BREAKER_OPEN
+            if self.rebuilt:
+                return BREAKER_HALF_OPEN
+            if self.consecutive_infra_failures >= self.threshold:
+                return BREAKER_OPEN
+            return BREAKER_CLOSED
+
+    def state_code(self) -> int:
+        """The state as a gauge value: 0 closed, 1 half-open, 2 open."""
+        return _BREAKER_STATE_CODES[self.state]
 
 
 _pool_breaker = PoolCircuitBreaker()
@@ -874,10 +1131,18 @@ def pool_breaker_state() -> PoolCircuitBreaker:
     return _pool_breaker
 
 
-def reset_pool_breaker(threshold: int = 3) -> None:
+def reset_pool_breaker(
+    threshold: int = 3,
+    rebuild_backoff_seconds: float = 0.5,
+    backoff_jitter: float = 0.5,
+) -> None:
     """Install a fresh breaker (tests; also un-degrades the executor)."""
     global _pool_breaker
-    _pool_breaker = PoolCircuitBreaker(threshold)
+    _pool_breaker = PoolCircuitBreaker(
+        threshold,
+        rebuild_backoff_seconds=rebuild_backoff_seconds,
+        backoff_jitter=backoff_jitter,
+    )
 
 
 class MpFaultInjector:
@@ -1016,6 +1281,7 @@ def _run_jobs_in_pool(
     pool: WorkerPool,
     chaos: ChaosOptions | None = None,
     reencode=None,
+    run_deadline: float | None = None,
 ) -> dict[int, list]:
     """Pool dispatch: same retry/timeout/death semantics as the spawn
     path, but jobs go to persistent workers as small descriptors.
@@ -1026,6 +1292,9 @@ def _run_jobs_in_pool(
     monitoring, fault injection, speculative re-execution and poison-
     fragment quarantine (see :class:`ChaosOptions`); ``reencode(index)``
     rebuilds a fragment's shm descriptor after injected segment loss.
+    ``run_deadline`` (absolute monotonic) cancels the whole dispatch
+    cooperatively: every in-flight worker is discarded and
+    :class:`DeadlineExceededError` raised.
     """
     chaos = chaos if chaos is not None else ChaosOptions()
     injector = chaos.injector
@@ -1208,14 +1477,22 @@ def _run_jobs_in_pool(
             spec_open[record.index] = {"event": event}
             dispatch(record.index, record.attempt, backup=True)
 
+    pool.register_dispatcher()
     try:
         while busy or pending:
+            if run_deadline is not None and time.monotonic() >= run_deadline:
+                obs.deadline_exceeded(len(completed), len(descriptors))
+                raise DeadlineExceededError(
+                    obs.now(), len(completed), len(descriptors)
+                )
             while pending and len(busy) < processes:
                 dispatch(*pending.popleft())
             if chaos.speculate:
                 maybe_speculate()
             now = time.monotonic()
             wait_until: list[float] = []
+            if run_deadline is not None:
+                wait_until.append(run_deadline)
             for record in busy.values():
                 if record.deadline is not None:
                     wait_until.append(record.deadline)
@@ -1239,22 +1516,14 @@ def _run_jobs_in_pool(
                 None if not wait_until
                 else max(0.0, min(wait_until) - now)
             )
-            idle = {w.conn: w for w in pool.idle_workers()}
+            idle = {w.conn: w for w in pool.watch_idle()}
             ready = _connection_wait(
                 list(busy) + list(idle), timeout=wait_for
             )
             for conn in ready:
                 if conn in idle:
-                    worker = idle[conn]
-                    try:
-                        message = worker.conn.recv()
-                    except (EOFError, OSError):
-                        message = None
-                    if (isinstance(message, tuple) and message
-                            and message[0] == "beat"):
-                        continue  # stale beat from a finished job
-                    pool.remove_idle(worker)
-                    obs.idle_death()
+                    if pool.recv_idle(idle[conn]) == "dead":
+                        obs.idle_death()
                     continue
                 record = busy.get(conn)
                 if record is None:
@@ -1331,6 +1600,7 @@ def _run_jobs_in_pool(
             pool.discard(
                 record.worker, hard=record.stall_resume is not None
             )
+        pool.unregister_dispatcher()
     return completed
 
 
@@ -1480,6 +1750,18 @@ class _ObsSink:
             self.metrics.gauge("mp.breaker.degraded", mode="max").set(1)
         self._instant("pool_degraded", -1)
 
+    def breaker_state(self, code: int) -> None:
+        """The breaker's state after this run (0 closed, 1 half-open,
+        2 open) — health endpoints read this gauge."""
+        if self.metrics is not None:
+            self.metrics.gauge("mp.breaker.state", mode="last").set(code)
+
+    def deadline_exceeded(self, completed: int, total: int) -> None:
+        self._count("mp.deadline_exceeded")
+        self._instant(
+            "run_deadline_exceeded", -1, completed=completed, total=total
+        )
+
 
 class _Attempt:
     __slots__ = ("index", "attempt", "proc", "conn", "deadline", "started")
@@ -1508,6 +1790,7 @@ def _run_jobs_in_processes(
     max_retries: int,
     timeout: float | None,
     obs: _ObsSink,
+    run_deadline: float | None = None,
 ) -> dict[int, list]:
     """Run every job in its own worker; returns index -> result.
 
@@ -1551,13 +1834,20 @@ def _run_jobs_in_processes(
 
     try:
         while running or pending:
+            if run_deadline is not None and time.monotonic() >= run_deadline:
+                obs.deadline_exceeded(len(completed), len(jobs))
+                raise DeadlineExceededError(
+                    obs.now(), len(completed), len(jobs)
+                )
             while pending and len(running) < processes:
                 launch(*pending.popleft())
             next_deadline = min(
                 (a.deadline for a in running.values()
                  if a.deadline is not None),
-                default=None,
+                default=run_deadline,
             )
+            if run_deadline is not None and next_deadline is not None:
+                next_deadline = min(next_deadline, run_deadline)
             wait_for = (
                 None if next_deadline is None
                 else max(0.0, next_deadline - time.monotonic())
@@ -1612,7 +1902,8 @@ def _run_jobs_in_processes(
 
 
 def _run_jobs_in_process(
-    fn_for, jobs: list, max_retries: int, obs: _ObsSink
+    fn_for, jobs: list, max_retries: int, obs: _ObsSink,
+    run_deadline: float | None = None,
 ) -> dict[int, list]:
     """The single-CPU path: same retry semantics, no processes.
 
@@ -1622,11 +1913,19 @@ def _run_jobs_in_process(
     is an unexpected fragment error — and either way the exception of a
     retried attempt is logged through the sink, never discarded, and
     the final :class:`FragmentFailedError` chains from its cause.
+    The run deadline is checked between fragments and between attempts
+    (a running fragment cannot preempt itself without a process).
     """
     completed: dict[int, list] = {}
     for index, job in enumerate(jobs):
         attempts = 0
         while True:
+            if (run_deadline is not None
+                    and time.monotonic() >= run_deadline):
+                obs.deadline_exceeded(len(completed), len(jobs))
+                raise DeadlineExceededError(
+                    obs.now(), len(completed), len(jobs)
+                )
             attempts += 1
             started = profile_start()
             span_start = obs.now()
@@ -1686,6 +1985,7 @@ def multiprocessing_aggregate(
     heartbeat_timeout: float | None = None,
     poison_threshold: int = 3,
     ledger=None,
+    deadline: float | None = None,
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -1694,6 +1994,15 @@ def multiprocessing_aggregate(
     itself); ``max_retries`` bounds re-dispatches per fragment;
     ``phase_fn`` substitutes the phase-1 worker function (picklable —
     used by the fault-injection tests).
+
+    ``deadline`` bounds the *whole run* with an absolute
+    ``time.monotonic()`` value: when it passes, in-flight attempts are
+    cancelled (workers discarded, segments unlinked) and
+    :class:`DeadlineExceededError` is raised.  Unlike ``timeout`` it is
+    not retried around — it is the caller's latency budget, threaded
+    down from the query service's per-query deadline or the CLI's
+    ``--timeout``.  A deadline miss does not count toward the circuit
+    breaker.
 
     ``strategy`` picks the dispatch mechanism when real processes are
     used: ``"pool"`` (the default) reuses the module's persistent worker
@@ -1749,6 +2058,9 @@ def multiprocessing_aggregate(
         raise ValueError("max_retries must be non-negative")
     if timeout is not None and timeout <= 0:
         raise ValueError("timeout must be positive")
+    if deadline is not None and time.monotonic() >= deadline:
+        # Already out of budget: fail before any work is dispatched.
+        raise DeadlineExceededError(0.0, 0, len(dist.fragments))
     if memory_budget_bytes is not None:
         if phase_fn is not None:
             raise ValueError(
@@ -1812,22 +2124,25 @@ def multiprocessing_aggregate(
     breaker = _pool_breaker
     try:
         if processes <= 1:
-            completed = _run_jobs_in_process(fn_for, jobs, max_retries, obs)
+            completed = _run_jobs_in_process(
+                fn_for, jobs, max_retries, obs, run_deadline=deadline
+            )
         elif strategy == "spawn":
             completed = _run_jobs_in_processes(
-                fn_for, jobs, processes, max_retries, timeout, obs
+                fn_for, jobs, processes, max_retries, timeout, obs,
+                run_deadline=deadline,
             )
         elif breaker.degraded:
             # The breaker gave up on pool infrastructure: degrade to the
             # spawn path (correct, just slower); injection is skipped.
             obs.pool_degraded()
             completed = _run_jobs_in_processes(
-                fn_for, jobs, processes, max_retries, timeout, obs
+                fn_for, jobs, processes, max_retries, timeout, obs,
+                run_deadline=deadline,
             )
         else:
-            if breaker.should_rebuild():
+            if breaker.take_rebuild():
                 shutdown_worker_pool()
-                breaker.note_rebuild()
                 obs.pool_rebuild()
             injector = None
             if faults_active:
@@ -1871,6 +2186,7 @@ def multiprocessing_aggregate(
                 completed = _run_jobs_in_pool(
                     fn_for, descriptors, processes, max_retries, timeout,
                     obs, _get_shared_pool(), chaos=chaos, reencode=encode,
+                    run_deadline=deadline,
                 )
             except FragmentFailedError as exc:
                 breaker.record_failure(exc.cause_type)
@@ -1878,6 +2194,7 @@ def multiprocessing_aggregate(
             else:
                 breaker.record_success()
             finally:
+                obs.breaker_state(breaker.state_code())
                 if injector is not None and faults_log is not None:
                     faults_log.extend(injector.injected)
                 # The parent owns every segment: unlink on success,
@@ -1889,7 +2206,7 @@ def multiprocessing_aggregate(
                         shm.unlink()
                     except FileNotFoundError:
                         pass
-    except FragmentFailedError:
+    except (FragmentFailedError, DeadlineExceededError):
         if tracer is not None:
             tracer.close_all(obs.now())
         if profiles is not None:

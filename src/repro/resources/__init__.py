@@ -10,6 +10,9 @@ from repro.resources.governor import (
     RUNG_RETRY,
     RUNG_SPILL,
     RUNG_SWITCH,
+    BudgetExhaustedError,
+    BudgetLease,
+    MemoryBudgetPool,
     MemoryExceededError,
     MemoryGovernor,
     MemoryPolicy,
@@ -20,6 +23,9 @@ from repro.resources.governor import (
 )
 
 __all__ = [
+    "BudgetExhaustedError",
+    "BudgetLease",
+    "MemoryBudgetPool",
     "MemoryExceededError",
     "MemoryGovernor",
     "MemoryPolicy",

@@ -1,0 +1,142 @@
+"""Bounded admission: concurrency cap, queue, and memory leases.
+
+The controller is the service's front door.  A query either gets a
+*slot* (one of ``max_concurrency``) plus a memory lease from the
+service-wide :class:`~repro.resources.MemoryBudgetPool`, or it gets a
+typed refusal — it never queues unboundedly and never overcommits the
+budget pool.  Refusals are cheap and honest: :class:`ShedError` (429)
+when the bounded queue or the budget pool is full,
+:class:`DrainingError` (503) once drain has begun, and
+:class:`DeadlineMissError` (504) when the query's own deadline expires
+while it is still queued.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.resources import BudgetExhaustedError, MemoryBudgetPool
+from repro.service.config import ServiceConfig
+from repro.service.deadline import Deadline
+from repro.service.errors import DeadlineMissError, DrainingError, ShedError
+
+
+class AdmissionSlot:
+    """A granted admission: one concurrency slot + one memory lease."""
+
+    def __init__(self, controller: "AdmissionController", lease) -> None:
+        self._controller = controller
+        self.lease = lease
+        self._released = False
+
+    def release(self) -> None:
+        if self._released:
+            return
+        self._released = True
+        self.lease.release()
+        self._controller._release_slot()
+
+    def __enter__(self) -> "AdmissionSlot":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.release()
+
+
+class AdmissionController:
+    """Thread-safe bounded admission over a budget pool."""
+
+    def __init__(self, config: ServiceConfig,
+                 budget_pool: MemoryBudgetPool) -> None:
+        self.config = config
+        self.budget_pool = budget_pool
+        self._cond = threading.Condition()
+        self.running = 0
+        self.queued = 0
+        self.draining = False
+
+    # -- introspection (health endpoint, ladder) -----------------------
+
+    def load(self) -> float:
+        """Instantaneous load: occupied capacity over total capacity."""
+        with self._cond:
+            total = self.config.max_concurrency + self.config.queue_depth
+            return (self.running + self.queued) / total
+
+    def counts(self) -> tuple[int, int]:
+        with self._cond:
+            return self.running, self.queued
+
+    # -- admission ------------------------------------------------------
+
+    def admit(self, deadline: Deadline) -> AdmissionSlot:
+        """Block until a slot is free, then lease memory; or refuse.
+
+        Raises ShedError / DrainingError / DeadlineMissError.  The
+        returned slot must be released (it is a context manager).
+        """
+        with self._cond:
+            if self.draining:
+                raise DrainingError()
+            if self.running >= self.config.max_concurrency:
+                if self.queued >= self.config.queue_depth:
+                    raise ShedError(
+                        "queue_full",
+                        detail=(
+                            f"{self.running} running, {self.queued} queued "
+                            f"(depth {self.config.queue_depth})"
+                        ),
+                    )
+                self.queued += 1
+                try:
+                    while self.running >= self.config.max_concurrency:
+                        if self.draining:
+                            raise DrainingError()
+                        if deadline.expired():
+                            raise DeadlineMissError(
+                                deadline.timeout_seconds or 0.0,
+                                detail="expired while queued",
+                            )
+                        self._cond.wait(timeout=self._wait_step(deadline))
+                finally:
+                    self.queued -= 1
+            self.running += 1
+        try:
+            lease = self.budget_pool.lease(self.config.slice_bytes)
+        except BudgetExhaustedError as exc:
+            self._release_slot()
+            raise ShedError(
+                "memory_exhausted",
+                detail=f"{exc.available_bytes} bytes left in the pool",
+            ) from exc
+        return AdmissionSlot(self, lease)
+
+    def _wait_step(self, deadline: Deadline) -> float:
+        rem = deadline.remaining()
+        step = 0.05  # re-check drain/deadline at least this often
+        return step if rem is None else min(step, max(rem, 0.001))
+
+    def _release_slot(self) -> None:
+        with self._cond:
+            self.running -= 1
+            self._cond.notify_all()
+
+    # -- drain ----------------------------------------------------------
+
+    def start_drain(self) -> None:
+        """Stop admission; wake queued waiters so they fail fast."""
+        with self._cond:
+            self.draining = True
+            self._cond.notify_all()
+
+    def wait_idle(self, timeout_seconds: float) -> bool:
+        """Wait until no query is running; True if fully drained."""
+        import time
+        stop = time.monotonic() + timeout_seconds
+        with self._cond:
+            while self.running > 0:
+                left = stop - time.monotonic()
+                if left <= 0:
+                    return False
+                self._cond.wait(timeout=min(left, 0.05))
+            return True

@@ -1,0 +1,359 @@
+"""The query service: admission → ladder → execute-with-retry → cache.
+
+:class:`QueryService` is transport-agnostic — :mod:`repro.service.http`
+puts an HTTP front end on it, tests and the bench drive it directly.
+``submit`` is safe to call from many threads at once: admission is the
+only gate, and everything downstream (the worker pool, the breaker, the
+budget pool, the caches, the observability sinks) is either lock-guarded
+here or thread-safe itself.
+
+The execution path is deliberately the *same* code one-shot CLI runs
+use — ``repro.sql.run_sql(substrate="mp")`` over the shared persistent
+pool — so every robustness feature PRs 1–6 built (heartbeats,
+speculation, poison quarantine, the circuit breaker, governed spill)
+is exercised unchanged under concurrent load.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+
+from repro.obs.decisions import (
+    ADMISSION_SHED,
+    CACHE_SERVE,
+    DEADLINE_MISS,
+    LADDER_TRANSITION,
+    QUERY_RETRY,
+    DecisionLedger,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel.mp_executor import (
+    DeadlineExceededError,
+    FragmentFailedError,
+    pool_breaker_state,
+)
+from repro.resources import MemoryBudgetPool
+from repro.service.admission import AdmissionController
+from repro.service.cache import PlanCache, ResultCache
+from repro.service.config import ServiceConfig
+from repro.service.deadline import Deadline
+from repro.service.errors import (
+    DeadlineMissError,
+    QueryFailedError,
+    ServiceError,
+    ShedError,
+)
+from repro.service.ladder import SVC_CACHE_ONLY, SVC_FULL, OverloadLadder
+from repro.service.retry import RetryPolicy
+from repro.sql.parser import ParseError
+from repro.sql.runner import run_sql
+from repro.storage.relation import DistributedRelation
+
+
+@dataclass
+class QueryOutcome:
+    """What a successful ``submit`` returns."""
+
+    query_id: int
+    table: str
+    rows: list = field(repr=False)
+    elapsed_seconds: float = 0.0
+    rung: str = SVC_FULL
+    retries: int = 0
+    cache_hit: bool = False
+
+
+class _Table:
+    __slots__ = ("relation", "version")
+
+    def __init__(self, relation: DistributedRelation, version: int) -> None:
+        self.relation = relation
+        self.version = version
+
+
+class QueryService:
+    """Admission-controlled concurrent SQL over the persistent pool."""
+
+    def __init__(
+        self,
+        config: ServiceConfig | None = None,
+        metrics: MetricsRegistry | None = None,
+        ledger: DecisionLedger | None = None,
+        tracer=None,
+    ) -> None:
+        self.config = config if config is not None else ServiceConfig()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.ledger = ledger if ledger is not None else DecisionLedger()
+        self.tracer = tracer
+        self.budget_pool = MemoryBudgetPool(
+            self.config.memory_pool_bytes,
+            slice_bytes=None,
+            min_slice_bytes=min(64 * 1024, self.config.slice_bytes),
+        )
+        self.admission = AdmissionController(self.config, self.budget_pool)
+        self.ladder = OverloadLadder(
+            self.config.reduced_load, self.config.cache_only_load
+        )
+        self.retry_policy = RetryPolicy(
+            self.config.max_query_retries,
+            self.config.retry_backoff_seconds,
+            self.config.retry_backoff_cap_seconds,
+            self.config.retry_jitter,
+        )
+        self.result_cache = ResultCache(self.config.result_cache_entries)
+        self.plan_cache = PlanCache(self.config.plan_cache_entries)
+        self._tables: dict[str, _Table] = {}
+        self._tables_lock = threading.Lock()
+        self._obs_lock = threading.Lock()
+        self._next_id = 0
+        self._t0 = time.monotonic()
+
+    # -- tables ---------------------------------------------------------
+
+    def register_table(self, name: str,
+                       relation: DistributedRelation) -> None:
+        """Register (or replace) a table; replacement bumps the version,
+        implicitly invalidating every cached result for the old data."""
+        with self._tables_lock:
+            existing = self._tables.get(name)
+            version = 1 if existing is None else existing.version + 1
+            self._tables[name] = _Table(relation, version)
+
+    def bump_table(self, name: str) -> int:
+        """Mark ``name`` mutated: old cached results become unreachable."""
+        with self._tables_lock:
+            table = self._tables[name]
+            table.version += 1
+            return table.version
+
+    def table_names(self) -> list[str]:
+        with self._tables_lock:
+            return sorted(self._tables)
+
+    def _lookup(self, name: str) -> tuple[DistributedRelation, int]:
+        with self._tables_lock:
+            table = self._tables.get(name)
+            if table is None:
+                raise QueryFailedError(
+                    "UnknownTable",
+                    f"no table {name!r} registered "
+                    f"(have: {', '.join(sorted(self._tables)) or 'none'})",
+                )
+            return table.relation, table.version
+
+    # -- observability helpers (all under one lock) ---------------------
+
+    def _clock(self) -> float:
+        return time.monotonic() - self._t0
+
+    def _count(self, name: str, n: int = 1) -> None:
+        with self._obs_lock:
+            self.metrics.counter(name).inc(n)
+
+    def _gauges(self) -> None:
+        running, queued = self.admission.counts()
+        with self._obs_lock:
+            self.metrics.gauge("svc.running").set(running)
+            self.metrics.gauge("svc.queue_depth").set(queued)
+            self.metrics.gauge("svc.ladder.rung").set(
+                self.ladder.code()
+            )
+            self.metrics.gauge("mp.breaker.state").set(
+                pool_breaker_state().state_code()
+            )
+
+    def _decide(self, kind: str, **data) -> None:
+        with self._obs_lock:
+            self.ledger.record(kind, -1, self._clock(), data=data)
+
+    def _span(self, qid: int, start: float, **args) -> None:
+        if self.tracer is None:
+            return
+        with self._obs_lock:
+            self.tracer.complete("query", qid, start, self._clock(), **args)
+
+    # -- the submit pipeline --------------------------------------------
+
+    def submit(self, sql: str,
+               timeout_seconds: float | None = None) -> QueryOutcome:
+        """Run one SQL query; returns rows or raises a typed ServiceError.
+
+        Blocks the calling thread (the HTTP layer gives each request its
+        own thread).  ``timeout_seconds`` overrides the config default;
+        the deadline covers queueing, retries, and execution together.
+        """
+        with self._obs_lock:
+            self._next_id += 1
+            qid = self._next_id
+        if timeout_seconds is None:
+            timeout_seconds = self.config.default_timeout_seconds
+        deadline = Deadline(timeout_seconds)
+        start = self._clock()
+        try:
+            outcome = self._submit_inner(qid, sql, deadline)
+        except ServiceError as exc:
+            self._span(qid, start, error=exc.code)
+            raise
+        self._span(qid, start, rung=outcome.rung,
+                   cache_hit=outcome.cache_hit, retries=outcome.retries)
+        return outcome
+
+    def _submit_inner(self, qid: int, sql: str,
+                      deadline: Deadline) -> QueryOutcome:
+        try:
+            table_name, _query = self.plan_cache.parse(sql)
+        except ParseError as exc:
+            self._count("svc.failed")
+            raise QueryFailedError("ParseError", str(exc)) from exc
+        relation, version = self._lookup(table_name)
+        cache_key = ResultCache.key(
+            table_name, version, sql, self.config.algorithm
+        )
+
+        try:
+            slot = self.admission.admit(deadline)
+        except ShedError as exc:
+            self._count("svc.shed")
+            self._decide(ADMISSION_SHED, query_id=qid, reason=exc.reason)
+            self._gauges()
+            raise
+        except DeadlineMissError:
+            self._count("svc.deadline_misses")
+            self._decide(DEADLINE_MISS, query_id=qid, where="queued")
+            raise
+
+        with slot:
+            self._count("svc.admitted")
+            rung, previous = self.ladder.observe(self.admission.load())
+            if previous is not None:
+                self._decide(LADDER_TRANSITION, query_id=qid,
+                             from_rung=previous, to_rung=rung)
+            self._gauges()
+
+            cached = self.result_cache.get(cache_key)
+            if cached is not None:
+                self._count("svc.cache.hits")
+                self._decide(CACHE_SERVE, query_id=qid, table=table_name,
+                             version=version)
+                return QueryOutcome(
+                    qid, table_name, cached,
+                    elapsed_seconds=deadline.elapsed(),
+                    rung=rung, cache_hit=True,
+                )
+            self._count("svc.cache.misses")
+            if rung == SVC_CACHE_ONLY:
+                # Rung 3: only free work is served; a miss is shed with
+                # backpressure rather than making overload worse.
+                self._count("svc.shed")
+                self._decide(ADMISSION_SHED, query_id=qid,
+                             reason="overload", rung=rung)
+                raise ShedError(
+                    "overload",
+                    detail="cache-only rung and the result is not cached",
+                )
+
+            processes = (
+                self.config.processes if rung == SVC_FULL
+                else self.config.reduced_processes
+            )
+            rows, retries = self._execute(
+                qid, sql, relation, processes, slot.lease.bytes, deadline
+            )
+            self.result_cache.put(cache_key, rows)
+            return QueryOutcome(
+                qid, table_name, rows,
+                elapsed_seconds=deadline.elapsed(),
+                rung=rung, retries=retries,
+            )
+
+    def _execute(self, qid, sql, relation, processes, budget_bytes,
+                 deadline) -> tuple[list, int]:
+        """run_sql over the pool, retrying infra failures with backoff."""
+        attempt = 0
+        while True:
+            query_metrics = MetricsRegistry()
+            try:
+                rows = run_sql(
+                    sql, relation,
+                    substrate="mp",
+                    processes=processes,
+                    timeout=self.config.executor_timeout_seconds,
+                    deadline=deadline.absolute(),
+                    memory_budget_bytes=budget_bytes,
+                    metrics=query_metrics,
+                    faults=self.config.faults,
+                )
+            except DeadlineExceededError as exc:
+                self._count("svc.deadline_misses")
+                self._decide(DEADLINE_MISS, query_id=qid,
+                             where="executing", retries=attempt)
+                raise DeadlineMissError(
+                    deadline.timeout_seconds or 0.0, detail=str(exc)
+                ) from exc
+            except FragmentFailedError as exc:
+                if (self.retry_policy.is_retryable(exc)
+                        and attempt < self.retry_policy.max_retries
+                        and not deadline.expired()):
+                    delay = deadline.clamp_sleep(
+                        self.retry_policy.delay(attempt)
+                    )
+                    self._count("svc.retries")
+                    self._decide(QUERY_RETRY, query_id=qid,
+                                 attempt=attempt,
+                                 cause=exc.cause_type,
+                                 backoff_seconds=delay)
+                    time.sleep(delay)
+                    attempt += 1
+                    continue
+                self._count("svc.failed")
+                raise QueryFailedError(
+                    exc.cause_type or type(exc).__name__, str(exc),
+                    retries=attempt,
+                ) from exc
+            except (ValueError, TypeError) as exc:
+                self._count("svc.failed")
+                raise QueryFailedError(
+                    type(exc).__name__, str(exc), retries=attempt
+                ) from exc
+            finally:
+                with self._obs_lock:
+                    self.metrics.merge(query_metrics)
+            return rows, attempt
+
+    # -- health + drain --------------------------------------------------
+
+    def status(self) -> dict:
+        """Machine-readable health (the /healthz body)."""
+        running, queued = self.admission.counts()
+        breaker = pool_breaker_state()
+        return {
+            "status": "draining" if self.admission.draining else "ok",
+            "running": running,
+            "queued": queued,
+            "load": round(self.admission.load(), 4),
+            "ladder_rung": self.ladder.current,
+            "breaker": breaker.state,
+            "tables": self.table_names(),
+            "budget_available_bytes": self.budget_pool.available_bytes,
+        }
+
+    def drain(self, timeout_seconds: float | None = None) -> bool:
+        """Stop admission, wait out in-flight queries, shut the pool down.
+
+        Returns True when everything finished inside the drain budget.
+        Safe to call more than once.  The worker pool is torn down
+        unconditionally — deadline-missed queries already discarded
+        their workers and unlinked their segments, so after this returns
+        there are zero service-owned child processes or shm segments.
+        """
+        if timeout_seconds is None:
+            timeout_seconds = self.config.drain_timeout_seconds
+        self.admission.start_drain()
+        clean = self.admission.wait_idle(timeout_seconds)
+        from repro.parallel.mp_executor import shutdown_worker_pool
+
+        shutdown_worker_pool()
+        self._gauges()
+        return clean

@@ -1,0 +1,111 @@
+"""Typed, machine-readable service errors.
+
+Every error the service returns to a client carries a stable ``code``
+(the wire discriminant), an ``http_status``, and a ``payload()`` dict —
+clients program against the code, humans read the message.  Shed and
+deadline errors are *not* failures of the query: they are the service
+refusing work it cannot finish honestly, which is the whole point of
+admission control.
+"""
+
+from __future__ import annotations
+
+
+class ServiceError(RuntimeError):
+    """Base for all typed service errors."""
+
+    code = "service_error"
+    http_status = 500
+
+    def payload(self) -> dict:
+        """The machine-readable body clients receive."""
+        return {"error": self.code, "message": str(self)}
+
+
+class ShedError(ServiceError):
+    """Admission refused: the service is over capacity (HTTP 429).
+
+    ``reason`` says which limit tripped: ``queue_full``,
+    ``memory_exhausted``, or ``overload`` (ladder rung 4).
+    ``retry_after_seconds`` is advisory backpressure for clients.
+    """
+
+    code = "shed"
+    http_status = 429
+
+    def __init__(self, reason: str, retry_after_seconds: float = 1.0,
+                 detail: str = "") -> None:
+        super().__init__(
+            f"query shed ({reason})" + (f": {detail}" if detail else "")
+        )
+        self.reason = reason
+        self.retry_after_seconds = retry_after_seconds
+
+    def payload(self) -> dict:
+        return {
+            "error": self.code,
+            "reason": self.reason,
+            "retry_after_seconds": self.retry_after_seconds,
+            "message": str(self),
+        }
+
+
+class DrainingError(ServiceError):
+    """Admission refused: the service is shutting down (HTTP 503)."""
+
+    code = "draining"
+    http_status = 503
+
+    def __init__(self) -> None:
+        super().__init__("service is draining; no new queries admitted")
+
+
+class DeadlineMissError(ServiceError):
+    """The query's deadline elapsed before it finished (HTTP 504).
+
+    Wraps the executor's cooperative-cancellation signal; the partial
+    work was discarded, never returned.
+    """
+
+    code = "deadline_miss"
+    http_status = 504
+
+    def __init__(self, timeout_seconds: float, detail: str = "") -> None:
+        super().__init__(
+            f"deadline of {timeout_seconds:.3f}s missed"
+            + (f" ({detail})" if detail else "")
+        )
+        self.timeout_seconds = timeout_seconds
+
+    def payload(self) -> dict:
+        return {
+            "error": self.code,
+            "timeout_seconds": self.timeout_seconds,
+            "message": str(self),
+        }
+
+
+class QueryFailedError(ServiceError):
+    """The query itself failed (bad SQL, user error, exhausted retries).
+
+    ``cause_type`` is the underlying exception class name; ``retries``
+    counts infra-failure retry attempts that were burned before giving
+    up (0 for non-retryable errors like a parse failure).
+    """
+
+    code = "query_failed"
+    http_status = 400
+
+    def __init__(self, cause_type: str, detail: str,
+                 retries: int = 0) -> None:
+        super().__init__(f"{cause_type}: {detail}")
+        self.cause_type = cause_type
+        self.retries = retries
+
+    def payload(self) -> dict:
+        return {
+            "error": self.code,
+            "cause_type": self.cause_type,
+            "retries": self.retries,
+            "message": str(self),
+        }

@@ -1,0 +1,180 @@
+"""Stdlib HTTP/JSON front end for :class:`~repro.service.QueryService`.
+
+``ThreadingHTTPServer`` gives each request its own thread; the service's
+admission controller is the real concurrency gate, so the HTTP layer
+stays a dumb translator:
+
+* ``POST /query`` — body ``{"sql": "...", "timeout_seconds": 2.5}``
+  (timeout optional) → ``200`` with rows, or a typed error body whose
+  HTTP status matches the error (429 shed, 503 draining, 504 deadline,
+  400 query failure).
+* ``GET /healthz`` — admission counts, ladder rung, breaker state;
+  ``200`` while serving, ``503`` once draining.
+* ``GET /metrics`` — the service MetricsRegistry snapshot as JSON.
+
+``serve`` wires SIGTERM/SIGINT to graceful drain: admission stops,
+in-flight queries finish (or miss their deadlines and are cancelled),
+the worker pool is shut down, and only then does the process exit.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.service.core import QueryService
+from repro.service.errors import ServiceError
+
+_MAX_BODY_BYTES = 1 << 20  # a SQL text; anything bigger is abuse
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True  # drain owns lifecycle; don't block exit on I/O
+
+    def __init__(self, address, service: QueryService) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server: ServiceHTTPServer
+
+    # -- plumbing -------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # quiet: metrics are the log
+        pass
+
+    def _send_json(self, status: int, body: dict,
+                   retry_after: float | None = None) -> None:
+        data = json.dumps(body).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(data)))
+        if retry_after is not None:
+            self.send_header("Retry-After", f"{retry_after:.3f}")
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_json(self) -> dict | None:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length <= 0 or length > _MAX_BODY_BYTES:
+            self._send_json(400, {
+                "error": "bad_request",
+                "message": "body must be JSON with a Content-Length "
+                           f"between 1 and {_MAX_BODY_BYTES} bytes",
+            })
+            return None
+        try:
+            body = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError):
+            self._send_json(400, {
+                "error": "bad_request", "message": "body is not valid JSON",
+            })
+            return None
+        if not isinstance(body, dict):
+            self._send_json(400, {
+                "error": "bad_request", "message": "body must be an object",
+            })
+            return None
+        return body
+
+    # -- routes ---------------------------------------------------------
+
+    def do_GET(self) -> None:
+        service = self.server.service
+        if self.path == "/healthz":
+            status = service.status()
+            code = 503 if status["status"] == "draining" else 200
+            self._send_json(code, status)
+        elif self.path == "/metrics":
+            self._send_json(200, service.metrics.snapshot())
+        else:
+            self._send_json(404, {
+                "error": "not_found", "message": f"no route {self.path!r}",
+            })
+
+    def do_POST(self) -> None:
+        if self.path != "/query":
+            self._send_json(404, {
+                "error": "not_found", "message": f"no route {self.path!r}",
+            })
+            return
+        body = self._read_json()
+        if body is None:
+            return
+        sql = body.get("sql")
+        if not isinstance(sql, str) or not sql.strip():
+            self._send_json(400, {
+                "error": "bad_request",
+                "message": "body needs a non-empty 'sql' string",
+            })
+            return
+        timeout = body.get("timeout_seconds")
+        if timeout is not None and (
+            not isinstance(timeout, (int, float)) or timeout <= 0
+        ):
+            self._send_json(400, {
+                "error": "bad_request",
+                "message": "'timeout_seconds' must be a positive number",
+            })
+            return
+        service = self.server.service
+        try:
+            outcome = service.submit(sql, timeout_seconds=timeout)
+        except ServiceError as exc:
+            retry_after = getattr(exc, "retry_after_seconds", None)
+            self._send_json(exc.http_status, exc.payload(),
+                            retry_after=retry_after)
+            return
+        self._send_json(200, {
+            "query_id": outcome.query_id,
+            "table": outcome.table,
+            "rows": [list(row) for row in outcome.rows],
+            "elapsed_seconds": round(outcome.elapsed_seconds, 6),
+            "rung": outcome.rung,
+            "retries": outcome.retries,
+            "cache_hit": outcome.cache_hit,
+        })
+
+
+def create_server(service: QueryService, host: str = "127.0.0.1",
+                  port: int = 8642) -> ServiceHTTPServer:
+    """Bind the socket and return the server (``port=0`` = OS-assigned;
+    read the choice back from ``server.server_port``)."""
+    return ServiceHTTPServer((host, port), service)
+
+
+def serve(service: QueryService, host: str = "127.0.0.1",
+          port: int = 8642, install_signals: bool = True,
+          server: ServiceHTTPServer | None = None,
+          ready: threading.Event | None = None) -> ServiceHTTPServer:
+    """Run the HTTP server until SIGTERM/SIGINT, then drain and return.
+
+    Blocks the calling thread.  Pass a pre-bound ``server`` (from
+    :func:`create_server`) when the caller needs the port before the
+    loop starts; ``ready`` (if given) is set just before serving.
+    """
+    if server is None:
+        server = create_server(service, host, port)
+
+    def _drain_and_stop() -> None:
+        service.drain()
+        server.shutdown()
+
+    if install_signals:
+        def _on_signal(signum, frame):
+            # Signal context: do the blocking drain on a helper thread.
+            threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+    if ready is not None:
+        ready.set()
+    try:
+        server.serve_forever(poll_interval=0.1)
+    finally:
+        server.server_close()
+    return server

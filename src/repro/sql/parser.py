@@ -125,11 +125,25 @@ class Between:
         return self.low.eval(env) <= value <= self.high.eval(env)
 
 
-def _compile(node):
-    def predicate(env) -> bool:
-        return bool(node.eval(env))
+@dataclass(frozen=True)
+class CompiledPredicate:
+    """A picklable callable over a predicate AST.
 
-    return predicate
+    Parsed queries cross the process boundary when they run on the
+    multiprocessing substrate (``run_sql(..., substrate="mp")`` ships
+    the query to pool workers); a closure would not survive pickling,
+    but the AST nodes are plain frozen dataclasses, so a callable
+    wrapper holding the root node does.
+    """
+
+    node: object
+
+    def __call__(self, env) -> bool:
+        return bool(self.node.eval(env))
+
+
+def _compile(node):
+    return CompiledPredicate(node)
 
 
 # --- the parser -------------------------------------------------------------

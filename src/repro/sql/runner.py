@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from repro.core.runner import AlgorithmOutcome, run_algorithm
 from repro.engine.planner import run_query
+from repro.parallel.mp_executor import multiprocessing_aggregate
 from repro.sql.parser import parse_query
 from repro.storage.relation import DistributedRelation, Relation
 
@@ -12,26 +13,43 @@ def run_sql(
     sql: str,
     data,
     algorithm: str = "adaptive_two_phase",
+    substrate: str = "sim",
     **run_kwargs,
 ):
     """Parse and execute ``sql`` over ``data``.
 
     * ``data`` a :class:`Relation` → the local operator engine executes
       the plan; returns a Relation.
-    * ``data`` a :class:`DistributedRelation` → the named algorithm runs
-      on the simulated cluster (``run_kwargs`` forwarded to
-      ``run_algorithm``); returns the :class:`AlgorithmOutcome`.
+    * ``data`` a :class:`DistributedRelation`, ``substrate="sim"`` → the
+      named algorithm runs on the simulated cluster (``run_kwargs``
+      forwarded to ``run_algorithm``); returns the
+      :class:`AlgorithmOutcome`.
+    * ``data`` a :class:`DistributedRelation`, ``substrate="mp"`` → the
+      real multiprocessing executor runs the query over the persistent
+      worker pool (``run_kwargs`` forwarded to
+      :func:`~repro.parallel.multiprocessing_aggregate` — notably
+      ``processes=``, ``deadline=``, ``memory_budget_bytes=``,
+      ``faults=``); returns the sorted result rows.
 
     The FROM name is informational (there is one input); it is validated
     only for non-emptiness by the parser.
     """
+    if substrate not in ("sim", "mp"):
+        raise ValueError(f"unknown substrate {substrate!r}; use 'sim' or 'mp'")
     _table, query = parse_query(sql)
     if isinstance(data, DistributedRelation):
+        if substrate == "mp":
+            return multiprocessing_aggregate(data, query, **run_kwargs)
         outcome: AlgorithmOutcome = run_algorithm(
             algorithm, data, query, **run_kwargs
         )
         return outcome
     if isinstance(data, Relation):
+        if substrate == "mp":
+            raise ValueError(
+                "substrate='mp' needs a DistributedRelation (fragments to "
+                "ship to pool workers); got a plain Relation"
+            )
         return run_query(data, query)
     raise TypeError(
         "expected Relation or DistributedRelation, got "

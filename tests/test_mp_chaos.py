@@ -17,6 +17,7 @@ the pool circuit breaker's rebuild-then-degrade ladder.
 import functools
 import glob
 import os
+import random
 import time
 
 import pytest
@@ -273,7 +274,9 @@ class TestQuarantine:
 
 class TestCircuitBreaker:
     def test_rebuild_once_then_degrade_to_spawn(self, dist, query):
-        reset_pool_breaker(threshold=2)
+        # Zero backoff: the third failing run may rebuild immediately,
+        # preserving the original rebuild-once-then-degrade sequence.
+        reset_pool_breaker(threshold=2, rebuild_backoff_seconds=0.0)
 
         def fail_once():
             with pytest.raises(FragmentFailedError):
@@ -348,3 +351,87 @@ class TestCircuitBreaker:
         # RuntimeError is the user's bug, not pool sickness.
         assert pool_breaker_state().consecutive_infra_failures == 0
         assert not pool_breaker_state().degraded
+
+
+class TestBreakerBackoffAndState:
+    """Unit coverage for the backoff schedule and the state gauge."""
+
+    def _breaker(self, **kw):
+        from repro.parallel.mp_executor import PoolCircuitBreaker
+
+        kw.setdefault("rng", random.Random(7))
+        return PoolCircuitBreaker(**kw)
+
+    def test_rebuild_waits_for_backoff(self):
+        b = self._breaker(threshold=1, rebuild_backoff_seconds=30.0)
+        b.record_failure("WorkerDied")
+        # Open, but the rebuild is scheduled in the future: not yet due.
+        assert b.state == mp_executor.BREAKER_OPEN
+        assert not b.should_rebuild()
+        assert not b.take_rebuild()
+        lo = b.rebuild_backoff_seconds
+        hi = lo * (1 + b.backoff_jitter)
+        delay = b.rebuild_not_before - time.monotonic()
+        assert 0 < delay <= hi + 0.1
+        assert delay >= lo * 0.5  # sanity: same order as configured
+
+    def test_backoff_doubles_per_rebuild_and_caps(self):
+        b = self._breaker(
+            threshold=1, rebuild_backoff_seconds=2.0,
+            rebuild_backoff_cap_seconds=5.0, backoff_jitter=0.0,
+        )
+        assert b._next_backoff() == 2.0
+        b.note_rebuild()
+        assert b._next_backoff() == 4.0
+        b.note_rebuild()
+        assert b._next_backoff() == 5.0  # capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = self._breaker(
+            threshold=1, rebuild_backoff_seconds=1.0,
+            backoff_jitter=0.5, rng=random.Random(99),
+        )
+        b = self._breaker(
+            threshold=1, rebuild_backoff_seconds=1.0,
+            backoff_jitter=0.5, rng=random.Random(99),
+        )
+        da, db = a._next_backoff(), b._next_backoff()
+        assert da == db  # same seed, same schedule
+        assert 1.0 <= da <= 1.5
+
+    def test_take_rebuild_claims_once(self):
+        b = self._breaker(threshold=1, rebuild_backoff_seconds=0.0)
+        b.record_failure("HeartbeatLost")
+        assert b.take_rebuild()
+        assert not b.take_rebuild()  # already claimed
+        assert b.rebuilds == 1
+        assert b.state == mp_executor.BREAKER_HALF_OPEN
+
+    def test_state_transitions_and_codes(self):
+        b = self._breaker(threshold=2, rebuild_backoff_seconds=0.0)
+        assert b.state == mp_executor.BREAKER_CLOSED
+        assert b.state_code() == 0
+        b.record_failure("WorkerDied")
+        assert b.state == mp_executor.BREAKER_CLOSED
+        b.record_failure("WorkerDied")
+        assert b.state == mp_executor.BREAKER_OPEN
+        assert b.state_code() == 2
+        assert b.take_rebuild()
+        assert b.state == mp_executor.BREAKER_HALF_OPEN
+        assert b.state_code() == 1
+        b.record_success()
+        assert b.state == mp_executor.BREAKER_CLOSED
+        # Degraded is terminal-open until an operator reset.
+        b.record_failure("WorkerDied")
+        b.record_failure("WorkerDied")
+        assert b.take_rebuild()
+        b.record_failure("WorkerDied")
+        b.record_failure("WorkerDied")
+        assert b.degraded
+        assert b.state == mp_executor.BREAKER_OPEN
+
+    def test_state_gauge_exported_from_pool_run(self, dist, query):
+        reset_pool_breaker()
+        metrics = MetricsRegistry()
+        multiprocessing_aggregate(dist, query, processes=2, metrics=metrics)
+        assert metrics.value("mp.breaker.state") == 0

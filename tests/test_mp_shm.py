@@ -228,6 +228,116 @@ class TestPoolHealth:
         assert len(new_pool.idle_workers()) >= 1
 
 
+class TestPoolLifecycleUnderReuse:
+    """N sequential + M concurrent runs must leak nothing: zero shm
+    segments (autouse fixture), zero leaked parent-side threads
+    (heartbeat senders live in the workers; the parent must return to
+    its baseline thread count), zero child processes once the pool is
+    shut down."""
+
+    def _leak_counts(self, baseline_threads):
+        import multiprocessing as mp
+
+        return (
+            len(_segments()),
+            max(0, threading.active_count() - baseline_threads),
+            len(mp.active_children()),
+        )
+
+    def test_sequential_runs_leak_nothing(self, dist, query):
+        mp_executor.shutdown_worker_pool()
+        baseline_threads = threading.active_count()
+        expected = reference_aggregate(dist, query)
+        for _ in range(5):
+            got = multiprocessing_aggregate(dist, query, processes=2)
+            assert_rows_close(got, expected)
+            # Dispatch helpers are per-run: none may outlive a run.
+            assert threading.active_count() <= baseline_threads
+        mp_executor.shutdown_worker_pool()
+        assert self._leak_counts(baseline_threads) == (0, 0, 0)
+
+    def test_concurrent_runs_leak_nothing(self, query):
+        mp_executor.shutdown_worker_pool()
+        baseline_threads = threading.active_count()
+        dists = [
+            generate_uniform(num_tuples=1200, num_groups=30,
+                             num_nodes=3, seed=100 + i)
+            for i in range(4)
+        ]
+        expected = [reference_aggregate(d, query) for d in dists]
+        results: list = [None] * len(dists)
+        errors: list = []
+
+        def run(i: int) -> None:
+            try:
+                results[i] = multiprocessing_aggregate(
+                    dists[i], query, processes=2
+                )
+            except BaseException as exc:  # noqa: BLE001 - surfaced below
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=run, args=(i,))
+            for i in range(len(dists))
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        for got, want in zip(results, expected):
+            assert_rows_close(got, want)
+        mp_executor.shutdown_worker_pool()
+        assert self._leak_counts(baseline_threads) == (0, 0, 0)
+
+    def test_concurrent_callers_share_one_pool(self, query):
+        """Concurrent dispatchers must reuse workers, not fork per
+        caller — the thread-safety fix the service depends on."""
+        mp_executor.shutdown_worker_pool()
+        dist = generate_uniform(num_tuples=1200, num_groups=30,
+                                num_nodes=3, seed=11)
+        multiprocessing_aggregate(dist, query, processes=2)  # warm
+        pool = mp_executor._get_shared_pool()
+        barrier = threading.Barrier(3)
+        errors: list = []
+
+        def run() -> None:
+            try:
+                barrier.wait(timeout=10)
+                for _ in range(2):
+                    multiprocessing_aggregate(dist, query, processes=2)
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=run) for _ in range(3)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert not errors, errors
+        assert mp_executor._get_shared_pool() is pool
+        # Every fork is serialized under the pool lock and every worker
+        # is either reacquired or parked idle — never orphaned.
+        assert pool.spawned <= 6  # 3 callers x 2 workers worst case
+        assert len(pool.idle_workers()) == pool.spawned
+        mp_executor.shutdown_worker_pool()
+
+    def test_release_into_closed_pool_discards(self, dist, query):
+        """A dispatcher finishing after shutdown must not resurrect
+        workers into the dead pool (the atexit/shutdown interplay)."""
+        import multiprocessing as mp
+
+        multiprocessing_aggregate(dist, query, processes=2)
+        pool = mp_executor._get_shared_pool()
+        worker = pool.acquire()
+        mp_executor.shutdown_worker_pool()
+        assert pool.closed
+        pool.release(worker)
+        assert not worker.proc.is_alive()
+        assert pool.idle_workers() == []
+        assert mp.active_children() == []
+
+
 class TestVectorizedFallbackParity:
     """Shapes the vectorized kernel refuses must take the decode
     fallback and still match the other dispatch paths exactly."""

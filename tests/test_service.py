@@ -1,0 +1,683 @@
+"""The query service: admission, ladder, retry, caches, drain, HTTP.
+
+Unit halves exercise each service component in isolation (no worker
+pool); the integration halves drive :class:`QueryService` and the HTTP
+front end over the *real* persistent pool, including a concurrent storm
+under an injected :class:`FaultPlan`, and pin the service's hygiene
+contract: after drain there are zero child processes and zero
+``/dev/shm/repro_mp_*`` segments.
+"""
+
+import glob
+import json
+import multiprocessing
+import os
+import random
+import threading
+import time
+import urllib.error
+import urllib.request
+
+import pytest
+
+from tests.conftest import assert_rows_close
+
+from repro.obs.decisions import (
+    ADMISSION_SHED,
+    CACHE_SERVE,
+    DEADLINE_MISS,
+    QUERY_RETRY,
+    DecisionLedger,
+)
+from repro.obs.metrics import MetricsRegistry
+from repro.parallel import reference_aggregate
+from repro.parallel.mp_executor import (
+    FragmentFailedError,
+    reset_pool_breaker,
+    shutdown_worker_pool,
+)
+from repro.parallel import mp_executor
+from repro.resources import MemoryBudgetPool
+from repro.service import (
+    AdmissionController,
+    Deadline,
+    DeadlineMissError,
+    DrainingError,
+    OverloadLadder,
+    PlanCache,
+    QueryFailedError,
+    QueryService,
+    ResultCache,
+    RetryPolicy,
+    ServiceConfig,
+    ShedError,
+    SVC_CACHE_ONLY,
+    SVC_FULL,
+    SVC_REDUCED,
+    SVC_SHED,
+)
+from repro.service.http import create_server
+from repro.sim.faults import CrashFault, FaultPlan
+from repro.sql.parser import parse_query
+from repro.workloads.generator import generate_uniform
+
+
+def _segments():
+    return glob.glob("/dev/shm/" + mp_executor.SHM_PREFIX + "*")
+
+
+needs_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"), reason="POSIX shared memory not mounted"
+)
+
+
+# -- components in isolation (no pool) ----------------------------------------
+
+
+class TestDeadline:
+    def test_no_limit(self):
+        d = Deadline(None)
+        assert d.absolute() is None
+        assert d.remaining() is None
+        assert not d.expired()
+        assert d.clamp_sleep(5.0) == 5.0
+
+    def test_expiry_and_clamp(self):
+        d = Deadline(0.01)
+        assert d.remaining() <= 0.01
+        time.sleep(0.02)
+        assert d.expired()
+        assert d.remaining() == 0.0
+        assert d.clamp_sleep(1.0) == 0.0
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            Deadline(0.0)
+
+
+class TestAdmissionController:
+    def _controller(self, **overrides):
+        config = ServiceConfig(**{
+            "max_concurrency": 1, "queue_depth": 0,
+            "memory_pool_bytes": 1 << 20, **overrides,
+        })
+        return AdmissionController(
+            config, MemoryBudgetPool(config.memory_pool_bytes)
+        )
+
+    def test_admit_and_release(self):
+        ctrl = self._controller()
+        slot = ctrl.admit(Deadline(None))
+        assert ctrl.counts() == (1, 0)
+        assert ctrl.load() == 1.0
+        slot.release()
+        assert ctrl.counts() == (0, 0)
+        slot.release()  # idempotent
+
+    def test_queue_full_sheds(self):
+        ctrl = self._controller()
+        with ctrl.admit(Deadline(None)):
+            with pytest.raises(ShedError) as info:
+                ctrl.admit(Deadline(None))
+            assert info.value.reason == "queue_full"
+            assert info.value.http_status == 429
+
+    def test_queued_waiter_gets_slot_on_release(self):
+        ctrl = self._controller(queue_depth=1)
+        first = ctrl.admit(Deadline(None))
+        got = []
+
+        def waiter():
+            with ctrl.admit(Deadline(5.0)):
+                got.append(True)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        while ctrl.counts()[1] == 0:  # wait until actually queued
+            time.sleep(0.005)
+        first.release()
+        t.join(timeout=5)
+        assert got == [True]
+
+    def test_deadline_expires_while_queued(self):
+        ctrl = self._controller(queue_depth=1)
+        with ctrl.admit(Deadline(None)):
+            with pytest.raises(DeadlineMissError):
+                ctrl.admit(Deadline(0.05))
+
+    def test_draining_refuses_immediately(self):
+        ctrl = self._controller()
+        ctrl.start_drain()
+        with pytest.raises(DrainingError) as info:
+            ctrl.admit(Deadline(None))
+        assert info.value.http_status == 503
+
+    def test_drain_wakes_queued_waiters(self):
+        ctrl = self._controller(queue_depth=1)
+        slot = ctrl.admit(Deadline(None))
+        errors = []
+
+        def waiter():
+            try:
+                ctrl.admit(Deadline(None))
+            except DrainingError as exc:
+                errors.append(exc)
+
+        t = threading.Thread(target=waiter)
+        t.start()
+        while ctrl.counts()[1] == 0:
+            time.sleep(0.005)
+        ctrl.start_drain()
+        t.join(timeout=5)
+        assert len(errors) == 1
+        slot.release()
+        assert ctrl.wait_idle(1.0)
+
+    def test_memory_exhaustion_sheds_and_frees_slot(self):
+        config = ServiceConfig(
+            max_concurrency=2, queue_depth=0,
+            memory_pool_bytes=64 * 1024,
+        )
+        ctrl = AdmissionController(config, MemoryBudgetPool(64 * 1024))
+        first = ctrl.admit(Deadline(None))  # leases the whole pool
+        with pytest.raises(ShedError) as info:
+            ctrl.admit(Deadline(None))
+        assert info.value.reason == "memory_exhausted"
+        assert ctrl.counts() == (1, 0), "failed admit must free its slot"
+        first.release()
+        with ctrl.admit(Deadline(None)):
+            pass
+
+
+class TestOverloadLadder:
+    def test_rung_boundaries(self):
+        ladder = OverloadLadder(reduced_load=0.5, cache_only_load=0.85)
+        assert ladder.rung_for(0.0) == SVC_FULL
+        assert ladder.rung_for(0.49) == SVC_FULL
+        assert ladder.rung_for(0.5) == SVC_REDUCED
+        assert ladder.rung_for(0.85) == SVC_CACHE_ONLY
+        assert ladder.rung_for(1.0) == SVC_SHED
+
+    def test_observe_reports_transitions_only(self):
+        ladder = OverloadLadder()
+        assert ladder.observe(0.1) == (SVC_FULL, None)
+        rung, previous = ladder.observe(0.6)
+        assert (rung, previous) == (SVC_REDUCED, SVC_FULL)
+        assert ladder.observe(0.6) == (SVC_REDUCED, None)
+        assert ladder.transitions == 1
+        assert ladder.code() == 1
+
+    def test_rejects_bad_thresholds(self):
+        with pytest.raises(ValueError):
+            OverloadLadder(reduced_load=0.9, cache_only_load=0.5)
+
+
+class TestRetryPolicy:
+    def test_infra_causes_are_retryable(self):
+        policy = RetryPolicy()
+        for cause in ("WorkerDied", "HeartbeatLost", "PoisonFragment"):
+            exc = FragmentFailedError(0, 1, "x", {}, cause_type=cause)
+            assert policy.is_retryable(exc), cause
+
+    def test_user_errors_are_not(self):
+        policy = RetryPolicy()
+        assert not policy.is_retryable(
+            FragmentFailedError(0, 1, "x", {}, cause_type="KeyError")
+        )
+        assert not policy.is_retryable(
+            FragmentFailedError(0, 1, "x", {})
+        )
+        assert not policy.is_retryable(ValueError("nope"))
+
+    def test_delay_doubles_and_caps(self):
+        policy = RetryPolicy(backoff_seconds=0.1,
+                             backoff_cap_seconds=0.3, jitter=0.0)
+        assert policy.delay(0) == pytest.approx(0.1)
+        assert policy.delay(1) == pytest.approx(0.2)
+        assert policy.delay(2) == pytest.approx(0.3)
+        assert policy.delay(5) == pytest.approx(0.3)
+
+    def test_jitter_is_seeded_and_bounded(self):
+        a = RetryPolicy(backoff_seconds=1.0, jitter=0.5,
+                        rng=random.Random(7)).delay(0)
+        b = RetryPolicy(backoff_seconds=1.0, jitter=0.5,
+                        rng=random.Random(7)).delay(0)
+        assert a == b
+        assert 1.0 <= a <= 1.5
+
+
+class TestCaches:
+    def test_lru_evicts_oldest(self):
+        cache = ResultCache(2)
+        cache.put("a", 1)
+        cache.put("b", 2)
+        assert cache.get("a") == 1  # refresh a
+        cache.put("c", 3)           # evicts b
+        assert cache.get("b") is None
+        assert cache.get("a") == 1
+        assert cache.get("c") == 3
+        assert cache.hits == 3 and cache.misses == 1
+
+    def test_plan_cache_memoizes_parse(self):
+        cache = PlanCache(8)
+        sql = "SELECT gkey, SUM(val) FROM r GROUP BY gkey"
+        table, query = cache.parse(sql)
+        assert table == "r"
+        assert cache.parse(sql) == (table, query)
+        assert cache.hits == 1
+
+    def test_result_key_includes_data_version(self):
+        sql = "SELECT gkey, SUM(val) FROM r GROUP BY gkey"
+        k1 = ResultCache.key("r", 1, sql, "adaptive_two_phase")
+        k2 = ResultCache.key("r", 2, sql, "adaptive_two_phase")
+        assert k1 != k2
+
+
+class TestServiceConfig:
+    def test_slice_bytes_default_divides_pool(self):
+        config = ServiceConfig(max_concurrency=4,
+                               memory_pool_bytes=4 << 20)
+        assert config.slice_bytes == 1 << 20
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServiceConfig(max_concurrency=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(reduced_load=0.9, cache_only_load=0.5)
+
+
+# -- QueryService with the executor faked (fast, no pool) ---------------------
+
+
+def _tiny_dist():
+    return generate_uniform(num_tuples=240, num_groups=6,
+                            num_nodes=2, seed=5)
+
+
+SQL = "SELECT gkey, SUM(val), COUNT(*) FROM r GROUP BY gkey"
+
+
+def _service(**overrides) -> QueryService:
+    defaults = {"max_concurrency": 2, "queue_depth": 2, "processes": 2}
+    defaults.update(overrides)
+    service = QueryService(
+        ServiceConfig(**defaults),
+        metrics=MetricsRegistry(),
+        ledger=DecisionLedger(),
+    )
+    service.register_table("r", _tiny_dist())
+    return service
+
+
+class TestQueryServiceFakedExecutor:
+    """Retry/failure classification via a monkeypatched ``run_sql``."""
+
+    def test_infra_failure_is_retried(self, monkeypatch):
+        service = _service()
+        calls = []
+
+        def flaky(sql, relation, **kwargs):
+            calls.append(kwargs)
+            if len(calls) == 1:
+                raise FragmentFailedError(
+                    0, 1, "worker died", {}, cause_type="WorkerDied"
+                )
+            return [(0, 1.0, 2)]
+
+        monkeypatch.setattr("repro.service.core.run_sql", flaky)
+        outcome = service.submit(SQL)
+        assert outcome.rows == [(0, 1.0, 2)]
+        assert outcome.retries == 1
+        assert len(calls) == 2
+        assert service.metrics.counter("svc.retries").value == 1
+        assert len(service.ledger.events_of(QUERY_RETRY)) == 1
+
+    def test_retries_exhaust_into_query_failed(self, monkeypatch):
+        service = _service(max_query_retries=1,
+                           retry_backoff_seconds=0.001)
+
+        def always_dies(sql, relation, **kwargs):
+            raise FragmentFailedError(
+                0, 1, "worker died", {}, cause_type="WorkerDied"
+            )
+
+        monkeypatch.setattr("repro.service.core.run_sql", always_dies)
+        with pytest.raises(QueryFailedError) as info:
+            service.submit(SQL)
+        assert info.value.cause_type == "WorkerDied"
+        assert info.value.retries == 1
+
+    def test_user_error_is_never_retried(self, monkeypatch):
+        service = _service()
+        calls = []
+
+        def bad_phase(sql, relation, **kwargs):
+            calls.append(1)
+            raise FragmentFailedError(
+                0, 1, "KeyError: 'nope'", {}, cause_type="KeyError"
+            )
+
+        monkeypatch.setattr("repro.service.core.run_sql", bad_phase)
+        with pytest.raises(QueryFailedError) as info:
+            service.submit(SQL)
+        assert len(calls) == 1
+        assert info.value.retries == 0
+
+    def test_parse_error_is_typed(self):
+        service = _service()
+        with pytest.raises(QueryFailedError) as info:
+            service.submit("SELEKT nope")
+        assert info.value.cause_type == "ParseError"
+        assert service.metrics.counter("svc.failed").value == 1
+
+    def test_unknown_table_is_typed(self):
+        service = _service()
+        with pytest.raises(QueryFailedError) as info:
+            service.submit("SELECT k, SUM(v) FROM missing GROUP BY k")
+        assert info.value.cause_type == "UnknownTable"
+
+    def test_cache_hit_skips_executor(self, monkeypatch):
+        service = _service()
+        calls = []
+
+        def run_once(sql, relation, **kwargs):
+            calls.append(1)
+            return [(1, 2.0, 3)]
+
+        monkeypatch.setattr("repro.service.core.run_sql", run_once)
+        first = service.submit(SQL)
+        second = service.submit(SQL)
+        assert len(calls) == 1
+        assert not first.cache_hit and second.cache_hit
+        assert second.rows == first.rows
+        assert len(service.ledger.events_of(CACHE_SERVE)) == 1
+
+    def test_bump_table_invalidates_cached_results(self, monkeypatch):
+        service = _service()
+        calls = []
+
+        def run(sql, relation, **kwargs):
+            calls.append(1)
+            return [(len(calls),)]
+
+        monkeypatch.setattr("repro.service.core.run_sql", run)
+        assert service.submit(SQL).rows == [(1,)]
+        service.bump_table("r")
+        outcome = service.submit(SQL)
+        assert outcome.rows == [(2,)] and not outcome.cache_hit
+
+    def test_cache_only_rung_sheds_misses_serves_hits(self, monkeypatch):
+        service = _service()
+        monkeypatch.setattr(
+            "repro.service.core.run_sql",
+            lambda *a, **k: [(9, 9.0, 9)],
+        )
+        service.submit(SQL)  # populate the cache at rung FULL
+        # Force the ladder's view of load into the cache-only band.
+        monkeypatch.setattr(service.admission, "load", lambda: 0.9)
+        hit = service.submit(SQL)
+        assert hit.cache_hit and hit.rung == SVC_CACHE_ONLY
+        with pytest.raises(ShedError) as info:
+            service.submit(
+                "SELECT gkey, COUNT(*) FROM r GROUP BY gkey"
+            )
+        assert info.value.reason == "overload"
+        assert len(service.ledger.events_of(ADMISSION_SHED)) == 1
+
+    def test_shed_is_counted_and_ledgered(self, monkeypatch):
+        service = _service(max_concurrency=1, queue_depth=0)
+        monkeypatch.setattr(
+            service.admission, "admit",
+            lambda deadline: (_ for _ in ()).throw(ShedError("queue_full")),
+        )
+        with pytest.raises(ShedError):
+            service.submit(SQL)
+        assert service.metrics.counter("svc.shed").value == 1
+        events = service.ledger.events_of(ADMISSION_SHED)
+        assert events and events[0].data["reason"] == "queue_full"
+
+    def test_deadline_miss_from_executor(self, monkeypatch):
+        from repro.parallel.mp_executor import DeadlineExceededError
+        service = _service()
+
+        def too_slow(sql, relation, **kwargs):
+            raise DeadlineExceededError(0.5, 1, 4)
+
+        monkeypatch.setattr("repro.service.core.run_sql", too_slow)
+        with pytest.raises(DeadlineMissError):
+            service.submit(SQL, timeout_seconds=0.5)
+        assert service.metrics.counter("svc.deadline_misses").value == 1
+        assert len(service.ledger.events_of(DEADLINE_MISS)) == 1
+
+    def test_status_shape(self):
+        service = _service()
+        status = service.status()
+        assert status["status"] == "ok"
+        assert status["tables"] == ["r"]
+        assert status["breaker"] in ("closed", "half_open", "open")
+        assert status["running"] == 0 and status["queued"] == 0
+
+    def test_submit_after_drain_is_refused(self, monkeypatch):
+        service = _service()
+        monkeypatch.setattr(
+            "repro.service.core.run_sql", lambda *a, **k: [(1,)]
+        )
+        assert service.drain(timeout_seconds=1.0)
+        with pytest.raises(DrainingError):
+            service.submit(SQL)
+        assert service.status()["status"] == "draining"
+
+
+# -- QueryService over the real pool ------------------------------------------
+
+
+@pytest.fixture
+def clean_pool():
+    reset_pool_breaker()
+    shutdown_worker_pool()
+    assert _segments() == []
+    yield
+    shutdown_worker_pool()
+    assert _segments() == [], "service leaked shared-memory segments"
+    assert multiprocessing.active_children() == []
+
+
+@needs_shm
+class TestQueryServicePool:
+    def test_submit_matches_reference(self, clean_pool):
+        dist = generate_uniform(num_tuples=1200, num_groups=30,
+                                num_nodes=4, seed=7)
+        service = QueryService(ServiceConfig(processes=2))
+        service.register_table("r", dist)
+        try:
+            outcome = service.submit(SQL, timeout_seconds=60.0)
+            _table, query = parse_query(SQL)
+            assert_rows_close(outcome.rows,
+                              reference_aggregate(dist, query))
+            assert service.metrics.counter("svc.admitted").value == 1
+            again = service.submit(SQL, timeout_seconds=60.0)
+            assert again.cache_hit
+            assert_rows_close(again.rows, outcome.rows)
+        finally:
+            assert service.drain()
+
+    def test_tiny_deadline_misses_cleanly(self, clean_pool):
+        dist = generate_uniform(num_tuples=1200, num_groups=30,
+                                num_nodes=4, seed=9)
+        service = QueryService(ServiceConfig(processes=2))
+        service.register_table("r", dist)
+        try:
+            with pytest.raises(DeadlineMissError) as info:
+                service.submit(SQL, timeout_seconds=1e-4)
+            assert info.value.http_status == 504
+            assert service.metrics.counter(
+                "svc.deadline_misses"
+            ).value == 1
+        finally:
+            assert service.drain()
+
+    def test_concurrent_storm_with_faults(self, clean_pool):
+        """Many threads, injected worker kills: every success is
+        correct, every refusal is typed, and drain leaves nothing."""
+        dist = generate_uniform(num_tuples=1600, num_groups=40,
+                                num_nodes=4, seed=13)
+        plan = FaultPlan(seed=11, crashes=(CrashFault(1, at_time=0.005),))
+        service = QueryService(ServiceConfig(
+            max_concurrency=3, queue_depth=4, processes=2,
+            default_timeout_seconds=120.0, faults=plan,
+        ))
+        service.register_table("r", dist)
+        queries = [
+            SQL,
+            "SELECT gkey, COUNT(*) FROM r GROUP BY gkey",
+            "SELECT gkey, AVG(val) FROM r GROUP BY gkey",
+        ]
+        expected = {
+            sql: reference_aggregate(dist, parse_query(sql)[1])
+            for sql in queries
+        }
+        outcomes: list = []
+        failures: list = []
+
+        def client(i: int) -> None:
+            sql = queries[i % len(queries)]
+            try:
+                outcomes.append((sql, service.submit(sql)))
+            except (ShedError, DeadlineMissError) as exc:
+                outcomes.append((sql, exc))  # typed refusals are fine
+            except Exception as exc:  # noqa: BLE001 - the test's point
+                failures.append((sql, exc))
+
+        threads = [threading.Thread(target=client, args=(i,))
+                   for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=180)
+        try:
+            assert failures == []
+            assert len(outcomes) == 6
+            served = [
+                (sql, o) for sql, o in outcomes
+                if not isinstance(o, Exception)
+            ]
+            assert served, "storm served nothing at all"
+            for sql, outcome in served:
+                assert_rows_close(outcome.rows, expected[sql])
+            assert service.metrics.counter(
+                "svc.admitted"
+            ).value >= len(served)
+        finally:
+            assert service.drain()
+
+
+# -- HTTP front end ------------------------------------------------------------
+
+
+def _post(port: int, path: str, body: dict | bytes):
+    data = body if isinstance(body, bytes) else json.dumps(body).encode()
+    request = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data,
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=120) as response:
+            return response.status, json.loads(response.read()), response
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read()), exc
+
+
+def _get(port: int, path: str):
+    try:
+        with urllib.request.urlopen(
+            f"http://127.0.0.1:{port}{path}", timeout=30
+        ) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+@needs_shm
+class TestHTTPFrontEnd:
+    @pytest.fixture
+    def served(self, clean_pool):
+        dist = generate_uniform(num_tuples=1200, num_groups=30,
+                                num_nodes=4, seed=17)
+        service = QueryService(ServiceConfig(
+            processes=2, default_timeout_seconds=120.0
+        ))
+        service.register_table("r", dist)
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05})
+        thread.start()
+        try:
+            yield service, server.server_port, dist
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.drain()
+
+    def test_query_roundtrip_and_cache(self, served):
+        service, port, dist = served
+        status, body, _ = _post(port, "/query", {"sql": SQL})
+        assert status == 200
+        _table, query = parse_query(SQL)
+        got = [tuple(row) for row in body["rows"]]
+        assert_rows_close(got, reference_aggregate(dist, query))
+        assert body["cache_hit"] is False
+        status, body, _ = _post(port, "/query", {"sql": SQL})
+        assert status == 200 and body["cache_hit"] is True
+
+    def test_bad_requests(self, served):
+        _service_, port, _dist = served
+        status, body, _ = _post(port, "/query", b"{not json")
+        assert (status, body["error"]) == (400, "bad_request")
+        status, body, _ = _post(port, "/query", {"sql": ""})
+        assert (status, body["error"]) == (400, "bad_request")
+        status, body, _ = _post(port, "/query",
+                                {"sql": SQL, "timeout_seconds": -1})
+        assert (status, body["error"]) == (400, "bad_request")
+        status, body, _ = _post(port, "/nope", {"sql": SQL})
+        assert (status, body["error"]) == (404, "not_found")
+        status, body = _get(port, "/nope")
+        assert (status, body["error"]) == (404, "not_found")
+
+    def test_query_failure_maps_to_400(self, served):
+        _service_, port, _dist = served
+        status, body, _ = _post(port, "/query", {"sql": "SELEKT x"})
+        assert status == 400
+        assert body["error"] == "query_failed"
+        assert body["cause_type"] == "ParseError"
+
+    def test_shed_maps_to_429_with_retry_after(self, served,
+                                               monkeypatch):
+        service, port, _dist = served
+
+        def refuse(deadline):
+            raise ShedError("queue_full", retry_after_seconds=0.25)
+
+        monkeypatch.setattr(service.admission, "admit", refuse)
+        status, body, response = _post(port, "/query", {"sql": SQL})
+        assert status == 429
+        assert body["error"] == "shed"
+        assert body["reason"] == "queue_full"
+        assert float(response.headers["Retry-After"]) == 0.25
+
+    def test_healthz_and_metrics(self, served):
+        service, port, _dist = served
+        status, body = _get(port, "/healthz")
+        assert status == 200 and body["status"] == "ok"
+        _post(port, "/query", {"sql": SQL})
+        status, body = _get(port, "/metrics")
+        assert status == 200
+        assert body["svc.admitted"]["value"] >= 1
+
+    def test_draining_healthz_is_503(self, served):
+        service, port, _dist = served
+        assert service.drain()
+        status, body = _get(port, "/healthz")
+        assert status == 503 and body["status"] == "draining"
+        status, body, _ = _post(port, "/query", {"sql": SQL})
+        assert (status, body["error"]) == (503, "draining")
