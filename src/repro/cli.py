@@ -745,8 +745,12 @@ def build_parser() -> argparse.ArgumentParser:
         help="sim = event simulator; mp = real multiprocessing executor",
     )
     p_run.add_argument(
-        "--strategy", choices=("pool", "spawn"), default="pool",
-        help="mp substrate dispatch strategy",
+        "--strategy",
+        choices=("pool", "spawn", "global", "rep", "auto"),
+        default="pool",
+        help="mp substrate dispatch strategy: pool/spawn = partitioned "
+        "2P, global = shared global hash table with packed merges, "
+        "rep = two-round repartitioning, auto = cost-model choice",
     )
     p_run.add_argument(
         "--processes", type=int, default=0,

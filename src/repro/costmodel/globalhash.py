@@ -1,0 +1,108 @@
+"""Cost model for the shared global-hash-table strategy.
+
+The paper's Rep (Section 2.3) ships every projected tuple across the
+network so each group is aggregated in exactly one place.  On a modern
+multicore — the setting of "Global Hash Tables Strike Back!" — the same
+"one table, each group once" discipline is available *without* the
+repartition network: all workers aggregate into one shared table (here:
+per-worker packed partials merged once by the parent, the pool
+substrate's equivalent of a concurrent table).  The model keeps Rep's
+cost skeleton and swaps the network terms for a contention term:
+
+* no ``t_d`` destination computation and no repartition protocol/latency
+  — tuples never cross a network;
+* one aggregation pass over every tuple (``t_r + t_h + t_a``), like
+  Rep's agg phase but on all N workers regardless of |G| (a shared
+  table has no idle-node penalty when |G| < N);
+* a **contention** term: with few groups, many workers collide on the
+  same hot entries and updates serialize.  Expected collisions per
+  update scale with ``(N - 1) / |G|`` (capped at 1), each costing
+  another hash-probe + aggregate;
+* a per-worker merge publication: each worker ships one packed partial
+  of its local distinct groups (``S_l``-sized, like 2P's phase-1 send),
+  which the coordinating thread folds in.
+
+This gives the planner the crossover the PAPERS.md studies observe:
+global wins at high selectivity (no duplicated phase-2 work, no
+repartition traffic) and loses at very low selectivity (every worker
+hammers a handful of entries), which is exactly what
+:func:`choose_mp_strategy` arbitrates.
+"""
+
+from __future__ import annotations
+
+from repro.costmodel.base import (
+    CostBreakdown,
+    overflow_io_seconds,
+    scan_seconds,
+    send_latency_seconds,
+    store_seconds,
+)
+from repro.costmodel.params import SystemParameters
+from repro.costmodel.traditional import two_phase_cost
+
+
+def global_hash_cost(
+    params: SystemParameters, selectivity: float, pipeline: bool = False
+) -> CostBreakdown:
+    """Modelled elapsed seconds for the shared global-hash-table strategy."""
+    breakdown = CostBreakdown("global_hash", selectivity)
+    r_i_tuples = params.tuples_per_node
+    p = params.projectivity
+    s_l = params.local_selectivity(selectivity)
+    num_groups = params.num_groups(selectivity)
+
+    breakdown.add("scan_io", scan_seconds(params, r_i_tuples, pipeline))
+    breakdown.add("select_cpu", r_i_tuples * (params.t_r + params.t_w))
+    breakdown.add(
+        "agg_cpu", r_i_tuples * (params.t_r + params.t_h + params.t_a)
+    )
+    collisions = min(1.0, (params.num_nodes - 1) / num_groups)
+    breakdown.add(
+        "contention_cpu", r_i_tuples * collisions * (params.t_h + params.t_a)
+    )
+    # The table holds |G| entries once (no N-fold duplication like 2P's
+    # phase 2): overflow is charged on each worker's share of the table.
+    groups_per_worker = num_groups / params.num_nodes
+    agg_bytes = p * params.node_bytes
+    breakdown.add(
+        "table_overflow_io",
+        overflow_io_seconds(
+            params, expected_groups=groups_per_worker, spool_bytes=agg_bytes
+        ),
+    )
+    # Per-worker merge discipline: one packed partial per worker, the
+    # same S_l-sized payload 2P's phase 1 sends, folded by the parent.
+    partial_bytes = p * params.node_bytes * s_l
+    blocks = params.blocks(partial_bytes)
+    breakdown.add("merge_publish_cpu", blocks * params.m_p)
+    breakdown.add("merge_publish_latency", send_latency_seconds(params, blocks))
+    breakdown.add("result_cpu", groups_per_worker * params.t_w)
+    result_bytes = p * params.relation_bytes * selectivity / params.num_nodes
+    breakdown.add("store_io", store_seconds(params, result_bytes, pipeline))
+    return breakdown
+
+
+def choose_mp_strategy(
+    params: SystemParameters,
+    selectivity: float,
+    pipeline: bool = True,
+) -> tuple[str, dict]:
+    """Arbitrate partitioned 2P vs the shared global table for the executor.
+
+    Returns ``(strategy, inputs)`` where strategy is ``"pool"`` (the
+    partitioned two-phase pool path) or ``"global"``, and ``inputs`` is
+    the decision record for the :class:`~repro.obs.DecisionLedger` —
+    both model totals, the selectivity used, and the margin.
+    """
+    cost_2p = two_phase_cost(params, selectivity, pipeline).total_seconds
+    cost_global = global_hash_cost(
+        params, selectivity, pipeline
+    ).total_seconds
+    strategy = "global" if cost_global < cost_2p else "pool"
+    return strategy, {
+        "selectivity": selectivity,
+        "cost_two_phase_seconds": cost_2p,
+        "cost_global_seconds": cost_global,
+        "chosen": strategy,
+    }

@@ -48,6 +48,9 @@ AREP_ECHO = "end_of_phase_received"
 OPT2P_FORWARD = "forwarded_on_overflow"
 PREAGG_EVICTIONS = "evictions"
 SPECULATIVE_EXECUTION = "speculative_execution"
+# The mp executor's strategy="auto" arbitration between partitioned 2P
+# and the shared global hash table (repro.costmodel.globalhash).
+MP_STRATEGY_CHOICE = "mp_strategy_choice"
 
 # Service-layer decision kinds (repro.service): admission-time choices,
 # logged with the same machinery as the in-query adaptive decisions so

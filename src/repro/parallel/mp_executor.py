@@ -100,6 +100,7 @@ from multiprocessing.connection import wait as _connection_wait
 from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
 from repro.obs.decisions import (
+    MP_STRATEGY_CHOICE,
     SPECULATIVE_EXECUTION,
     VERDICT_CORRECT,
     VERDICT_WRONG_CHEAP,
@@ -114,6 +115,8 @@ from repro.sim.faults import (
     INJECT_SLOW,
     INJECT_STALL,
 )
+from repro.storage.columnblock import ColumnBlock, have_numpy
+from repro.storage.hashing import stable_hash
 from repro.storage.relation import DistributedRelation
 from repro.storage.serialization import RowCodec
 
@@ -361,6 +364,20 @@ def _child_main(fn, job, conn) -> None:
 
 _NP_FORMATS = {"int": "<i8", "float": "<f8"}
 
+# Ship fragments as dictionary-encoded ColumnBlocks whenever the query
+# shape allows (GROUP BY, no WHERE, default phase).  The toggle exists
+# for the benchmarks: bench_columnar.py measures the columnar kernel
+# against the PR 5 row-block path by flipping it off.
+_COLUMNAR_ENABLED = True
+
+
+def set_columnar_shipping(enabled: bool) -> bool:
+    """Enable/disable columnar block shipping; returns the previous value."""
+    global _COLUMNAR_ENABLED
+    previous = _COLUMNAR_ENABLED
+    _COLUMNAR_ENABLED = bool(enabled)
+    return previous
+
 
 def _block_dtype(schema):
     """The numpy structured dtype matching RowCodec's packed layout, or
@@ -437,10 +454,15 @@ def _encode_fragment(rows, query, schema, segments: list, project: bool = True):
     """Encode one fragment into a shared-memory segment; returns the job
     descriptor for the pool worker.
 
-    The descriptor is ``("shm", name, num_rows, query, schema)`` — the
-    segment (appended to ``segments``, which the caller owns and unlinks)
-    holds the fragment's fixed-width row-block encoding.  Rows the codec
-    cannot encode (a value wider than its column) fall back to an
+    The descriptor is ``("shm_col", name, nbytes, num_rows, query,
+    schema)`` when the fragment ships as a dictionary-encoded
+    :class:`~repro.storage.ColumnBlock` (the default for GROUP BY
+    queries without WHERE — the shape the columnar kernel covers), or
+    ``("shm", name, num_rows, query, schema)`` for the fixed-width
+    row-block encoding.  Either way the segment (appended to
+    ``segments``, which the caller owns and unlinks) holds one
+    contiguous buffer.  Rows neither codec can encode (a value wider
+    than its column, an int outside int64) fall back to an
     ``("inline", job)`` descriptor pickled over the pipe, preserving the
     legacy behavior for them.  ``project=False`` ships the full rows —
     required when a substituted ``phase_fn`` inspects raw tuples.
@@ -450,6 +472,28 @@ def _encode_fragment(rows, query, schema, segments: list, project: bool = True):
         ship_schema, idx = proj
     else:
         ship_schema, idx = schema, None
+    if (
+        _COLUMNAR_ENABLED
+        and project
+        and rows
+        and query.group_by
+        and query.where is None
+        and have_numpy()
+    ):
+        try:
+            data = ColumnBlock.from_rows(ship_schema, rows, idx=idx).to_bytes()
+        except (ValueError, OverflowError, TypeError):
+            data = None  # fall through to the row-block path
+        if data:
+            shm = shared_memory.SharedMemory(
+                create=True, size=len(data),
+                name=SHM_PREFIX + secrets.token_hex(8),
+            )
+            segments.append(shm)
+            shm.buf[: len(data)] = data
+            return (
+                "shm_col", shm.name, len(data), len(rows), query, ship_schema
+            )
     data = _encode_rows_columnwise(rows, ship_schema, idx)
     if data is None:
         if idx is not None:
@@ -461,7 +505,11 @@ def _encode_fragment(rows, query, schema, segments: list, project: bool = True):
         try:
             data = RowCodec(ship_schema).encode_many(rows)
         except (ValueError, TypeError, AttributeError, struct.error):
-            return ("inline", (rows, query, schema))
+            # The rows were already projected above, so the inline job
+            # must carry the projected schema — pairing them with the
+            # full schema would bind key/aggregate columns to the wrong
+            # positions.
+            return ("inline", (rows, query, ship_schema))
     if not data:  # SharedMemory cannot be zero-sized
         return ("inline", (rows, query, ship_schema))
     shm = shared_memory.SharedMemory(
@@ -492,19 +540,38 @@ def _attach_segment(name: str) -> shared_memory.SharedMemory:
 
 
 def _segment_bytes(descriptor) -> bytes:
-    """Copy a descriptor's row-block payload out of its segment."""
-    _kind, name, num_rows, _query, schema = descriptor
+    """Copy a descriptor's block payload out of its segment."""
+    if descriptor[0] == "shm_col":
+        _kind, name, nbytes = descriptor[:3]
+    else:
+        _kind, name, num_rows, _query, schema = descriptor
+        nbytes = num_rows * RowCodec(schema).row_bytes
     shm = _attach_segment(name)
     try:
-        return bytes(shm.buf[: num_rows * RowCodec(schema).row_bytes])
+        return bytes(shm.buf[:nbytes])
     finally:
         shm.close()
+
+
+def _load_block(descriptor) -> ColumnBlock:
+    """Worker side: parse an shm_col descriptor's ColumnBlock."""
+    _kind, _name, _nbytes, num_rows, _query, schema = descriptor
+    block = ColumnBlock.from_bytes(schema, _segment_bytes(descriptor))
+    if block.num_rows != num_rows:
+        raise ValueError(
+            f"columnar segment holds {block.num_rows} rows, "
+            f"descriptor says {num_rows}"
+        )
+    return block
 
 
 def _load_job(descriptor):
     """Worker side: materialize a descriptor back into (rows, query, schema)."""
     if descriptor[0] == "inline":
         return descriptor[1]
+    if descriptor[0] == "shm_col":
+        _kind, _name, _nbytes, _num_rows, query, schema = descriptor
+        return (_load_block(descriptor).to_rows(), query, schema)
     _kind, _name, _num_rows, query, schema = descriptor
     rows = RowCodec(schema).decode_many(_segment_bytes(descriptor))
     return (rows, query, schema)
@@ -569,12 +636,22 @@ def _vectorized_local_phase(data, num_rows, query, schema):
             continue
         values = arr[columns[col_idx].name]
         if func in ("min", "max"):
-            acc = np.full(n_groups, np.inf if func == "min" else -np.inf)
             ufunc = np.minimum if func == "min" else np.maximum
-            ufunc.at(acc, inv, values)
             if columns[col_idx].kind == "int":
-                extremes = [int(v) for v in acc.tolist()]
+                # Accumulate in int64, not float: a float accumulator
+                # would round extremes beyond 2**53 where the per-row
+                # path keeps exact ints.
+                info = np.iinfo(np.int64)
+                acc = np.full(
+                    n_groups,
+                    info.max if func == "min" else info.min,
+                    dtype=np.int64,
+                )
+                ufunc.at(acc, inv, values)
+                extremes = acc.tolist()
             else:
+                acc = np.full(n_groups, np.inf if func == "min" else -np.inf)
+                ufunc.at(acc, inv, values)
                 extremes = acc.tolist()
             for state, v in zip(states, extremes):
                 state.value = v
@@ -607,15 +684,623 @@ def _vectorized_local_phase(data, num_rows, query, schema):
     return out
 
 
-def _local_phase_block(descriptor):
+# -- the columnar kernel ------------------------------------------------------
+#
+# Works directly on a ColumnBlock's buffers: group keys of any type and
+# arity via per-column ``np.unique`` codes (string columns group over
+# their int32 dictionary codes), aggregates via ``bincount``/``ufunc.at``
+# folds.  Every guard below exists to keep the kernel *bit-identical* to
+# the per-row phase, not merely close — when a shape could diverge
+# (NaN keys, signed-zero ties, int sums past exact float range) the
+# kernel refuses and the caller runs the per-row loop instead.
+
+
+def _aslist(data):
+    """Python list from a numpy array or any sequence."""
+    return data.tolist() if hasattr(data, "tolist") else list(data)
+
+
+def _decode_unique(cblock, col_idx, kind, uniq):
+    """Decoded Python values for one column's unique array."""
+    if kind == "str":
+        values = cblock.dictionaries[col_idx].values
+        return [values[c] for c in uniq.tolist()]
+    return uniq.tolist()
+
+
+def _columnar_group_keys(cblock, query):
+    """Group-key codes for a block: (decoded key columns, inv, n_groups).
+
+    ``decoded[j][g]`` is key column ``j``'s Python value for group ``g``
+    and ``inv[r]`` is row ``r``'s group index.  Returns None when the
+    per-row path's key semantics cannot be reproduced vectorized: NaN
+    keys (Python dicts keep distinct NaN objects distinct, ``np.unique``
+    collapses them) and signed-zero float keys (the dict keeps the
+    first-seen representative, the sort may not).
+    """
+    import numpy as np
+
+    bq = query.bind(cblock.schema)
+    columns = cblock.schema.columns
+    per_col = []
+    for i in bq.key_indexes:
+        col = cblock.columns[i]
+        if columns[i].kind == "float" and len(col):
+            if np.isnan(col).any():
+                return None
+            zeros = col == 0.0
+            if zeros.any() and np.signbit(col[zeros]).any():
+                return None
+        uniq, codes = np.unique(col, return_inverse=True)
+        per_col.append((i, columns[i].kind, uniq, codes.reshape(-1)))
+    if len(per_col) == 1:
+        i, kind, uniq, inv = per_col[0]
+        return [_decode_unique(cblock, i, kind, uniq)], inv, len(uniq)
+    stacked = np.column_stack(
+        [np.asarray(c[3], dtype=np.int64) for c in per_col]
+    )
+    uniq_rows, inv = np.unique(stacked, axis=0, return_inverse=True)
+    inv = inv.reshape(-1)
+    decoded = []
+    for j, (i, kind, uniq, _codes) in enumerate(per_col):
+        vals = _decode_unique(cblock, i, kind, uniq)
+        decoded.append([vals[c] for c in uniq_rows[:, j].tolist()])
+    return decoded, inv, len(uniq_rows)
+
+
+def _distinct_sets(cblock, col_idx, inv, n_groups):
+    """Per-group distinct-value sets via one structured-array unique.
+
+    None for float columns containing NaN: the per-row path's set keeps
+    each decoded NaN object as its own element while ``np.unique``
+    collapses them.
+    """
+    import numpy as np
+
+    kind = cblock.schema.columns[col_idx].kind
+    col = cblock.columns[col_idx]
+    if kind == "float" and len(col) and np.isnan(col).any():
+        return None
+    rec = np.empty(len(col), dtype=[("g", np.int64), ("v", col.dtype)])
+    rec["g"] = inv
+    rec["v"] = col
+    pairs = np.unique(rec)
+    sets: list[set] = [set() for _ in range(n_groups)]
+    groups = pairs["g"].tolist()
+    vals = pairs["v"].tolist()
+    if kind == "str":
+        values = cblock.dictionaries[col_idx].values
+        for g, v in zip(groups, vals):
+            sets[g].add(values[v])
+    else:
+        for g, v in zip(groups, vals):
+            sets[g].add(v)
+    return sets
+
+
+def _str_extremes(cblock, col_idx, inv, n_groups, func):
+    """Per-group MIN/MAX over a dictionary-encoded string column.
+
+    Ranks the dictionary once (sort its values, invert the permutation),
+    folds the per-row ranks with ``minimum.at``/``maximum.at``, and
+    decodes the winning ranks — the same total order Python's ``<``
+    gives, so results match the per-row fold exactly.
+    """
+    import numpy as np
+
+    dvals = cblock.dictionaries[col_idx].values
+    order = sorted(range(len(dvals)), key=dvals.__getitem__)
+    rank_of = np.empty(len(dvals), dtype=np.int64)
+    rank_of[np.asarray(order, dtype=np.int64)] = np.arange(
+        len(dvals), dtype=np.int64
+    )
+    ranks = rank_of[cblock.columns[col_idx]]
+    if func == "min":
+        acc = np.full(n_groups, len(dvals), dtype=np.int64)
+        np.minimum.at(acc, inv, ranks)
+    else:
+        acc = np.full(n_groups, -1, dtype=np.int64)
+        np.maximum.at(acc, inv, ranks)
+    return [dvals[order[r]] for r in acc.tolist()]
+
+
+# SUM/AVG over int columns stay exact Python ints on the per-row path;
+# the int64 kernel must refuse when a sum could leave int64, and the
+# VAR/STDDEV square kernel when a value's square could round differently
+# than Python's exact int multiply.
+_INT64_LIMIT = 2**63
+_EXACT_FLOAT_INT = 2**53
+
+
+def _int_magnitude(values) -> int:
+    """max(|v|) of an int64 array as a Python int (0 when empty)."""
+    if not len(values):
+        return 0
+    return max(-int(values.min()), int(values.max()))
+
+
+def _columnar_local_phase(cblock, query, packed=False):
+    """Phase 1 on a ColumnBlock: every key type, every aggregate.
+
+    Returns (key, GroupState) partials like :func:`_local_phase`, or —
+    with ``packed=True`` and no count_distinct — a
+    ``("packed", n_groups, key_columns, state_columns)`` payload of raw
+    arrays for the parent's vectorized global merge.  Returns None when
+    a guard detects a shape whose vectorized result could differ from
+    the per-row loop's (see the section comment); the caller then
+    decodes and runs per-row.
+
+    Bit-parity notes: ``bincount`` accumulates weights in input order —
+    the sequential loop's order — so float sums agree bit for bit; int
+    sums use int64 with an overflow guard and become Python ints again;
+    int VAR moments cast int64→float64 exactly as Python's float+int
+    add does; MIN/MAX ties are only distinguishable for signed zeros,
+    which are guarded.
+    """
+    if query.where is not None or not query.group_by or not have_numpy():
+        return None
+
+    import numpy as np
+
+    comp = _columnar_group_keys(cblock, query)
+    if comp is None:
+        return None
+    decoded_cols, inv, n_groups = comp
+    counts = np.bincount(inv, minlength=n_groups).astype(np.int64)
+    bq = query.bind(cblock.schema)
+    columns = cblock.schema.columns
+
+    state_payload: list[tuple] = []
+    for spec, col_idx in zip(query.aggregates, bq.agg_indexes):
+        func = spec.func
+        if func == "count":
+            # Codec rows never carry NULL, so COUNT(col) == COUNT(*).
+            state_payload.append(("count", counts))
+            continue
+        if func == "count_distinct":
+            sets = _distinct_sets(cblock, col_idx, inv, n_groups)
+            if sets is None:
+                return None
+            state_payload.append(("distinct", sets))
+            continue
+        if func not in ("sum", "avg", "min", "max", "var", "stddev"):
+            return None
+        kind = columns[col_idx].kind
+        values = cblock.columns[col_idx]
+        if kind == "str":
+            if func not in ("min", "max"):
+                return None
+            state_payload.append(
+                (func + "_str", _str_extremes(cblock, col_idx, inv,
+                                              n_groups, func))
+            )
+        elif kind == "float":
+            if func in ("min", "max"):
+                if len(values):
+                    if np.isnan(values).any():
+                        return None  # per-row keeps first, np propagates
+                    zeros = values == 0.0
+                    if zeros.any() and np.signbit(values[zeros]).any():
+                        return None  # -0.0/0.0 tie winner differs
+                if func == "min":
+                    acc = np.full(n_groups, np.inf)
+                    np.minimum.at(acc, inv, values)
+                else:
+                    acc = np.full(n_groups, -np.inf)
+                    np.maximum.at(acc, inv, values)
+                state_payload.append((func + "_float", acc))
+            elif func == "sum":
+                state_payload.append(
+                    ("sum_float",
+                     np.bincount(inv, weights=values, minlength=n_groups))
+                )
+            elif func == "avg":
+                state_payload.append(
+                    ("avg_float",
+                     np.bincount(inv, weights=values, minlength=n_groups),
+                     counts)
+                )
+            else:  # var / stddev share VarianceState's three moments
+                state_payload.append(
+                    ("var",
+                     np.bincount(inv, weights=values, minlength=n_groups),
+                     np.bincount(inv, weights=values * values,
+                                 minlength=n_groups),
+                     counts)
+                )
+        else:  # int
+            if func in ("min", "max"):
+                info = np.iinfo(np.int64)
+                if func == "min":
+                    acc = np.full(n_groups, info.max, dtype=np.int64)
+                    np.minimum.at(acc, inv, values)
+                else:
+                    acc = np.full(n_groups, info.min, dtype=np.int64)
+                    np.maximum.at(acc, inv, values)
+                state_payload.append((func + "_int", acc))
+            elif func in ("sum", "avg"):
+                if _int_magnitude(values) * len(values) >= _INT64_LIMIT:
+                    return None  # per-row Python ints cannot overflow
+                acc = np.zeros(n_groups, dtype=np.int64)
+                np.add.at(acc, inv, values)
+                if func == "sum":
+                    state_payload.append(("sum_int", acc))
+                else:
+                    state_payload.append(("avg_int", acc, counts))
+            else:  # var / stddev over ints
+                if _int_magnitude(values) > _EXACT_FLOAT_INT:
+                    return None  # float64(v)**2 != float64(v*v)
+                vf = values.astype(np.float64)
+                state_payload.append(
+                    ("var",
+                     np.bincount(inv, weights=vf, minlength=n_groups),
+                     np.bincount(inv, weights=vf * vf, minlength=n_groups),
+                     counts)
+                )
+
+    if packed and not any(tag == "distinct" for tag, *_ in state_payload):
+        key_payload = []
+        for j, i in enumerate(bq.key_indexes):
+            kind = columns[i].kind
+            if kind == "str":
+                key_payload.append(("str", decoded_cols[j]))
+            else:
+                dtype = np.int64 if kind == "int" else np.float64
+                key_payload.append(
+                    (kind, np.asarray(decoded_cols[j], dtype=dtype))
+                )
+        return ("packed", n_groups, key_payload, state_payload)
+
+    keys = list(zip(*decoded_cols))
+    per_spec = [
+        _states_from_payload(spec, payload[0], payload[1:], n_groups)
+        for spec, payload in zip(query.aggregates, state_payload)
+    ]
+    out = []
+    for g in range(n_groups):
+        group = GroupState.__new__(GroupState)
+        group.states = [states[g] for states in per_spec]
+        out.append((keys[g], group))
+    return out
+
+
+def _states_from_payload(spec, tag, data, n_groups):
+    """Materialize per-group aggregate states from a kernel payload."""
+    states = [spec.new_state() for _ in range(n_groups)]
+    if tag == "count":
+        for state, c in zip(states, _aslist(data[0])):
+            state.count = c
+    elif tag == "distinct":
+        for state, values in zip(states, data[0]):
+            state.values = values
+    elif tag in ("sum_int", "sum_float"):
+        for state, t in zip(states, _aslist(data[0])):
+            state.total = t
+            state.seen = True
+    elif tag in ("avg_int", "avg_float"):
+        for state, t, c in zip(states, _aslist(data[0]), _aslist(data[1])):
+            state.total = t
+            state.count = c
+    elif tag == "var":
+        for state, t, s, c in zip(
+            states, _aslist(data[0]), _aslist(data[1]), _aslist(data[2])
+        ):
+            state.total = t
+            state.total_sq = s
+            state.count = c
+    else:  # min_*/max_* carry the per-group extremes directly
+        for state, v in zip(states, _aslist(data[0])):
+            state.value = v
+    return states
+
+
+def _is_packed(result) -> bool:
+    return (
+        isinstance(result, tuple) and len(result) == 4
+        and result[0] == "packed"
+    )
+
+
+def _unpack_packed(payload, query):
+    """Expand a packed worker payload into (key, GroupState) partials."""
+    _tag, n_groups, key_payload, state_payload = payload
+    keys = list(zip(*[_aslist(data) for _kind, data in key_payload]))
+    per_spec = [
+        _states_from_payload(spec, p[0], p[1:], n_groups)
+        for spec, p in zip(query.aggregates, state_payload)
+    ]
+    out = []
+    for g in range(n_groups):
+        group = GroupState.__new__(GroupState)
+        group.states = [states[g] for states in per_spec]
+        out.append((keys[g], group))
+    return out
+
+
+def _merge_packed(payloads, query):
+    """Vectorized global merge of per-worker packed payloads.
+
+    ``payloads`` must be every fragment's packed result in fragment
+    order.  Re-groups the concatenated per-fragment group keys with the
+    same unique/codes machinery the kernel uses, then folds each
+    aggregate's arrays — in concatenation (= fragment) order, so float
+    accumulation matches the sequential merge bit for bit.  Returns the
+    merged ``{key: GroupState}`` table, or None when exactness cannot
+    be guaranteed (int-sum overflow risk), in which case the caller
+    unpacks and merges sequentially.
+    """
+    import numpy as np
+
+    if sum(p[1] for p in payloads) == 0:
+        return {}
+    num_keys = len(payloads[0][2])
+    cols = []
+    for j in range(num_keys):
+        kind = payloads[0][2][j][0]
+        if kind == "str":
+            full = np.array(
+                [v for p in payloads for v in p[2][j][1]], dtype=object
+            )
+        else:
+            full = np.concatenate(
+                [np.asarray(p[2][j][1]) for p in payloads]
+            )
+        uniq, codes = np.unique(full, return_inverse=True)
+        cols.append((kind, uniq, codes.reshape(-1)))
+    if num_keys == 1:
+        kind, uniq, inv = cols[0]
+        n_groups = len(uniq)
+        decoded = [uniq.tolist()]
+    else:
+        stacked = np.column_stack(
+            [np.asarray(c[2], dtype=np.int64) for c in cols]
+        )
+        uniq_rows, inv = np.unique(stacked, axis=0, return_inverse=True)
+        inv = inv.reshape(-1)
+        n_groups = len(uniq_rows)
+        decoded = []
+        for j, (kind, uniq, _codes) in enumerate(cols):
+            vals = uniq.tolist()
+            decoded.append([vals[c] for c in uniq_rows[:, j].tolist()])
+    keys = list(zip(*decoded))
+
+    per_spec = []
+    for s_idx, spec in enumerate(query.aggregates):
+        tag = payloads[0][3][s_idx][0]
+        parts = [p[3][s_idx] for p in payloads]
+        if any(part[0] != tag for part in parts):
+            return None  # pragma: no cover - workers disagree on shape
+        if tag == "count":
+            full = np.concatenate([np.asarray(part[1]) for part in parts])
+            acc = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(acc, inv, full)
+            merged_payload = (tag, acc)
+        elif tag in ("sum_int", "avg_int"):
+            arrays = [np.asarray(part[1]) for part in parts]
+            if sum(_int_magnitude(a) for a in arrays) >= _INT64_LIMIT:
+                return None  # the Python merge keeps exact big ints
+            acc = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(acc, inv, np.concatenate(arrays))
+            if tag == "sum_int":
+                merged_payload = (tag, acc)
+            else:
+                cacc = np.zeros(n_groups, dtype=np.int64)
+                np.add.at(
+                    cacc, inv,
+                    np.concatenate([np.asarray(p[2]) for p in parts]),
+                )
+                merged_payload = (tag, acc, cacc)
+        elif tag in ("sum_float", "avg_float"):
+            totals = np.bincount(
+                inv,
+                weights=np.concatenate(
+                    [np.asarray(part[1]) for part in parts]
+                ),
+                minlength=n_groups,
+            )
+            if tag == "sum_float":
+                merged_payload = (tag, totals)
+            else:
+                cacc = np.zeros(n_groups, dtype=np.int64)
+                np.add.at(
+                    cacc, inv,
+                    np.concatenate([np.asarray(p[2]) for p in parts]),
+                )
+                merged_payload = (tag, totals, cacc)
+        elif tag == "var":
+            totals = np.bincount(
+                inv,
+                weights=np.concatenate(
+                    [np.asarray(part[1]) for part in parts]
+                ),
+                minlength=n_groups,
+            )
+            sq = np.bincount(
+                inv,
+                weights=np.concatenate(
+                    [np.asarray(part[2]) for part in parts]
+                ),
+                minlength=n_groups,
+            )
+            cacc = np.zeros(n_groups, dtype=np.int64)
+            np.add.at(
+                cacc, inv,
+                np.concatenate([np.asarray(part[3]) for part in parts]),
+            )
+            merged_payload = (tag, totals, sq, cacc)
+        elif tag in ("min_int", "max_int", "min_float", "max_float"):
+            full = np.concatenate([np.asarray(part[1]) for part in parts])
+            if tag.endswith("_int"):
+                info = np.iinfo(np.int64)
+                fill = info.max if tag[:3] == "min" else info.min
+                acc = np.full(n_groups, fill, dtype=np.int64)
+            else:
+                acc = np.full(
+                    n_groups, np.inf if tag[:3] == "min" else -np.inf
+                )
+            (np.minimum if tag[:3] == "min" else np.maximum).at(
+                acc, inv, full
+            )
+            merged_payload = (tag, acc)
+        elif tag in ("min_str", "max_str"):
+            # Python fold in concatenation order; ties are equal strings,
+            # so keep-first matches the sequential merge.
+            best: list = [None] * n_groups
+            pos = 0
+            want_min = tag == "min_str"
+            for part in parts:
+                for v in part[1]:
+                    g = int(inv[pos])
+                    pos += 1
+                    cur = best[g]
+                    if cur is None or (v < cur if want_min else v > cur):
+                        best[g] = v
+            merged_payload = (tag, best)
+        else:  # pragma: no cover - unknown payload tag
+            return None
+        per_spec.append(
+            _states_from_payload(
+                spec, merged_payload[0], merged_payload[1:], n_groups
+            )
+        )
+
+    merged: dict[tuple, GroupState] = {}
+    for g in range(n_groups):
+        group = GroupState.__new__(GroupState)
+        group.states = [states[g] for states in per_spec]
+        merged[keys[g]] = group
+    return merged
+
+
+def _global_phase(job):
+    """Phase 1 for ``strategy="global"`` on inline/per-row inputs.
+
+    Block descriptors take the packed columnar path in
+    :func:`_run_worker_job`; anything else degrades to ordinary
+    partials, which the parent merge accepts (it unpacks mixed results).
+    """
+    return _local_phase(job)
+
+
+def _local_phase_block(descriptor, pack=False):
     """The pool's default phase 1 for shm descriptors: vectorize when the
-    query shape allows, decode + per-row otherwise."""
+    query shape allows, decode + per-row otherwise.  ``pack=True`` asks
+    the columnar kernel for a packed payload (``strategy="global"``);
+    fallback paths still return ordinary partials."""
+    if descriptor[0] == "shm_col":
+        _kind, _name, _nbytes, _num_rows, query, schema = descriptor
+        block = _load_block(descriptor)
+        result = _columnar_local_phase(block, query, packed=pack)
+        if result is not None:
+            return result
+        return _local_phase((block.to_rows(), query, schema))
     data = _segment_bytes(descriptor)
     _kind, _name, num_rows, query, schema = descriptor
     result = _vectorized_local_phase(data, num_rows, query, schema)
     if result is not None:
         return result
     return _local_phase((RowCodec(schema).decode_many(data), query, schema))
+
+
+# -- the Rep strategy's two worker phases -------------------------------------
+
+
+class _RepPartitionPhase:
+    """Round 1 of ``strategy="rep"``: hash-partition a fragment's rows
+    into ``num_buckets`` disjoint key ranges (the paper's Repartitioning
+    redistribution step, minus the network).  Picklable, so the pool can
+    ship it like any substituted phase function.
+    """
+
+    __slots__ = ("num_buckets",)
+
+    def __init__(self, num_buckets: int) -> None:
+        self.num_buckets = num_buckets
+
+    def __call__(self, job):
+        rows, query, schema = job
+        bq = query.bind(schema)
+        buckets: list[list] = [[] for _ in range(self.num_buckets)]
+        memo: dict[tuple, int] = {}
+        for row in rows:
+            if not bq.matches(row):
+                continue
+            key = bq.key_of(row)
+            b = memo.get(key)
+            if b is None:
+                b = stable_hash(key) % self.num_buckets
+                memo[key] = b
+            buckets[b].append(row)
+        return ("rep_rows", [chunk or None for chunk in buckets])
+
+    def from_block(self, descriptor):
+        """Vectorized partition of an shm_col fragment.
+
+        Computes each row's bucket through the same ``stable_hash(key)``
+        the per-row path uses (so a retried fragment that falls back
+        per-row lands every group in the same bucket) and slices the
+        block columns by bucket mask — each chunk re-serializes with the
+        parent dictionary, codes untouched.
+        """
+        _kind, _name, _nbytes, _num_rows, query, schema = descriptor
+        block = _load_block(descriptor)
+        job = (block.to_rows(), query, schema)
+        if query.where is not None or not query.group_by:
+            return self(job)
+
+        import numpy as np
+
+        comp = _columnar_group_keys(block, query)
+        if comp is None:
+            return self(job)
+        decoded_cols, inv, n_groups = comp
+        lut = np.empty(max(n_groups, 1), dtype=np.int64)
+        for g, key in enumerate(zip(*decoded_cols)):
+            lut[g] = stable_hash(key) % self.num_buckets
+        row_buckets = lut[inv]
+        chunks = []
+        for b in range(self.num_buckets):
+            mask = row_buckets == b
+            n = int(mask.sum())
+            if not n:
+                chunks.append(None)
+                continue
+            sub = ColumnBlock(
+                schema, n, [arr[mask] for arr in block.columns],
+                block.dictionaries,
+            )
+            chunks.append(sub.to_bytes())
+        return ("rep_blocks", chunks)
+
+
+def _rep_bucket_phase(job):
+    """Round 2 of ``strategy="rep"``: aggregate one bucket's chunks.
+
+    ``job`` is ``(chunks, query, schema)`` with one chunk per source
+    fragment, in fragment order: ``("block", bytes)`` for a columnar
+    slice or ``("rows", rows)`` for a per-row slice.  Each chunk is
+    aggregated exactly like a 2P fragment (columnar kernel first,
+    per-row fallback) and the per-chunk partials merged in fragment
+    order — reproducing the 2P merge's operation order bit for bit,
+    just sharded by key range.
+    """
+    chunks, query, schema = job
+    merged: dict[tuple, GroupState] = {}
+    for kind, payload in chunks:
+        if kind == "block":
+            block = ColumnBlock.from_bytes(schema, payload)
+            partial = _columnar_local_phase(block, query)
+            if partial is None:
+                partial = _local_phase((block.to_rows(), query, schema))
+        else:
+            partial = _local_phase((payload, query, schema))
+        for key, state in partial:
+            mine = merged.get(key)
+            if mine is None:
+                mine = GroupState(query.aggregates)
+                merged[key] = mine
+            mine.merge(state)
+    return list(merged.items())
 
 
 # -- the persistent worker pool ----------------------------------------------
@@ -709,8 +1394,12 @@ def _run_worker_job(fn, descriptor, inject: dict, progress: list):
     slow = inject.get(INJECT_SLOW)
     if slow:
         return _slow_job(fn, descriptor, slow, progress)
-    if fn is _local_phase and descriptor[0] == "shm":
-        return _local_phase_block(descriptor)
+    if descriptor[0] in ("shm", "shm_col") and (
+        fn is _local_phase or fn is _global_phase
+    ):
+        return _local_phase_block(descriptor, pack=fn is _global_phase)
+    if isinstance(fn, _RepPartitionPhase) and descriptor[0] == "shm_col":
+        return fn.from_block(descriptor)
     return fn(_load_job(descriptor))
 
 
@@ -1383,7 +2072,7 @@ def _run_jobs_in_pool(
         if (
             reencode is not None
             and cause_type == "FileNotFoundError"
-            and descriptors[record.index][0] == "shm"
+            and descriptors[record.index][0] in ("shm", "shm_col")
         ):
             # The segment vanished (injected shm loss): re-encode the
             # fragment into a fresh one before the retry ships.
@@ -1963,6 +2652,122 @@ def _run_jobs_in_process(
     return completed
 
 
+def _run_rep_strategy(
+    jobs, query, schema, processes, max_retries, timeout, obs,
+    deadline=None,
+):
+    """Dispatch both Rep rounds; returns per-bucket partial lists.
+
+    Round 1 hash-partitions each fragment into ``len(jobs)`` disjoint
+    key buckets (:class:`_RepPartitionPhase` — vectorized for columnar
+    segments, per-row otherwise).  Round 2 aggregates each bucket's
+    chunks in fragment order (:func:`_rep_bucket_phase`), so the final
+    parent merge sees one partial per key and the result is
+    bit-identical to the 2P strategies.  Both rounds reuse the shared
+    worker pool; in-process when ``processes <= 1``.
+    """
+    num_buckets = len(jobs)
+    part_fn = _RepPartitionPhase(num_buckets)
+
+    def part_for(_attempt):
+        return part_fn
+
+    if processes <= 1:
+        round1 = _run_jobs_in_process(
+            part_for, jobs, max_retries, obs, run_deadline=deadline
+        )
+    else:
+        segments: list = []
+
+        def encode(index: int):
+            rows, q, s = jobs[index]
+            return _encode_fragment(rows, q, s, segments)
+
+        try:
+            descriptors = [encode(i) for i in range(len(jobs))]
+            round1 = _run_jobs_in_pool(
+                part_for, descriptors, processes, max_retries, timeout,
+                obs, _get_shared_pool(), reencode=encode,
+                run_deadline=deadline,
+            )
+        finally:
+            for shm in segments:
+                shm.close()
+                try:
+                    shm.unlink()
+                except FileNotFoundError:  # pragma: no cover
+                    pass
+
+    proj = _projection_for(query, schema)
+    rep_schema = proj[0] if proj is not None else schema
+    bucket_jobs = []
+    for b in range(num_buckets):
+        chunks = []
+        for f in range(len(jobs)):
+            tag, parts = round1[f]
+            payload = parts[b]
+            if payload is None:
+                continue
+            chunks.append(
+                ("block" if tag == "rep_blocks" else "rows", payload)
+            )
+        bucket_jobs.append((chunks, query, rep_schema))
+
+    def bucket_for(_attempt):
+        return _rep_bucket_phase
+
+    if processes <= 1:
+        return _run_jobs_in_process(
+            bucket_for, bucket_jobs, max_retries, obs,
+            run_deadline=deadline,
+        )
+    descriptors2 = [("inline", job) for job in bucket_jobs]
+    return _run_jobs_in_pool(
+        bucket_for, descriptors2, processes, max_retries, timeout, obs,
+        _get_shared_pool(), run_deadline=deadline,
+    )
+
+
+_AUTO_SAMPLE_ROWS = 1024
+
+
+def _resolve_auto_strategy(dist, query, ledger):
+    """Pick "pool" (2P) or "global" from the paper's cost terms.
+
+    Estimates selectivity (groups per tuple) from a prefix sample of
+    fragment 0, feeds it to
+    :func:`repro.costmodel.globalhash.choose_mp_strategy`, and records
+    the choice — with both modeled costs and the estimate — in
+    ``ledger`` so the decision is auditable after the fact.
+    """
+    from repro.costmodel.globalhash import choose_mp_strategy
+    from repro.costmodel.params import SystemParameters
+
+    total = sum(len(f.relation.rows) for f in dist.fragments)
+    rows0 = dist.fragments[0].relation.rows if dist.fragments else []
+    sample = rows0[:_AUTO_SAMPLE_ROWS]
+    if sample and query.group_by:
+        bq = query.bind(dist.schema)
+        distinct = len({bq.key_of(row) for row in sample})
+        selectivity = max(
+            1.0 / max(total, 1), min(1.0, distinct / len(sample))
+        )
+    else:
+        selectivity = 1.0 / max(total, 1)
+    tuple_bytes = max(1, RowCodec(dist.schema).row_bytes)
+    params = SystemParameters.implementation().with_(
+        num_nodes=max(1, len(dist.fragments)),
+        num_tuples=max(1, total),
+        tuple_bytes=tuple_bytes,
+        page_bytes=max(4096, tuple_bytes),
+    )
+    strategy, inputs = choose_mp_strategy(params, selectivity)
+    inputs["sampled_rows"] = len(sample)
+    if ledger is not None:
+        ledger.record(MP_STRATEGY_CHOICE, -1, 0.0, data=inputs)
+    return strategy, inputs
+
+
 def multiprocessing_aggregate(
     dist: DistributedRelation,
     query: AggregateQuery,
@@ -2004,12 +2809,32 @@ def multiprocessing_aggregate(
     ``--timeout``.  A deadline miss does not count toward the circuit
     breaker.
 
-    ``strategy`` picks the dispatch mechanism when real processes are
-    used: ``"pool"`` (the default) reuses the module's persistent worker
-    pool and ships fragments as shared-memory row blocks; ``"spawn"``
-    starts one fresh process per fragment attempt and pickles the rows
-    to it (the pre-pool behavior, kept as the benchmark baseline).
-    Results are identical either way.
+    ``strategy`` picks the aggregation discipline and dispatch
+    mechanism:
+
+    * ``"pool"`` (the default): partitioned two-phase on the module's
+      persistent worker pool, fragments shipped as shared-memory
+      columnar blocks (row blocks when the columnar codec declines).
+    * ``"spawn"``: the same two-phase, but one fresh process per
+      fragment attempt with pickled rows (the pre-pool behavior, kept
+      as the benchmark baseline).
+    * ``"global"``: the shared global-hash-table discipline — workers
+      return *packed* columnar partials (raw per-group arrays) and the
+      parent folds them all into one table vectorized, instead of
+      re-materializing per-key states.  Cheapest at high selectivity,
+      where 2P's per-fragment partials approach fragment size.
+    * ``"rep"``: the paper's Repartitioning — round 1 hash-partitions
+      every fragment into ``len(fragments)`` disjoint key buckets,
+      round 2 aggregates each bucket on one worker, so no group is
+      touched by two workers and the parent merge is a concatenation.
+    * ``"auto"``: samples fragment 0, estimates selectivity, and picks
+      ``"pool"`` or ``"global"`` from the cost model
+      (:func:`repro.costmodel.globalhash.choose_mp_strategy`); the
+      choice and both modeled costs are recorded in ``ledger``.
+
+    Results are bit-identical across all strategies.  ``phase_fn`` is
+    pool/spawn-only; ``memory_budget_bytes`` excludes ``"rep"``; fault
+    injection and speculation require ``"pool"`` or ``"global"``.
 
     ``memory_budget_bytes`` puts each fragment's phase-1 table under a
     byte budget: the first attempt aggregates in memory but raises
@@ -2068,21 +2893,37 @@ def multiprocessing_aggregate(
             )
         if memory_budget_bytes < 1:
             raise ValueError("memory_budget_bytes must be positive")
-    if strategy not in ("pool", "spawn"):
+    if strategy not in ("pool", "spawn", "global", "rep", "auto"):
         raise ValueError(
-            f"strategy must be 'pool' or 'spawn', got {strategy!r}"
+            "strategy must be 'pool', 'spawn', 'global', 'rep' or "
+            f"'auto', got {strategy!r}"
+        )
+    if phase_fn is not None and strategy not in ("pool", "spawn"):
+        raise ValueError(
+            "phase_fn substitution requires strategy='pool' or 'spawn'"
+        )
+    if memory_budget_bytes is not None and strategy == "rep":
+        raise ValueError(
+            "memory_budget_bytes is not supported with strategy='rep' "
+            "(the budget ladder governs the two-phase local phase)"
         )
     faults_active = faults is not None and faults.active
-    if strategy == "spawn":
+    if strategy not in ("pool", "global"):
         if faults_active:
             raise ValueError(
-                "fault injection requires strategy='pool' (the spawn "
-                "path has no injection shim)"
+                "fault injection requires strategy='pool' or 'global' "
+                "(other paths have no injection shim)"
             )
         if speculate:
             raise ValueError(
-                "speculative re-execution requires strategy='pool'"
+                "speculative re-execution requires strategy='pool' or "
+                "'global'"
             )
+    strategy_inputs = None
+    if strategy == "auto":
+        strategy, strategy_inputs = _resolve_auto_strategy(
+            dist, query, ledger
+        )
     if speculation_multiplier < 1.0:
         raise ValueError("speculation_multiplier must be >= 1")
     if speculation_min_seconds <= 0:
@@ -2093,7 +2934,12 @@ def multiprocessing_aggregate(
         raise ValueError("heartbeat_timeout must be positive")
     if poison_threshold < 1:
         raise ValueError("poison_threshold must be positive")
-    fn = _local_phase if phase_fn is None else phase_fn
+    if phase_fn is not None:
+        fn = phase_fn
+    elif strategy == "global":
+        fn = _global_phase
+    else:
+        fn = _local_phase
 
     def fn_for(attempt: int):
         if memory_budget_bytes is None:
@@ -2123,7 +2969,12 @@ def multiprocessing_aggregate(
         )
     breaker = _pool_breaker
     try:
-        if processes <= 1:
+        if strategy == "rep":
+            completed = _run_rep_strategy(
+                jobs, query, dist.schema, processes, max_retries,
+                timeout, obs, deadline,
+            )
+        elif processes <= 1:
             completed = _run_jobs_in_process(
                 fn_for, jobs, max_retries, obs, run_deadline=deadline
             )
@@ -2156,7 +3007,7 @@ def multiprocessing_aggregate(
                 desc = _encode_fragment(
                     rows, q, schema, segments, project=phase_fn is None
                 )
-                if desc[0] == "shm":
+                if desc[0] in ("shm", "shm_col"):
                     shm_owner[index] = segments[-1]
                 return desc
 
@@ -2216,20 +3067,35 @@ def multiprocessing_aggregate(
         profiles.extend(obs.profiles)
     if metrics is not None:
         metrics.counter("mp.fragments").inc(len(jobs))
+        if strategy_inputs is not None:
+            metrics.counter("mp.auto_strategy." + strategy).inc()
 
     merge_start = obs.now()
     bq = query.bind(dist.schema)
     # Merge into states owned by this function: never mutate (or shallow-
     # copy) the pooled partials, so re-running over the same inputs can
     # never see aliased state from an earlier merge.
-    merged: dict[tuple, GroupState] = {}
-    for index in range(len(jobs)):
-        for key, state in completed[index]:
-            mine = merged.get(key)
-            if mine is None:
-                mine = GroupState(query.aggregates)
-                merged[key] = mine
-            mine.merge(state)
+    merged: dict[tuple, GroupState] | None = None
+    if strategy == "global":
+        ordered = [completed[i] for i in range(len(jobs))]
+        if all(_is_packed(p) for p in ordered):
+            merged = _merge_packed(ordered, query)
+        if merged is None:
+            # Mixed or guard-failed payloads: unpack everything and use
+            # the sequential merge below (same result, just slower).
+            completed = {
+                i: _unpack_packed(p, query) if _is_packed(p) else p
+                for i, p in completed.items()
+            }
+    if merged is None:
+        merged = {}
+        for index in range(len(jobs)):
+            for key, state in completed[index]:
+                mine = merged.get(key)
+                if mine is None:
+                    mine = GroupState(query.aggregates)
+                    merged[key] = mine
+                mine.merge(state)
     rows = (bq.result_row(key, state) for key, state in merged.items())
     result = sorted(row for row in rows if bq.passes_having(row))
     if tracer is not None:

@@ -8,7 +8,13 @@ round-robin and hash partitioners, and page-count arithmetic used for I/O
 cost accounting.
 """
 
+from repro.storage.columnblock import (
+    ColumnBlock,
+    StringDictionary,
+    have_numpy,
+)
 from repro.storage.hashing import (
+    BucketMemo,
     bucket_of,
     bucket_of_block,
     hash_bytes,
@@ -32,7 +38,9 @@ from repro.storage.serialization import RowCodec
 from repro.storage.spill import FileSpillStore, MemorySpillStore
 
 __all__ = [
+    "BucketMemo",
     "Column",
+    "ColumnBlock",
     "DistributedRelation",
     "FileSpillStore",
     "Fragment",
@@ -42,11 +50,13 @@ __all__ = [
     "RowBlock",
     "RowCodec",
     "Schema",
+    "StringDictionary",
     "bucket_of",
     "bucket_of_block",
     "hash_bytes",
     "hash_partition",
     "hash_partition_block",
+    "have_numpy",
     "range_partition",
     "read_relation_file",
     "round_robin_partition",

@@ -1,0 +1,266 @@
+"""Column-major blocks with dictionary-encoded string columns.
+
+The row-major fixed-width :class:`repro.storage.rowblock.RowBlock` makes
+N rows one contiguous byte run, but every columnar kernel working on it
+must first transpose — and its NUL-padded string codec cannot represent
+strings with trailing NULs at all.  A :class:`ColumnBlock` stores one
+contiguous numpy-backed buffer *per column*: int columns as little-endian
+int64, float columns as IEEE-754 doubles, and string columns as int32
+codes into a per-block :class:`StringDictionary`.  Dictionary codes make
+string columns exactly as cheap as ints for grouping kernels
+(``np.unique`` over codes), and the dictionary itself is length-exact —
+arbitrary strings, including embedded and trailing NULs and non-ASCII,
+round-trip byte for byte.
+
+Serialization (``to_bytes``/``from_bytes``) produces a single contiguous
+buffer suitable for shipping through shared memory: a fixed header, the
+raw column buffers, then each string column's dictionary as
+length-prefixed UTF-8.  The layout is versioned by a magic tag so a
+reader can fail fast on a foreign buffer rather than misparse it.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.storage.schema import Schema
+
+try:  # numpy is the whole point of the columnar layout, but the storage
+    import numpy as _np  # package must stay importable without it.
+except ImportError:  # pragma: no cover - exercised only on bare images
+    _np = None
+
+_MAGIC = b"RCB1"
+_HEADER = struct.Struct("<4sII")  # magic, num_rows, num_cols
+_U32 = struct.Struct("<I")
+
+_DTYPES = {"int": "<i8", "float": "<f8", "str": "<i4"}
+
+
+def have_numpy() -> bool:
+    """True when the numpy-backed columnar layout is available."""
+    return _np is not None
+
+
+class StringDictionary:
+    """An ordered, length-exact mapping between strings and int32 codes.
+
+    Codes are assigned in first-seen order, so encoding is append-only
+    and deterministic for a given value sequence.  Unlike the fixed-width
+    codec there is no padding: any Python string — embedded NULs,
+    trailing NULs, astral-plane characters — maps to a unique code and
+    decodes back to the identical object value.
+    """
+
+    __slots__ = ("values", "_codes")
+
+    def __init__(self, values=()) -> None:
+        self.values: list[str] = list(values)
+        if len(set(self.values)) != len(self.values):
+            raise ValueError("dictionary values must be unique")
+        self._codes: dict[str, int] = {
+            v: i for i, v in enumerate(self.values)
+        }
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def __contains__(self, value: str) -> bool:
+        return value in self._codes
+
+    def code_of(self, value: str) -> int:
+        """Code for ``value``, assigning the next code on first sight."""
+        code = self._codes.get(value)
+        if code is None:
+            code = len(self.values)
+            if code >= 2**31:
+                raise ValueError("dictionary exceeds int32 code space")
+            self._codes[value] = code
+            self.values.append(value)
+        return code
+
+    def encode_many(self, values) -> list[int]:
+        return [self.code_of(v) for v in values]
+
+    def decode(self, code: int) -> str:
+        return self.values[code]
+
+    def merge(self, other: "StringDictionary") -> list[int]:
+        """Absorb ``other``'s values; returns old-code -> new-code map."""
+        return [self.code_of(v) for v in other.values]
+
+    def to_bytes(self) -> bytes:
+        parts = [_U32.pack(len(self.values))]
+        for value in self.values:
+            raw = value.encode("utf-8")
+            parts.append(_U32.pack(len(raw)))
+            parts.append(raw)
+        return b"".join(parts)
+
+    @classmethod
+    def from_buffer(cls, buf, offset: int) -> tuple["StringDictionary", int]:
+        """Parse a dictionary at ``offset``; returns (dict, next offset)."""
+        (count,) = _U32.unpack_from(buf, offset)
+        offset += _U32.size
+        values = []
+        for _ in range(count):
+            (nbytes,) = _U32.unpack_from(buf, offset)
+            offset += _U32.size
+            values.append(bytes(buf[offset : offset + nbytes]).decode("utf-8"))
+            offset += nbytes
+        return cls(values), offset
+
+
+class ColumnBlock:
+    """N rows of one schema, stored column-major in contiguous buffers.
+
+    ``columns[i]`` is a numpy array: int64 values for int columns, float64
+    for float columns, and int32 dictionary codes for str columns (the
+    matching :class:`StringDictionary` lives in ``dictionaries[i]``).
+    """
+
+    __slots__ = ("schema", "num_rows", "columns", "dictionaries")
+
+    def __init__(self, schema: Schema, num_rows: int, columns, dictionaries):
+        self.schema = schema
+        self.num_rows = num_rows
+        self.columns = list(columns)
+        self.dictionaries: dict[int, StringDictionary] = dict(dictionaries)
+
+    def __len__(self) -> int:
+        return self.num_rows
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes of the raw column buffers (excluding dictionaries)."""
+        return sum(arr.nbytes for arr in self.columns)
+
+    @classmethod
+    def from_rows(cls, schema: Schema, rows, idx=None) -> "ColumnBlock":
+        """Columnarize ``rows``; raises on values int64 cannot hold.
+
+        ``idx`` maps schema column ``i`` to source-row position
+        ``idx[i]`` so projection happens during column extraction — the
+        projected tuples are never materialized.  Out-of-range ints
+        raise (numpy's int64 cast), mirroring the fixed-width codec's
+        contract, so callers with a per-row fallback can treat both
+        paths alike.
+        """
+        if _np is None:  # pragma: no cover
+            raise RuntimeError("ColumnBlock requires numpy")
+        num_rows = len(rows)
+        all_cols = list(zip(*rows)) if num_rows else []
+        if not num_rows:
+            cols = [() for _ in schema.columns]
+        elif idx is None:
+            cols = all_cols
+        else:
+            cols = [all_cols[j] for j in idx]
+        columns = []
+        dictionaries = {}
+        for i, column in enumerate(schema.columns):
+            if column.kind == "str":
+                dictionary = StringDictionary()
+                codes = dictionary.encode_many(cols[i])
+                columns.append(_np.array(codes, dtype=_DTYPES["str"]))
+                dictionaries[i] = dictionary
+            else:
+                if not num_rows:
+                    columns.append(_np.empty(0, dtype=_DTYPES[column.kind]))
+                    continue
+                arr = _np.asarray(cols[i])
+                # Casting floats (or big ints, which numpy holds as
+                # object) into an int column would truncate silently
+                # where the fixed-width codec raises; keep the contracts
+                # aligned so callers' per-row fallbacks fire identically.
+                allowed = "bi" if column.kind == "int" else "bif"
+                if arr.dtype.kind not in allowed:
+                    raise ValueError(
+                        f"column {column.name!r}: values are not "
+                        f"{column.kind}-typed"
+                    )
+                columns.append(arr.astype(_DTYPES[column.kind]))
+        return cls(schema, num_rows, columns, dictionaries)
+
+    def to_rows(self) -> list[tuple]:
+        """Decode back to row tuples (inverse of ``from_rows``)."""
+        decoded = []
+        for i, column in enumerate(self.schema.columns):
+            if column.kind == "str":
+                values = self.dictionaries[i].values
+                decoded.append(
+                    [values[c] for c in self.columns[i].tolist()]
+                )
+            else:
+                decoded.append(self.columns[i].tolist())
+        return list(zip(*decoded)) if self.num_rows else []
+
+    def column(self, index: int) -> list:
+        """Column ``index`` as decoded Python values."""
+        if self.schema.columns[index].kind == "str":
+            values = self.dictionaries[index].values
+            return [values[c] for c in self.columns[index].tolist()]
+        return self.columns[index].tolist()
+
+    def to_bytes(self) -> bytes:
+        """One contiguous buffer: header, column buffers, dictionaries."""
+        parts = [
+            _HEADER.pack(_MAGIC, self.num_rows, len(self.schema.columns))
+        ]
+        for arr in self.columns:
+            raw = arr.tobytes()
+            parts.append(_U32.pack(len(raw)))
+            parts.append(raw)
+        for i, column in enumerate(self.schema.columns):
+            if column.kind == "str":
+                parts.append(self.dictionaries[i].to_bytes())
+        return b"".join(parts)
+
+    @classmethod
+    def from_bytes(cls, schema: Schema, data) -> "ColumnBlock":
+        """Parse a ``to_bytes`` buffer (bytes or memoryview) back."""
+        if _np is None:  # pragma: no cover
+            raise RuntimeError("ColumnBlock requires numpy")
+        buf = memoryview(data)
+        magic, num_rows, num_cols = _HEADER.unpack_from(buf, 0)
+        if magic != _MAGIC:
+            raise ValueError(
+                f"not a columnar block buffer (magic {magic!r})"
+            )
+        if num_cols != len(schema.columns):
+            raise ValueError(
+                f"column count mismatch: buffer has {num_cols}, "
+                f"schema has {len(schema.columns)}"
+            )
+        offset = _HEADER.size
+        columns = []
+        for column in schema.columns:
+            (nbytes,) = _U32.unpack_from(buf, offset)
+            offset += _U32.size
+            arr = _np.frombuffer(
+                buf[offset : offset + nbytes],
+                dtype=_DTYPES[column.kind],
+            )
+            if len(arr) != num_rows:
+                raise ValueError(
+                    f"column {column.name!r}: expected {num_rows} values, "
+                    f"buffer holds {len(arr)}"
+                )
+            columns.append(arr)
+            offset += nbytes
+        dictionaries = {}
+        for i, column in enumerate(schema.columns):
+            if column.kind == "str":
+                dictionaries[i], offset = StringDictionary.from_buffer(
+                    buf, offset
+                )
+        block = cls(schema, num_rows, columns, dictionaries)
+        for i, column in enumerate(schema.columns):
+            if column.kind == "str" and len(block.columns[i]) and (
+                int(block.columns[i].max()) >= len(dictionaries[i])
+                or int(block.columns[i].min()) < 0
+            ):
+                raise ValueError(
+                    f"column {column.name!r}: code out of dictionary range"
+                )
+        return block

@@ -2,8 +2,9 @@
 
 Fixed-width encoding derived from the schema: int columns are 8-byte
 signed little-endian, floats are IEEE-754 doubles, str columns occupy
-exactly their declared ``size_bytes`` (UTF-8, NUL-padded, truncation
-rejected).  Fixed width keeps tuples-per-page arithmetic exact — the
+exactly their declared ``size_bytes`` (UTF-8, NUL-padded; truncation and
+trailing-NUL values rejected — the pad byte would make them decode to a
+different string).  Fixed width keeps tuples-per-page arithmetic exact — the
 same arithmetic the cost models charge I/O with — and makes N encoded
 rows a contiguous, sliceable byte run (see
 :class:`repro.storage.rowblock.RowBlock`).
@@ -66,6 +67,19 @@ class RowCodec:
                 raise ValueError(
                     f"column {name!r}: string {values[i]!r} exceeds its "
                     f"column width ({len(raw)} > {width} bytes)"
+                )
+            if raw.endswith(b"\x00"):
+                # NUL padding is the fixed-width fill byte, so a value
+                # with trailing NULs cannot be told apart from its
+                # stripped form on decode: it would round-trip to a
+                # different string, and two distinct keys would collapse
+                # into one group.  Fail fast like truncation does; the
+                # dictionary-encoded columnar path (ColumnBlock) is
+                # length-exact and accepts such values.
+                raise ValueError(
+                    f"column {name!r}: string {values[i]!r} has trailing "
+                    f"NUL bytes, which the NUL-padded fixed-width codec "
+                    f"cannot represent"
                 )
             values[i] = raw
         return values

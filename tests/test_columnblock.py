@@ -1,0 +1,206 @@
+"""Property-based round-trips for the columnar block and its dictionary.
+
+The dictionary codec is length-exact, so unlike the NUL-padded
+fixed-width codec its encodable string domain is *all* of ``str`` —
+embedded NULs, trailing NULs, non-ASCII, astral plane.  The strategies
+here generate exactly that hostile domain on purpose.  The fixed-width
+codec's counterpart guarantee — trailing-NUL strings are *rejected* at
+encode time instead of silently corrupted at decode time — is pinned in
+``tests/test_rowblock.py``.
+
+Also covers :class:`repro.storage.BucketMemo`: bounded memoization for
+``bucket_of_block`` whose shedding is invisible to results but visible
+to the governor account and metrics.
+"""
+
+import struct
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.metrics import MetricsRegistry
+from repro.resources.governor import MemoryPolicy, NodeLedger
+from repro.storage.columnblock import (
+    ColumnBlock,
+    StringDictionary,
+    have_numpy,
+)
+from repro.storage.hashing import BucketMemo, bucket_of, bucket_of_block
+from repro.storage.rowblock import RowBlock
+from repro.storage.schema import Column, Schema
+
+pytestmark = pytest.mark.skipif(
+    not have_numpy(), reason="columnar blocks require numpy"
+)
+
+_INT64 = st.integers(min_value=-(2**63), max_value=2**63 - 1)
+_FLOAT64 = st.floats(allow_nan=False)
+# The whole point: any string at all, including "\x00" runs and
+# non-ASCII, is representable.
+_ANY_STR = st.text(alphabet=st.characters(codec="utf-8"), max_size=12)
+
+
+@st.composite
+def _schema_and_rows(draw):
+    num_cols = draw(st.integers(min_value=1, max_value=4))
+    columns = []
+    value_strategies = []
+    for i in range(num_cols):
+        kind = draw(st.sampled_from(["int", "float", "str"]))
+        if kind == "str":
+            columns.append(Column(f"c{i}", "str", 12))
+            value_strategies.append(_ANY_STR)
+        else:
+            columns.append(Column(f"c{i}", kind))
+            value_strategies.append(_INT64 if kind == "int" else _FLOAT64)
+    rows = draw(st.lists(st.tuples(*value_strategies), max_size=30))
+    return Schema(columns), rows
+
+
+@given(_schema_and_rows())
+def test_from_rows_to_rows_round_trip(case):
+    schema, rows = case
+    block = ColumnBlock.from_rows(schema, rows)
+    assert len(block) == len(rows)
+    assert block.to_rows() == rows
+
+
+@given(_schema_and_rows())
+def test_serialization_round_trip(case):
+    schema, rows = case
+    block = ColumnBlock.from_rows(schema, rows)
+    back = ColumnBlock.from_bytes(schema, block.to_bytes())
+    assert back.to_rows() == rows
+
+
+@given(_schema_and_rows())
+def test_column_extraction_matches_rows(case):
+    schema, rows = case
+    block = ColumnBlock.from_rows(schema, rows)
+    for i in range(len(schema.columns)):
+        assert block.column(i) == [row[i] for row in rows]
+
+
+@given(st.lists(_ANY_STR))
+def test_dictionary_codes_round_trip(values):
+    dictionary = StringDictionary()
+    codes = dictionary.encode_many(values)
+    assert [dictionary.decode(c) for c in codes] == values
+    # One code per distinct value, dealt in first-seen order.
+    assert len(dictionary) == len(set(values))
+    seen: dict[str, int] = {}
+    for value, code in zip(values, codes):
+        assert seen.setdefault(value, code) == code
+
+
+def test_dictionary_merge_maps_codes():
+    a = StringDictionary(["x", "y"])
+    b = StringDictionary(["y", "z\x00"])
+    mapping = b.merge(a)
+    assert mapping == [b.code_of("x"), b.code_of("y")]
+    assert b.values == ["y", "z\x00", "x"]
+
+
+def test_dictionary_rejects_duplicates():
+    with pytest.raises(ValueError):
+        StringDictionary(["a", "a"])
+
+
+def test_projection_during_extraction():
+    schema = Schema([Column("k", "str", 8), Column("v", "int")])
+    rows = [(1, "a\x00b", 7.5, 10), (2, "c", 8.5, 20)]
+    block = ColumnBlock.from_rows(schema, rows, idx=[1, 3])
+    assert block.to_rows() == [("a\x00b", 10), ("c", 20)]
+
+
+class TestFromRowsErrors:
+    def test_float_in_int_column_raises(self):
+        schema = Schema([Column("n", "int")])
+        with pytest.raises(ValueError):
+            ColumnBlock.from_rows(schema, [(1,), (2.5,)])
+
+    def test_out_of_range_int_raises(self):
+        schema = Schema([Column("n", "int")])
+        with pytest.raises(ValueError):
+            ColumnBlock.from_rows(schema, [(2**63,)])
+
+
+class TestFromBytesErrors:
+    def _block_bytes(self):
+        schema = Schema([Column("k", "str", 8), Column("n", "int")])
+        return schema, ColumnBlock.from_rows(
+            schema, [("a", 1), ("b\x00", 2)]
+        ).to_bytes()
+
+    def test_bad_magic(self):
+        schema, data = self._block_bytes()
+        with pytest.raises(ValueError, match="magic"):
+            ColumnBlock.from_bytes(schema, b"XXXX" + data[4:])
+
+    def test_column_count_mismatch(self):
+        schema, data = self._block_bytes()
+        narrower = Schema([Column("k", "str", 8)])
+        with pytest.raises(ValueError, match="column count"):
+            ColumnBlock.from_bytes(narrower, data)
+
+    def test_code_out_of_dictionary_range(self):
+        schema = Schema([Column("k", "str", 8)])
+        block = ColumnBlock.from_rows(schema, [("a",), ("b",)])
+        data = bytearray(block.to_bytes())
+        # Corrupt a code past the dictionary: codes live right after the
+        # 12-byte header + 4-byte column length prefix.
+        struct.pack_into("<i", data, 16, 99)
+        with pytest.raises(ValueError, match="dictionary range"):
+            ColumnBlock.from_bytes(schema, bytes(data))
+
+
+# -- BucketMemo ---------------------------------------------------------------
+
+
+def _key_block(keys):
+    schema = Schema([Column("k", "int"), Column("v", "int")])
+    return RowBlock.from_rows(schema, [(k, k * 3) for k in keys])
+
+
+class TestBucketMemo:
+    def test_results_identical_to_unbounded(self):
+        keys = [i % 37 for i in range(500)]
+        block = _key_block(keys)
+        memo = BucketMemo(max_entries=8)
+        assert bucket_of_block(block, [0], 16, cache=memo) == [
+            bucket_of((k,), 16) for k in keys
+        ]
+        assert memo.sheds > 0  # 37 distinct keys through an 8-entry memo
+
+    def test_bound_is_enforced(self):
+        memo = BucketMemo(max_entries=4)
+        for k in range(100):
+            memo[bytes([k])] = k % 7
+        assert len(memo) <= 4
+        assert memo.shed_entries > 0
+
+    def test_account_charges_and_releases(self):
+        ledger = NodeLedger(MemoryPolicy(node_budget_bytes=10_000), 0)
+        account = ledger.open("partition")
+        memo = BucketMemo(max_entries=4, entry_bytes=100, account=account)
+        for k in range(3):
+            memo[bytes([k])] = k
+        assert account.used == 300
+        memo[b"\x03"] = 3
+        memo[b"\x04"] = 4  # hits the bound: shed releases the charge
+        assert account.used == 100
+        memo.close()
+        assert account.used == 0
+
+    def test_shed_metric_emitted(self):
+        metrics = MetricsRegistry()
+        memo = BucketMemo(max_entries=2, metrics=metrics)
+        for k in range(5):
+            memo[bytes([k])] = k
+        assert metrics.counter("mem_bucket_memo_sheds").value >= 1
+        assert metrics.counter("mem_bucket_memo_shed_entries").value >= 2
+
+    def test_rejects_nonpositive_bound(self):
+        with pytest.raises(ValueError):
+            BucketMemo(max_entries=0)

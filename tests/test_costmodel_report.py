@@ -83,7 +83,8 @@ class TestFamilyBreakdown:
 class TestBreakdownTable:
     def test_default_covers_all_models(self, params):
         rows = breakdown_table(params, 0.01)
-        assert len(rows) == 6
+        assert len(rows) == len(MODEL_FUNCTIONS)
+        assert {row[0] for row in rows} == set(MODEL_FUNCTIONS)
 
     def test_row_shape(self, params):
         rows = breakdown_table(params, 0.01, ["two_phase"])

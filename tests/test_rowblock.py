@@ -161,6 +161,24 @@ class TestCodecErrors:
         with pytest.raises(struct.error):
             codec.encode((2**63,))
 
+    def test_trailing_nul_rejected_with_column_name(self):
+        # The NUL-padded layout cannot distinguish "abc\x00" from "abc";
+        # decode used to strip the NUL and return a different string.
+        # Encode now fails fast instead of corrupting silently.
+        schema = Schema([Column("gkey", "int"), Column("label", "str", 8)])
+        codec = RowCodec(schema)
+        with pytest.raises(ValueError, match="'label'.*trailing NUL"):
+            codec.encode((1, "abc\x00"))
+        with pytest.raises(ValueError, match="'label'.*trailing NUL"):
+            codec.encode_many([(1, "ok"), (2, "\x00")])
+
+    def test_embedded_nul_round_trips(self):
+        # Only *trailing* NULs are unrepresentable; interior ones are
+        # unambiguous because padding is stripped from the right only.
+        codec = RowCodec(Schema([Column("label", "str", 8)]))
+        rows = [("a\x00b",), ("\x00ab",), ("",)]
+        assert codec.decode_many(codec.encode_many(rows)) == rows
+
 
 class TestBlockErrors:
     def _block(self):
