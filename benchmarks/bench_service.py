@@ -26,6 +26,7 @@ writes ``results/BENCH_service.json`` and appends a trajectory entry to
 
 import os
 import random
+import tempfile
 import threading
 import time
 
@@ -34,6 +35,7 @@ import pytest
 from conftest import report
 
 from repro.bench.harness import FigureResult
+from repro.obs.validate import validate_file as validate_qlog_file
 from repro.parallel import reference_aggregate
 from repro.parallel.mp_executor import (
     reset_pool_breaker,
@@ -209,6 +211,138 @@ def service_storm_sweep() -> FigureResult:
     return result
 
 
+# -- observability overhead gate ----------------------------------------------
+#
+# The same faultfree Zipf storm runs twice: once with live observability
+# fully disabled, once with the whole stack on (per-query tracer, latency
+# and queue-wait histograms, flight recorder, JSONL query log).  The gate
+# is p99_on <= p99_off * 1.05 + 25ms — five percent plus an absolute
+# floor, because with a small sample p99 is one scheduling hiccup away
+# from the max and a pure ratio would flake on loaded CI machines.
+
+OBS_COLUMNS = ["mode", "queries", "served", "shed", "qps",
+               "p50_ms", "p99_ms", "qlog_records"]
+OBS_P99_RATIO = 1.05
+OBS_P99_FLOOR_MS = 25.0
+
+
+def _overhead_storm(mode: str, dist, overrides: dict) -> dict:
+    reset_pool_breaker()
+    shutdown_worker_pool()
+    service = QueryService(ServiceConfig(
+        max_concurrency=3, queue_depth=4, processes=2,
+        default_timeout_seconds=120.0, **overrides,
+    ))
+    service.register_table("r", dist)
+    # Warm the pool and plan cache so neither mode's tail is pool
+    # startup; the storm then measures the steady-state request path
+    # (cache hits included — that is where per-query bookkeeping is the
+    # largest relative cost).
+    service.submit(QUERIES[0])
+
+    latencies: list[float] = []
+    shed = [0]
+    lock = threading.Lock()
+
+    def client(seed: int) -> None:
+        rng = random.Random(seed)
+        for sql in _zipf_picks(rng, REQUESTS_PER_CLIENT):
+            started = time.monotonic()
+            try:
+                service.submit(sql)
+            except (ShedError, DeadlineMissError):
+                with lock:
+                    shed[0] += 1
+                continue
+            elapsed = time.monotonic() - started
+            with lock:
+                latencies.append(elapsed)
+
+    started = time.monotonic()
+    threads = [threading.Thread(target=client, args=(131 + i,))
+               for i in range(CLIENTS)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    wall = time.monotonic() - started
+    assert service.drain(), f"{mode}: drain left work behind"
+
+    qlog_records = 0
+    qlog_path = overrides.get("query_log_path")
+    if qlog_path is not None:
+        problems = validate_qlog_file(qlog_path)
+        assert problems == [], f"{mode}: invalid query log: {problems}"
+        with open(qlog_path) as handle:
+            qlog_records = sum(1 for line in handle if line.strip())
+        assert qlog_records == len(latencies) + shed[0] + 1  # +1 warmup
+
+    latencies.sort()
+    return {
+        "mode": mode,
+        "queries": CLIENTS * REQUESTS_PER_CLIENT,
+        "served": len(latencies),
+        "shed": shed[0],
+        "qps": len(latencies) / wall if wall > 0 else 0.0,
+        "p50_ms": _percentile(latencies, 0.50) * 1e3,
+        "p99_ms": _percentile(latencies, 0.99) * 1e3,
+        "qlog_records": qlog_records,
+    }
+
+
+def observability_overhead_sweep() -> FigureResult:
+    dist = _dataset()
+    result = FigureResult(
+        figure="service_obs",
+        title="Live observability overhead: p99 on vs off",
+        columns=OBS_COLUMNS,
+        notes=(
+            f"{CLIENTS} clients x {REQUESTS_PER_CLIENT} queries, same "
+            "faultfree Zipf storm twice: live observability off, then "
+            "on (tracer + histograms + flight recorder + JSONL query "
+            f"log). Gate: p99_on <= p99_off * {OBS_P99_RATIO} + "
+            f"{OBS_P99_FLOOR_MS}ms."
+        ),
+    )
+    with tempfile.TemporaryDirectory(prefix="repro_obs_bench_") as tmp:
+        rows = [
+            _overhead_storm("obs_off", dist,
+                            {"live_observability": False}),
+            _overhead_storm("obs_on", dist, {
+                "live_observability": True,
+                "query_log_path": os.path.join(tmp, "qlog.jsonl"),
+                "slow_trace_threshold_seconds": 0.0,
+            }),
+        ]
+    for row in rows:
+        result.add_row(*[row[name] for name in OBS_COLUMNS])
+    p99 = {row["mode"]: row["p99_ms"] for row in rows}
+    assert p99["obs_on"] <= (
+        p99["obs_off"] * OBS_P99_RATIO + OBS_P99_FLOOR_MS
+    ), (
+        f"observability overhead gate: p99 on={p99['obs_on']:.3f}ms "
+        f"off={p99['obs_off']:.3f}ms exceeds "
+        f"{OBS_P99_RATIO}x + {OBS_P99_FLOOR_MS}ms"
+    )
+    return result
+
+
+def test_observability_overhead(benchmark):
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("POSIX shared memory not mounted")
+    result = benchmark.pedantic(observability_overhead_sweep, rounds=1,
+                                iterations=1)
+    report(result)
+    served = result.column("served")
+    assert all(count >= result.column("queries")[0] // 2
+               for count in served)
+    # The on-mode must actually have logged the whole storm.
+    by_mode = dict(zip(result.column("mode"),
+                       result.column("qlog_records")))
+    assert by_mode["obs_off"] == 0
+    assert by_mode["obs_on"] >= by_mode["obs_off"]
+
+
 def test_service_storm(benchmark):
     if not os.path.isdir("/dev/shm"):
         pytest.skip("POSIX shared memory not mounted")
@@ -260,28 +394,42 @@ def _main(argv=None) -> int:
 
     started = time.monotonic()
     figure = service_storm_sweep()
-    wall = time.monotonic() - started
+    storm_wall = time.monotonic() - started
+    started = time.monotonic()
+    obs_figure = observability_overhead_sweep()
+    obs_wall = time.monotonic() - started
+    wall = storm_wall + obs_wall
     write_results(figure, directory=results_dir)
+    write_results(obs_figure, directory=results_dir)
     print(format_table(figure))
+    print(format_table(obs_figure))
 
     tests = [{
         "nodeid": "benchmarks/bench_service.py::service_storm_sweep",
         "outcome": "passed",
-        "wall_seconds": wall,
+        "wall_seconds": storm_wall,
+    }, {
+        "nodeid": ("benchmarks/bench_service.py::"
+                   "observability_overhead_sweep"),
+        "outcome": "passed",
+        "wall_seconds": obs_wall,
     }]
     modes = figure.column("mode")
     metrics = {
-        "tests": 1,
+        "tests": 2,
         "failed": 0,
         "wall_seconds_total": wall,
-        "figures": 1,
+        "figures": 2,
     }
     for i, mode in enumerate(modes):
         metrics[f"{mode}_qps"] = figure.column("qps")[i]
         metrics[f"{mode}_p99_ms"] = figure.column("p99_ms")[i]
         metrics[f"{mode}_shed"] = figure.column("shed")[i]
+    for i, mode in enumerate(obs_figure.column("mode")):
+        metrics[f"{mode}_p99_ms"] = obs_figure.column("p99_ms")[i]
     path = write_bench_json(
-        "service", tests, [figure], metrics, directory=results_dir
+        "service", tests, [figure, obs_figure], metrics,
+        directory=results_dir
     )
     print(f"wrote {path}")
     if os.path.isdir(baseline_dir):

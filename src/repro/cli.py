@@ -10,6 +10,10 @@ plan     ask the optimizer which algorithm to use
 trace    run one algorithm traced; write Chrome/Perfetto trace JSON
 explain  render a run's adaptive decisions, judged against ground truth
 bench    compare BENCH artifacts against the committed baseline
+scale    sweep node counts and print speedup/scaleup tables
+sql      run one SQL query over a generated or saved workload
+serve    long-lived HTTP/JSON query service over the worker pool
+top      live one-screen view of a running service (polls /metrics)
 """
 
 from __future__ import annotations
@@ -982,11 +986,61 @@ def build_parser() -> argparse.ArgumentParser:
         help="pool workers per admitted query at full parallelism",
     )
     p_serve.add_argument(
+        "--strategy", default="pool",
+        choices=("pool", "spawn", "global", "rep", "auto"),
+        help="execution strategy for every admitted query",
+    )
+    p_serve.add_argument(
         "--faults", default=None, metavar="SPEC",
         help="inject this fault plan into every query's pool run "
         "(chaos testing; same grammar as `repro run --faults`)",
     )
+    p_serve.add_argument(
+        "--query-log", default=None, metavar="PATH",
+        help="append one repro-qlog/1 JSONL record per query outcome",
+    )
+    p_serve.add_argument(
+        "--slow-trace-threshold", type=float, default=1.0,
+        metavar="SECONDS",
+        help="flight-recorder trace capture threshold; 0 traces every "
+        "query (GET /debug/trace/<id>)",
+    )
+    p_serve.add_argument(
+        "--no-live-observability", action="store_true",
+        help="disable the query log, flight recorder, and latency "
+        "histograms (PR-7-identical serving path)",
+    )
+    p_serve.add_argument(
+        "--access-log", action="store_true",
+        help="log every HTTP request to stderr (off by default)",
+    )
     p_serve.set_defaults(func=_cmd_serve)
+
+    p_top = sub.add_parser(
+        "top",
+        help="live one-screen view of a running `repro serve` instance",
+    )
+    p_top.add_argument(
+        "--url", default="http://127.0.0.1:8642",
+        help="base URL of the service (default %(default)s)",
+    )
+    p_top.add_argument(
+        "--interval", type=float, default=2.0, metavar="SECONDS",
+        help="seconds between refreshes",
+    )
+    p_top.add_argument(
+        "--iterations", type=int, default=0, metavar="N",
+        help="frames to render before exiting (0 = until interrupted)",
+    )
+    p_top.add_argument(
+        "--slow", type=int, default=5, metavar="N",
+        help="slowest recent queries shown",
+    )
+    p_top.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    p_top.set_defaults(func=_cmd_top)
     return parser
 
 
@@ -1084,7 +1138,12 @@ def _cmd_serve(args, out) -> int:
             memory_pool_bytes=args.memory_pool_mb * 1024 * 1024,
             default_timeout_seconds=args.default_timeout,
             processes=args.processes,
+            strategy=args.strategy,
             faults=faults,
+            live_observability=not args.no_live_observability,
+            query_log_path=args.query_log,
+            slow_trace_threshold_seconds=args.slow_trace_threshold,
+            access_log=args.access_log,
         )
     except ValueError as exc:
         raise CliError(f"bad service configuration: {exc}") from exc
@@ -1101,13 +1160,159 @@ def _cmd_serve(args, out) -> int:
         f"serving table {args.table!r} ({len(dist)} tuples, "
         f"{dist.num_nodes} fragments) on "
         f"http://{args.host}:{server.server_port} — POST /query, "
-        "GET /healthz, GET /metrics; SIGTERM drains",
+        "GET /healthz, GET /metrics[?format=prom], GET /debug/queries, "
+        "GET /debug/trace/<id>; SIGTERM drains",
         file=out,
         flush=True,
     )
     serve(service, server=server)
     print("drained clean; worker pool shut down", file=out)
     return 0
+
+
+def _top_fetch(url: str, timeout: float = 2.0):
+    import json as json_mod
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as resp:
+            return json_mod.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        # A draining /healthz answers 503 with a valid JSON body —
+        # still worth rendering.
+        try:
+            return json_mod.loads(exc.read())
+        except ValueError:
+            raise CliError(
+                f"{url} answered HTTP {exc.code} without JSON"
+            ) from exc
+    except (urllib.error.URLError, OSError, ValueError) as exc:
+        raise CliError(
+            f"cannot reach {url}: {exc} — is `repro serve` running there?"
+        ) from exc
+
+
+def _top_frame(base: str, slow_rows: int, previous: dict) -> str:
+    """One rendered frame of ``repro top`` (pure text, no cursor moves)."""
+    from repro.obs.metrics import quantile_from_buckets
+
+    health = _top_fetch(f"{base}/healthz")
+    snapshot = _top_fetch(f"{base}/metrics")
+    try:
+        debug = _top_fetch(f"{base}/debug/queries")
+    except CliError:
+        debug = None
+    if debug is not None and "queries" not in debug:
+        debug = None  # live observability disabled server-side (404 body)
+
+    def counter(name):
+        entry = snapshot.get(name) or {}
+        return entry.get("value") or 0
+
+    def gauge(name, default=0.0):
+        entry = snapshot.get(name) or {}
+        value = entry.get("value")
+        return default if value is None else value
+
+    uptime = gauge("svc.uptime_seconds")
+    admitted = counter("svc.admitted")
+    prev_uptime = previous.get("uptime", 0.0)
+    prev_admitted = previous.get("admitted", 0)
+    dt = uptime - prev_uptime
+    if previous and dt > 0:
+        qps = max(0, admitted - prev_admitted) / dt
+    elif uptime > 0:
+        qps = admitted / uptime  # first frame: lifetime average
+    else:
+        qps = 0.0
+    previous["uptime"], previous["admitted"] = uptime, admitted
+
+    lines = []
+    lines.append(
+        f"repro top — {base}  status={health.get('status', '?')}  "
+        f"uptime={uptime:8.1f}s"
+    )
+    lines.append(
+        f"load {health.get('load', 0):.2f}  "
+        f"running {health.get('running', 0)}  "
+        f"queued {health.get('queued', 0)}  "
+        f"rung {health.get('ladder_rung', '?')}  "
+        f"breaker {health.get('breaker', '?')}"
+    )
+    latency = snapshot.get("svc.latency_seconds")
+    if isinstance(latency, dict) and latency.get("type") == "histogram":
+        quantiles = {
+            q: quantile_from_buckets(
+                latency["buckets"], latency["counts"], q,
+                overflow_value=latency["max"],
+            )
+            for q in (0.5, 0.95, 0.99)
+        }
+        lines.append(
+            f"qps {qps:7.1f}   latency p50 {quantiles[0.5] * 1000:7.1f}ms"
+            f"  p95 {quantiles[0.95] * 1000:7.1f}ms"
+            f"  p99 {quantiles[0.99] * 1000:7.1f}ms"
+        )
+    else:
+        lines.append(
+            f"qps {qps:7.1f}   latency histogram not yet populated"
+        )
+    lines.append(
+        f"admitted {admitted}  shed {counter('svc.shed')}  "
+        f"failed {counter('svc.failed')}  "
+        f"deadline_miss {counter('svc.deadline_misses')}  "
+        f"retries {counter('svc.retries')}  "
+        f"cache {counter('svc.cache.hits')}/"
+        f"{counter('svc.cache.hits') + counter('svc.cache.misses')}  "
+        f"qlog_dropped {counter('svc.qlog.dropped')}"
+    )
+    records = (debug or {}).get("queries") or []
+    if records and slow_rows > 0:
+        slow = sorted(
+            records,
+            key=lambda r: r.get("elapsed_seconds", 0.0),
+            reverse=True,
+        )[:slow_rows]
+        lines.append("")
+        lines.append(
+            f"{'QID':>6} {'FINGERPRINT':12} {'OUTCOME':13} "
+            f"{'RUNG':14} {'WAIT_MS':>8} {'ELAPSED_MS':>10} CACHE"
+        )
+        for r in slow:
+            lines.append(
+                f"{r.get('query_id', '?'):>6} "
+                f"{str(r.get('sql_fingerprint', '?')):12} "
+                f"{str(r.get('outcome', '?')):13} "
+                f"{str(r.get('rung', '?')):14} "
+                f"{r.get('queue_wait_seconds', 0.0) * 1000:8.1f} "
+                f"{r.get('elapsed_seconds', 0.0) * 1000:10.1f} "
+                f"{'yes' if r.get('cache_hit') else 'no'}"
+            )
+    elif debug is None:
+        lines.append("(no /debug/queries — live observability disabled)")
+    return "\n".join(lines)
+
+
+def _cmd_top(args, out) -> int:
+    """``repro top``: poll /metrics + /debug/queries, render a screen."""
+    import time
+
+    base = args.url.rstrip("/")
+    previous: dict = {}
+    frame_index = 0
+    try:
+        while True:
+            frame = _top_frame(base, args.slow, previous)
+            if not args.no_clear:
+                print("\x1b[2J\x1b[H", end="", file=out)
+            print(frame, file=out, flush=True)
+            frame_index += 1
+            if args.iterations and frame_index >= args.iterations:
+                return 0
+            time.sleep(max(args.interval, 0.05))
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_scale(args, out) -> int:

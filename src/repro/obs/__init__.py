@@ -34,6 +34,12 @@ benchmark harness all instrument themselves through this package:
     ground truth and counterfactual model costs; rendered by
     ``repro explain``.
 
+``repro.obs.live``
+    Serving telemetry for the long-lived query service: the
+    ``repro-qlog/1`` structured query log (non-blocking, drop-counting),
+    the flight recorder (recent-query ring + slow-query Chrome traces),
+    and Prometheus text exposition with a strict validating parser.
+
 ``repro.obs.drift``
     Predicted-vs-observed joins between the cost models' per-family
     breakdowns and measured runs (simulator or mp executor).
@@ -62,7 +68,22 @@ from repro.obs.export import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.live import (
+    PROM_CONTENT_TYPE,
+    FlightRecorder,
+    QueryLog,
+    fingerprint,
+    query_record,
+    to_prometheus,
+    validate_prometheus,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    quantile_from_buckets,
+)
 from repro.obs.profile import WorkerProfile
 from repro.obs.tracer import NULL_TRACER, NullTracer, Span, Tracer
 
@@ -79,14 +100,22 @@ __all__ = [
     "render_explain",
     "run_artifact",
     "write_run_json",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PROM_CONTENT_TYPE",
+    "QueryLog",
     "Span",
     "Tracer",
     "WorkerProfile",
+    "fingerprint",
+    "query_record",
+    "quantile_from_buckets",
+    "to_prometheus",
+    "validate_prometheus",
     "to_chrome_trace",
     "to_jsonl",
     "write_chrome_trace",

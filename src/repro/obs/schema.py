@@ -1,11 +1,12 @@
 """Dependency-free schema validation for exported artifacts.
 
-Six artifact families leave the repo: Chrome trace JSON (``repro
+Seven artifact families leave the repo: Chrome trace JSON (``repro
 trace``), ``BENCH_<name>.json`` (the benchmark harness), ``repro-run/1``
 run artifacts with the decision ledger (``repro explain``),
 ``repro-drift/1`` predicted-vs-observed reports, the committed
-``results/baseline/INDEX.json`` bench baseline, and the appendable
-``TRAJECTORY.jsonl`` entries.  CI and the tests validate all of them
+``results/baseline/INDEX.json`` bench baseline, the appendable
+``TRAJECTORY.jsonl`` entries, and the query service's ``repro-qlog/1``
+structured query log.  CI and the tests validate all of them
 with the checkers here — hand-rolled on purpose, so validation works in
 any environment the code itself runs in.
 
@@ -21,6 +22,9 @@ RUN_SCHEMA = "repro-run/1"
 DRIFT_SCHEMA = "repro-drift/1"
 BASELINE_SCHEMA = "repro-baseline/1"
 TRAJECTORY_SCHEMA = "repro-trajectory/1"
+QLOG_SCHEMA = "repro-qlog/1"
+
+QLOG_OUTCOMES = ("served", "shed", "deadline_miss", "failed", "draining")
 
 _CHROME_PHASES = {"X", "i", "M", "B", "E"}
 
@@ -292,6 +296,55 @@ def validate_trajectory_entry(doc) -> list[str]:
     return problems
 
 
+def validate_qlog_record(doc) -> list[str]:
+    """Problems in one ``repro-qlog/1`` query-log line ([] = valid)."""
+    problems: list[str] = []
+    if not isinstance(doc, dict):
+        return ["record must be an object"]
+    if doc.get("schema") != QLOG_SCHEMA:
+        problems.append(
+            f"schema must be {QLOG_SCHEMA!r}, got {doc.get('schema')!r}"
+        )
+    query_id = doc.get("query_id")
+    if not isinstance(query_id, int) or isinstance(query_id, bool):
+        problems.append("query_id must be an integer")
+    elif query_id < 0:
+        problems.append("query_id must be non-negative")
+    fingerprint = doc.get("sql_fingerprint")
+    if not isinstance(fingerprint, str) or not fingerprint:
+        problems.append("sql_fingerprint must be a non-empty string")
+    if doc.get("outcome") not in QLOG_OUTCOMES:
+        problems.append(
+            f"outcome must be one of {QLOG_OUTCOMES}, "
+            f"got {doc.get('outcome')!r}"
+        )
+    for key in ("queue_wait_seconds", "elapsed_seconds"):
+        if not _number(doc.get(key)) or doc[key] < 0:
+            problems.append(f"{key} must be a non-negative number")
+    exec_seconds = doc.get("exec_seconds")
+    if exec_seconds is not None and (
+        not _number(exec_seconds) or exec_seconds < 0
+    ):
+        problems.append(
+            "exec_seconds must be a non-negative number or null"
+        )
+    for key in ("rung", "strategy"):
+        if not isinstance(doc.get(key), str) or not doc.get(key):
+            problems.append(f"{key} must be a non-empty string")
+    if not isinstance(doc.get("cache_hit"), bool):
+        problems.append("cache_hit must be a boolean")
+    retries = doc.get("retries")
+    if not isinstance(retries, int) or isinstance(retries, bool):
+        problems.append("retries must be an integer")
+    elif retries < 0:
+        problems.append("retries must be non-negative")
+    for key in ("error", "reason"):
+        value = doc.get(key)
+        if value is not None and not isinstance(value, str):
+            problems.append(f"{key} must be a string or null")
+    return problems
+
+
 def validate_or_raise(doc, kind: str, label: str = "document") -> None:
     """Raise :class:`SchemaError` if ``doc`` fails the ``kind`` check."""
     validators = {
@@ -301,6 +354,7 @@ def validate_or_raise(doc, kind: str, label: str = "document") -> None:
         "drift": validate_drift_json,
         "baseline": validate_baseline_index,
         "trajectory": validate_trajectory_entry,
+        "qlog": validate_qlog_record,
     }
     problems = validators[kind](doc)
     if problems:

@@ -9,9 +9,10 @@ Usage::
 File kind is sniffed from the content: a top-level ``traceEvents`` key
 means Chrome trace; a ``schema`` key selects the matching validator
 (``repro-bench/1``, ``repro-run/1``, ``repro-drift/1``,
-``repro-baseline/1``); ``.jsonl`` files are validated line by line as
-trajectory entries.  Exit code 0 when every file validates, 1 otherwise
-(problems printed per file).
+``repro-baseline/1``); ``.jsonl`` files are validated line by line, each
+line dispatched on its own ``schema`` key (``repro-qlog/1`` query logs,
+``repro-trajectory/1`` entries otherwise).  Exit code 0 when every file
+validates, 1 otherwise (problems printed per file).
 """
 
 from __future__ import annotations
@@ -22,12 +23,14 @@ import sys
 from repro.obs.schema import (
     BASELINE_SCHEMA,
     DRIFT_SCHEMA,
+    QLOG_SCHEMA,
     RUN_SCHEMA,
     TRAJECTORY_SCHEMA,
     validate_baseline_index,
     validate_bench_json,
     validate_chrome_trace,
     validate_drift_json,
+    validate_qlog_record,
     validate_run_json,
     validate_trajectory_entry,
 )
@@ -37,6 +40,7 @@ _BY_SCHEMA = {
     DRIFT_SCHEMA: validate_drift_json,
     BASELINE_SCHEMA: validate_baseline_index,
     TRAJECTORY_SCHEMA: validate_trajectory_entry,
+    QLOG_SCHEMA: validate_qlog_record,
 }
 
 
@@ -56,9 +60,10 @@ def _validate_jsonl(path: str) -> list[str]:
         except ValueError as exc:
             problems.append(f"line {i + 1}: invalid JSON: {exc}")
             continue
-        problems.extend(
-            f"line {i + 1}: {p}" for p in validate_trajectory_entry(doc)
-        )
+        validator = validate_trajectory_entry
+        if isinstance(doc, dict) and doc.get("schema") in _BY_SCHEMA:
+            validator = _BY_SCHEMA[doc["schema"]]
+        problems.extend(f"line {i + 1}: {p}" for p in validator(doc))
     return problems
 
 

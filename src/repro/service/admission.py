@@ -14,6 +14,7 @@ while it is still queued.
 from __future__ import annotations
 
 import threading
+import time
 
 from repro.resources import BudgetExhaustedError, MemoryBudgetPool
 from repro.service.config import ServiceConfig
@@ -22,11 +23,18 @@ from repro.service.errors import DeadlineMissError, DrainingError, ShedError
 
 
 class AdmissionSlot:
-    """A granted admission: one concurrency slot + one memory lease."""
+    """A granted admission: one concurrency slot + one memory lease.
 
-    def __init__(self, controller: "AdmissionController", lease) -> None:
+    ``queue_wait_seconds`` is how long the query sat in the bounded
+    queue before winning its slot (0.0 on immediate admission) — the
+    query log and the ``svc.queue_wait_seconds`` histogram carry it.
+    """
+
+    def __init__(self, controller: "AdmissionController", lease,
+                 queue_wait_seconds: float = 0.0) -> None:
         self._controller = controller
         self.lease = lease
+        self.queue_wait_seconds = queue_wait_seconds
         self._released = False
 
     def release(self) -> None:
@@ -75,6 +83,7 @@ class AdmissionController:
         Raises ShedError / DrainingError / DeadlineMissError.  The
         returned slot must be released (it is a context manager).
         """
+        queue_wait = 0.0
         with self._cond:
             if self.draining:
                 raise DrainingError()
@@ -88,6 +97,7 @@ class AdmissionController:
                         ),
                     )
                 self.queued += 1
+                wait_start = time.monotonic()
                 try:
                     while self.running >= self.config.max_concurrency:
                         if self.draining:
@@ -100,6 +110,7 @@ class AdmissionController:
                         self._cond.wait(timeout=self._wait_step(deadline))
                 finally:
                     self.queued -= 1
+                    queue_wait = time.monotonic() - wait_start
             self.running += 1
         try:
             lease = self.budget_pool.lease(self.config.slice_bytes)
@@ -109,7 +120,7 @@ class AdmissionController:
                 "memory_exhausted",
                 detail=f"{exc.available_bytes} bytes left in the pool",
             ) from exc
-        return AdmissionSlot(self, lease)
+        return AdmissionSlot(self, lease, queue_wait_seconds=queue_wait)
 
     def _wait_step(self, deadline: Deadline) -> float:
         rem = deadline.remaining()

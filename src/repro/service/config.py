@@ -25,6 +25,7 @@ class ServiceConfig:
     processes: int = 2             # pool workers per query dispatch
     reduced_processes: int = 1     # fanout at ladder rung 2 (in-process)
     algorithm: str = "adaptive_two_phase"
+    strategy: str = "pool"         # run_sql strategy (pool/spawn/global/rep/auto)
     executor_timeout_seconds: float = 30.0  # per-fragment timeout
 
     # Retry (infra failures only)
@@ -44,6 +45,17 @@ class ServiceConfig:
 
     # Drain
     drain_timeout_seconds: float = 10.0
+
+    # Live observability (see docs/observability.md, "Serving telemetry").
+    # Disabled = PR 7 behavior: no query records, no per-query tracer,
+    # no latency histograms.
+    live_observability: bool = True
+    query_log_path: str | None = None   # JSONL sink; None = no file log
+    query_log_capacity: int = 1024      # in-memory queue before drops
+    flight_recorder_entries: int = 128  # recent-query ring size
+    flight_recorder_traces: int = 16    # bounded slow-query trace map
+    slow_trace_threshold_seconds: float | None = 1.0  # 0 = trace all; None = off
+    access_log: bool = False            # HTTP access log to stderr
 
     # Fault injection (tests/bench): forwarded to the executor
     faults: object | None = field(default=None, compare=False)
@@ -67,6 +79,22 @@ class ServiceConfig:
         if not 0.0 < self.reduced_load <= self.cache_only_load <= 1.0:
             raise ValueError(
                 "need 0 < reduced_load <= cache_only_load <= 1"
+            )
+        if self.strategy not in ("pool", "spawn", "global", "rep", "auto"):
+            raise ValueError(
+                f"strategy must be pool/spawn/global/rep/auto, "
+                f"got {self.strategy!r}"
+            )
+        if self.query_log_capacity < 1:
+            raise ValueError("query_log_capacity must be positive")
+        if self.flight_recorder_entries < 1:
+            raise ValueError("flight_recorder_entries must be positive")
+        if self.flight_recorder_traces < 0:
+            raise ValueError("flight_recorder_traces must be >= 0")
+        if (self.slow_trace_threshold_seconds is not None
+                and self.slow_trace_threshold_seconds < 0):
+            raise ValueError(
+                "slow_trace_threshold_seconds must be >= 0 or None"
             )
 
     @property

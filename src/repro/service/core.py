@@ -28,7 +28,9 @@ from repro.obs.decisions import (
     QUERY_RETRY,
     DecisionLedger,
 )
+from repro.obs.live import FlightRecorder, QueryLog, query_record
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import Tracer
 from repro.parallel.mp_executor import (
     DeadlineExceededError,
     FragmentFailedError,
@@ -47,6 +49,7 @@ from repro.service.errors import (
 )
 from repro.service.ladder import SVC_CACHE_ONLY, SVC_FULL, OverloadLadder
 from repro.service.retry import RetryPolicy
+from repro.sql.lexer import LexError
 from repro.sql.parser import ParseError
 from repro.sql.runner import run_sql
 from repro.storage.relation import DistributedRelation
@@ -109,6 +112,25 @@ class QueryService:
         self._obs_lock = threading.Lock()
         self._next_id = 0
         self._t0 = time.monotonic()
+        # Live serving telemetry (docs/observability.md).  Disabled
+        # (live_observability=False) keeps the PR 7 execution path:
+        # no query records, no per-query tracer, no latency histograms.
+        self._live = self.config.live_observability
+        self.query_log: QueryLog | None = None
+        self.flight_recorder: FlightRecorder | None = None
+        if self._live:
+            if self.config.query_log_path:
+                self.query_log = QueryLog(
+                    self.config.query_log_path,
+                    capacity=self.config.query_log_capacity,
+                )
+            self.flight_recorder = FlightRecorder(
+                entries=self.config.flight_recorder_entries,
+                trace_entries=self.config.flight_recorder_traces,
+                slow_threshold_seconds=(
+                    self.config.slow_trace_threshold_seconds
+                ),
+            )
 
     # -- tables ---------------------------------------------------------
 
@@ -163,6 +185,10 @@ class QueryService:
             self.metrics.gauge("mp.breaker.state").set(
                 pool_breaker_state().state_code()
             )
+            if self._live:
+                # `repro top` derives QPS from counter deltas over the
+                # uptime delta between two scrapes.
+                self.metrics.gauge("svc.uptime_seconds").set(self._clock())
 
     def _decide(self, kind: str, **data) -> None:
         with self._obs_lock:
@@ -191,22 +217,75 @@ class QueryService:
             timeout_seconds = self.config.default_timeout_seconds
         deadline = Deadline(timeout_seconds)
         start = self._clock()
+        info = {
+            "queue_wait": 0.0,
+            "rung": self.ladder.current,
+            "cache_hit": False,
+            "retries": 0,
+            "exec_seconds": None,
+        }
+        query_tracer = Tracer(operator_spans=False) if self._live else None
         try:
-            outcome = self._submit_inner(qid, sql, deadline)
+            outcome = self._submit_inner(qid, sql, deadline, info,
+                                         query_tracer)
         except ServiceError as exc:
             self._span(qid, start, error=exc.code)
+            self._finish_query(qid, sql, deadline, info, query_tracer,
+                               error=exc)
             raise
         self._span(qid, start, rung=outcome.rung,
                    cache_hit=outcome.cache_hit, retries=outcome.retries)
+        self._finish_query(qid, sql, deadline, info, query_tracer)
         return outcome
 
-    def _submit_inner(self, qid: int, sql: str,
-                      deadline: Deadline) -> QueryOutcome:
+    def _finish_query(self, qid, sql, deadline, info, query_tracer,
+                      error=None) -> None:
+        """Record one admission outcome: histograms, qlog, flight ring."""
+        if not self._live:
+            return
+        elapsed = deadline.elapsed()
+        if error is None:
+            outcome, cause, reason = "served", None, None
+        else:
+            outcome = {
+                "shed": "shed",
+                "draining": "draining",
+                "deadline_miss": "deadline_miss",
+            }.get(error.code, "failed")
+            cause = getattr(error, "cause_type", None)
+            reason = getattr(error, "reason", None)
+            info["retries"] = getattr(error, "retries", info["retries"])
+        record = query_record(
+            query_id=qid,
+            sql=sql,
+            outcome=outcome,
+            queue_wait_seconds=info["queue_wait"],
+            elapsed_seconds=elapsed,
+            exec_seconds=info["exec_seconds"],
+            rung=info["rung"],
+            strategy=self.config.strategy,
+            cache_hit=info["cache_hit"],
+            retries=info["retries"],
+            error=cause,
+            reason=reason,
+        )
+        with self._obs_lock:
+            self.metrics.histogram("svc.latency_seconds").observe(elapsed)
+            self.metrics.histogram("svc.queue_wait_seconds").observe(
+                info["queue_wait"]
+            )
+        if self.flight_recorder is not None:
+            self.flight_recorder.note(record, tracer=query_tracer)
+        if self.query_log is not None and not self.query_log.record(record):
+            self._count("svc.qlog.dropped")
+
+    def _submit_inner(self, qid: int, sql: str, deadline: Deadline,
+                      info: dict, query_tracer) -> QueryOutcome:
         try:
             table_name, _query = self.plan_cache.parse(sql)
-        except ParseError as exc:
+        except (LexError, ParseError) as exc:
             self._count("svc.failed")
-            raise QueryFailedError("ParseError", str(exc)) from exc
+            raise QueryFailedError(type(exc).__name__, str(exc)) from exc
         relation, version = self._lookup(table_name)
         cache_key = ResultCache.key(
             table_name, version, sql, self.config.algorithm
@@ -226,7 +305,9 @@ class QueryService:
 
         with slot:
             self._count("svc.admitted")
+            info["queue_wait"] = slot.queue_wait_seconds
             rung, previous = self.ladder.observe(self.admission.load())
+            info["rung"] = rung
             if previous is not None:
                 self._decide(LADDER_TRANSITION, query_id=qid,
                              from_rung=previous, to_rung=rung)
@@ -235,6 +316,7 @@ class QueryService:
             cached = self.result_cache.get(cache_key)
             if cached is not None:
                 self._count("svc.cache.hits")
+                info["cache_hit"] = True
                 self._decide(CACHE_SERVE, query_id=qid, table=table_name,
                              version=version)
                 return QueryOutcome(
@@ -259,7 +341,8 @@ class QueryService:
                 else self.config.reduced_processes
             )
             rows, retries = self._execute(
-                qid, sql, relation, processes, slot.lease.bytes, deadline
+                qid, sql, relation, processes, slot.lease.bytes, deadline,
+                info, query_tracer,
             )
             self.result_cache.put(cache_key, rows)
             return QueryOutcome(
@@ -269,11 +352,12 @@ class QueryService:
             )
 
     def _execute(self, qid, sql, relation, processes, budget_bytes,
-                 deadline) -> tuple[list, int]:
+                 deadline, info=None, query_tracer=None) -> tuple[list, int]:
         """run_sql over the pool, retrying infra failures with backoff."""
         attempt = 0
         while True:
             query_metrics = MetricsRegistry()
+            exec_start = time.monotonic()
             try:
                 rows = run_sql(
                     sql, relation,
@@ -283,6 +367,8 @@ class QueryService:
                     deadline=deadline.absolute(),
                     memory_budget_bytes=budget_bytes,
                     metrics=query_metrics,
+                    tracer=query_tracer,
+                    strategy=self.config.strategy,
                     faults=self.config.faults,
                 )
             except DeadlineExceededError as exc:
@@ -318,6 +404,14 @@ class QueryService:
                     type(exc).__name__, str(exc), retries=attempt
                 ) from exc
             finally:
+                if info is not None:
+                    # Accumulated across retry attempts, so the query
+                    # log separates executor time from queue/backoff.
+                    info["exec_seconds"] = (
+                        (info["exec_seconds"] or 0.0)
+                        + (time.monotonic() - exec_start)
+                    )
+                    info["retries"] = attempt
                 with self._obs_lock:
                     self.metrics.merge(query_metrics)
             return rows, attempt
@@ -356,4 +450,6 @@ class QueryService:
 
         shutdown_worker_pool()
         self._gauges()
+        if self.query_log is not None:
+            self.query_log.close()
         return clean

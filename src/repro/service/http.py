@@ -10,7 +10,17 @@ stays a dumb translator:
   400 query failure).
 * ``GET /healthz`` — admission counts, ladder rung, breaker state;
   ``200`` while serving, ``503`` once draining.
-* ``GET /metrics`` — the service MetricsRegistry snapshot as JSON.
+* ``GET /metrics`` — the service MetricsRegistry snapshot as JSON;
+  ``GET /metrics?format=prom`` — Prometheus text exposition (0.0.4).
+* ``GET /debug/queries`` — the flight recorder's recent query records,
+  newest first (``?n=`` limits the count).
+* ``GET /debug/trace/<query_id>`` — the auto-captured Chrome trace of a
+  slow query, loadable in Perfetto / ``chrome://tracing``.
+
+Keep-alive discipline: a request body is either fully read before the
+response is written, or the response carries ``Connection: close`` and
+the connection is torn down — never a 400 that leaves unread body bytes
+to be misparsed as the next pipelined request.
 
 ``serve`` wires SIGTERM/SIGINT to graceful drain: admission stops,
 in-flight queries finish (or miss their deadlines and are cancelled),
@@ -23,7 +33,9 @@ import json
 import signal
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs
 
+from repro.obs.live import PROM_CONTENT_TYPE, to_prometheus
 from repro.service.core import QueryService
 from repro.service.errors import ServiceError
 
@@ -32,10 +44,16 @@ _MAX_BODY_BYTES = 1 << 20  # a SQL text; anything bigger is abuse
 
 class ServiceHTTPServer(ThreadingHTTPServer):
     daemon_threads = True  # drain owns lifecycle; don't block exit on I/O
+    # socketserver's default accept backlog is 5; a burst of short-lived
+    # connections (scrapers + query storm) overflows that and the kernel
+    # resets the excess.  Admission control is the real gate, so let the
+    # listener absorb the burst.
+    request_queue_size = 128
 
     def __init__(self, address, service: QueryService) -> None:
         super().__init__(address, _Handler)
         self.service = service
+        self.access_log = service.config.access_log
 
 
 class _Handler(BaseHTTPRequestHandler):
@@ -44,31 +62,50 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -- plumbing -------------------------------------------------------
 
-    def log_message(self, fmt, *args):  # quiet: metrics are the log
-        pass
+    def log_message(self, fmt, *args):
+        # Off by default (ServiceConfig.access_log): the query log and
+        # metrics are the operational record; this is debug chatter.
+        if getattr(self.server, "access_log", False):
+            BaseHTTPRequestHandler.log_message(self, fmt, *args)
 
     def _send_json(self, status: int, body: dict,
-                   retry_after: float | None = None) -> None:
+                   retry_after: float | None = None,
+                   close: bool = False) -> None:
         data = json.dumps(body).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(data)))
         if retry_after is not None:
             self.send_header("Retry-After", f"{retry_after:.3f}")
+        if close:
+            self.send_header("Connection", "close")
+            self.close_connection = True
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        data = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
         self.end_headers()
         self.wfile.write(data)
 
     def _read_json(self) -> dict | None:
         length = int(self.headers.get("Content-Length") or 0)
         if length <= 0 or length > _MAX_BODY_BYTES:
+            # The body (if any) was not read and cannot safely be — a
+            # keep-alive read would misparse it as the next request, so
+            # the connection is closed with the refusal.
             self._send_json(400, {
                 "error": "bad_request",
                 "message": "body must be JSON with a Content-Length "
                            f"between 1 and {_MAX_BODY_BYTES} bytes",
-            })
+            }, close=True)
             return None
+        raw = self.rfile.read(length)  # always drained, even on a 400
         try:
-            body = json.loads(self.rfile.read(length))
+            body = json.loads(raw)
         except (ValueError, UnicodeDecodeError):
             self._send_json(400, {
                 "error": "bad_request", "message": "body is not valid JSON",
@@ -85,12 +122,67 @@ class _Handler(BaseHTTPRequestHandler):
 
     def do_GET(self) -> None:
         service = self.server.service
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        params = parse_qs(query)
+        if path == "/healthz":
             status = service.status()
             code = 503 if status["status"] == "draining" else 200
             self._send_json(code, status)
-        elif self.path == "/metrics":
-            self._send_json(200, service.metrics.snapshot())
+        elif path == "/metrics":
+            fmt = (params.get("format") or ["json"])[-1]
+            if fmt == "prom":
+                self._send_text(
+                    200, to_prometheus(service.metrics), PROM_CONTENT_TYPE
+                )
+            else:
+                self._send_json(200, service.metrics.snapshot())
+        elif path == "/debug/queries":
+            recorder = service.flight_recorder
+            if recorder is None:
+                self._send_json(404, {
+                    "error": "not_found",
+                    "message": "live observability is disabled",
+                })
+                return
+            limit = None
+            raw = (params.get("n") or [None])[-1]
+            if raw is not None:
+                try:
+                    limit = max(0, int(raw))
+                except ValueError:
+                    self._send_json(400, {
+                        "error": "bad_request",
+                        "message": "'n' must be an integer",
+                    })
+                    return
+            self._send_json(200, {"queries": recorder.queries(limit)})
+        elif path.startswith("/debug/trace/"):
+            recorder = service.flight_recorder
+            if recorder is None:
+                self._send_json(404, {
+                    "error": "not_found",
+                    "message": "live observability is disabled",
+                })
+                return
+            raw = path[len("/debug/trace/"):]
+            try:
+                query_id = int(raw)
+            except ValueError:
+                self._send_json(400, {
+                    "error": "bad_request",
+                    "message": f"query id must be an integer, got {raw!r}",
+                })
+                return
+            trace = recorder.trace(query_id)
+            if trace is None:
+                self._send_json(404, {
+                    "error": "not_found",
+                    "message": f"no trace captured for query {query_id} "
+                               "(only queries over the slow threshold "
+                               "are traced, oldest are evicted)",
+                })
+                return
+            self._send_json(200, trace)
         else:
             self._send_json(404, {
                 "error": "not_found", "message": f"no route {self.path!r}",

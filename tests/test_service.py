@@ -13,10 +13,12 @@ import json
 import multiprocessing
 import os
 import random
+import socket
 import threading
 import time
 import urllib.error
 import urllib.request
+from contextlib import contextmanager
 
 import pytest
 
@@ -29,7 +31,9 @@ from repro.obs.decisions import (
     QUERY_RETRY,
     DecisionLedger,
 )
+from repro.obs.live import validate_prometheus
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.schema import validate_chrome_trace, validate_qlog_record
 from repro.parallel import reference_aggregate
 from repro.parallel.mp_executor import (
     FragmentFailedError,
@@ -284,6 +288,14 @@ class TestServiceConfig:
             ServiceConfig(max_concurrency=0)
         with pytest.raises(ValueError):
             ServiceConfig(reduced_load=0.9, cache_only_load=0.5)
+        with pytest.raises(ValueError):
+            ServiceConfig(strategy="turbo")
+        with pytest.raises(ValueError):
+            ServiceConfig(slow_trace_threshold_seconds=-1.0)
+        with pytest.raises(ValueError):
+            ServiceConfig(query_log_capacity=0)
+        with pytest.raises(ValueError):
+            ServiceConfig(flight_recorder_entries=0)
 
 
 # -- QueryService with the executor faked (fast, no pool) ---------------------
@@ -368,6 +380,16 @@ class TestQueryServiceFakedExecutor:
         with pytest.raises(QueryFailedError) as info:
             service.submit("SELEKT nope")
         assert info.value.cause_type == "ParseError"
+        assert service.metrics.counter("svc.failed").value == 1
+
+    def test_lex_error_is_typed(self):
+        # LexError is a sibling of ParseError, not a subclass; a query
+        # with an unlexable character must still map to query_failed
+        # instead of escaping the service as an unhandled exception.
+        service = _service()
+        with pytest.raises(QueryFailedError) as info:
+            service.submit("SELECT gkey FROM r GROUP BY gkey -- nope")
+        assert info.value.cause_type == "LexError"
         assert service.metrics.counter("svc.failed").value == 1
 
     def test_unknown_table_is_typed(self):
@@ -681,3 +703,300 @@ class TestHTTPFrontEnd:
         assert status == 503 and body["status"] == "draining"
         status, body, _ = _post(port, "/query", {"sql": SQL})
         assert (status, body["error"]) == (503, "draining")
+
+
+# -- HTTP keep-alive discipline (no pool needed) ------------------------------
+
+
+@contextmanager
+def _light_http(**overrides):
+    """A served QueryService whose queries never touch the pool."""
+    service = _service(**overrides)
+    server = create_server(service, port=0)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05})
+    thread.start()
+    try:
+        yield service, server.server_port
+    finally:
+        server.shutdown()
+        server.server_close()
+        thread.join(timeout=10)
+
+
+def _recv_response(reader):
+    """One HTTP response off a socket file: (status, headers, body)."""
+    status_line = reader.readline()
+    if not status_line:
+        return None, {}, b""
+    headers = {}
+    while True:
+        line = reader.readline()
+        if line in (b"\r\n", b"\n", b""):
+            break
+        key, _, value = line.decode().partition(":")
+        headers[key.strip().lower()] = value.strip()
+    length = int(headers.get("content-length", 0))
+    body = reader.read(length) if length > 0 else b""
+    return int(status_line.split()[1]), headers, body
+
+
+class TestKeepAliveDiscipline:
+    """Regression: an early 400 must never leave unread body bytes to be
+    misparsed as the next pipelined request on the same connection."""
+
+    def _connect(self, port):
+        sock = socket.create_connection(("127.0.0.1", port), timeout=10)
+        sock.settimeout(10)
+        return sock
+
+    def test_drained_bad_json_keeps_the_connection_usable(self):
+        with _light_http() as (_service_, port):
+            bad = b"{not json"
+            request1 = (
+                b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: " + str(len(bad)).encode() + b"\r\n\r\n"
+                + bad
+            )
+            request2 = b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+            with self._connect(port) as sock:
+                sock.sendall(request1 + request2)  # pipelined
+                reader = sock.makefile("rb")
+                status1, _, body1 = _recv_response(reader)
+                assert status1 == 400
+                assert json.loads(body1)["error"] == "bad_request"
+                # The desync failure mode: the unread `{not json` bytes
+                # get parsed as request 2's request line and /healthz
+                # never answers.
+                status2, _, body2 = _recv_response(reader)
+                assert status2 == 200
+                assert json.loads(body2)["status"] == "ok"
+
+    def test_oversize_body_closes_the_connection(self):
+        with _light_http() as (_service_, port):
+            request = (
+                b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 2097152\r\n\r\n"
+            )
+            with self._connect(port) as sock:
+                sock.sendall(request + b"xxxx")  # body starts trickling in
+                reader = sock.makefile("rb")
+                status, headers, body = _recv_response(reader)
+                assert status == 400
+                assert json.loads(body)["error"] == "bad_request"
+                # The body was not (and will not be) drained, so the
+                # server must refuse to reuse the connection.
+                assert headers.get("connection") == "close"
+                assert reader.readline() == b""  # EOF, not a misparse
+
+    def test_missing_content_length_closes_the_connection(self):
+        with _light_http() as (_service_, port):
+            sneak = b'{"sql": "x"}'
+            request = (
+                b"POST /query HTTP/1.1\r\nHost: t\r\n"
+                b"Content-Type: application/json\r\n"
+                b"Content-Length: 0\r\n\r\n" + sneak
+            )
+            with self._connect(port) as sock:
+                sock.sendall(request)
+                reader = sock.makefile("rb")
+                status, headers, _body = _recv_response(reader)
+                assert status == 400
+                assert headers.get("connection") == "close"
+                assert reader.readline() == b""
+
+
+class TestAccessLogToggle:
+    def test_off_by_default(self, capfd):
+        with _light_http() as (_service_, port):
+            _get(port, "/healthz")
+        assert '"GET /healthz' not in capfd.readouterr().err
+
+    def test_opt_in_logs_requests(self, capfd):
+        with _light_http(access_log=True) as (_service_, port):
+            _get(port, "/healthz")
+        assert '"GET /healthz' in capfd.readouterr().err
+
+
+class TestDisabledObservabilityHTTP:
+    def test_debug_endpoints_404_and_no_histograms(self):
+        with _light_http(live_observability=False) as (service, port):
+            status, body, _ = _post(port, "/query", {"sql": "SELEKT"})
+            assert status == 400  # parse error; no pool involved
+            status, body = _get(port, "/debug/queries")
+            assert (status, body["error"]) == (404, "not_found")
+            status, body = _get(port, "/debug/trace/1")
+            assert (status, body["error"]) == (404, "not_found")
+            # The disabled path records nothing: no latency histograms,
+            # no query records — PR 7's metric families only.
+            snapshot = service.metrics.snapshot()
+            assert "svc.latency_seconds" not in snapshot
+            assert "svc.queue_wait_seconds" not in snapshot
+            assert service.flight_recorder is None
+            assert service.query_log is None
+
+
+# -- live observability over HTTP (prom, debug endpoints, storm) --------------
+
+
+def _get_text(port: int, path: str):
+    with urllib.request.urlopen(
+        f"http://127.0.0.1:{port}{path}", timeout=30
+    ) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode())
+
+
+class TestLiveObservabilityFakedExecutor:
+    """Prom exposition + flight recorder under a 50-thread query storm,
+    with the executor faked so the storm is pure service-layer load."""
+
+    def test_prom_scrapes_stay_valid_under_storm(self, monkeypatch):
+        def fast(sql, relation, **kwargs):
+            time.sleep(random.uniform(0.0, 0.002))
+            return [("g", 1.0, 2)]
+
+        monkeypatch.setattr("repro.service.core.run_sql", fast)
+        with _light_http(max_concurrency=4, queue_depth=8) as (
+            service, port,
+        ):
+            threads, per_thread = 50, 3
+            outcomes = []
+            outcomes_lock = threading.Lock()
+            scrape_problems = []
+            stop = threading.Event()
+
+            variants = (
+                "SELECT gkey, SUM(val) FROM r GROUP BY gkey",
+                "SELECT gkey, COUNT(*) FROM r GROUP BY gkey",
+                "SELECT gkey, MIN(val) FROM r GROUP BY gkey",
+                "SELECT gkey, MAX(val) FROM r GROUP BY gkey",
+            )
+
+            def client(seed):
+                rng = random.Random(seed)
+                for i in range(per_thread):
+                    sql = variants[rng.randrange(len(variants))]
+                    status, body, _ = _post(port, "/query", {"sql": sql})
+                    with outcomes_lock:
+                        outcomes.append(status)
+
+            def scraper():
+                while not stop.is_set():
+                    _status, ctype, text = _get_text(
+                        port, "/metrics?format=prom"
+                    )
+                    assert ctype.startswith("text/plain; version=0.0.4")
+                    problems = validate_prometheus(text)
+                    if problems:
+                        scrape_problems.extend(problems)
+                        return
+                    time.sleep(0.002)
+
+            scrape_thread = threading.Thread(target=scraper)
+            scrape_thread.start()
+            clients = [
+                threading.Thread(target=client, args=(i,))
+                for i in range(threads)
+            ]
+            for t in clients:
+                t.start()
+            for t in clients:
+                t.join()
+            stop.set()
+            scrape_thread.join()
+
+            assert scrape_problems == []
+            assert len(outcomes) == threads * per_thread
+            assert set(outcomes) <= {200, 429}
+            # One final scrape reflects the whole storm consistently.
+            _status, _ctype, text = _get_text(
+                port, "/metrics?format=prom"
+            )
+            assert validate_prometheus(text) == []
+            snapshot = service.metrics.snapshot()
+            latency = snapshot["svc.latency_seconds"]
+            assert latency["count"] == threads * per_thread
+            assert sum(latency["counts"]) == latency["count"]
+
+    def test_debug_queries_carry_wait_and_rung(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.service.core.run_sql",
+            lambda sql, relation, **kwargs: [("g", 1.0, 2)],
+        )
+        with _light_http() as (_service_, port):
+            _post(port, "/query", {"sql": SQL})
+            _post(port, "/query", {"sql": SQL})  # cache hit
+            status, body = _get(port, "/debug/queries")
+            assert status == 200
+            records = body["queries"]
+            assert len(records) == 2
+            assert records[0]["cache_hit"] is True  # newest first
+            for record in records:
+                assert validate_qlog_record(record) == []
+                assert record["queue_wait_seconds"] >= 0.0
+                assert record["rung"] == "full"
+            status, body = _get(port, "/debug/queries?n=1")
+            assert len(body["queries"]) == 1
+            status, body = _get(port, "/debug/queries?n=bogus")
+            assert (status, body["error"]) == (400, "bad_request")
+            status, body = _get(port, "/debug/trace/bogus")
+            assert (status, body["error"]) == (400, "bad_request")
+
+
+@needs_shm
+class TestLiveObservabilityPool:
+    """The acceptance path over the real pool: a slow query yields a
+    valid Chrome trace, and the query log validates after drain."""
+
+    @pytest.fixture
+    def served_obs(self, clean_pool, tmp_path):
+        dist = generate_uniform(num_tuples=1200, num_groups=30,
+                                num_nodes=4, seed=17)
+        qlog_path = tmp_path / "qlog.jsonl"
+        service = QueryService(ServiceConfig(
+            processes=2, default_timeout_seconds=120.0,
+            slow_trace_threshold_seconds=0.0,  # every query is "slow"
+            query_log_path=str(qlog_path),
+        ))
+        service.register_table("r", dist)
+        server = create_server(service, port=0)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05})
+        thread.start()
+        try:
+            yield service, server.server_port, qlog_path
+        finally:
+            server.shutdown()
+            server.server_close()
+            thread.join(timeout=10)
+            service.drain()
+
+    def test_trace_prom_and_qlog(self, served_obs):
+        service, port, qlog_path = served_obs
+        status, body, _ = _post(port, "/query", {"sql": SQL})
+        assert status == 200
+        qid = body["query_id"]
+
+        status, trace = _get(port, f"/debug/trace/{qid}")
+        assert status == 200
+        assert validate_chrome_trace(trace) == []
+
+        status, missing = _get(port, "/debug/trace/99999")
+        assert (status, missing["error"]) == (404, "not_found")
+
+        _status, ctype, text = _get_text(port, "/metrics?format=prom")
+        assert ctype.startswith("text/plain; version=0.0.4")
+        assert validate_prometheus(text) == []
+        assert "svc_latency_seconds_bucket" in text
+
+        assert service.drain()
+        lines = qlog_path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert validate_qlog_record(record) == []
+        assert record["query_id"] == qid
+        assert record["outcome"] == "served"
+        assert record["exec_seconds"] > 0.0
