@@ -20,15 +20,12 @@ float value, padding):
 
 import time
 
-from conftest import report
+from conftest import STR_KEY_FORMAT, best_run, fig2_workload, report
 
 from repro.bench.harness import FigureResult
 from repro.core.aggregates import AggregateSpec
 from repro.core.query import AggregateQuery
 from repro.parallel import mp_executor
-from repro.storage.relation import DistributedRelation
-from repro.storage.schema import Column, Schema
-from repro.workloads.generator import generate_uniform, selectivity_to_groups
 
 NUM_TUPLES = 150_000
 SELECTIVITY = 0.005
@@ -40,43 +37,32 @@ HEAD_TO_HEAD_TUPLES = 100_000
 HEAD_TO_HEAD_SELECTIVITIES = (0.0005, 0.005, 0.05)
 HEAD_TO_HEAD_STRATEGIES = ("pool", "global", "rep")
 
+E2E_MIN_SPEEDUP = 8.0
+E2E_STRATEGIES = ("global", "rep", "auto")
 
-def _strkey_fig2(num_tuples, selectivity, num_nodes, seed=7):
+
+def _strkey_fig2(num_tuples, selectivity, num_nodes, seed=7,
+                 columnar=True):
     """The Fig-2 shape with a string group key (16-byte key, 100-byte
     tuple) — representable by both codecs, vectorizable only by the
     dictionary-coded columnar path."""
-    base = generate_uniform(
-        num_tuples=num_tuples,
-        num_groups=selectivity_to_groups(selectivity, num_tuples),
-        num_nodes=num_nodes,
-        seed=seed,
+    return fig2_workload(
+        num_tuples, selectivity, num_nodes, seed=seed,
+        key_format=STR_KEY_FORMAT, columnar=columnar,
     )
-    schema = Schema([
-        Column("gkey", "str", 16),
-        Column("val", "float"),
-        Column("pad", "str", 76),
-    ])
-    parts = [
-        [(f"g{row[0]:08d}", row[1], "") for row in frag.relation.rows]
-        for frag in base.fragments
-    ]
-    return DistributedRelation(schema, parts)
 
 
 def _best_run(dist, query, strategy):
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        t0 = time.perf_counter()
-        result = mp_executor.multiprocessing_aggregate(
-            dist, query, processes=WORKERS, strategy=strategy
-        )
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+    return best_run(
+        dist, query, strategy, processes=WORKERS, repeats=REPEATS
+    )
 
 
 def test_columnar_vs_rowblock_string_keys():
-    dist = _strkey_fig2(NUM_TUPLES, SELECTIVITY, WORKERS)
+    # Row-born on purpose: this experiment isolates the *shipping* data
+    # path (columnar vs fixed-width row blocks) over one identical row
+    # source; the end-to-end sweep below covers the block-born path.
+    dist = _strkey_fig2(NUM_TUPLES, SELECTIVITY, WORKERS, columnar=False)
     query = AggregateQuery(
         group_by=["gkey"],
         aggregates=[AggregateSpec("sum", "val"), AggregateSpec("count")],
@@ -141,13 +127,8 @@ def test_strategy_head_to_head():
     )
     try:
         for selectivity in HEAD_TO_HEAD_SELECTIVITIES:
-            dist = generate_uniform(
-                num_tuples=HEAD_TO_HEAD_TUPLES,
-                num_groups=selectivity_to_groups(
-                    selectivity, HEAD_TO_HEAD_TUPLES
-                ),
-                num_nodes=WORKERS,
-                seed=11,
+            dist = fig2_workload(
+                HEAD_TO_HEAD_TUPLES, selectivity, WORKERS, seed=11
             )
             reference = None
             for strategy in HEAD_TO_HEAD_STRATEGIES:
@@ -166,3 +147,87 @@ def test_strategy_head_to_head():
     finally:
         mp_executor.shutdown_worker_pool()
     report(result)
+
+
+def _timed_e2e(query, columnar, ship, strategy):
+    """Best-of-REPEATS wall seconds for *generation plus aggregation*.
+
+    Unlike :func:`_best_run` the generator runs inside the timed
+    region: the end-to-end figure charges the row path for
+    materializing tuples and the columnar path for nothing — blocks go
+    generator -> shm -> kernel with zero row round-trips.
+    """
+    best = float("inf")
+    result = None
+    for _ in range(REPEATS):
+        mp_executor.set_columnar_shipping(ship)
+        t0 = time.perf_counter()
+        dist = _strkey_fig2(
+            NUM_TUPLES, SELECTIVITY, WORKERS, columnar=columnar
+        )
+        result = mp_executor.multiprocessing_aggregate(
+            dist, query, processes=WORKERS, strategy=strategy
+        )
+        best = min(best, time.perf_counter() - t0)
+    mp_executor.set_columnar_shipping(True)
+    return best, result
+
+
+def test_end_to_end_columnar_sweep():
+    """The PR-10 tentpole gate: generator -> ColumnBlock -> shm -> kernel
+    with zero row round-trips, against the seed path (rows materialized
+    at generation, fixed-width row blocks shipped, pool strategy).
+
+    Every columnar strategy must be bit-identical to the seed result;
+    the ``global`` figure (packed partials, vectorized parent fold)
+    carries the >= ``E2E_MIN_SPEEDUP`` gate.
+    """
+    query = AggregateQuery(
+        group_by=["gkey"],
+        aggregates=[AggregateSpec("sum", "val"), AggregateSpec("count")],
+    )
+    result = FigureResult(
+        "columnar_e2e",
+        "End-to-end columnar (block-born generation + columnar shipping) "
+        "vs the seed row path, string group keys",
+        ["path", "strategy", "elapsed_seconds", "tuples_per_second",
+         "speedup_vs_seed"],
+        notes=(
+            f"{NUM_TUPLES} tuples, S={SELECTIVITY}, {WORKERS} workers, "
+            f"str16 group key, best of {REPEATS}, generation included in "
+            f"the timing; wall-clock (machine-dependent, not under the "
+            f"baseline figure gate — the gate is the >= "
+            f"{E2E_MIN_SPEEDUP}x assertion on the global strategy)"
+        ),
+    )
+    speedups = {}
+    try:
+        mp_executor.multiprocessing_aggregate(  # warm up the pool forks
+            _strkey_fig2(NUM_TUPLES, SELECTIVITY, WORKERS),
+            query, processes=WORKERS, strategy="pool",
+        )
+        seed_seconds, seed_rows = _timed_e2e(query, False, False, "pool")
+        result.add_row(
+            "seed_rows", "pool", seed_seconds,
+            NUM_TUPLES / seed_seconds, 1.0,
+        )
+        for strategy in E2E_STRATEGIES:
+            seconds, rows = _timed_e2e(query, True, True, strategy)
+            assert rows == seed_rows, (
+                f"columnar e2e strategy {strategy!r} disagrees with the "
+                f"seed row path"
+            )
+            speedups[strategy] = seed_seconds / seconds
+            result.add_row(
+                "columnar_e2e", strategy, seconds,
+                NUM_TUPLES / seconds, speedups[strategy],
+            )
+    finally:
+        mp_executor.shutdown_worker_pool()
+    report(result)
+
+    assert speedups["global"] >= E2E_MIN_SPEEDUP, (
+        f"end-to-end columnar (global) is only "
+        f"{speedups['global']:.2f}x the seed row path; expected >= "
+        f"{E2E_MIN_SPEEDUP}x"
+    )

@@ -14,15 +14,12 @@ The gate asserts the pooled path moves at least ``MIN_SPEEDUP`` times
 as many tuples per second.
 """
 
-import time
-
-from conftest import report
+from conftest import best_run, fig2_workload, report
 
 from repro.bench.harness import FigureResult
 from repro.core.aggregates import AggregateSpec
 from repro.core.query import AggregateQuery
 from repro.parallel import mp_executor
-from repro.workloads.generator import generate_uniform, selectivity_to_groups
 
 NUM_TUPLES = 200_000
 SELECTIVITY = 0.005
@@ -32,25 +29,13 @@ MIN_SPEEDUP = 3.0
 
 
 def _best_run(dist, query, strategy):
-    """Best-of-REPEATS wall seconds (and the result, for parity checks)."""
-    best = float("inf")
-    result = None
-    for _ in range(REPEATS):
-        t0 = time.perf_counter()
-        result = mp_executor.multiprocessing_aggregate(
-            dist, query, processes=WORKERS, strategy=strategy
-        )
-        best = min(best, time.perf_counter() - t0)
-    return best, result
+    return best_run(
+        dist, query, strategy, processes=WORKERS, repeats=REPEATS
+    )
 
 
 def test_throughput_pool_vs_spawn():
-    dist = generate_uniform(
-        num_tuples=NUM_TUPLES,
-        num_groups=selectivity_to_groups(SELECTIVITY, NUM_TUPLES),
-        num_nodes=WORKERS,
-        seed=42,
-    )
+    dist = fig2_workload(NUM_TUPLES, SELECTIVITY, WORKERS, seed=42)
     query = AggregateQuery(
         group_by=["gkey"],
         aggregates=[AggregateSpec("sum", "val"), AggregateSpec("count")],

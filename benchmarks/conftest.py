@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 import sys
+import time
 
 from repro.bench.harness import (
     FigureResult,
@@ -24,8 +25,52 @@ from repro.bench.harness import (
     write_bench_json,
     write_results,
 )
+from repro.parallel import mp_executor
+from repro.workloads.generator import generate_uniform, selectivity_to_groups
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "..", "results")
+
+# The Figure-2 evaluation tuple both throughput benches sweep: 100-byte
+# tuples (group key, float value, padding), uniform groups, declustered
+# round-robin.  ``STR_KEY_FORMAT`` turns the int key into the 16-byte
+# dictionary-coded string key of the columnar experiments.
+STR_KEY_FORMAT = "g{:08d}"
+
+
+def fig2_workload(
+    num_tuples: int,
+    selectivity: float,
+    num_nodes: int,
+    seed: int = 42,
+    key_format: str | None = None,
+    columnar: bool = True,
+):
+    """The shared Fig-2 workload (uniform, round-robin, exact groups).
+
+    ``columnar=False`` materializes row tuples at generation time — the
+    seed/reference data path; the default emits block-born fragments.
+    """
+    return generate_uniform(
+        num_tuples=num_tuples,
+        num_groups=selectivity_to_groups(selectivity, num_tuples),
+        num_nodes=num_nodes,
+        seed=seed,
+        key_format=key_format,
+        columnar=columnar,
+    )
+
+
+def best_run(dist, query, strategy, *, processes, repeats):
+    """Best-of-``repeats`` wall seconds (and the result, for parity)."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = mp_executor.multiprocessing_aggregate(
+            dist, query, processes=processes, strategy=strategy
+        )
+        best = min(best, time.perf_counter() - t0)
+    return best, result
 
 # Per-bench-module collection for the BENCH_<name>.json artifacts:
 # module stem (minus the "bench_" prefix) -> figures / test records.

@@ -12,7 +12,12 @@ Hot operators additionally expose ``batches()`` — the same stream as
 dispatch is paid once per batch (the Volcano-overhead fix the related
 aggregation-performance studies all converge on) — and ``blocks()``,
 which yields the stream as encoded :class:`~repro.storage.RowBlock`
-buffers for process or network boundaries.
+buffers for process or network boundaries.  ``column_blocks()`` is the
+columnar sibling: the stream as
+:class:`~repro.storage.columnblock.ColumnBlock` chunks, which a scan
+over a block-born :class:`~repro.storage.relation.BlockRelation` (and a
+project above it) serves as zero-copy buffer slices — no tuple is ever
+materialized between a columnar generator and a columnar consumer.
 """
 
 from __future__ import annotations
@@ -21,6 +26,7 @@ from repro.core.aggregates import make_state_factory
 from repro.core.hashtable import HashAggregator
 from repro.core.query import AggregateQuery
 from repro.core.sortagg import SortAggregator
+from repro.storage.columnblock import ColumnBlock, have_numpy
 from repro.storage.relation import Relation
 from repro.storage.rowblock import RowBlock
 from repro.storage.schema import Column, Schema
@@ -68,6 +74,17 @@ class Operator:
         for batch in self.batches(batch_rows):
             yield RowBlock.from_rows(codec, batch)
 
+    def column_blocks(self, batch_rows: int = BATCH_ROWS):
+        """The output as :class:`ColumnBlock` chunks of this schema.
+
+        The default columnarizes each batch (requires numpy); operators
+        sitting on a block-born source override this with buffer-slice
+        streams that never touch a row tuple.
+        """
+        schema = self.schema
+        for batch in self.batches(batch_rows):
+            yield ColumnBlock.from_rows(schema, batch)
+
     def describe(self) -> str:
         """One line for EXPLAIN output."""
         return self.name
@@ -93,6 +110,17 @@ class ScanOp(Operator):
         rows = self.relation.rows
         for start in range(0, len(rows), batch_rows):
             yield rows[start : start + batch_rows]
+
+    def column_blocks(self, batch_rows: int = BATCH_ROWS):
+        """Native slices of a block-born relation; columnarized batches
+        otherwise.  Slices share the relation's buffers and dictionary —
+        a scan over a :class:`BlockRelation` never decodes a row."""
+        block = getattr(self.relation, "block", None)
+        if block is None or not have_numpy():
+            yield from super().column_blocks(batch_rows)
+            return
+        for start in range(0, block.num_rows, batch_rows):
+            yield block.slice(start, start + batch_rows)
 
     def describe(self) -> str:
         return f"scan({len(self.relation)} rows)"
@@ -150,6 +178,12 @@ class ProjectOp(Operator):
         idx = self._idx
         for batch in self.children[0].batches(batch_rows):
             yield [tuple(row[i] for i in idx) for row in batch]
+
+    def column_blocks(self, batch_rows: int = BATCH_ROWS):
+        """Columnar projection is a column-list reshuffle — buffers and
+        dictionaries are shared with the child's blocks, not copied."""
+        for block in self.children[0].column_blocks(batch_rows):
+            yield block.project(self._idx, self._schema)
 
     def describe(self) -> str:
         return f"project({', '.join(self.columns)})"

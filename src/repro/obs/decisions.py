@@ -51,6 +51,11 @@ SPECULATIVE_EXECUTION = "speculative_execution"
 # The mp executor's strategy="auto" arbitration between partitioned 2P
 # and the shared global hash table (repro.costmodel.globalhash).
 MP_STRATEGY_CHOICE = "mp_strategy_choice"
+# The mid-run re-estimate of that choice: after the first K fragments
+# complete, the executor re-runs the cost model on *observed* group
+# cardinality and may flip global <-> pool for the remaining fragments
+# (the paper's A-2P switch, lifted to the strategy family).
+MP_STRATEGY_RESAMPLE = "mp_strategy_resample"
 
 # Service-layer decision kinds (repro.service): admission-time choices,
 # logged with the same machinery as the in-query adaptive decisions so

@@ -101,9 +101,11 @@ from repro.core.aggregates import GroupState
 from repro.core.query import AggregateQuery
 from repro.obs.decisions import (
     MP_STRATEGY_CHOICE,
+    MP_STRATEGY_RESAMPLE,
     SPECULATIVE_EXECUTION,
     VERDICT_CORRECT,
     VERDICT_WRONG_CHEAP,
+    VERDICT_WRONG_COSTLY,
 )
 from repro.obs.profile import WorkerProfile, profile_finish, profile_start
 from repro.obs.tracer import PHASE as _CAT_PHASE
@@ -115,7 +117,11 @@ from repro.sim.faults import (
     INJECT_SLOW,
     INJECT_STALL,
 )
-from repro.storage.columnblock import ColumnBlock, have_numpy
+from repro.storage.columnblock import (
+    ColumnBlock,
+    StringDictionary,
+    have_numpy,
+)
 from repro.storage.hashing import stable_hash
 from repro.storage.relation import DistributedRelation
 from repro.storage.serialization import RowCodec
@@ -214,8 +220,19 @@ class WorkerFailure(RuntimeError):
 
 
 def _local_phase(args) -> list[tuple[tuple, GroupState]]:
-    """Phase 1 for one fragment: (rows, query, schema) -> partials."""
+    """Phase 1 for one fragment: (source, query, schema) -> partials.
+
+    ``source`` is a row list, or — for block-born fragments on the
+    in-process path — a :class:`~repro.storage.ColumnBlock`, which runs
+    through the columnar kernel and only decodes to rows when a kernel
+    guard declines the shape.
+    """
     rows, query, schema = args
+    if isinstance(rows, ColumnBlock):
+        result = _columnar_local_phase(rows, query)
+        if result is not None:
+            return result
+        rows = rows.to_rows()
     bq = query.bind(schema)
     table: dict[tuple, GroupState] = {}
     for row in rows:
@@ -255,6 +272,10 @@ class _GovernedPhase:
 
     def __call__(self, job) -> list[tuple[tuple, GroupState]]:
         rows, query, schema = job
+        if isinstance(rows, ColumnBlock):
+            # The budget ladder governs the per-row table; a block-born
+            # fragment decodes first so accounting stays identical.
+            rows = rows.to_rows()
         bq = query.bind(schema)
         entry_bytes = self._entry_bytes(bq)
         if self.spill:
@@ -466,7 +487,41 @@ def _encode_fragment(rows, query, schema, segments: list, project: bool = True):
     ``("inline", job)`` descriptor pickled over the pipe, preserving the
     legacy behavior for them.  ``project=False`` ships the full rows —
     required when a substituted ``phase_fn`` inspects raw tuples.
+
+    ``rows`` may also be a :class:`~repro.storage.ColumnBlock` (a
+    block-born fragment): the shippable shape projects and serializes
+    the block columnwise — zero row round-trips from generator to
+    worker — and anything else (columnar shipping off, WHERE, no
+    GROUP BY) decodes once and takes the legacy row paths below.
     """
+    if isinstance(rows, ColumnBlock):
+        block = rows
+        if (
+            _COLUMNAR_ENABLED
+            and project
+            and block.num_rows
+            and query.group_by
+            and query.where is None
+            and have_numpy()
+        ):
+            proj = _projection_for(query, block.schema)
+            if proj is not None:
+                ship_schema, idx = proj
+                block = block.project(idx, ship_schema)
+            else:
+                ship_schema = block.schema
+            data = block.to_bytes()
+            shm = shared_memory.SharedMemory(
+                create=True, size=len(data),
+                name=SHM_PREFIX + secrets.token_hex(8),
+            )
+            segments.append(shm)
+            shm.buf[: len(data)] = data
+            return (
+                "shm_col", shm.name, len(data), block.num_rows, query,
+                ship_schema,
+            )
+        rows = block.to_rows()
     proj = None if not (rows and project) else _projection_for(query, schema)
     if proj is not None:
         ship_schema, idx = proj
@@ -748,12 +803,14 @@ def _columnar_group_keys(cblock, query):
     return decoded, inv, len(uniq_rows)
 
 
-def _distinct_sets(cblock, col_idx, inv, n_groups):
-    """Per-group distinct-value sets via one structured-array unique.
+def _distinct_pairs(cblock, col_idx, inv, n_groups):
+    """Sorted-unique ``(group, value)`` arrays for COUNT(DISTINCT).
 
-    None for float columns containing NaN: the per-row path's set keeps
-    each decoded NaN object as its own element while ``np.unique``
-    collapses them.
+    One structured-array unique over the whole column; the result is the
+    column's distinct pairs sorted by (group, value) — the packed wire
+    form for the distinct merge.  None for float columns containing NaN:
+    the per-row path's set keeps each decoded NaN object as its own
+    element while ``np.unique`` collapses them.
     """
     import numpy as np
 
@@ -765,26 +822,37 @@ def _distinct_sets(cblock, col_idx, inv, n_groups):
     rec["g"] = inv
     rec["v"] = col
     pairs = np.unique(rec)
+    return pairs["g"], pairs["v"]
+
+
+def _distinct_sets(cblock, col_idx, inv, n_groups):
+    """Per-group distinct-value sets (the unpacked distinct state)."""
+    pairs = _distinct_pairs(cblock, col_idx, inv, n_groups)
+    if pairs is None:
+        return None
+    groups, vals = pairs
     sets: list[set] = [set() for _ in range(n_groups)]
-    groups = pairs["g"].tolist()
-    vals = pairs["v"].tolist()
-    if kind == "str":
+    if cblock.schema.columns[col_idx].kind == "str":
         values = cblock.dictionaries[col_idx].values
-        for g, v in zip(groups, vals):
+        for g, v in zip(groups.tolist(), vals.tolist()):
             sets[g].add(values[v])
     else:
-        for g, v in zip(groups, vals):
+        for g, v in zip(groups.tolist(), vals.tolist()):
             sets[g].add(v)
     return sets
 
 
-def _str_extremes(cblock, col_idx, inv, n_groups, func):
+def _str_extremes(cblock, col_idx, inv, n_groups, func, as_codes=False):
     """Per-group MIN/MAX over a dictionary-encoded string column.
 
     Ranks the dictionary once (sort its values, invert the permutation),
     folds the per-row ranks with ``minimum.at``/``maximum.at``, and
     decodes the winning ranks — the same total order Python's ``<``
-    gives, so results match the per-row fold exactly.
+    gives, so results match the per-row fold exactly.  With
+    ``as_codes=True`` the winners come back as an int64 array of
+    *dictionary codes* instead of decoded strings — the packed wire
+    form, which the parent merge re-ranks against the union dictionary
+    without ever materializing per-group strings.
     """
     import numpy as np
 
@@ -801,6 +869,9 @@ def _str_extremes(cblock, col_idx, inv, n_groups, func):
     else:
         acc = np.full(n_groups, -1, dtype=np.int64)
         np.maximum.at(acc, inv, ranks)
+    if as_codes:
+        # Every group holds >= 1 row, so no sentinel rank survives.
+        return np.asarray(order, dtype=np.int64)[acc]
     return [dvals[order[r]] for r in acc.tolist()]
 
 
@@ -823,9 +894,14 @@ def _columnar_local_phase(cblock, query, packed=False):
     """Phase 1 on a ColumnBlock: every key type, every aggregate.
 
     Returns (key, GroupState) partials like :func:`_local_phase`, or —
-    with ``packed=True`` and no count_distinct — a
+    with ``packed=True`` — a
     ``("packed", n_groups, key_columns, state_columns)`` payload of raw
-    arrays for the parent's vectorized global merge.  Returns None when
+    arrays for the parent's vectorized global merge.  Every aggregate
+    has a packed wire form: count_distinct ships sorted-unique
+    ``(group, value)`` pair arrays (codes + the block dictionary for
+    str columns) and str MIN/MAX ships per-group winner *codes* plus
+    the dictionary, so the parent merges via LUT unions instead of
+    unpacking to per-row states.  Returns None when
     a guard detects a shape whose vectorized result could differ from
     the per-row loop's (see the section comment); the caller then
     decodes and runs per-row.
@@ -858,10 +934,25 @@ def _columnar_local_phase(cblock, query, packed=False):
             state_payload.append(("count", counts))
             continue
         if func == "count_distinct":
-            sets = _distinct_sets(cblock, col_idx, inv, n_groups)
-            if sets is None:
-                return None
-            state_payload.append(("distinct", sets))
+            if packed:
+                pairs = _distinct_pairs(cblock, col_idx, inv, n_groups)
+                if pairs is None:
+                    return None
+                groups_arr, vals_arr = pairs
+                if columns[col_idx].kind == "str":
+                    state_payload.append(
+                        ("distinct_str", groups_arr, vals_arr,
+                         cblock.dictionaries[col_idx].values)
+                    )
+                else:
+                    state_payload.append(
+                        ("distinct_num", groups_arr, vals_arr)
+                    )
+            else:
+                sets = _distinct_sets(cblock, col_idx, inv, n_groups)
+                if sets is None:
+                    return None
+                state_payload.append(("distinct", sets))
             continue
         if func not in ("sum", "avg", "min", "max", "var", "stddev"):
             return None
@@ -870,10 +961,18 @@ def _columnar_local_phase(cblock, query, packed=False):
         if kind == "str":
             if func not in ("min", "max"):
                 return None
-            state_payload.append(
-                (func + "_str", _str_extremes(cblock, col_idx, inv,
-                                              n_groups, func))
-            )
+            if packed:
+                state_payload.append(
+                    (func + "_str_codes",
+                     _str_extremes(cblock, col_idx, inv, n_groups, func,
+                                   as_codes=True),
+                     cblock.dictionaries[col_idx].values)
+                )
+            else:
+                state_payload.append(
+                    (func + "_str", _str_extremes(cblock, col_idx, inv,
+                                                  n_groups, func))
+                )
         elif kind == "float":
             if func in ("min", "max"):
                 if len(values):
@@ -938,7 +1037,7 @@ def _columnar_local_phase(cblock, query, packed=False):
                      counts)
                 )
 
-    if packed and not any(tag == "distinct" for tag, *_ in state_payload):
+    if packed:
         key_payload = []
         for j, i in enumerate(bq.key_indexes):
             kind = columns[i].kind
@@ -973,6 +1072,17 @@ def _states_from_payload(spec, tag, data, n_groups):
     elif tag == "distinct":
         for state, values in zip(states, data[0]):
             state.values = values
+    elif tag == "distinct_num":
+        for g, v in zip(_aslist(data[0]), _aslist(data[1])):
+            states[g].values.add(v)
+    elif tag == "distinct_str":
+        dvals = data[2]
+        for g, c in zip(_aslist(data[0]), _aslist(data[1])):
+            states[g].values.add(dvals[c])
+    elif tag in ("min_str_codes", "max_str_codes"):
+        dvals = data[1]
+        for state, c in zip(states, _aslist(data[0])):
+            state.value = dvals[c]
     elif tag in ("sum_int", "sum_float"):
         for state, t in zip(states, _aslist(data[0])):
             state.total = t
@@ -1063,6 +1173,14 @@ def _merge_packed(payloads, query):
             vals = uniq.tolist()
             decoded.append([vals[c] for c in uniq_rows[:, j].tolist()])
     keys = list(zip(*decoded))
+    # Fragment f's local group g sits at position offsets[f] + g in the
+    # concatenated key arrays, so inv[offsets[f] + g] is its global
+    # group — the LUT the pair-array and code-array merges fold through.
+    offsets = []
+    base = 0
+    for p in payloads:
+        offsets.append(base)
+        base += p[1]
 
     per_spec = []
     for s_idx, spec in enumerate(query.aggregates):
@@ -1142,20 +1260,86 @@ def _merge_packed(payloads, query):
                 acc, inv, full
             )
             merged_payload = (tag, acc)
-        elif tag in ("min_str", "max_str"):
-            # Python fold in concatenation order; ties are equal strings,
-            # so keep-first matches the sequential merge.
-            best: list = [None] * n_groups
-            pos = 0
-            want_min = tag == "min_str"
-            for part in parts:
-                for v in part[1]:
-                    g = int(inv[pos])
-                    pos += 1
-                    cur = best[g]
-                    if cur is None or (v < cur if want_min else v > cur):
-                        best[g] = v
-            merged_payload = (tag, best)
+        elif tag in ("min_str_codes", "max_str_codes"):
+            # Dictionary-code LUT union: absorb every fragment's
+            # dictionary into one union dictionary, remap the per-group
+            # winner codes through it, rank the union once, and fold
+            # ranks — ties are equal strings, so any winner decodes to
+            # the same value the sequential merge keeps.
+            union = StringDictionary()
+            luts = [
+                np.asarray(
+                    [union.code_of(v) for v in part[2]], dtype=np.int64
+                )
+                for part in parts
+            ]
+            dvals = union.values
+            order = sorted(range(len(dvals)), key=dvals.__getitem__)
+            rank_of = np.empty(len(dvals), dtype=np.int64)
+            rank_of[np.asarray(order, dtype=np.int64)] = np.arange(
+                len(dvals), dtype=np.int64
+            )
+            ranks = np.concatenate(
+                [
+                    rank_of[lut[np.asarray(part[1], dtype=np.int64)]]
+                    if len(part[1]) else np.empty(0, dtype=np.int64)
+                    for lut, part in zip(luts, parts)
+                ]
+            )
+            if tag.startswith("min"):
+                acc = np.full(n_groups, len(dvals), dtype=np.int64)
+                np.minimum.at(acc, inv, ranks)
+            else:
+                acc = np.full(n_groups, -1, dtype=np.int64)
+                np.maximum.at(acc, inv, ranks)
+            merged_payload = (
+                tag[:3] + "_str", [dvals[order[r]] for r in acc.tolist()]
+            )
+        elif tag == "distinct_num":
+            # Set fold over sorted-unique (group, value) pair arrays:
+            # remap each fragment's local groups to global ones, then
+            # one structured unique dedups across fragments.
+            gparts, vparts = [], []
+            for f, part in enumerate(parts):
+                local = np.asarray(part[1], dtype=np.int64)
+                gparts.append(inv[offsets[f] + local])
+                vparts.append(np.asarray(part[2]))
+            gg = np.concatenate(gparts)
+            vv = np.concatenate(vparts)
+            rec = np.empty(
+                len(gg), dtype=[("g", np.int64), ("v", vv.dtype)]
+            )
+            rec["g"] = gg
+            rec["v"] = vv
+            upairs = np.unique(rec)
+            merged_payload = (tag, upairs["g"], upairs["v"])
+        elif tag == "distinct_str":
+            # As distinct_num, but codes go through the union-dictionary
+            # LUT first so equal strings from different fragments unify.
+            union = StringDictionary()
+            gparts, cparts = [], []
+            for f, part in enumerate(parts):
+                lut = np.asarray(
+                    [union.code_of(v) for v in part[3]], dtype=np.int64
+                )
+                local = np.asarray(part[1], dtype=np.int64)
+                codes = np.asarray(part[2], dtype=np.int64)
+                gparts.append(inv[offsets[f] + local])
+                cparts.append(
+                    lut[codes] if len(codes)
+                    else np.empty(0, dtype=np.int64)
+                )
+            gg = np.concatenate(gparts)
+            cc = np.concatenate(cparts)
+            rec = np.empty(
+                len(gg), dtype=[("g", np.int64), ("v", np.int64)]
+            )
+            rec["g"] = gg
+            rec["v"] = cc
+            upairs = np.unique(rec)
+            merged_payload = (
+                tag, upairs["g"], upairs["v"], union.values
+            )
         else:  # pragma: no cover - unknown payload tag
             return None
         per_spec.append(
@@ -1176,9 +1360,16 @@ def _global_phase(job):
     """Phase 1 for ``strategy="global"`` on inline/per-row inputs.
 
     Block descriptors take the packed columnar path in
-    :func:`_run_worker_job`; anything else degrades to ordinary
-    partials, which the parent merge accepts (it unpacks mixed results).
+    :func:`_run_worker_job`, and a block-born in-process job packs right
+    here; anything else degrades to ordinary partials, which the parent
+    merge accepts (it unpacks mixed results).
     """
+    source = job[0]
+    if isinstance(source, ColumnBlock):
+        result = _columnar_local_phase(source, job[1], packed=True)
+        if result is not None:
+            return result
+        job = (source.to_rows(), job[1], job[2])
     return _local_phase(job)
 
 
@@ -1219,6 +1410,19 @@ class _RepPartitionPhase:
 
     def __call__(self, job):
         rows, query, schema = job
+        if isinstance(rows, ColumnBlock):
+            block = rows
+            # Project exactly like the pool's shipping path so round-2
+            # chunks decode against the same rep schema either way.
+            proj = _projection_for(query, block.schema)
+            if proj is not None:
+                ship_schema, idx = proj
+                block = block.project(idx, ship_schema)
+                schema = ship_schema
+            out = self._partition_block(block, query, schema)
+            if out is not None:
+                return out
+            rows = block.to_rows()
         bq = query.bind(schema)
         buckets: list[list] = [[] for _ in range(self.num_buckets)]
         memo: dict[tuple, int] = {}
@@ -1234,7 +1438,16 @@ class _RepPartitionPhase:
         return ("rep_rows", [chunk or None for chunk in buckets])
 
     def from_block(self, descriptor):
-        """Vectorized partition of an shm_col fragment.
+        """Vectorized partition of an shm_col fragment."""
+        _kind, _name, _nbytes, _num_rows, query, schema = descriptor
+        block = _load_block(descriptor)
+        out = self._partition_block(block, query, schema)
+        if out is not None:
+            return out
+        return self((block.to_rows(), query, schema))
+
+    def _partition_block(self, block, query, schema):
+        """Vectorized partition of a ColumnBlock; None to go per-row.
 
         Computes each row's bucket through the same ``stable_hash(key)``
         the per-row path uses (so a retried fragment that falls back
@@ -1242,17 +1455,14 @@ class _RepPartitionPhase:
         block columns by bucket mask — each chunk re-serializes with the
         parent dictionary, codes untouched.
         """
-        _kind, _name, _nbytes, _num_rows, query, schema = descriptor
-        block = _load_block(descriptor)
-        job = (block.to_rows(), query, schema)
         if query.where is not None or not query.group_by:
-            return self(job)
+            return None
 
         import numpy as np
 
         comp = _columnar_group_keys(block, query)
         if comp is None:
-            return self(job)
+            return None
         decoded_cols, inv, n_groups = comp
         lut = np.empty(max(n_groups, 1), dtype=np.int64)
         for g, key in enumerate(zip(*decoded_cols)):
@@ -1971,9 +2181,15 @@ def _run_jobs_in_pool(
     chaos: ChaosOptions | None = None,
     reencode=None,
     run_deadline: float | None = None,
+    on_complete=None,
 ) -> dict[int, list]:
     """Pool dispatch: same retry/timeout/death semantics as the spawn
     path, but jobs go to persistent workers as small descriptors.
+
+    ``on_complete(index, payload)`` fires once per fragment, on its
+    *first* successful payload (speculative losers and duplicate
+    replies never re-fire it) — the mid-run strategy controller's
+    observation hook.
 
     Timeout, heartbeat-loss and death handling must discard the worker
     (its loop may be wedged or gone); a clean "error" reply leaves it
@@ -2111,6 +2327,8 @@ def _run_jobs_in_pool(
         first = record.index not in completed
         if first:
             completed[record.index] = payload
+            if on_complete is not None:
+                on_complete(record.index, payload)
         obs.attempt_done(record.index, record.attempt, record.started,
                          True, profile)
         if outstanding.get(record.index, 0) > 0:
@@ -2593,6 +2811,7 @@ def _run_jobs_in_processes(
 def _run_jobs_in_process(
     fn_for, jobs: list, max_retries: int, obs: _ObsSink,
     run_deadline: float | None = None,
+    on_complete=None,
 ) -> dict[int, list]:
     """The single-CPU path: same retry semantics, no processes.
 
@@ -2620,6 +2839,8 @@ def _run_jobs_in_process(
             span_start = obs.now()
             try:
                 completed[index] = fn_for(attempts - 1)(job)
+                if on_complete is not None:
+                    on_complete(index, completed[index])
             except MemoryExceededError as exc:
                 cause = exc
                 error = {
@@ -2731,21 +2952,59 @@ def _run_rep_strategy(
 _AUTO_SAMPLE_ROWS = 1024
 
 
+def _auto_params(dist):
+    """The cost-model parameters both auto decisions (pre-run and
+    mid-run) are evaluated under."""
+    from repro.costmodel.params import SystemParameters
+
+    total = sum(len(f.relation) for f in dist.fragments)
+    tuple_bytes = max(1, RowCodec(dist.schema).row_bytes)
+    return SystemParameters.implementation().with_(
+        num_nodes=max(1, len(dist.fragments)),
+        num_tuples=max(1, total),
+        tuple_bytes=tuple_bytes,
+        page_bytes=max(4096, tuple_bytes),
+    )
+
+
+def _auto_sample(dist):
+    """A stratified prefix sample: rows drawn from *every* fragment.
+
+    Sampling only fragment 0 lets one skewed fragment (all tuples of
+    one hot group, say) lock in the wrong strategy for the whole run;
+    splitting the budget across fragments keeps the estimate honest
+    under placement skew.  Block-born fragments decode only their
+    sampled prefix.  Returns ``(sample_rows, fragments_sampled)``.
+    """
+    frags = dist.fragments
+    if not frags:
+        return [], 0
+    per = max(1, _AUTO_SAMPLE_ROWS // len(frags))
+    sample: list = []
+    sampled = 0
+    for frag in frags:
+        head = frag.relation.head(per)
+        if head:
+            sampled += 1
+        sample.extend(head)
+    return sample, sampled
+
+
 def _resolve_auto_strategy(dist, query, ledger):
     """Pick "pool" (2P) or "global" from the paper's cost terms.
 
-    Estimates selectivity (groups per tuple) from a prefix sample of
-    fragment 0, feeds it to
+    Estimates selectivity (groups per tuple) from a stratified prefix
+    sample across all fragments, feeds it to
     :func:`repro.costmodel.globalhash.choose_mp_strategy`, and records
     the choice — with both modeled costs and the estimate — in
-    ``ledger`` so the decision is auditable after the fact.
+    ``ledger`` so the decision is auditable after the fact.  Returns
+    ``(strategy, inputs, event)`` with the recorded ledger event (None
+    without a ledger) so the run can attach a post-hoc verdict.
     """
     from repro.costmodel.globalhash import choose_mp_strategy
-    from repro.costmodel.params import SystemParameters
 
-    total = sum(len(f.relation.rows) for f in dist.fragments)
-    rows0 = dist.fragments[0].relation.rows if dist.fragments else []
-    sample = rows0[:_AUTO_SAMPLE_ROWS]
+    total = sum(len(f.relation) for f in dist.fragments)
+    sample, sampled_fragments = _auto_sample(dist)
     if sample and query.group_by:
         bq = query.bind(dist.schema)
         distinct = len({bq.key_of(row) for row in sample})
@@ -2754,18 +3013,132 @@ def _resolve_auto_strategy(dist, query, ledger):
         )
     else:
         selectivity = 1.0 / max(total, 1)
-    tuple_bytes = max(1, RowCodec(dist.schema).row_bytes)
-    params = SystemParameters.implementation().with_(
-        num_nodes=max(1, len(dist.fragments)),
-        num_tuples=max(1, total),
-        tuple_bytes=tuple_bytes,
-        page_bytes=max(4096, tuple_bytes),
-    )
+    params = _auto_params(dist)
     strategy, inputs = choose_mp_strategy(params, selectivity)
     inputs["sampled_rows"] = len(sample)
+    inputs["sampled_fragments"] = sampled_fragments
+    event = None
     if ledger is not None:
-        ledger.record(MP_STRATEGY_CHOICE, -1, 0.0, data=inputs)
-    return strategy, inputs
+        event = ledger.record(MP_STRATEGY_CHOICE, -1, 0.0, data=inputs)
+    return strategy, inputs, event
+
+
+# One mid-run re-estimate keeps the controller cheap and mirrors the
+# paper's A-2P discipline (switch at most once, when the evidence is
+# in); the default observation window is a quarter of the fragments.
+_AUTO_VERDICT_MARGIN = 0.10
+
+
+class _AutoStrategyController:
+    """Mid-run re-sampling for ``strategy="auto"`` (the A-2P move).
+
+    The pre-run choice comes from a prefix sample — cheap but blind to
+    what execution actually sees.  The controller watches the first
+    ``resample_after`` completed fragments, re-estimates the group
+    cardinality from their *observed* per-fragment group counts (the
+    max over fragments: under round-robin placement each fragment sees
+    nearly every group, so the max is a tight lower bound on |G|),
+    re-runs :func:`~repro.costmodel.globalhash.choose_mp_strategy`
+    once, and — when the winner flips — switches the phase function
+    handed to still-undispatched fragments: global ↔ pool, exactly the
+    way A-2P abandons its first-phase plan when the table overflows.
+    Both the pre-run choice and the re-decision are recorded in the
+    ledger and judged post-hoc against the run's true group count.
+
+    The parent merge accepts the resulting mix of packed and unpacked
+    partials, so a switch in either direction stays bit-identical.
+    """
+
+    def __init__(self, initial, total_rows, params, ledger,
+                 resample_after):
+        self.current = initial
+        self.total_rows = max(1, total_rows)
+        self.params = params
+        self.ledger = ledger
+        self.resample_after = max(1, resample_after)
+        self.observed: dict[int, int] = {}
+        self.resampled = False
+        self.switched_to = None
+        self.initial_event = None
+        self.event = None
+
+    def phase_fn(self):
+        return _global_phase if self.current == "global" else _local_phase
+
+    def on_complete(self, index, payload) -> None:
+        """Observe one fragment's first result; re-decide at the window."""
+        if self.resampled or index in self.observed:
+            return
+        self.observed[index] = (
+            payload[1] if _is_packed(payload) else len(payload)
+        )
+        if len(self.observed) < self.resample_after:
+            return
+        self.resampled = True
+        from repro.costmodel.globalhash import choose_mp_strategy
+
+        groups = max(self.observed.values())
+        selectivity = max(
+            1.0 / self.total_rows, min(1.0, groups / self.total_rows)
+        )
+        strategy, inputs = choose_mp_strategy(self.params, selectivity)
+        inputs["observed_groups"] = groups
+        inputs["observed_fragments"] = sorted(self.observed)
+        inputs["previous"] = self.current
+        inputs["switched"] = strategy != self.current
+        if self.ledger is not None:
+            self.event = self.ledger.record(
+                MP_STRATEGY_RESAMPLE, -1, 0.0, data=inputs
+            )
+        if strategy != self.current:
+            self.switched_to = strategy
+            self.current = strategy
+
+    def annotate(self, true_groups: int) -> None:
+        """Judge both auto decisions against the run's real group count.
+
+        Mirrors :func:`repro.obs.decisions.annotate_ground_truth`'s
+        verdict scheme: ``correct`` when the decision matches what the
+        model picks at the true selectivity, otherwise
+        ``wrong_but_cheap``/``wrong_and_costly`` split on whether the
+        chosen branch's modeled regret stays within 10%.
+        """
+        from repro.costmodel.globalhash import choose_mp_strategy
+
+        selectivity = max(
+            1.0 / self.total_rows,
+            min(1.0, max(true_groups, 1) / self.total_rows),
+        )
+        best, inputs = choose_mp_strategy(self.params, selectivity)
+        cost = {
+            "pool": inputs["cost_two_phase_seconds"],
+            "global": inputs["cost_global_seconds"],
+        }
+        for event in (self.initial_event, self.event):
+            if event is None:
+                continue
+            chosen = event.data.get("chosen")
+            truth = {
+                "true_groups": true_groups,
+                "truth_choice": best,
+                "decision_correct": chosen == best,
+                "cost_chosen_seconds": cost.get(chosen),
+                "cost_best_seconds": cost[best],
+            }
+            if chosen == best:
+                truth["verdict"] = VERDICT_CORRECT
+            else:
+                regret = (
+                    (cost[chosen] - cost[best]) / cost[best]
+                    if chosen in cost and cost[best] > 0 else 0.0
+                )
+                truth["regret"] = regret
+                truth["verdict"] = (
+                    VERDICT_WRONG_CHEAP
+                    if regret <= _AUTO_VERDICT_MARGIN
+                    else VERDICT_WRONG_COSTLY
+                )
+            event.truth = truth
 
 
 def multiprocessing_aggregate(
@@ -2791,6 +3164,7 @@ def multiprocessing_aggregate(
     poison_threshold: int = 3,
     ledger=None,
     deadline: float | None = None,
+    auto_resample_after: int | None = None,
 ) -> list[tuple]:
     """Two Phase over real processes; returns sorted result rows.
 
@@ -2827,10 +3201,22 @@ def multiprocessing_aggregate(
       every fragment into ``len(fragments)`` disjoint key buckets,
       round 2 aggregates each bucket on one worker, so no group is
       touched by two workers and the parent merge is a concatenation.
-    * ``"auto"``: samples fragment 0, estimates selectivity, and picks
-      ``"pool"`` or ``"global"`` from the cost model
+    * ``"auto"``: takes a stratified prefix sample across all
+      fragments, estimates selectivity, and picks ``"pool"`` or
+      ``"global"`` from the cost model
       (:func:`repro.costmodel.globalhash.choose_mp_strategy`); the
-      choice and both modeled costs are recorded in ``ledger``.
+      choice and both modeled costs are recorded in ``ledger``.  The
+      choice is then *re-sampled mid-run* (the paper's A-2P move):
+      after the first ``auto_resample_after`` fragments complete
+      (default: a quarter of the fragments, at least one), the cost
+      model re-runs on their observed group cardinality and a flipped
+      winner switches global ↔ pool for the fragments not yet
+      dispatched.  The re-decision lands in ``ledger`` as an
+      ``mp_strategy_resample`` event; both auto events get post-hoc
+      verdicts against the true group count once the run finishes.
+      ``auto_resample_after=0`` disables the mid-run re-estimate
+      (pre-run choice only); substituted ``phase_fn`` and
+      ``memory_budget_bytes`` also disable it.
 
     Results are bit-identical across all strategies.  ``phase_fn`` is
     pool/spawn-only; ``memory_budget_bytes`` excludes ``"rep"``; fault
@@ -2919,11 +3305,31 @@ def multiprocessing_aggregate(
                 "speculative re-execution requires strategy='pool' or "
                 "'global'"
             )
+    if auto_resample_after is not None and auto_resample_after < 0:
+        raise ValueError("auto_resample_after must be non-negative")
     strategy_inputs = None
+    controller = None
     if strategy == "auto":
-        strategy, strategy_inputs = _resolve_auto_strategy(
+        strategy, strategy_inputs, auto_event = _resolve_auto_strategy(
             dist, query, ledger
         )
+        resample_after = (
+            max(1, len(dist.fragments) // 4)
+            if auto_resample_after is None else auto_resample_after
+        )
+        if (
+            resample_after
+            and phase_fn is None
+            and memory_budget_bytes is None
+        ):
+            controller = _AutoStrategyController(
+                strategy,
+                sum(len(f.relation) for f in dist.fragments),
+                _auto_params(dist),
+                ledger,
+                resample_after,
+            )
+            controller.initial_event = auto_event
     if speculation_multiplier < 1.0:
         raise ValueError("speculation_multiplier must be >= 1")
     if speculation_min_seconds <= 0:
@@ -2943,6 +3349,10 @@ def multiprocessing_aggregate(
 
     def fn_for(attempt: int):
         if memory_budget_bytes is None:
+            # Resolved at dispatch time, so the mid-run controller's
+            # switch reaches fragments not yet handed to a worker.
+            if controller is not None:
+                return controller.phase_fn()
             return fn
         if attempt == 0:
             return _GovernedPhase(memory_budget_bytes, spill=False)
@@ -2950,9 +3360,24 @@ def multiprocessing_aggregate(
             max(1, memory_budget_bytes >> attempt), spill=True
         )
 
+    # Block-born fragments stay columnar end to end: the job carries the
+    # ColumnBlock itself and rows are never materialized on the default
+    # phases (encode ships the block; the in-process kernel reads it
+    # directly).  The spawn baseline and substituted phase functions
+    # keep their row-list contract — BlockRelation decodes lazily.
+    want_blocks = strategy != "spawn" and phase_fn is None and have_numpy()
     jobs = [
-        (frag.relation.rows, query, dist.schema) for frag in dist.fragments
+        (
+            frag.relation.block
+            if want_blocks
+            and getattr(frag.relation, "block", None) is not None
+            else frag.relation.rows,
+            query,
+            dist.schema,
+        )
+        for frag in dist.fragments
     ]
+    on_complete = controller.on_complete if controller is not None else None
     cpu_count = os.cpu_count() or 1
     if processes == 0:
         processes = min(len(jobs), cpu_count)
@@ -2976,7 +3401,8 @@ def multiprocessing_aggregate(
             )
         elif processes <= 1:
             completed = _run_jobs_in_process(
-                fn_for, jobs, max_retries, obs, run_deadline=deadline
+                fn_for, jobs, max_retries, obs, run_deadline=deadline,
+                on_complete=on_complete,
             )
         elif strategy == "spawn":
             completed = _run_jobs_in_processes(
@@ -3037,7 +3463,7 @@ def multiprocessing_aggregate(
                 completed = _run_jobs_in_pool(
                     fn_for, descriptors, processes, max_retries, timeout,
                     obs, _get_shared_pool(), chaos=chaos, reencode=encode,
-                    run_deadline=deadline,
+                    run_deadline=deadline, on_complete=on_complete,
                 )
             except FragmentFailedError as exc:
                 breaker.record_failure(exc.cause_type)
@@ -3069,6 +3495,13 @@ def multiprocessing_aggregate(
         metrics.counter("mp.fragments").inc(len(jobs))
         if strategy_inputs is not None:
             metrics.counter("mp.auto_strategy." + strategy).inc()
+        if controller is not None and controller.resampled:
+            metrics.counter("mp.auto_strategy.resampled").inc()
+            if controller.switched_to is not None:
+                metrics.counter(
+                    "mp.auto_strategy.switched_to."
+                    + controller.switched_to
+                ).inc()
 
     merge_start = obs.now()
     bq = query.bind(dist.schema)
@@ -3076,7 +3509,10 @@ def multiprocessing_aggregate(
     # copy) the pooled partials, so re-running over the same inputs can
     # never see aliased state from an earlier merge.
     merged: dict[tuple, GroupState] | None = None
-    if strategy == "global":
+    if strategy == "global" or controller is not None:
+        # A mid-run switch leaves a mix of packed (global) and unpacked
+        # (pool) partials; all-packed folds vectorized, anything else
+        # unpacks and takes the sequential merge.
         ordered = [completed[i] for i in range(len(jobs))]
         if all(_is_packed(p) for p in ordered):
             merged = _merge_packed(ordered, query)
@@ -3096,6 +3532,10 @@ def multiprocessing_aggregate(
                     mine = GroupState(query.aggregates)
                     merged[key] = mine
                 mine.merge(state)
+    if controller is not None:
+        # The merged table's size is the run's true group count: judge
+        # both auto decisions (pre-run sample, mid-run re-sample) now.
+        controller.annotate(len(merged))
     rows = (bq.result_row(key, state) for key, state in merged.items())
     result = sorted(row for row in rows if bq.passes_having(row))
     if tracer is not None:

@@ -202,6 +202,46 @@ class ColumnBlock:
             return [values[c] for c in self.columns[index].tolist()]
         return self.columns[index].tolist()
 
+    def project(self, indexes, schema: Schema | None = None) -> "ColumnBlock":
+        """A block holding only columns ``indexes``, in the given order.
+
+        Column buffers and dictionaries are shared, not copied — rows
+        are never materialized.  ``schema`` (defaulting to the matching
+        projection of this block's schema) lets a caller supply the
+        already-projected schema it computed anyway.
+        """
+        idx = list(indexes)
+        if schema is None:
+            schema = self.schema.project(
+                [self.schema.columns[i].name for i in idx]
+            )
+        columns = [self.columns[i] for i in idx]
+        dictionaries = {
+            j: self.dictionaries[i]
+            for j, i in enumerate(idx)
+            if i in self.dictionaries
+        }
+        return ColumnBlock(schema, self.num_rows, columns, dictionaries)
+
+    def slice(self, start: int, stop: int) -> "ColumnBlock":
+        """Rows ``[start, stop)`` as a block sharing this block's buffers.
+
+        Slicing is a numpy view per column (no copy); dictionaries are
+        shared, so string codes stay valid without re-encoding.
+        """
+        start = max(0, min(start, self.num_rows))
+        stop = max(start, min(stop, self.num_rows))
+        return ColumnBlock(
+            self.schema,
+            stop - start,
+            [arr[start:stop] for arr in self.columns],
+            self.dictionaries,
+        )
+
+    def head(self, n: int) -> "ColumnBlock":
+        """The first ``n`` rows (buffer-sharing, like :meth:`slice`)."""
+        return self.slice(0, n)
+
     def to_bytes(self) -> bytes:
         """One contiguous buffer: header, column buffers, dictionaries."""
         parts = [

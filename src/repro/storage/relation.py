@@ -76,6 +76,65 @@ class Relation:
         idx = self.schema.index_of(name)
         return [row[idx] for row in self.rows]
 
+    def head(self, n: int) -> list:
+        """The first ``n`` rows (a cheap prefix, used for sampling)."""
+        return self.rows[:n]
+
+
+class BlockRelation(Relation):
+    """A relation born columnar: a :class:`ColumnBlock`, rows on demand.
+
+    ``rows`` is a *decoding view*: the first access materializes the
+    block as Python tuples (cached thereafter), so every row consumer —
+    the simulator substrate, golden parity tests, per-row fallbacks —
+    sees exactly what a row-built :class:`Relation` would hold, while
+    columnar consumers (``multiprocessing_aggregate``'s shipping path,
+    block-native scans) read ``block`` directly and never pay the
+    decode.
+    """
+
+    def __init__(self, schema: Schema, block) -> None:
+        if block.columns and block.num_rows != len(block.columns[0]):
+            raise ValueError("block row count disagrees with its columns")
+        self.schema = schema
+        self.block = block
+        self._rows: list | None = None
+
+    @property
+    def rows(self) -> list:
+        if self._rows is None:
+            self._rows = self.block.to_rows()
+        return self._rows
+
+    def __len__(self) -> int:
+        return self.block.num_rows
+
+    def __iter__(self):
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockRelation(columns={self.schema.names()}, "
+            f"rows={self.block.num_rows})"
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return self.block.num_rows * self.schema.tuple_bytes
+
+    def num_pages(self, page_size: int) -> int:
+        return pages_for(
+            self.block.num_rows, self.schema.tuple_bytes, page_size
+        )
+
+    def column_values(self, name: str):
+        return self.block.column(self.schema.index_of(name))
+
+    def head(self, n: int) -> list:
+        if self._rows is not None:
+            return self._rows[:n]
+        return self.block.head(n).to_rows()
+
 
 @dataclass
 class Fragment:
@@ -95,10 +154,19 @@ class DistributedRelation:
     """A relation horizontally partitioned across N shared-nothing nodes."""
 
     def __init__(self, schema: Schema, partitions) -> None:
+        """``partitions`` holds one entry per node: either a list of row
+        tuples (wrapped in a fresh :class:`Relation`) or an already-built
+        :class:`Relation`/:class:`BlockRelation` — the columnar
+        generators hand fragments over block-born, without a row detour.
+        """
         self.schema = schema
         self.fragments = [
-            Fragment(i, Relation(schema, rows))
-            for i, rows in enumerate(partitions)
+            Fragment(
+                i,
+                part if isinstance(part, Relation)
+                else Relation(schema, part),
+            )
+            for i, part in enumerate(partitions)
         ]
         if not self.fragments:
             raise ValueError("a distributed relation needs at least one node")

@@ -5,17 +5,36 @@ aggregable value, and padding bringing the tuple to 100 bytes.  Group keys
 are dealt so the relation contains *exactly* the requested number of
 distinct groups (the experiments sweep grouping selectivity, so the group
 count must be exact, not expected).
+
+Relations are born columnar by default: the key and value arrays the
+generators already build become per-fragment
+:class:`~repro.storage.columnblock.ColumnBlock` columns directly
+(``columnar=True``), wrapped in :class:`~repro.storage.relation.\
+BlockRelation` whose ``rows`` attribute is a lazy decoding view — row
+consumers (the simulator substrate, golden parity) see exactly the
+tuples the legacy path built, while the mp executor ships the blocks
+without ever materializing a tuple.  ``columnar=False`` keeps the
+original row-tuple construction as the seed/reference path; both
+produce identical rows for identical arguments.
+
+``key_format`` turns the int group key into a dictionary-encoded string
+key (e.g. ``"g{:08d}"`` gives ``g00000042``) — the str-key Figure-2
+shape the columnar benchmarks sweep — built as one format per *group*,
+not per tuple.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.storage.columnblock import ColumnBlock, StringDictionary
+from repro.storage.hashing import bucket_of
 from repro.storage.partition import hash_partition, round_robin_partition
-from repro.storage.relation import DistributedRelation
-from repro.storage.schema import default_schema
+from repro.storage.relation import BlockRelation, DistributedRelation
+from repro.storage.schema import Column, Schema, default_schema
 
 _PLACEMENTS = ("round_robin", "hash", "random")
+_STR_KEY_BYTES = 16
 
 
 def selectivity_to_groups(selectivity: float, num_tuples: int) -> int:
@@ -23,6 +42,21 @@ def selectivity_to_groups(selectivity: float, num_tuples: int) -> int:
     if not 0 < selectivity <= 1:
         raise ValueError("selectivity must be in (0, 1]")
     return max(1, round(selectivity * num_tuples))
+
+
+def _schema_for(key_format: str | None, payload_bytes: int) -> Schema:
+    """The 100-byte evaluation schema, str-keyed when ``key_format``."""
+    if key_format is None:
+        return default_schema(payload_bytes)
+    # A 16-byte string key widens the key by 8; shrink the pad so the
+    # tuple stays the paper's 100 bytes at the default payload.
+    return Schema(
+        [
+            Column("gkey", "str", _STR_KEY_BYTES),
+            Column("val", "float"),
+            Column("pad", "str", max(1, payload_bytes - 8)),
+        ]
+    )
 
 
 def _place(rows, num_nodes: int, placement: str, rng) -> list[list]:
@@ -40,6 +74,114 @@ def _place(rows, num_nodes: int, placement: str, rng) -> list[list]:
     )
 
 
+def _row_partitions(
+    keys, vals, num_nodes, placement, rng, key_format
+) -> list[list]:
+    """The legacy per-tuple construction (``columnar=False``)."""
+    if key_format is None:
+        rows = [(int(k), float(v), "") for k, v in zip(keys, vals)]
+    else:
+        rows = [
+            (key_format.format(int(k)), float(v), "")
+            for k, v in zip(keys, vals)
+        ]
+    return _place(rows, num_nodes, placement, rng)
+
+
+def _block_partitions(
+    keys, vals, num_groups, num_nodes, placement, rng, schema, key_format
+) -> list[BlockRelation]:
+    """Columnar placement: index arrays per node, then buffer slices.
+
+    Row-for-row identical to ``_place`` over the materialized tuples:
+    round-robin deals in row order (node i gets rows ``i::N``), hash
+    buckets each *group* once through the same ``stable_hash`` the
+    per-row partitioner uses, and random draws the same
+    ``rng.integers`` destinations.  Order within a node is preserved in
+    every case, so decoded fragments match the legacy path exactly.
+    """
+    n = len(keys)
+    if placement == "round_robin":
+        idx_parts = [
+            np.arange(i, n, num_nodes, dtype=np.int64)
+            for i in range(num_nodes)
+        ]
+    elif placement == "hash":
+        if key_format is None:
+            lut = np.asarray(
+                [bucket_of(g, num_nodes) for g in range(num_groups)],
+                dtype=np.int64,
+            )
+        else:
+            lut = np.asarray(
+                [
+                    bucket_of(key_format.format(g), num_nodes)
+                    for g in range(num_groups)
+                ],
+                dtype=np.int64,
+            )
+        dests = lut[keys]
+        idx_parts = [
+            np.flatnonzero(dests == i) for i in range(num_nodes)
+        ]
+    elif placement == "random":
+        dests = rng.integers(0, num_nodes, n)
+        idx_parts = [
+            np.flatnonzero(dests == i) for i in range(num_nodes)
+        ]
+    else:
+        raise ValueError(
+            f"unknown placement {placement!r}; expected one of "
+            f"{_PLACEMENTS}"
+        )
+
+    # Shared per-relation dictionaries: the pad column is all-"" and the
+    # key dictionary indexes group ids directly (code == group id), so
+    # fragment blocks share buffers instead of re-encoding strings.
+    pad_dict = StringDictionary([""])
+    key_dict = None
+    if key_format is not None:
+        key_dict = StringDictionary(
+            [key_format.format(g) for g in range(num_groups)]
+        )
+
+    parts = []
+    for idx in idx_parts:
+        kcol = keys[idx]
+        vcol = np.ascontiguousarray(vals[idx])
+        pad_codes = np.zeros(len(idx), dtype="<i4")
+        if key_format is None:
+            columns = [np.ascontiguousarray(kcol), vcol, pad_codes]
+            dictionaries = {2: pad_dict}
+        else:
+            columns = [kcol.astype("<i4"), vcol, pad_codes]
+            dictionaries = {0: key_dict, 2: pad_dict}
+        parts.append(
+            BlockRelation(
+                schema,
+                ColumnBlock(schema, len(idx), columns, dictionaries),
+            )
+        )
+    return parts
+
+
+def _build(
+    keys, vals, num_groups, num_nodes, placement, rng, payload_bytes,
+    columnar, key_format,
+) -> DistributedRelation:
+    schema = _schema_for(key_format, payload_bytes)
+    if columnar:
+        parts = _block_partitions(
+            keys, vals, num_groups, num_nodes, placement, rng, schema,
+            key_format,
+        )
+    else:
+        parts = _row_partitions(
+            keys, vals, num_nodes, placement, rng, key_format
+        )
+    return DistributedRelation(schema, parts)
+
+
 def generate_uniform(
     num_tuples: int,
     num_groups: int,
@@ -48,6 +190,8 @@ def generate_uniform(
     placement: str = "round_robin",
     payload_bytes: int = 84,
     shuffle: bool = True,
+    columnar: bool = True,
+    key_format: str | None = None,
 ) -> DistributedRelation:
     """A uniform relation: every group has (nearly) the same frequency.
 
@@ -55,6 +199,11 @@ def generate_uniform(
     which combined with round-robin placement gives each node an identical
     group mix — the paper's idealized uniform case.  With ``shuffle=True``
     (default) tuple order is randomized first, the realistic variant.
+
+    ``columnar=True`` (default) emits block-born fragments;
+    ``columnar=False`` materializes row tuples first (the seed path).
+    Both decode to identical rows.  ``key_format`` (e.g. ``"g{:08d}"``)
+    formats the group id into a dictionary-encoded string key.
     """
     if num_groups < 1:
         raise ValueError("num_groups must be at least 1")
@@ -67,11 +216,10 @@ def generate_uniform(
     if shuffle:
         rng.shuffle(keys)
     vals = rng.uniform(0.0, 100.0, num_tuples)
-    rows = [
-        (int(k), float(v), "") for k, v in zip(keys, vals)
-    ]
-    schema = default_schema(payload_bytes)
-    return DistributedRelation(schema, _place(rows, num_nodes, placement, rng))
+    return _build(
+        keys, vals, num_groups, num_nodes, placement, rng, payload_bytes,
+        columnar, key_format,
+    )
 
 
 def generate_zipf(
@@ -82,11 +230,14 @@ def generate_zipf(
     seed: int = 0,
     placement: str = "round_robin",
     payload_bytes: int = 84,
+    columnar: bool = True,
+    key_format: str | None = None,
 ) -> DistributedRelation:
     """A relation whose group frequencies follow a (truncated) Zipf law.
 
     Every group in ``range(num_groups)`` appears at least once so the true
     group count stays exact; the remaining tuples are drawn Zipf(alpha).
+    ``columnar``/``key_format`` behave as in :func:`generate_uniform`.
     """
     if num_groups < 1:
         raise ValueError("num_groups must be at least 1")
@@ -105,6 +256,7 @@ def generate_zipf(
     keys = np.concatenate([np.arange(num_groups, dtype=np.int64), drawn])
     rng.shuffle(keys)
     vals = rng.uniform(0.0, 100.0, num_tuples)
-    rows = [(int(k), float(v), "") for k, v in zip(keys, vals)]
-    schema = default_schema(payload_bytes)
-    return DistributedRelation(schema, _place(rows, num_nodes, placement, rng))
+    return _build(
+        keys, vals, num_groups, num_nodes, placement, rng, payload_bytes,
+        columnar, key_format,
+    )

@@ -115,3 +115,57 @@ class TestGenerateZipf:
 
     def test_total_preserved(self):
         assert len(generate_zipf(777, 10, 3, seed=1)) == 777
+
+
+class TestColumnarGeneration:
+    """Block-born fragments must decode to exactly the legacy rows."""
+
+    @pytest.mark.parametrize("placement", ["round_robin", "hash", "random"])
+    @pytest.mark.parametrize("key_format", [None, "g{:06d}"])
+    def test_uniform_blocks_decode_to_legacy_rows(
+        self, placement, key_format
+    ):
+        kwargs = dict(seed=9, placement=placement, key_format=key_format)
+        cols = generate_uniform(1500, 40, 4, **kwargs)
+        rows = generate_uniform(1500, 40, 4, columnar=False, **kwargs)
+        for cf, rf in zip(cols.fragments, rows.fragments):
+            assert cf.relation.rows == rf.relation.rows
+
+    @pytest.mark.parametrize("placement", ["round_robin", "hash", "random"])
+    @pytest.mark.parametrize("key_format", [None, "g{:06d}"])
+    def test_zipf_blocks_decode_to_legacy_rows(self, placement, key_format):
+        kwargs = dict(
+            alpha=1.3, seed=9, placement=placement, key_format=key_format
+        )
+        cols = generate_zipf(1500, 40, 4, **kwargs)
+        rows = generate_zipf(1500, 40, 4, columnar=False, **kwargs)
+        for cf, rf in zip(cols.fragments, rows.fragments):
+            assert cf.relation.rows == rf.relation.rows
+
+    def test_fragments_are_block_born(self):
+        from repro.storage.relation import BlockRelation
+
+        dist = generate_uniform(200, 10, 2, seed=0)
+        for frag in dist.fragments:
+            assert isinstance(frag.relation, BlockRelation)
+            # The decoding view is lazy: nothing materialized yet.
+            assert frag.relation._rows is None
+
+    def test_str_keys_are_dictionary_coded(self):
+        dist = generate_uniform(300, 25, 2, seed=0, key_format="g{:04d}")
+        frag = dist.fragments[0].relation
+        assert frag.block.schema.columns[0].kind == "str"
+        # code == group id: the dictionary indexes groups directly.
+        assert frag.block.dictionaries[0].values == [
+            f"g{g:04d}" for g in range(25)
+        ]
+        assert frag.rows[0][0] == frag.block.dictionaries[0].values[
+            int(frag.block.columns[0][0])
+        ]
+
+    def test_head_decodes_only_the_prefix(self):
+        dist = generate_uniform(400, 10, 2, seed=3)
+        frag = dist.fragments[0].relation
+        head = frag.head(7)
+        assert frag._rows is None  # prefix decode, no full materialize
+        assert head == frag.rows[:7]
